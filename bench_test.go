@@ -1,0 +1,239 @@
+package sconna
+
+// One testing.B benchmark per paper table and figure (DESIGN.md
+// experiment index E1-E9, A1-A3). Each bench regenerates its artifact;
+// where an artifact needs one-time training (Table V), the training runs
+// once outside the timer and the timed region is the part unique to the
+// experiment (inference through the SCONNA functional core).
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/accuracy"
+	"repro/internal/bitstream"
+	"repro/internal/dataset"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/photonics"
+	"repro/internal/quant"
+	"repro/internal/sc"
+	"repro/internal/scalability"
+)
+
+// BenchmarkTableI regenerates Table I (E1): the analog VDPE scalability
+// solve across organizations, precisions and data rates.
+func BenchmarkTableI(b *testing.B) {
+	cfg := scalability.DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cells := cfg.TableI()
+		if len(cells) != 16 {
+			b.Fatal("table shape")
+		}
+	}
+}
+
+// BenchmarkTableII regenerates Table II (E2): the kernel census of the
+// four tabulated CNNs.
+func BenchmarkTableII(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, m := range models.TableIIModels() {
+			le, gt := m.KernelCensus(44)
+			if le+gt == 0 {
+				b.Fatal("empty census")
+			}
+		}
+	}
+}
+
+// BenchmarkFig6c regenerates the OAG transient analysis (E3): 256 PRBS
+// bits through the device model at 10 Gbps with decode verification.
+func BenchmarkFig6c(b *testing.B) {
+	g := photonics.NewOAG(0.35)
+	rng := rand.New(rand.NewSource(1))
+	n := 256
+	ib := make([]bool, n)
+	wb := make([]bool, n)
+	for i := range ib {
+		ib[i] = rng.Intn(2) == 1
+		wb[i] = rng.Intn(2) == 1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace := g.Transient(ib, wb, 10e9, 8)
+		if len(g.DecodeTransient(trace, 8)) != n {
+			b.Fatal("decode length")
+		}
+	}
+}
+
+// BenchmarkFig7a regenerates the bitrate-vs-FWHM frontier (E4).
+func BenchmarkFig7a(b *testing.B) {
+	fwhms := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pts := Fig7a(-28, fwhms)
+		if len(pts) != len(fwhms) {
+			b.Fatal("sweep shape")
+		}
+	}
+}
+
+// BenchmarkFig7b regenerates the PCA linearity sweep (E5).
+func BenchmarkFig7b(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pts := Fig7b(100)
+		if len(pts) != 101 {
+			b.Fatal("sweep shape")
+		}
+	}
+}
+
+// fig9Bench runs the full three-accelerator comparison once per
+// iteration; the three metric benches (E6-E8) share it.
+func fig9Bench(b *testing.B) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := accel.Fig9Default()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(data.Rows) != 12 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+// BenchmarkFig9a regenerates the FPS comparison (E6).
+func BenchmarkFig9a(b *testing.B) { fig9Bench(b) }
+
+// BenchmarkFig9b regenerates the FPS/W comparison (E7).
+func BenchmarkFig9b(b *testing.B) { fig9Bench(b) }
+
+// BenchmarkFig9c regenerates the FPS/W/mm^2 comparison (E8).
+func BenchmarkFig9c(b *testing.B) { fig9Bench(b) }
+
+// tableVState holds the one-time trained/quantized model for E9.
+var tableVState struct {
+	once   sync.Once
+	qn     *quant.Network
+	test   []nn.Example
+	engine *quant.SconnaEngine
+}
+
+func tableVSetup(b *testing.B) {
+	tableVState.once.Do(func() {
+		cfg := dataset.DefaultConfig()
+		examples := dataset.Generate(cfg, 160)
+		train, test := dataset.Split(examples, 0.25)
+		net := nn.BuildSmallCNN(4, dataset.NumClasses, 5)
+		net.Train(train, 6, 16, nn.SGD{LR: 0.05, Momentum: 0.9}, rand.New(rand.NewSource(5)))
+		qn, err := quant.Quantize(net, 8, train[:24])
+		if err != nil {
+			b.Fatal(err)
+		}
+		ccfg := DefaultCoreConfig()
+		ccfg.N = 64
+		ccfg.M = 1
+		engine, err := quant.NewSconnaEngine(ccfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tableVState.qn = qn
+		tableVState.test = test[:8]
+		tableVState.engine = engine
+	})
+}
+
+// BenchmarkTableV times the part unique to the accuracy study (E9):
+// quantized inference through the SCONNA functional core (training and
+// quantization run once outside the timer).
+func BenchmarkTableV(b *testing.B) {
+	tableVSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		top1, _ := tableVState.qn.Evaluate(tableVState.test, 5, tableVState.engine)
+		if top1 < 0 || top1 > 1 {
+			b.Fatal("accuracy out of range")
+		}
+	}
+}
+
+// BenchmarkAblationStreamLength sweeps SCONNA's stream precision (A1).
+func BenchmarkAblationStreamLength(b *testing.B) {
+	m := models.ResNet50()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, bits := range []int{4, 6, 8} {
+			cfg := accel.Sconna()
+			cfg.Precision = bits
+			cfg.SlicePrecision = bits
+			if _, err := accel.Simulate(cfg, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationSNG compares stream-generator pairings (A2).
+func BenchmarkAblationSNG(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mae, _ := sc.MulError(bitstream.Unary{}, bitstream.Bresenham{}, 8, 17)
+		if mae > 0.01 {
+			b.Fatal("deterministic pairing error too large")
+		}
+	}
+}
+
+// BenchmarkAblationPsum prices the psum-reduction arithmetic (A3).
+func BenchmarkAblationPsum(b *testing.B) {
+	sizes := []int{9, 64, 576, 2304, 4608}
+	ns := []int{16, 22, 44, 176}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, s := range sizes {
+			for _, n := range ns {
+				total += (s + n - 1) / n
+			}
+		}
+		if total == 0 {
+			b.Fatal("no chunks")
+		}
+	}
+}
+
+// BenchmarkVDPEDotFullSize times one full-size (N=176, B=8) functional
+// dot product through the OSM cascade and PCA pair.
+func BenchmarkVDPEDotFullSize(b *testing.B) {
+	cfg := DefaultCoreConfig()
+	vdpe, err := NewVDPE(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	div := make([]int, cfg.N)
+	dkv := make([]int, cfg.N)
+	for i := range div {
+		div[i] = rng.Intn(257)
+		dkv[i] = rng.Intn(513) - 256
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vdpe.Dot(div, dkv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var _ = accuracy.DefaultSpecs // Table V spec surface referenced by docs

@@ -1,0 +1,275 @@
+// Command experiments regenerates every table and figure of the SCONNA
+// paper from this reproduction, printing paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	experiments -exp all|table1|table2|fig6c|fig7a|fig7b|fig9|table5|ablations [-quick] [-out DIR]
+//
+// -quick shrinks the Table V training runs for smoke tests; -out writes
+// each experiment's rows as CSV files into DIR.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+
+	sconna "repro"
+	"repro/internal/accel"
+	"repro/internal/accuracy"
+	"repro/internal/bitstream"
+	"repro/internal/models"
+	"repro/internal/photonics"
+	"repro/internal/report"
+	"repro/internal/sc"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: all|table1|table2|fig6c|fig7a|fig7b|fig9|table5|ablations")
+	quick := flag.Bool("quick", false, "reduced-size Table V study")
+	out := flag.String("out", "", "directory to write CSV outputs")
+	flag.Parse()
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	run := func(name string, fn func() *report.Table) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		t := fn()
+		fmt.Println(t.String())
+		if *out != "" {
+			path := filepath.Join(*out, name+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		} else {
+			fmt.Println()
+		}
+	}
+
+	run("table1", tableI)
+	run("table2", tableII)
+	run("fig6c", fig6c)
+	run("fig7a", fig7a)
+	run("fig7b", fig7b)
+	run("fig9", fig9)
+	if *exp == "all" || *exp == "table5" {
+		run("table5", func() *report.Table { return tableV(*quick) })
+	}
+	if *exp == "ablations" {
+		*exp = "all" // expand the group: run() filters by name
+	}
+	run("ablation-b", ablationStreamLength)
+	run("ablation-sng", ablationSNG)
+	run("ablation-psum", ablationPsum)
+	run("ablation-batch", ablationBatch)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}
+
+// tableI reproduces Table I: max VDPE size N for the analog organizations.
+func tableI() *report.Table {
+	t := report.NewTable("Table I — analog VDPE size N vs precision and data rate",
+		"org", "precision", "DR (GS/s)", "N (measured)", "N (paper)")
+	for _, c := range sconna.TableI() {
+		t.AddRow(c.Org.String(), fmt.Sprintf("%d-bit", c.Precision), c.DataRate/1e9, c.N, c.PaperN)
+	}
+	s := sconna.SolveSconnaN(30e9)
+	t.AddRow("SCONNA", "8-bit(streams)", 30.0, s.NWithPaperSensitivity, s.PaperN)
+	return t
+}
+
+// tableII reproduces the kernel census.
+func tableII() *report.Table {
+	t := report.NewTable("Table II — convolutional kernels by DKV size S (threshold 44)",
+		"model", "S<=44", "S>44", "paper S<=44", "paper S>44")
+	for _, m := range sconna.TableIIModels() {
+		le, gt := m.KernelCensus(44)
+		ref := models.PaperTableII[m.Name]
+		t.AddRow(m.Name, le, gt, ref.LE, ref.GT)
+	}
+	for _, m := range []models.Model{models.MobileNetV2(), models.ShuffleNetV2()} {
+		le, gt := m.KernelCensus(44)
+		t.AddRow(m.Name+" (extra)", le, gt, "-", "-")
+	}
+	return t
+}
+
+// fig6c validates the OAG transient: T(lambda_in) = I AND W at 10 Gbps.
+func fig6c() *report.Table {
+	t := report.NewTable("Fig. 6(c) — OAG transient analysis at 10 Gbps (PRBS operands)",
+		"bits", "decode errors", "contrast (dB)")
+	g := photonics.NewOAG(0.35)
+	rng := rand.New(rand.NewSource(2023))
+	n := 256
+	ib := make([]bool, n)
+	wb := make([]bool, n)
+	for i := range ib {
+		ib[i] = rng.Intn(2) == 1
+		wb[i] = rng.Intn(2) == 1
+	}
+	const spb = 16
+	trace := g.Transient(ib, wb, 10e9, spb)
+	decoded := g.DecodeTransient(trace, spb)
+	errs := 0
+	for i, d := range decoded {
+		if d != (ib[i] && wb[i]) {
+			errs++
+		}
+	}
+	t.AddRow(n, errs, g.ContrastDB())
+	return t
+}
+
+// fig7a reproduces the bitrate-vs-FWHM frontier.
+func fig7a() *report.Table {
+	t := report.NewTable("Fig. 7(a) — max OAG bitrate vs FWHM at OMA = -28 dBm",
+		"FWHM (nm)", "BR (Gbps)")
+	var fwhms []float64
+	for f := 0.1; f <= 1.2001; f += 0.1 {
+		fwhms = append(fwhms, f)
+	}
+	for _, p := range sconna.Fig7a(-28, fwhms) {
+		t.AddRow(p.FWHMNM, p.BitrateHz/1e9)
+	}
+	return t
+}
+
+// fig7b reproduces the PCA linearity sweep.
+func fig7b() *report.Table {
+	t := report.NewTable("Fig. 7(b) — PCA analog output voltage vs alpha (N=176, 2^8-bit streams)",
+		"alpha (%)", "V (analog)")
+	for _, p := range sconna.Fig7b(20) {
+		t.AddRow(p.AlphaPct, p.VoltageV)
+	}
+	return t
+}
+
+// fig9 reproduces the headline comparison.
+func fig9() *report.Table {
+	data, err := sconna.RunFig9()
+	if err != nil {
+		fatal(err)
+	}
+	t := report.NewTable("Fig. 9 — FPS / FPS/W / FPS/W/mm^2 (batch 1, 8-bit)",
+		"model", "accelerator", "FPS", "FPS/W", "FPS/W/mm2", "power (W)", "latency (ms)")
+	for _, r := range data.Rows {
+		t.AddRow(r.Model, r.Accel, r.FPS, r.FPSPerW, r.FPSPerWMM, r.PowerW, r.LatencyMS)
+	}
+	for accel, ref := range accel.PaperFig9Gmeans {
+		t.AddRow("GMEAN RATIO vs", accel,
+			fmt.Sprintf("%.1fx (paper %.1fx)", data.GmeanFPS[accel], ref.FPS),
+			fmt.Sprintf("%.1fx (paper %.0fx)", data.GmeanFPSPerW[accel], ref.FPSPerW),
+			fmt.Sprintf("%.1fx (paper %.0fx)", data.GmeanFPSPerWMM[accel], ref.FPSPerWMM),
+			"-", "-")
+	}
+	return t
+}
+
+// tableV reproduces the accuracy-drop study.
+func tableV(quick bool) *report.Table {
+	opts := sconna.DefaultAccuracyOptions()
+	if quick {
+		opts = sconna.QuickAccuracyOptions()
+	}
+	rows, err := sconna.RunTableV(opts)
+	if err != nil {
+		fatal(err)
+	}
+	t := report.NewTable("Table V — Top-1/Top-5 accuracy drop, exact int8 vs SCONNA (proxy models)",
+		"model", "params", "top1 exact", "top1 sconna", "drop1 (pp)", "drop5 (pp)", "paper drop1", "paper drop5")
+	for _, r := range rows {
+		if ref, ok := accuracy.PaperTableV[r.Model]; ok {
+			t.AddRow(r.Model, r.Params, r.Top1Exact, r.Top1Sconna, r.Drop1, r.Drop5, ref[0], ref[1])
+		} else {
+			t.AddRow(r.Model, "-", "-", "-", r.Drop1, r.Drop5, 0.4, 0.3)
+		}
+	}
+	return t
+}
+
+// ablationStreamLength (A1): SCONNA FPS vs stream precision B.
+func ablationStreamLength() *report.Table {
+	t := report.NewTable("Ablation A1 — SCONNA stream length 2^B vs throughput (ResNet50)",
+		"B (bits)", "stream bits", "op latency (ns)", "FPS")
+	for _, b := range []int{4, 6, 8} {
+		cfg := sconna.SconnaAccel()
+		cfg.Precision = b
+		cfg.SlicePrecision = b
+		r, err := sconna.Simulate(cfg, models.ResNet50())
+		if err != nil {
+			fatal(err)
+		}
+		t.AddRow(b, 1<<uint(b), cfg.OpNS(), r.FPS)
+	}
+	return t
+}
+
+// ablationSNG (A2): deterministic LUT streams vs LFSR random streams.
+func ablationSNG() *report.Table {
+	t := report.NewTable("Ablation A2 — multiplication error by stream generator pairing (B=8)",
+		"pairing", "MAE (x1e-3 FS)", "max err (x1e-3 FS)")
+	type pair struct {
+		name   string
+		gi, gw bitstream.Generator
+	}
+	for _, p := range []pair{
+		{"unary x bresenham (OSM LUT)", bitstream.Unary{}, bitstream.Bresenham{}},
+		{"unary x van-der-corput", bitstream.Unary{}, bitstream.VanDerCorput{}},
+		{"lfsr8 x lfsr8 (random SNG)", bitstream.LFSR{Width: 8, Seed: 1}, bitstream.LFSR{Width: 8, Seed: 0xB5}},
+	} {
+		mae, maxe := sc.MulError(p.gi, p.gw, 8, 9)
+		t.AddRow(p.name, mae*1e3, maxe*1e3)
+	}
+	return t
+}
+
+// ablationPsum (A3): why large N wins — psums per output vs VDPE size.
+func ablationPsum() *report.Table {
+	t := report.NewTable("Ablation A3 — psums per output and serial reduction time vs VDPE size",
+		"S", "N=16 (C / ns)", "N=22 (C / ns)", "N=44 (C / ns)", "N=176 (C / ns)")
+	const redNS = 3.125
+	for _, s := range []int{9, 64, 576, 2304, 4608} {
+		row := []any{s}
+		for _, n := range []int{16, 22, 44, 176} {
+			c := (s + n - 1) / n
+			row = append(row, fmt.Sprintf("%d / %.1f", c, float64(c-1)*redNS))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// ablationBatch (A4): batching amortizes weight reloads — by how much,
+// per accelerator (ResNet50).
+func ablationBatch() *report.Table {
+	t := report.NewTable("Ablation A4 — batch size vs FPS (ResNet50; analog reloads amortize)",
+		"accelerator", "batch 1", "batch 8", "batch 32", "speedup @32")
+	for _, base := range []sconna.AccelConfig{sconna.SconnaAccel(), sconna.MAMAccel(), sconna.AMMAccel()} {
+		fps := map[int]float64{}
+		for _, b := range []int{1, 8, 32} {
+			cfg := base
+			cfg.Batch = b
+			r, err := sconna.Simulate(cfg, models.ResNet50())
+			if err != nil {
+				fatal(err)
+			}
+			fps[b] = r.FPS
+		}
+		t.AddRow(base.Name, fps[1], fps[8], fps[32], fps[32]/fps[1])
+	}
+	return t
+}
+
+var _ = strings.TrimSpace // reserved for future formatting helpers

@@ -1,0 +1,101 @@
+// Command sconnsim is the accelerator simulator CLI — the Go counterpart
+// of the paper's SC_ONN_SIM. It runs batch-1, weight-stationary inference
+// of a CNN workload on SCONNA or one of the analog photonic baselines and
+// reports timing, power, energy, and area, optionally with a per-layer
+// breakdown.
+//
+// Usage:
+//
+//	sconnsim -model resnet50 -accel sconna [-layers] [-all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	sconna "repro"
+	"repro/internal/models"
+	"repro/internal/report"
+)
+
+func main() {
+	modelName := flag.String("model", "resnet50", "workload: googlenet|resnet50|mobilenetv2|shufflenetv2|vgg16|densenet121")
+	accelName := flag.String("accel", "sconna", "accelerator: sconna|mam|amm")
+	layers := flag.Bool("layers", false, "print per-layer breakdown")
+	all := flag.Bool("all", false, "run every accelerator on the model")
+	flag.Parse()
+
+	model, err := pickModel(*modelName)
+	if err != nil {
+		fail(err)
+	}
+	cfgs := []sconna.AccelConfig{}
+	if *all {
+		cfgs = append(cfgs, sconna.SconnaAccel(), sconna.MAMAccel(), sconna.AMMAccel())
+	} else {
+		cfg, err := pickAccel(*accelName)
+		if err != nil {
+			fail(err)
+		}
+		cfgs = append(cfgs, cfg)
+	}
+
+	summary := report.NewTable(fmt.Sprintf("%s — %.2f GMACs, %.1fM params", model.Name,
+		float64(model.TotalMACs())/1e9, float64(model.TotalParams())/1e6),
+		"accelerator", "latency (ms)", "FPS", "power (W)", "energy (mJ)", "FPS/W", "FPS/W/mm2")
+	for _, cfg := range cfgs {
+		res, err := sconna.Simulate(cfg, model)
+		if err != nil {
+			fail(err)
+		}
+		summary.AddRow(cfg.Name, res.TotalNS/1e6, res.FPS, res.Power.Total(), res.EnergyJ*1e3,
+			res.FPSPerW, res.FPSPerWMM)
+		if *layers {
+			lt := report.NewTable(fmt.Sprintf("per-layer breakdown (%s)", cfg.Name),
+				"layer", "S", "chunks", "rounds", "VDPs", "compute (us)", "weights (us)", "total (us)")
+			for _, l := range res.Layers {
+				lt.AddRow(l.Name, l.S, l.Chunks, l.Rounds, l.VDPs,
+					l.ComputeNS/1e3, l.WeightNS/1e3, l.TotalNS/1e3)
+			}
+			fmt.Println(lt.String())
+		}
+	}
+	fmt.Println(summary.String())
+}
+
+func pickModel(name string) (sconna.Model, error) {
+	switch strings.ToLower(name) {
+	case "googlenet":
+		return models.GoogleNet(), nil
+	case "resnet50":
+		return models.ResNet50(), nil
+	case "mobilenetv2", "mobilenet_v2":
+		return models.MobileNetV2(), nil
+	case "shufflenetv2", "shufflenet_v2":
+		return models.ShuffleNetV2(), nil
+	case "vgg16":
+		return models.VGG16(), nil
+	case "densenet121", "densenet":
+		return models.DenseNet121(), nil
+	}
+	return sconna.Model{}, fmt.Errorf("unknown model %q", name)
+}
+
+func pickAccel(name string) (sconna.AccelConfig, error) {
+	switch strings.ToLower(name) {
+	case "sconna":
+		return sconna.SconnaAccel(), nil
+	case "mam", "holylight":
+		return sconna.MAMAccel(), nil
+	case "amm", "deapcnn", "deap-cnn":
+		return sconna.AMMAccel(), nil
+	}
+	return sconna.AccelConfig{}, fmt.Errorf("unknown accelerator %q", name)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sconnsim:", err)
+	os.Exit(1)
+}

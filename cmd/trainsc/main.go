@@ -1,0 +1,60 @@
+// Command trainsc runs the Table V accuracy study end-to-end: it trains
+// the four proxy CNNs on the procedural dataset, quantizes them to 8-bit
+// integers, evaluates them with exact integer arithmetic and through the
+// SCONNA functional core (stochastic streams + 1.3%-MAPE ADC), and prints
+// the Top-1/Top-5 accuracy drops next to the published Table V values.
+//
+// Usage:
+//
+//	trainsc [-quick] [-ideal-adc] [-train N] [-epochs N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	sconna "repro"
+	"repro/internal/accuracy"
+	"repro/internal/report"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced-size study")
+	ideal := flag.Bool("ideal-adc", false, "disable ADC error (isolate stream error)")
+	trainN := flag.Int("train", 0, "override training-set size")
+	epochs := flag.Int("epochs", 0, "override training epochs")
+	flag.Parse()
+
+	opts := sconna.DefaultAccuracyOptions()
+	if *quick {
+		opts = sconna.QuickAccuracyOptions()
+	}
+	if *trainN > 0 {
+		opts.TrainExamples = *trainN
+	}
+	if *epochs > 0 {
+		opts.Epochs = *epochs
+	}
+	opts.IdealADC = *ideal
+
+	rows, err := sconna.RunTableV(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trainsc:", err)
+		os.Exit(1)
+	}
+	t := report.NewTable("Table V — accuracy drop under SCONNA arithmetic",
+		"model", "params", "top1 exact (%)", "top1 sconna (%)", "drop1 (pp)", "drop5 (pp)", "paper drop1", "paper drop5")
+	for _, r := range rows {
+		ref, ok := accuracy.PaperTableV[r.Model]
+		if !ok {
+			ref = [2]float64{0.4, 0.3} // gmean row reference
+		}
+		if r.Model == "Gmean" {
+			t.AddRow(r.Model, "-", "-", "-", r.Drop1, r.Drop5, ref[0], ref[1])
+			continue
+		}
+		t.AddRow(r.Model, r.Params, r.Top1Exact, r.Top1Sconna, r.Drop1, r.Drop5, ref[0], ref[1])
+	}
+	fmt.Println(t.String())
+}

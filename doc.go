@@ -1,0 +1,31 @@
+// Package sconna is a from-scratch Go reproduction of SCONNA — "A
+// Stochastic Computing Based Optical Accelerator for Ultra-Fast,
+// Energy-Efficient Inference of Integer-Quantized CNNs" (Sri Vatsavai,
+// Karempudi, Thakkar, Salehi, Hastings; IPDPS 2023, arXiv:2302.07036).
+//
+// The module contains two cooperating planes built over shared device
+// models:
+//
+//   - The functional plane (internal/core) computes real values through
+//     the paper's devices: optical stochastic multipliers (LUT peripheral
+//     driving an optical AND gate), sign-steering filter MRRs and
+//     photo-charge accumulators, composed into VDPEs and VDPCs.
+//
+//   - The performance plane (internal/accel) is a transaction-level,
+//     event-driven simulator — the Go counterpart of the authors'
+//     SC_ONN_SIM — reproducing the Fig. 9 FPS / FPS/W / FPS/W/mm^2
+//     comparisons against the MAM (HOLYLIGHT) and AMM (DEAP-CNN) analog
+//     photonic baselines.
+//
+// Supporting substrates include stochastic-computing arithmetic
+// (internal/sc, internal/bitstream), photonic device physics
+// (internal/photonics), the Section V scalability analysis
+// (internal/scalability), the PCA circuit (internal/pca), a mesh NoC
+// (internal/noc), a pure-Go CNN training/quantization stack
+// (internal/nn, internal/quant, internal/tensor, internal/dataset), and
+// architecture descriptors for the paper's six CNNs (internal/models).
+//
+// This package re-exports the stable public surface; see README.md for a
+// tour and EXPERIMENTS.md for paper-vs-measured results of every table
+// and figure.
+package sconna

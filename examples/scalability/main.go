@@ -1,0 +1,31 @@
+// Scalability: regenerate the paper's Table I (how far analog photonic
+// VDPEs scale at 4/6-bit precision) and the Section V-B determination of
+// SCONNA's VDPC size, demonstrating how stochastic streams break the
+// N-vs-precision trade-off.
+package main
+
+import (
+	"fmt"
+
+	sconna "repro"
+	"repro/internal/report"
+)
+
+func main() {
+	t := report.NewTable("Table I — max VDPE size N (analog organizations)",
+		"org", "precision", "DR (GS/s)", "N measured", "N paper")
+	for _, c := range sconna.TableI() {
+		t.AddRow(c.Org.String(), fmt.Sprintf("%d-bit", c.Precision), c.DataRate/1e9, c.N, c.PaperN)
+	}
+	fmt.Println(t.String())
+
+	s := sconna.SolveSconnaN(30e9)
+	fmt.Println("SCONNA VDPC sizing at B=8, BR=30 Gbps (Sec. V-B):")
+	fmt.Printf("  FSR-limited theoretical N      : %d\n", s.TheoreticalN)
+	fmt.Printf("  Eq.2/3 sensitivity (B_Res=1)   : %.1f dBm\n", s.SensitivityDBm)
+	fmt.Printf("  N from our equations           : %d\n", s.NFromEquations)
+	fmt.Printf("  N at paper's -28 dBm sens.     : %d\n", s.NWithPaperSensitivity)
+	fmt.Printf("  N published in the paper       : %d\n", s.PaperN)
+	fmt.Println("\nEvery analog entry collapses as precision rises; the digital")
+	fmt.Println("stochastic streams keep a single optical level and scale past 100.")
+}

@@ -1,0 +1,76 @@
+package accel
+
+import (
+	"testing"
+
+	"repro/internal/models"
+)
+
+// Ablation A4: batching amortizes weight-stationary reloads. The analog
+// accelerators, whose reloads carry microsecond thermal settling, gain far
+// more throughput from batching than SCONNA, whose reloads are
+// LUT-rewrite cheap. This quantifies how much of the paper's batch-1 gap
+// is reload-bound.
+func TestBatchAmortizesAnalogReloads(t *testing.T) {
+	m := models.ResNet50()
+
+	run := func(cfg Config, batch int) float64 {
+		cfg.Batch = batch
+		r, err := Simulate(cfg, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.FPS
+	}
+
+	mam1 := run(MAM(), 1)
+	mam32 := run(MAM(), 32)
+	sc1 := run(Sconna(), 1)
+	sc32 := run(Sconna(), 32)
+
+	mamSpeedup := mam32 / mam1
+	scSpeedup := sc32 / sc1
+	if mamSpeedup < 4 {
+		t.Fatalf("MAM batch-32 speedup %.1fx too small for a reload-bound design", mamSpeedup)
+	}
+	if scSpeedup > mamSpeedup/2 {
+		t.Fatalf("SCONNA speedup %.1fx should trail MAM's %.1fx by a wide margin", scSpeedup, mamSpeedup)
+	}
+	// Even at batch 32 SCONNA retains a throughput lead.
+	if sc32 <= mam32 {
+		t.Fatalf("SCONNA batch-32 FPS %.0f should still beat MAM %.0f", sc32, mam32)
+	}
+}
+
+func TestBatchSizeDefaults(t *testing.T) {
+	cfg := Sconna()
+	if cfg.BatchSize() != 1 {
+		t.Fatal("default batch must be 1 (paper Sec. VI-B)")
+	}
+	cfg.Batch = -3
+	if cfg.BatchSize() != 1 {
+		t.Fatal("invalid batch must clamp to 1")
+	}
+	cfg.Batch = 8
+	if cfg.BatchSize() != 8 {
+		t.Fatal("explicit batch lost")
+	}
+}
+
+// FPS must scale sublinearly but monotonically with batch.
+func TestBatchMonotoneFPS(t *testing.T) {
+	m := models.ShuffleNetV2()
+	prev := 0.0
+	for _, b := range []int{1, 2, 4, 8} {
+		cfg := AMM()
+		cfg.Batch = b
+		r, err := Simulate(cfg, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.FPS <= prev {
+			t.Fatalf("batch %d: FPS %.0f not increasing", b, r.FPS)
+		}
+		prev = r.FPS
+	}
+}

@@ -1,0 +1,231 @@
+// Package accel implements the performance plane of the reproduction: the
+// transaction-level, event-driven models of the SCONNA accelerator and the
+// two analog photonic baselines — MAM (HOLYLIGHT [7]) and AMM (DEAP-CNN
+// [9]) — that regenerate the paper's Fig. 9 FPS, FPS/W and FPS/W/mm^2
+// comparisons under the Section VI-B methodology: 8-bit integer CNNs,
+// batch size 1, weight-stationary dataflow, and area-proportionate VDPE
+// counts (SCONNA 1024, MAM 3971, AMM 3172).
+package accel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/scalability"
+)
+
+// Peripherals carries the Table IV per-component power, area and latency
+// constants.
+type Peripherals struct {
+	ReductionPowerW   float64 // 0.05 mW
+	ReductionAreaMM2  float64 // 3.00E-05
+	ReductionNS       float64 // 3.125 ns per psum stage
+	ActivationPowerW  float64 // 0.52 mW
+	ActivationAreaMM2 float64 // 6.00E-04
+	ActivationNS      float64 // 0.78 ns
+	IOPowerW          float64 // 140.18 mW
+	IOAreaMM2         float64 // 2.44E-02
+	IONS              float64 // 0.78 ns
+	PoolingPowerW     float64 // 0.4 mW
+	PoolingAreaMM2    float64 // 2.40E-04
+	PoolingNS         float64 // 3.125 ns
+	EDRAMPowerW       float64 // 41.1 mW
+	EDRAMAreaMM2      float64 // 0.166
+	EDRAMNS           float64 // 1.56 ns
+	BusPowerW         float64 // 7 mW
+	BusAreaMM2        float64 // 9.00E-03
+	RouterPowerW      float64 // 42 mW
+	RouterAreaMM2     float64 // 0.151
+
+	DACPowerW  float64 // 30 mW   (analog accelerators, [45])
+	DACAreaMM2 float64 // 0.034
+	DACNS      float64 // 0.78 ns
+
+	ADCAnalogPowerW  float64 // 29 mW  (analog accelerators, [46])
+	ADCAnalogAreaMM2 float64 // 0.103
+	ADCSconnaPowerW  float64 // 2.55 mW (SCONNA, [47])
+	ADCSconnaAreaMM2 float64 // 0.002
+	ADCNS            float64 // 0.78 ns
+
+	SerializerPowerW  float64 // 5 mW per OSM [48]
+	SerializerAreaMM2 float64 // Table IV prints 5.9; we read 5.9E-03 (see DESIGN.md errata note)
+	SerializerNS      float64 // 0.03 ns
+	LUTPowerW         float64 // 0.06 mW per OSM [49]
+	LUTAreaMM2        float64 // 0.09 per VDPE (errata reading; per-OSM would exceed wafer scale)
+	LUTNS             float64 // 2 ns
+	PCAPowerW         float64 // 0.02 mW
+	PCAAreaMM2        float64 // 0.28
+	BufferNS          float64 // 2 ns (scratchpad access, Sec. V-A)
+}
+
+// DefaultPeripherals returns the Table IV constants.
+func DefaultPeripherals() Peripherals {
+	return Peripherals{
+		ReductionPowerW: 0.05e-3, ReductionAreaMM2: 3.0e-5, ReductionNS: 3.125,
+		ActivationPowerW: 0.52e-3, ActivationAreaMM2: 6.0e-4, ActivationNS: 0.78,
+		IOPowerW: 140.18e-3, IOAreaMM2: 2.44e-2, IONS: 0.78,
+		PoolingPowerW: 0.4e-3, PoolingAreaMM2: 2.4e-4, PoolingNS: 3.125,
+		EDRAMPowerW: 41.1e-3, EDRAMAreaMM2: 0.166, EDRAMNS: 1.56,
+		BusPowerW: 7e-3, BusAreaMM2: 9.0e-3,
+		RouterPowerW: 42e-3, RouterAreaMM2: 0.151,
+		DACPowerW: 30e-3, DACAreaMM2: 0.034, DACNS: 0.78,
+		ADCAnalogPowerW: 29e-3, ADCAnalogAreaMM2: 0.103,
+		ADCSconnaPowerW: 2.55e-3, ADCSconnaAreaMM2: 0.002,
+		ADCNS:            0.78,
+		SerializerPowerW: 5e-3, SerializerAreaMM2: 5.9e-3, SerializerNS: 0.03,
+		LUTPowerW: 0.06e-3, LUTAreaMM2: 0.09, LUTNS: 2,
+		PCAPowerW: 0.02e-3, PCAAreaMM2: 0.28,
+		BufferNS: 2,
+	}
+}
+
+// Config describes one accelerator instance for the performance model.
+type Config struct {
+	// Name labels the accelerator in reports ("SCONNA", "MAM
+	// (HOLYLIGHT)", "AMM (DEAPCNN)").
+	Name string
+	// Org selects the VDPC organization.
+	Org scalability.Organization
+	// N is the VDPE size; M the VDPEs per VDPC.
+	N, M int
+	// TotalVDPEs across all VDPCs (area-proportionate counts).
+	TotalVDPEs int
+	// VDPCsPerTile groups VDPCs into tiles (4 in Fig. 8).
+	VDPCsPerTile int
+	// Precision is the logical operand precision B (8-bit evaluation).
+	Precision int
+	// SlicePrecision is the native per-VDPC precision; analog VDPCs run
+	// 4-bit slices, SCONNA runs the full precision natively.
+	SlicePrecision int
+	// BitRateHz: SCONNA stream bitrate (30 GHz); analog symbol rate DR
+	// (5 GS/s).
+	BitRateHz float64
+	// ThermalTuneNS is the settling time of thermally-tuned analog weight
+	// MRRs on a weight-stationary reload (microsecond-scale thermal time
+	// constants; 0 for SCONNA, whose LUT/serializer path re-imprints
+	// weights electro-refractively at bit speed).
+	ThermalTuneNS float64
+	// HeaterHoldW is the sustained per-MRR heater power holding analog
+	// weight levels (analog banks only; SCONNA's on-off streams tolerate
+	// drift and carry no sustained bias — see DESIGN.md).
+	HeaterHoldW float64
+	// LaserPerWavelengthW is the electrical laser power per wavelength
+	// channel (10 mW optical / 0.1 WPE = 100 mW).
+	LaserPerWavelengthW float64
+	// IOBytesPerNS is the per-tile activation/weight streaming bandwidth.
+	IOBytesPerNS float64
+	// Batch is the inference batch size (1 in the paper's evaluation).
+	// Larger batches amortize weight-stationary reloads — which is why
+	// batching disproportionately helps the analog accelerators whose
+	// reloads carry thermal settling (ablation A4).
+	Batch int
+	// Peripherals carries the Table IV constants.
+	Peripherals Peripherals
+}
+
+// BatchSize returns the effective batch (>= 1).
+func (c Config) BatchSize() int {
+	if c.Batch < 1 {
+		return 1
+	}
+	return c.Batch
+}
+
+// BitSlices returns how many parallel VDPEs implement one logical
+// Precision-bit operation (Sec. III-A bit-slicing: two 4-bit VDPCs for
+// 8-bit operands on the analog accelerators).
+func (c Config) BitSlices() int {
+	if c.SlicePrecision >= c.Precision {
+		return 1
+	}
+	return int(math.Ceil(float64(c.Precision) / float64(c.SlicePrecision)))
+}
+
+// EffectiveVDPEs returns the logical VDPE count after bit-slicing.
+func (c Config) EffectiveVDPEs() int { return c.TotalVDPEs / c.BitSlices() }
+
+// VDPCs returns the number of VDPCs.
+func (c Config) VDPCs() int { return ceilDiv(c.TotalVDPEs, c.M) }
+
+// Tiles returns the number of tiles.
+func (c Config) Tiles() int { return ceilDiv(c.VDPCs(), c.VDPCsPerTile) }
+
+// OpNS returns the issue interval of one VDP chunk-op on one VDPE.
+//
+// SCONNA: the 2^B-bit stochastic stream at BitRateHz dominates the
+// pipelined peripheral stages (buffer, LUT, serializer, ADC).
+//
+// Analog: a VDP op is a DAC->modulate->detect->ADC round trip; the symbol
+// itself lasts 1/DR but the conversions bound the issue interval.
+func (c Config) OpNS() float64 {
+	if c.Org == scalability.SCONNA {
+		stream := float64(int(1)<<uint(c.Precision)) / c.BitRateHz * 1e9
+		return math.Max(stream, math.Max(c.Peripherals.LUTNS, c.Peripherals.BufferNS))
+	}
+	symbol := 1 / c.BitRateHz * 1e9
+	return c.Peripherals.DACNS + symbol + c.Peripherals.ADCNS
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.N < 1 || c.M < 1 || c.TotalVDPEs < 1 {
+		return fmt.Errorf("accel: %s: N/M/TotalVDPEs must be positive", c.Name)
+	}
+	if c.BitRateHz <= 0 {
+		return fmt.Errorf("accel: %s: bitrate must be positive", c.Name)
+	}
+	if c.Precision < 1 || c.SlicePrecision < 1 {
+		return fmt.Errorf("accel: %s: precision must be positive", c.Name)
+	}
+	return nil
+}
+
+// Sconna returns the paper's SCONNA operating point: N=M=176, BR=30 Gbps,
+// B=8, 1024 VDPEs.
+func Sconna() Config {
+	return Config{
+		Name: "SCONNA", Org: scalability.SCONNA,
+		N: 176, M: 176, TotalVDPEs: 1024, VDPCsPerTile: 4,
+		Precision: 8, SlicePrecision: 8,
+		BitRateHz:           30e9,
+		ThermalTuneNS:       0,
+		HeaterHoldW:         0,
+		LaserPerWavelengthW: 0.1,
+		IOBytesPerNS:        256,
+		Peripherals:         DefaultPeripherals(),
+	}
+}
+
+// MAM returns the MAM (HOLYLIGHT) baseline: N=22 at 4-bit, DR=5 GS/s,
+// area-proportionate 3971 VDPEs, 8-bit via two bit slices.
+func MAM() Config {
+	return Config{
+		Name: "MAM (HOLYLIGHT)", Org: scalability.MAM,
+		N: 22, M: 22, TotalVDPEs: 3971, VDPCsPerTile: 4,
+		Precision: 8, SlicePrecision: 4,
+		BitRateHz:           5e9,
+		ThermalTuneNS:       35000,
+		HeaterHoldW:         10e-3,
+		LaserPerWavelengthW: 0.1,
+		IOBytesPerNS:        256,
+		Peripherals:         DefaultPeripherals(),
+	}
+}
+
+// AMM returns the AMM (DEAP-CNN) baseline: N=16 at 4-bit, DR=5 GS/s,
+// area-proportionate 3172 VDPEs, 8-bit via two bit slices.
+func AMM() Config {
+	return Config{
+		Name: "AMM (DEAPCNN)", Org: scalability.AMM,
+		N: 16, M: 16, TotalVDPEs: 3172, VDPCsPerTile: 4,
+		Precision: 8, SlicePrecision: 4,
+		BitRateHz:           5e9,
+		ThermalTuneNS:       35000,
+		HeaterHoldW:         10e-3,
+		LaserPerWavelengthW: 0.1,
+		IOBytesPerNS:        256,
+		Peripherals:         DefaultPeripherals(),
+	}
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

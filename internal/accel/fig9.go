@@ -1,0 +1,96 @@
+package accel
+
+import (
+	"math"
+
+	"repro/internal/models"
+)
+
+// Fig9Row is one bar of the Fig. 9 charts: one (model, accelerator) pair.
+type Fig9Row struct {
+	Model     string
+	Accel     string
+	FPS       float64
+	FPSPerW   float64
+	FPSPerWMM float64
+	PowerW    float64
+	LatencyMS float64
+}
+
+// Fig9Data aggregates the full Fig. 9 comparison.
+type Fig9Data struct {
+	Rows []Fig9Row
+	// Gmean ratios of SCONNA over each baseline accelerator, across the
+	// evaluated CNNs (the paper's headline numbers: 66.5x / 146.4x FPS,
+	// 90x / 183x FPS/W, 91x / 184x FPS/W/mm^2).
+	GmeanFPS       map[string]float64
+	GmeanFPSPerW   map[string]float64
+	GmeanFPSPerWMM map[string]float64
+}
+
+// PaperFig9Gmeans records the published gmean improvement factors of
+// SCONNA over each baseline for comparison in reports.
+var PaperFig9Gmeans = map[string]struct{ FPS, FPSPerW, FPSPerWMM float64 }{
+	"MAM (HOLYLIGHT)": {66.5, 90, 91},
+	"AMM (DEAPCNN)":   {146.4, 183, 184},
+}
+
+// Gmean returns the geometric mean of xs (0 for empty input).
+func Gmean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Fig9 runs the full comparison of the given accelerators over the given
+// models. The first accelerator is the ratio baseline numerator (SCONNA in
+// the paper's Fig. 9).
+func Fig9(cfgs []Config, ms []models.Model) (Fig9Data, error) {
+	data := Fig9Data{
+		GmeanFPS:       map[string]float64{},
+		GmeanFPSPerW:   map[string]float64{},
+		GmeanFPSPerWMM: map[string]float64{},
+	}
+	type key struct{ accel string }
+	ratiosFPS := map[string][]float64{}
+	ratiosW := map[string][]float64{}
+	ratiosA := map[string][]float64{}
+	for _, m := range ms {
+		var first Result
+		for i, cfg := range cfgs {
+			r, err := Simulate(cfg, m)
+			if err != nil {
+				return Fig9Data{}, err
+			}
+			if i == 0 {
+				first = r
+			} else {
+				ratiosFPS[cfg.Name] = append(ratiosFPS[cfg.Name], first.FPS/r.FPS)
+				ratiosW[cfg.Name] = append(ratiosW[cfg.Name], first.FPSPerW/r.FPSPerW)
+				ratiosA[cfg.Name] = append(ratiosA[cfg.Name], first.FPSPerWMM/r.FPSPerWMM)
+			}
+			data.Rows = append(data.Rows, Fig9Row{
+				Model: m.Name, Accel: cfg.Name,
+				FPS: r.FPS, FPSPerW: r.FPSPerW, FPSPerWMM: r.FPSPerWMM,
+				PowerW: r.Power.Total(), LatencyMS: r.TotalNS / 1e6,
+			})
+		}
+	}
+	for name, rs := range ratiosFPS {
+		data.GmeanFPS[name] = Gmean(rs)
+		data.GmeanFPSPerW[name] = Gmean(ratiosW[name])
+		data.GmeanFPSPerWMM[name] = Gmean(ratiosA[name])
+	}
+	return data, nil
+}
+
+// Fig9Default runs the paper's configuration: SCONNA vs MAM vs AMM on the
+// four evaluated CNNs.
+func Fig9Default() (Fig9Data, error) {
+	return Fig9([]Config{Sconna(), MAM(), AMM()}, models.Evaluated())
+}

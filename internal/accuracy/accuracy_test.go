@@ -1,0 +1,85 @@
+package accuracy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultSpecsCoverPaperModels(t *testing.T) {
+	specs := DefaultSpecs()
+	if len(specs) != 4 {
+		t.Fatalf("want 4 specs, got %d", len(specs))
+	}
+	dw := 0
+	for _, s := range specs {
+		if _, ok := PaperTableV[s.Name]; !ok {
+			t.Fatalf("spec %q has no paper reference", s.Name)
+		}
+		if s.Depthwise {
+			dw++
+		}
+	}
+	if dw != 2 {
+		t.Fatalf("want 2 depthwise proxies (mobile CNNs), got %d", dw)
+	}
+}
+
+func TestGmeanFloored(t *testing.T) {
+	rows := []Row{{Drop1: 0.0}, {Drop1: 0.8}}
+	g := gmeanFloored(rows, func(r Row) float64 { return r.Drop1 })
+	want := math.Sqrt(0.05 * 0.8)
+	if math.Abs(g-want) > 1e-9 {
+		t.Fatalf("gmean=%g want %g", g, want)
+	}
+}
+
+// The core Table V claim, at reduced scale: quantized inference through
+// the SCONNA functional core loses only a small amount of accuracy
+// relative to exact integer inference.
+func TestTableVDropSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	opts := QuickOptions()
+	row, err := RunSpec(Spec{Name: "GoogleNet(proxy)", Width: 8, Seed: 7}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Top1Exact < 60 {
+		t.Fatalf("proxy failed to train: exact top-1 %.1f%%", row.Top1Exact)
+	}
+	if row.Drop1 > 15 {
+		t.Fatalf("Top-1 drop %.1f points implausibly large", row.Drop1)
+	}
+	if row.Top5Exact < row.Top1Exact {
+		t.Fatal("top-5 must dominate top-1")
+	}
+	if row.Params <= 0 {
+		t.Fatal("missing parameter count")
+	}
+}
+
+// Ideal-ADC inference must never be worse than noisy-ADC inference by a
+// meaningful margin (the ADC is the paper's error source, Sec. V-C).
+func TestIdealADCBoundsNoisy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	opts := QuickOptions()
+	spec := Spec{Name: "ResNet50(proxy)", Width: 8, Seed: 9}
+	noisy, err := RunSpec(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.IdealADC = true
+	ideal, err := RunSpec(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ideal.Drop1 > noisy.Drop1+6 {
+		t.Fatalf("ideal ADC drop %.1f should not exceed noisy drop %.1f", ideal.Drop1, noisy.Drop1)
+	}
+	if ideal.Drop1 > 8 {
+		t.Fatalf("ideal-ADC drop %.1f points too large: stream error alone must be small", ideal.Drop1)
+	}
+}

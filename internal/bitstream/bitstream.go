@@ -1,0 +1,238 @@
+// Package bitstream provides the packed bit-vector kernel underlying the
+// stochastic-computing layer of the SCONNA reproduction.
+//
+// A stochastic number (SN) is physically a serial bit-stream; in software we
+// hold it as a packed bit-vector ([]uint64 words) so that the two operations
+// the hardware performs — bitwise AND (the optical AND gate) and counting
+// ones (the photo-charge accumulator) — map to word-parallel operations.
+//
+// The package also provides the stochastic number generators (SNGs) used to
+// build the OSM lookup table of Section IV-B of the paper: unary
+// (thermometer) coding, Bresenham/PWM rate coding, van der Corput
+// low-discrepancy coding, and LFSR pseudo-random coding (kept as an
+// ablation baseline).
+package bitstream
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Vector is a fixed-length packed bit-vector. The zero value is an empty
+// vector; use New to create one with a given length.
+type Vector struct {
+	words []uint64
+	n     int // length in bits
+}
+
+// New returns a zeroed Vector of n bits. It panics if n is negative.
+func New(n int) *Vector {
+	if n < 0 {
+		panic(fmt.Sprintf("bitstream: negative length %d", n))
+	}
+	return &Vector{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// FromBools builds a Vector from a slice of booleans.
+func FromBools(bs []bool) *Vector {
+	v := New(len(bs))
+	for i, b := range bs {
+		if b {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// FromString parses a Vector from a string of '0'/'1' runes, ignoring
+// spaces and underscores. Bit 0 is the leftmost rune.
+func FromString(s string) (*Vector, error) {
+	clean := strings.Map(func(r rune) rune {
+		if r == ' ' || r == '_' {
+			return -1
+		}
+		return r
+	}, s)
+	v := New(len(clean))
+	for i, r := range clean {
+		switch r {
+		case '1':
+			v.Set(i)
+		case '0':
+		default:
+			return nil, fmt.Errorf("bitstream: invalid rune %q at %d", r, i)
+		}
+	}
+	return v, nil
+}
+
+// Len returns the length of the vector in bits.
+func (v *Vector) Len() int { return v.n }
+
+// Get reports whether bit i is set. It panics if i is out of range.
+func (v *Vector) Get(i int) bool {
+	v.check(i)
+	return v.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Set sets bit i to 1.
+func (v *Vector) Set(i int) {
+	v.check(i)
+	v.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear sets bit i to 0.
+func (v *Vector) Clear(i int) {
+	v.check(i)
+	v.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// SetTo sets bit i to b.
+func (v *Vector) SetTo(i int, b bool) {
+	if b {
+		v.Set(i)
+	} else {
+		v.Clear(i)
+	}
+}
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitstream: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Clone returns a deep copy of v.
+func (v *Vector) Clone() *Vector {
+	w := New(v.n)
+	copy(w.words, v.words)
+	return w
+}
+
+// Equal reports whether v and w have identical length and bits.
+func (v *Vector) Equal(w *Vector) bool {
+	if v.n != w.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != w.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PopCount returns the number of set bits.
+func (v *Vector) PopCount() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Fraction returns PopCount/Len, the unipolar value encoded by the stream.
+// It returns 0 for an empty vector.
+func (v *Vector) Fraction() float64 {
+	if v.n == 0 {
+		return 0
+	}
+	return float64(v.PopCount()) / float64(v.n)
+}
+
+// And sets v = a AND b and returns v. All three must have equal length.
+// This is the software model of the Optical AND Gate's drop-port output.
+func (v *Vector) And(a, b *Vector) *Vector {
+	v.binop(a, b)
+	for i := range v.words {
+		v.words[i] = a.words[i] & b.words[i]
+	}
+	return v
+}
+
+// Or sets v = a OR b and returns v.
+func (v *Vector) Or(a, b *Vector) *Vector {
+	v.binop(a, b)
+	for i := range v.words {
+		v.words[i] = a.words[i] | b.words[i]
+	}
+	return v
+}
+
+// Xor sets v = a XOR b and returns v.
+func (v *Vector) Xor(a, b *Vector) *Vector {
+	v.binop(a, b)
+	for i := range v.words {
+		v.words[i] = a.words[i] ^ b.words[i]
+	}
+	return v
+}
+
+// Not sets v = NOT a (within a's length) and returns v.
+func (v *Vector) Not(a *Vector) *Vector {
+	if v.n != a.n {
+		panic("bitstream: length mismatch")
+	}
+	for i := range v.words {
+		v.words[i] = ^a.words[i]
+	}
+	v.maskTail()
+	return v
+}
+
+func (v *Vector) binop(a, b *Vector) {
+	if a.n != b.n || v.n != a.n {
+		panic(fmt.Sprintf("bitstream: length mismatch %d/%d/%d", v.n, a.n, b.n))
+	}
+}
+
+// maskTail zeroes bits beyond Len in the last word.
+func (v *Vector) maskTail() {
+	if rem := uint(v.n) & 63; rem != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (1 << rem) - 1
+	}
+}
+
+// AndPopCount returns PopCount(a AND b) without allocating. This is the
+// fused multiply-accumulate primitive: the optical AND gate followed by the
+// photo-charge accumulator counting the ones incident on the photodetector.
+func AndPopCount(a, b *Vector) int {
+	if a.n != b.n {
+		panic("bitstream: length mismatch")
+	}
+	c := 0
+	for i := range a.words {
+		c += bits.OnesCount64(a.words[i] & b.words[i])
+	}
+	return c
+}
+
+// Bools returns the bits as a boolean slice.
+func (v *Vector) Bools() []bool {
+	out := make([]bool, v.n)
+	for i := 0; i < v.n; i++ {
+		out[i] = v.Get(i)
+	}
+	return out
+}
+
+// String renders the vector as a '0'/'1' string, bit 0 first, with a space
+// every 8 bits for readability.
+func (v *Vector) String() string {
+	var sb strings.Builder
+	for i := 0; i < v.n; i++ {
+		if i > 0 && i%8 == 0 {
+			sb.WriteByte(' ')
+		}
+		if v.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Words exposes the underlying packed words (read-only use intended).
+func (v *Vector) Words() []uint64 { return v.words }

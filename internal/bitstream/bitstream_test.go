@@ -1,0 +1,328 @@
+package bitstream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLenAndZero(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 255, 256, 1000} {
+		v := New(n)
+		if v.Len() != n {
+			t.Fatalf("Len=%d want %d", v.Len(), n)
+		}
+		if v.PopCount() != 0 {
+			t.Fatalf("new vector of %d bits has %d ones", n, v.PopCount())
+		}
+	}
+}
+
+func TestSetGetClear(t *testing.T) {
+	v := New(130)
+	idx := []int{0, 1, 63, 64, 65, 127, 128, 129}
+	for _, i := range idx {
+		v.Set(i)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if got := v.PopCount(); got != len(idx) {
+		t.Fatalf("PopCount=%d want %d", got, len(idx))
+	}
+	for _, i := range idx {
+		v.Clear(i)
+		if v.Get(i) {
+			t.Fatalf("bit %d still set", i)
+		}
+	}
+	if v.PopCount() != 0 {
+		t.Fatalf("PopCount=%d want 0", v.PopCount())
+	}
+}
+
+func TestSetToAndBools(t *testing.T) {
+	v := New(9)
+	pattern := []bool{true, false, true, true, false, false, true, false, true}
+	for i, b := range pattern {
+		v.SetTo(i, b)
+	}
+	got := v.Bools()
+	for i := range pattern {
+		if got[i] != pattern[i] {
+			t.Fatalf("bit %d = %v want %v", i, got[i], pattern[i])
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(8).Get(8)
+}
+
+func TestFromStringAndString(t *testing.T) {
+	v, err := FromString("1010 1100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 8 || v.PopCount() != 4 {
+		t.Fatalf("parsed %d bits %d ones", v.Len(), v.PopCount())
+	}
+	if s := v.String(); s != "10101100" {
+		t.Fatalf("String=%q", s)
+	}
+	if _, err := FromString("10x1"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestAndOrXorNot(t *testing.T) {
+	a, _ := FromString("11001010")
+	b, _ := FromString("10101100")
+	and := New(8).And(a, b)
+	or := New(8).Or(a, b)
+	xor := New(8).Xor(a, b)
+	not := New(8).Not(a)
+	if got := and.String(); got != "10001000" {
+		t.Errorf("AND=%q", got)
+	}
+	if got := or.String(); got != "11101110" {
+		t.Errorf("OR=%q", got)
+	}
+	if got := xor.String(); got != "01100110" {
+		t.Errorf("XOR=%q", got)
+	}
+	if got := not.String(); got != "00110101" {
+		t.Errorf("NOT=%q", got)
+	}
+}
+
+func TestNotMasksTail(t *testing.T) {
+	a := New(70) // NOT must not set ghost bits beyond Len
+	n := New(70).Not(a)
+	if got := n.PopCount(); got != 70 {
+		t.Fatalf("NOT popcount=%d want 70", got)
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	a := Unary{}.Generate(37, 128)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b.Set(127)
+	if a.Equal(b) {
+		t.Fatal("mutating clone affected original or Equal broken")
+	}
+	if a.Equal(New(64)) {
+		t.Fatal("different lengths must not be equal")
+	}
+}
+
+// Property: AndPopCount(a,b) agrees with a naive bit loop.
+func TestAndPopCountMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 1 {
+				a.Set(i)
+			}
+			if rng.Intn(2) == 1 {
+				b.Set(i)
+			}
+		}
+		want := 0
+		for i := 0; i < n; i++ {
+			if a.Get(i) && b.Get(i) {
+				want++
+			}
+		}
+		return AndPopCount(a, b) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: deterministic generators produce exactly `ones` set bits (value
+// preservation: the stream encodes ones/length with zero encoding error).
+// The LFSR, whose period 2^w-1 never divides the stream length, is allowed a
+// small encoding error — this is precisely why the OSM LUT uses
+// deterministic streams (ablation A2).
+func TestGeneratorsExactOnes(t *testing.T) {
+	type tc struct {
+		g   Generator
+		tol int
+	}
+	cases := []tc{{Unary{}, 0}, {Bresenham{}, 0}, {VanDerCorput{}, 0}, {LFSR{Width: 8, Seed: 1}, 3}}
+	for _, c := range cases {
+		c := c
+		t.Run(c.g.Name(), func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				length := 256 // power of two for VDC
+				ones := rng.Intn(length + 1)
+				v := c.g.Generate(ones, length)
+				diff := v.PopCount() - ones
+				if diff < 0 {
+					diff = -diff
+				}
+				return diff <= c.tol && v.Len() == length
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Property: unary x bresenham AND-multiplication is exact to within one bit,
+// the "error-free multiplication" requirement of Section IV-B.
+func TestUnaryBresenhamExactProduct(t *testing.T) {
+	const n = 256
+	u, br := Unary{}, Bresenham{}
+	for a := 0; a <= n; a += 3 {
+		for b := 0; b <= n; b += 7 {
+			got := AndPopCount(u.Generate(a, n), br.Generate(b, n))
+			exact := float64(a) * float64(b) / float64(n)
+			if diff := float64(got) - exact; diff > 1.0 || diff < -1.0 {
+				t.Fatalf("a=%d b=%d got %d want %.3f (err %.3f)", a, b, got, exact, diff)
+			}
+		}
+	}
+}
+
+// Property: unary x van der Corput multiplication error is bounded by the
+// low-discrepancy bound (log2(n)+2 bits for length n).
+func TestUnaryVDCBoundedError(t *testing.T) {
+	const n = 256
+	u, vd := Unary{}, VanDerCorput{}
+	bound := 10.0 // log2(256)+2
+	for a := 0; a <= n; a += 5 {
+		for b := 0; b <= n; b += 11 {
+			got := AndPopCount(u.Generate(a, n), vd.Generate(b, n))
+			exact := float64(a) * float64(b) / float64(n)
+			if diff := float64(got) - exact; diff > bound || diff < -bound {
+				t.Fatalf("a=%d b=%d got %d want %.3f", a, b, got, exact)
+			}
+		}
+	}
+}
+
+func TestVanDerCorputRequiresPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two length")
+		}
+	}()
+	VanDerCorput{}.Generate(3, 100)
+}
+
+func TestLFSRPeriod(t *testing.T) {
+	for w := 3; w <= 16; w++ {
+		l := LFSR{Width: w, Seed: 1}
+		taps := lfsrTaps[w]
+		state := uint32(1)
+		seen := 0
+		for {
+			state = lfsrNext(state, taps, w)
+			seen++
+			if state == 1 {
+				break
+			}
+			if seen > l.Period()+1 {
+				t.Fatalf("width %d: period exceeds maximal %d", w, l.Period())
+			}
+		}
+		if seen != l.Period() {
+			t.Fatalf("width %d: period %d want %d (taps not maximal)", w, seen, l.Period())
+		}
+	}
+}
+
+func TestLFSRZeroSeedHandled(t *testing.T) {
+	v := LFSR{Width: 8, Seed: 0}.Generate(128, 256)
+	if got := v.PopCount(); got < 125 || got > 131 {
+		t.Fatalf("popcount=%d want ~128", got)
+	}
+}
+
+func TestSCCIdenticalAndDisjoint(t *testing.T) {
+	n := 64
+	a := Unary{}.Generate(32, n)
+	if got := SCC(a, a); got < 0.99 {
+		t.Errorf("SCC(a,a)=%.3f want ~1", got)
+	}
+	// Disjoint halves: maximal negative correlation.
+	b := New(n)
+	for i := 32; i < 64; i++ {
+		b.Set(i)
+	}
+	if got := SCC(a, b); got > -0.99 {
+		t.Errorf("SCC(disjoint)=%.3f want ~-1", got)
+	}
+}
+
+// Property: the unary/bresenham pairing used by the OSM LUT has |SCC| well
+// below the random-stream baseline, i.e. the streams are near-uncorrelated
+// as required by [26].
+func TestUnaryBresenhamNearZeroSCC(t *testing.T) {
+	// For small operand values the single quantization bit inflates the
+	// normalized coefficient, so restrict to mid-range operands where the
+	// denominator of SCC is well conditioned.
+	const n = 256
+	for a := 32; a <= 208; a += 24 {
+		for b := 32; b <= 208; b += 24 {
+			x := Unary{}.Generate(a, n)
+			y := Bresenham{}.Generate(b, n)
+			if scc := SCC(x, y); scc > 0.25 || scc < -0.25 {
+				t.Fatalf("a=%d b=%d SCC=%.3f want ~0", a, b, scc)
+			}
+		}
+	}
+}
+
+func TestGenerateEdgeValues(t *testing.T) {
+	gens := []Generator{Unary{}, Bresenham{}, VanDerCorput{}, LFSR{Width: 10, Seed: 7}}
+	for _, g := range gens {
+		for _, ones := range []int{0, 256} {
+			v := g.Generate(ones, 256)
+			if v.PopCount() != ones {
+				t.Errorf("%s: ones=%d got %d", g.Name(), ones, v.PopCount())
+			}
+		}
+	}
+}
+
+func TestGenerateInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ones>length")
+		}
+	}()
+	Unary{}.Generate(10, 8)
+}
+
+func BenchmarkAndPopCount256(b *testing.B) {
+	x := Unary{}.Generate(128, 256)
+	y := Bresenham{}.Generate(100, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		AndPopCount(x, y)
+	}
+}
+
+func BenchmarkGenerateBresenham(b *testing.B) {
+	g := Bresenham{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Generate(173, 256)
+	}
+}

@@ -1,0 +1,230 @@
+package bitstream
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// A Generator converts a rational value ones/length into a bit-stream of the
+// given length carrying exactly (or approximately, for pseudo-random
+// generators) that fraction of ones. Generators differ in *where* the ones
+// fall, which controls the correlation between streams and hence the
+// accuracy of AND-gate multiplication (Section II-D / IV-B of the paper).
+type Generator interface {
+	// Generate returns a stream of length bits encoding ones/length.
+	Generate(ones, length int) *Vector
+	// Name identifies the generator in reports and ablations.
+	Name() string
+}
+
+// Unary generates thermometer-coded streams: the first `ones` bits are 1.
+// Paired with an evenly-spread generator (Bresenham or VanDerCorput) it
+// yields AND-multiplication exact to within one bit, which is how the OSM
+// lookup table achieves the paper's "error-free multiplication" property.
+type Unary struct{}
+
+// Name implements Generator.
+func (Unary) Name() string { return "unary" }
+
+// Generate implements Generator.
+func (Unary) Generate(ones, length int) *Vector {
+	checkRange(ones, length)
+	v := New(length)
+	full := ones / 64
+	for i := 0; i < full; i++ {
+		v.words[i] = ^uint64(0)
+	}
+	if rem := uint(ones) & 63; rem != 0 {
+		v.words[full] = (1 << rem) - 1
+	}
+	return v
+}
+
+// Bresenham generates rate-coded streams where ones are spread maximally
+// evenly: bit i is set iff floor((i+1)*ones/length) > floor(i*ones/length).
+// Every prefix of length p contains floor(p*ones/length) or that plus one
+// ones, so AND with a unary stream is exact to within one bit.
+type Bresenham struct{}
+
+// Name implements Generator.
+func (Bresenham) Name() string { return "bresenham" }
+
+// Generate implements Generator.
+func (Bresenham) Generate(ones, length int) *Vector {
+	checkRange(ones, length)
+	v := New(length)
+	if ones == 0 {
+		return v
+	}
+	acc := 0
+	for i := 0; i < length; i++ {
+		acc += ones
+		if acc >= length {
+			acc -= length
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// VanDerCorput generates streams using the base-2 van der Corput
+// low-discrepancy sequence: bit i is set iff bitreverse(i) < ones (lengths
+// must be powers of two). It is the classic Sobol-dimension-0 generator used
+// in unary-computing designs such as uGEMM [26].
+type VanDerCorput struct{}
+
+// Name implements Generator.
+func (VanDerCorput) Name() string { return "vandercorput" }
+
+// Generate implements Generator. Length must be a power of two.
+func (VanDerCorput) Generate(ones, length int) *Vector {
+	checkRange(ones, length)
+	if length&(length-1) != 0 {
+		panic(fmt.Sprintf("bitstream: van der Corput length %d not a power of two", length))
+	}
+	v := New(length)
+	if length == 0 {
+		return v
+	}
+	shift := 64 - uint(bits.TrailingZeros(uint(length)))
+	for i := 0; i < length; i++ {
+		if int(bits.Reverse64(uint64(i))>>shift) < ones {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// LFSR generates pseudo-random streams by comparing successive states of a
+// maximal-length linear-feedback shift register against the target value.
+// It models a conventional hardware SNG and is retained as the ablation
+// baseline against the deterministic LUT streams (experiment A2).
+type LFSR struct {
+	// Width is the register width in bits (3..24 supported). The stream
+	// period is 2^Width-1.
+	Width int
+	// Seed is the initial state; it must be nonzero within Width bits.
+	// A zero Seed is replaced by 1.
+	Seed uint32
+}
+
+// Name implements Generator.
+func (l LFSR) Name() string { return fmt.Sprintf("lfsr%d", l.Width) }
+
+// lfsrTaps maps register width to a maximal-length tap mask (Fibonacci
+// form, taps numbered from 1). Values from the standard Xilinx table.
+var lfsrTaps = map[int]uint32{
+	3:  0b110,
+	4:  0b1100,
+	5:  0b10100,
+	6:  0b110000,
+	7:  0b1100000,
+	8:  0b10111000,
+	9:  0b100010000,
+	10: 0b1001000000,
+	11: 0b10100000000,
+	12: 0b111000001000,
+	13: 0b1110010000000,
+	14: 0b11100000000010,
+	15: 0b110000000000000,
+	16: 0b1101000000001000,
+	17: 0b10010000000000000,
+	18: 0b100000010000000000,
+	19: 0b1110010000000000000,
+	20: 0b10010000000000000000,
+	21: 0b101000000000000000000,
+	22: 0b1100000000000000000000,
+	23: 0b10000100000000000000000,
+	24: 0b111000010000000000000000,
+}
+
+// Next advances the register one step and returns the new state.
+func lfsrNext(state, taps uint32, width int) uint32 {
+	fb := uint32(bits.OnesCount32(state&taps)) & 1
+	state = (state << 1) | fb
+	return state & ((1 << uint(width)) - 1)
+}
+
+// Generate implements Generator. The stream sets bit i iff the i-th LFSR
+// state, scaled to [0,length), is below ones.
+func (l LFSR) Generate(ones, length int) *Vector {
+	checkRange(ones, length)
+	taps, ok := lfsrTaps[l.Width]
+	if !ok {
+		panic(fmt.Sprintf("bitstream: unsupported LFSR width %d", l.Width))
+	}
+	seed := l.Seed & ((1 << uint(l.Width)) - 1)
+	if seed == 0 {
+		seed = 1
+	}
+	v := New(length)
+	state := seed
+	period := uint64(1)<<uint(l.Width) - 1
+	for i := 0; i < length; i++ {
+		// Scale state (in [1, 2^w-1]) to [0, length).
+		scaled := (uint64(state-1) * uint64(length)) / period
+		if int(scaled) < ones {
+			v.Set(i)
+		}
+		state = lfsrNext(state, taps, l.Width)
+	}
+	return v
+}
+
+// Period returns the LFSR sequence period, 2^Width - 1.
+func (l LFSR) Period() int { return 1<<uint(l.Width) - 1 }
+
+func checkRange(ones, length int) {
+	if length < 0 || ones < 0 || ones > length {
+		panic(fmt.Sprintf("bitstream: invalid ones/length %d/%d", ones, length))
+	}
+}
+
+// SCC computes the stochastic computing correlation coefficient of
+// Alaghi & Hayes between two equal-length streams. SCC is 0 for
+// uncorrelated streams (the condition the paper requires for error-free
+// AND multiplication), +1 for maximally overlapping and -1 for maximally
+// disjoint streams.
+func SCC(x, y *Vector) float64 {
+	if x.Len() != y.Len() {
+		panic("bitstream: length mismatch")
+	}
+	n := float64(x.Len())
+	if n == 0 {
+		return 0
+	}
+	var tmp Vector
+	tmp.words = make([]uint64, len(x.words))
+	tmp.n = x.n
+	ad := float64(AndPopCount(x, y)) // P(X=1, Y=1) * n
+	px := float64(x.PopCount())
+	py := float64(y.PopCount())
+	delta := ad/n - (px/n)*(py/n)
+	if delta == 0 {
+		return 0
+	}
+	var denom float64
+	if delta > 0 {
+		denom = minf(px, py)/n - (px/n)*(py/n)
+	} else {
+		denom = (px/n)*(py/n) - maxf(px+py-n, 0)/n
+	}
+	if denom == 0 {
+		return 0
+	}
+	return delta / denom
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

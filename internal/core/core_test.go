@@ -1,0 +1,288 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// smallConfig returns a fast functional configuration for tests.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Bits = 6
+	cfg.N = 16
+	cfg.M = 4
+	return cfg
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Bits != 8 || cfg.N != 176 || cfg.M != 176 {
+		t.Fatal("default operating point must be B=8, N=M=176")
+	}
+	if cfg.FWHMNM != 0.8 || cfg.ChannelSpacingNM != 0.25 {
+		t.Fatal("default FWHM/spacing must be 0.8/0.25 nm")
+	}
+}
+
+func TestNewVDPEValidation(t *testing.T) {
+	cfg := smallConfig()
+	if _, err := NewVDPE(cfg); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.N = 300 // beyond FSR/spacing = 200
+	if _, err := NewVDPE(bad); err == nil {
+		t.Fatal("expected FSR violation error")
+	}
+	bad = cfg
+	bad.N = 0
+	if _, err := NewVDPE(bad); err == nil {
+		t.Fatal("expected N validation error")
+	}
+	bad = cfg
+	bad.Bits = 0
+	if _, err := NewVDPE(bad); err == nil {
+		t.Fatal("expected precision validation error")
+	}
+}
+
+func TestOSMWavelengthGrid(t *testing.T) {
+	cfg := smallConfig()
+	v, err := NewVDPE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	osms := v.OSMs()
+	if len(osms) != cfg.N {
+		t.Fatalf("got %d OSMs want %d", len(osms), cfg.N)
+	}
+	for i, o := range osms {
+		want := cfg.BaseWavelengthNM - float64(i)*cfg.ChannelSpacingNM
+		if math.Abs(o.Wavelength-want) > 1e-9 {
+			t.Fatalf("OSM %d wavelength %.3f want %.3f", i, o.Wavelength, want)
+		}
+	}
+}
+
+// Property: OSM.Multiply equals the exact integer product within one
+// stream bit.
+func TestOSMMultiplyAccuracy(t *testing.T) {
+	cfg := smallConfig()
+	v, _ := NewVDPE(cfg)
+	o := v.OSMs()[0]
+	scale := 1 << uint(cfg.Bits)
+	f := func(a, b uint8) bool {
+		ia, wb := int(a)%(scale+1), int(b)%(scale+1)
+		got := float64(o.Multiply(ia, wb))
+		exact := float64(ia) * float64(wb) / float64(scale)
+		return math.Abs(got-exact) <= 1.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The device-accurate transient path must agree bit-for-bit with the fast
+// logical path at the paper's 30 Gbps operating point.
+func TestOSMTransientMatchesLogical(t *testing.T) {
+	cfg := smallConfig()
+	v, _ := NewVDPE(cfg)
+	o := v.OSMs()[0]
+	for _, pair := range [][2]int{{10, 50}, {32, 32}, {0, 64}, {64, 64}, {1, 1}} {
+		fast := o.MultiplyStreams(pair[0], pair[1])
+		slow := o.MultiplyTransient(pair[0], pair[1], 30e9, 8)
+		if !fast.Bits.Equal(slow) {
+			t.Fatalf("(%d,%d): transient decode disagrees with logical AND", pair[0], pair[1])
+		}
+	}
+}
+
+func TestVDPEDotIdealADC(t *testing.T) {
+	cfg := smallConfig()
+	cfg.IdealADC = true
+	v, err := NewVDPE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := 1 << uint(cfg.Bits)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(cfg.N)
+		div := make([]int, k)
+		dkv := make([]int, k)
+		for i := range div {
+			div[i] = rng.Intn(scale + 1)
+			dkv[i] = rng.Intn(2*scale+1) - scale
+		}
+		res, err := v.Dot(div, dkv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := ExactDot(div, dkv)
+		// One stream bit per lane, each worth `scale` product units.
+		tol := float64(k * scale)
+		if math.Abs(float64(res.Est-exact)) > tol {
+			t.Fatalf("trial %d: est=%d exact=%d tol=%g", trial, res.Est, exact, tol)
+		}
+		if res.Est != res.Exact {
+			t.Fatal("ideal ADC must pass exact accumulation through")
+		}
+	}
+}
+
+func TestVDPEDotWithADCError(t *testing.T) {
+	cfg := smallConfig()
+	v, err := NewVDPE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := 1 << uint(cfg.Bits)
+	rng := rand.New(rand.NewSource(10))
+	sigma := cfg.ADCMAPEPct / 100 * math.Sqrt(math.Pi/2)
+	if sigma == 0 {
+		sigma = 1.3 / 100 * math.Sqrt(math.Pi/2)
+	}
+	for trial := 0; trial < 30; trial++ {
+		div := make([]int, cfg.N)
+		dkv := make([]int, cfg.N)
+		for i := range div {
+			div[i] = rng.Intn(scale + 1)
+			dkv[i] = rng.Intn(2*scale+1) - scale
+		}
+		res, err := v.Dot(div, dkv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := ExactDot(div, dkv)
+		// Error budget: one stream bit per lane plus 6-sigma of the
+		// relative converter noise on each PCA's accumulation.
+		tol := float64(cfg.N*scale) + 6*sigma*float64(res.PosOnes+res.NegOnes)*float64(scale)
+		if math.Abs(float64(res.Est-exact)) > tol {
+			t.Fatalf("trial %d: est=%d exact=%d tol=%g", trial, res.Est, exact, tol)
+		}
+	}
+}
+
+func TestVDPEDotErrors(t *testing.T) {
+	v, _ := NewVDPE(smallConfig())
+	if _, err := v.Dot([]int{1, 2}, []int{1}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	long := make([]int, 17)
+	if _, err := v.Dot(long, long); err == nil {
+		t.Fatal("expected oversize error")
+	}
+	if _, err := v.Dot([]int{-1}, []int{1}); err == nil {
+		t.Fatal("expected range error for negative input")
+	}
+	if _, err := v.Dot([]int{1}, []int{1000}); err == nil {
+		t.Fatal("expected range error for oversized weight")
+	}
+}
+
+func TestVDPCBatchAndLarge(t *testing.T) {
+	cfg := smallConfig()
+	cfg.IdealADC = true
+	c, err := NewVDPC(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.M() != cfg.M {
+		t.Fatalf("M=%d want %d", c.M(), cfg.M)
+	}
+	if c.VDPE(0) == nil {
+		t.Fatal("VDPE accessor broken")
+	}
+	scale := 1 << uint(cfg.Bits)
+	rng := rand.New(rand.NewSource(11))
+
+	// Batch of small pairs.
+	var divs, dkvs [][]int
+	for i := 0; i < 10; i++ {
+		d := make([]int, 8)
+		k := make([]int, 8)
+		for j := range d {
+			d[j] = rng.Intn(scale + 1)
+			k[j] = rng.Intn(2*scale+1) - scale
+		}
+		divs = append(divs, d)
+		dkvs = append(dkvs, k)
+	}
+	res, err := c.DotBatch(divs, dkvs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		exact := ExactDot(divs[i], dkvs[i])
+		if math.Abs(float64(r.Est-exact)) > float64(8*scale) {
+			t.Fatalf("batch %d: est=%d exact=%d", i, r.Est, exact)
+		}
+	}
+
+	// Large vector: S = 100 with N = 16 -> 7 chunks.
+	S := 100
+	input := make([]int, S)
+	kernel := make([]int, S)
+	for i := range input {
+		input[i] = rng.Intn(scale + 1)
+		kernel[i] = rng.Intn(2*scale+1) - scale
+	}
+	est, exact, chunks, err := c.DotLarge(input, kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunks != 7 {
+		t.Fatalf("chunks=%d want ceil(100/16)=7", chunks)
+	}
+	trueDot := ExactDot(input, kernel)
+	if exact != est {
+		t.Fatal("ideal ADC: est should equal exact")
+	}
+	if math.Abs(float64(est-trueDot)) > float64(S*scale) {
+		t.Fatalf("est=%d true=%d", est, trueDot)
+	}
+}
+
+func TestDotBatchMismatch(t *testing.T) {
+	c, _ := NewVDPC(smallConfig())
+	if _, err := c.DotBatch(make([][]int, 2), make([][]int, 1)); err == nil {
+		t.Fatal("expected batch mismatch error")
+	}
+	if _, _, _, err := c.DotLarge(make([]int, 3), make([]int, 2)); err == nil {
+		t.Fatal("expected large mismatch error")
+	}
+}
+
+func TestExactDot(t *testing.T) {
+	if ExactDot([]int{1, 2, 3}, []int{4, -5, 6}) != 4-10+18 {
+		t.Fatal("ExactDot broken")
+	}
+	if ExactDot(nil, nil) != 0 {
+		t.Fatal("empty ExactDot should be 0")
+	}
+}
+
+func BenchmarkVDPEDot176(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.IdealADC = true
+	v, err := NewVDPE(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	div := make([]int, cfg.N)
+	dkv := make([]int, cfg.N)
+	for i := range div {
+		div[i] = rng.Intn(257)
+		dkv[i] = rng.Intn(513) - 256
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Dot(div, dkv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package dataset generates the procedural labelled image dataset that
+// stands in for ImageNet in the Table V accuracy study (see DESIGN.md,
+// "Substitutions"). Images are single-channel, values in [0,1], drawn from
+// eight visually distinct pattern classes with randomized phase, position,
+// frequency and additive noise, so that a small CNN must learn non-trivial
+// spatial features to classify them.
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// NumClasses is the number of pattern classes.
+const NumClasses = 8
+
+// ClassNames labels the classes for reports.
+var ClassNames = [NumClasses]string{
+	"hstripes", "vstripes", "diagonal", "checker",
+	"disk", "ring", "cross", "gradient",
+}
+
+// Config controls generation.
+type Config struct {
+	// Size is the square image side (default 16).
+	Size int
+	// Noise is the additive uniform noise amplitude (default 0.15).
+	Noise float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns the accuracy-study operating point.
+func DefaultConfig() Config { return Config{Size: 16, Noise: 0.15, Seed: 2023} }
+
+// Generate produces n labelled examples, classes balanced round-robin.
+func Generate(cfg Config, n int) []nn.Example {
+	if cfg.Size == 0 {
+		cfg.Size = 16
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]nn.Example, 0, n)
+	for i := 0; i < n; i++ {
+		label := i % NumClasses
+		out = append(out, nn.Example{X: Render(cfg, label, rng), Label: label})
+	}
+	return out
+}
+
+// Split partitions examples into train and test sets with the given test
+// fraction, stratified per class so both sets see every class regardless of
+// how labels interleave in the input order.
+func Split(examples []nn.Example, testFrac float64) (train, test []nn.Example) {
+	stride := int(math.Round(1 / testFrac))
+	if stride < 2 {
+		stride = 2
+	}
+	seen := map[int]int{}
+	for _, ex := range examples {
+		k := seen[ex.Label]
+		seen[ex.Label]++
+		if k%stride == stride-1 {
+			test = append(test, ex)
+		} else {
+			train = append(train, ex)
+		}
+	}
+	return train, test
+}
+
+// Render draws one image of the given class.
+func Render(cfg Config, label int, rng *rand.Rand) *tensor.T {
+	s := cfg.Size
+	img := tensor.New(1, s, s)
+	phase := rng.Float64() * float64(s)
+	freq := 2 + rng.Float64()*2
+	cx := float64(s)/2 + (rng.Float64()-0.5)*float64(s)/4
+	cy := float64(s)/2 + (rng.Float64()-0.5)*float64(s)/4
+	r := float64(s) / 4 * (0.8 + 0.4*rng.Float64())
+	for y := 0; y < s; y++ {
+		for x := 0; x < s; x++ {
+			fx, fy := float64(x), float64(y)
+			var v float64
+			switch label {
+			case 0: // horizontal stripes
+				v = 0.5 + 0.5*math.Sin((fy+phase)*freq*math.Pi/float64(s)*2)
+			case 1: // vertical stripes
+				v = 0.5 + 0.5*math.Sin((fx+phase)*freq*math.Pi/float64(s)*2)
+			case 2: // diagonal stripes
+				v = 0.5 + 0.5*math.Sin((fx+fy+phase)*freq*math.Pi/float64(s)*1.5)
+			case 3: // checkerboard
+				cell := float64(s) / (freq + 1)
+				if (int((fx+phase)/cell)+int((fy+phase)/cell))%2 == 0 {
+					v = 0.9
+				} else {
+					v = 0.1
+				}
+			case 4: // filled disk
+				d := math.Hypot(fx-cx, fy-cy)
+				if d < r {
+					v = 0.9
+				} else {
+					v = 0.1
+				}
+			case 5: // ring
+				d := math.Hypot(fx-cx, fy-cy)
+				if math.Abs(d-r) < float64(s)/10 {
+					v = 0.9
+				} else {
+					v = 0.1
+				}
+			case 6: // cross
+				if math.Abs(fx-cx) < float64(s)/10 || math.Abs(fy-cy) < float64(s)/10 {
+					v = 0.9
+				} else {
+					v = 0.1
+				}
+			case 7: // corner gradient
+				v = (fx + fy) / float64(2*s)
+			}
+			v += (rng.Float64() - 0.5) * 2 * cfg.Noise
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			img.Set(float32(v), 0, y, x)
+		}
+	}
+	return img
+}

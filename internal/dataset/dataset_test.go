@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+func TestGenerateBalancedAndBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	ex := Generate(cfg, 64)
+	if len(ex) != 64 {
+		t.Fatalf("got %d examples", len(ex))
+	}
+	counts := map[int]int{}
+	for _, e := range ex {
+		counts[e.Label]++
+		if e.Label < 0 || e.Label >= NumClasses {
+			t.Fatalf("label %d out of range", e.Label)
+		}
+		if e.X.Shape[0] != 1 || e.X.Shape[1] != cfg.Size || e.X.Shape[2] != cfg.Size {
+			t.Fatalf("shape %v", e.X.Shape)
+		}
+		for _, v := range e.X.Data {
+			if v < 0 || v > 1 {
+				t.Fatalf("pixel %g out of [0,1]", v)
+			}
+		}
+	}
+	for c := 0; c < NumClasses; c++ {
+		if counts[c] != 8 {
+			t.Fatalf("class %d count %d want 8", c, counts[c])
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultConfig(), 16)
+	b := Generate(DefaultConfig(), 16)
+	for i := range a {
+		for j := range a[i].X.Data {
+			if a[i].X.Data[j] != b[i].X.Data[j] {
+				t.Fatal("same seed must reproduce identical data")
+			}
+		}
+	}
+}
+
+func TestSplitFractions(t *testing.T) {
+	ex := Generate(DefaultConfig(), 100)
+	train, test := Split(ex, 0.2)
+	if len(train)+len(test) != 100 {
+		t.Fatal("split lost examples")
+	}
+	if len(test) < 15 || len(test) > 25 {
+		t.Fatalf("test size %d want ~20", len(test))
+	}
+}
+
+func TestClassNamesComplete(t *testing.T) {
+	for i, n := range ClassNames {
+		if n == "" {
+			t.Fatalf("class %d unnamed", i)
+		}
+	}
+}
+
+// The dataset must actually be learnable: a small CNN should reach high
+// train accuracy quickly. This is the gate for the Table V study being
+// meaningful.
+func TestDatasetLearnable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	cfg := DefaultConfig()
+	ex := Generate(cfg, 320)
+	train, test := Split(ex, 0.25)
+	net := nn.BuildSmallCNN(6, NumClasses, 42)
+	res := net.Train(train, 14, 16, nn.SGD{LR: 0.05, Momentum: 0.9}, rand.New(rand.NewSource(42)))
+	if res.TrainAccuracy < 0.9 {
+		t.Fatalf("train accuracy %.2f too low (loss %.3f)", res.TrainAccuracy, res.FinalLoss)
+	}
+	top1, top5 := net.Evaluate(test, 5)
+	if top1 < 0.8 {
+		t.Fatalf("test top-1 %.2f too low", top1)
+	}
+	if top5 < top1 {
+		t.Fatal("top-5 must dominate top-1")
+	}
+}

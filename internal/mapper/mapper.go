@@ -1,0 +1,205 @@
+// Package mapper implements the "preprocessing and mapping unit" of the
+// system-level SCONNA accelerator (Fig. 8): it decomposes convolution
+// operands into decomposed input vectors (DIVs) and decomposed kernel
+// vectors (DKVs) of at most N points (Sec. II-B), and assigns the
+// resulting (kernel, chunk) pairs to VDPEs under the weight-stationary
+// dataflow the evaluation uses.
+package mapper
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Conv describes the convolution being mapped.
+type Conv struct {
+	InC, H, W int // input tensor shape (CHW)
+	OutC      int // kernels
+	K         int // kernel spatial size
+	Stride    int
+	Pad       int
+	Depthwise bool
+}
+
+// OutSize returns the output spatial size for input size h.
+func (c Conv) OutSize(h int) int { return (h+2*c.Pad-c.K)/c.Stride + 1 }
+
+// S returns the flattened kernel size K*K*D.
+func (c Conv) S() int {
+	if c.Depthwise {
+		return c.K * c.K
+	}
+	return c.K * c.K * c.InC
+}
+
+// Validate reports geometry errors.
+func (c Conv) Validate() error {
+	if c.InC < 1 || c.OutC < 1 || c.K < 1 || c.Stride < 1 || c.Pad < 0 {
+		return fmt.Errorf("mapper: invalid conv geometry %+v", c)
+	}
+	if c.Depthwise && c.InC != c.OutC {
+		return fmt.Errorf("mapper: depthwise conv needs InC==OutC, got %d/%d", c.InC, c.OutC)
+	}
+	if c.OutSize(c.H) < 1 || c.OutSize(c.W) < 1 {
+		return fmt.Errorf("mapper: kernel %d does not fit input %dx%d with pad %d", c.K, c.H, c.W, c.Pad)
+	}
+	return nil
+}
+
+// ExtractDIV flattens the input window feeding output position (oy, ox)
+// for output channel oc into a vector of length S, zero-padding
+// out-of-bounds taps — the DIV the modulation block imprints.
+// The input is a quantized activation tensor laid out CHW as integers.
+func (c Conv) ExtractDIV(qx []int, oc, oy, ox int) []int {
+	out := make([]int, 0, c.S())
+	icLo, icHi := 0, c.InC
+	if c.Depthwise {
+		icLo, icHi = oc, oc+1
+	}
+	for ic := icLo; ic < icHi; ic++ {
+		for ky := 0; ky < c.K; ky++ {
+			iy := oy*c.Stride + ky - c.Pad
+			for kx := 0; kx < c.K; kx++ {
+				ix := ox*c.Stride + kx - c.Pad
+				if iy < 0 || iy >= c.H || ix < 0 || ix >= c.W {
+					out = append(out, 0)
+					continue
+				}
+				out = append(out, qx[(ic*c.H+iy)*c.W+ix])
+			}
+		}
+	}
+	return out
+}
+
+// ExtractDKV flattens kernel oc of the quantized weight tensor
+// [OutC][WC][K][K] into its S-point kernel vector.
+func (c Conv) ExtractDKV(qw []int, oc int) []int {
+	wc := c.InC
+	if c.Depthwise {
+		wc = 1
+	}
+	ksz := wc * c.K * c.K
+	out := make([]int, ksz)
+	copy(out, qw[oc*ksz:(oc+1)*ksz])
+	return out
+}
+
+// Chunk is one DIV/DKV decomposition slice: points [Lo, Hi) of the
+// full S-point vectors.
+type Chunk struct {
+	Index  int
+	Lo, Hi int
+}
+
+// Chunks decomposes an S-point vector into ceil(S/n) chunks of at most n
+// points (Sec. II-B's C = Ceil(S/N)).
+func Chunks(s, n int) []Chunk {
+	if n < 1 {
+		panic(fmt.Sprintf("mapper: chunk size %d", n))
+	}
+	var out []Chunk
+	idx := 0
+	for lo := 0; lo < s; lo += n {
+		hi := lo + n
+		if hi > s {
+			hi = s
+		}
+		out = append(out, Chunk{Index: idx, Lo: lo, Hi: hi})
+		idx++
+	}
+	return out
+}
+
+// Assignment pins one (kernel, chunk) pair to a VDPE for a reload round.
+type Assignment struct {
+	Kernel int
+	Chunk  Chunk
+	VDPE   int
+	Round  int
+}
+
+// Plan is a weight-stationary mapping of a convolution onto an array of
+// VDPEs.
+type Plan struct {
+	Conv        Conv
+	N           int // VDPE size
+	VDPEs       int // array size
+	Assignments []Assignment
+	Rounds      int
+	// Replicas is the position-tiling factor: when the chunk set
+	// underfills the array, the mapper replicates it and splits output
+	// positions across replicas.
+	Replicas int
+}
+
+// NewPlan maps the convolution onto `vdpes` VDPEs of size n.
+func NewPlan(c Conv, n, vdpes int) (*Plan, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 || vdpes < 1 {
+		return nil, fmt.Errorf("mapper: invalid array n=%d vdpes=%d", n, vdpes)
+	}
+	chunks := Chunks(c.S(), n)
+	p := &Plan{Conv: c, N: n, VDPEs: vdpes}
+	slot := 0
+	round := 0
+	for oc := 0; oc < c.OutC; oc++ {
+		for _, ch := range chunks {
+			p.Assignments = append(p.Assignments, Assignment{
+				Kernel: oc, Chunk: ch, VDPE: slot, Round: round,
+			})
+			slot++
+			if slot == vdpes {
+				slot = 0
+				round++
+			}
+		}
+	}
+	p.Rounds = round
+	if slot != 0 {
+		p.Rounds++
+	}
+	total := c.OutC * len(chunks)
+	p.Replicas = 1
+	if total < vdpes {
+		p.Replicas = vdpes / total
+	}
+	return p, nil
+}
+
+// ChunkCount returns C = ceil(S/N).
+func (p *Plan) ChunkCount() int { return (p.Conv.S() + p.N - 1) / p.N }
+
+// PsumsPerOutput returns the partial sums each output point generates.
+func (p *Plan) PsumsPerOutput() int { return p.ChunkCount() }
+
+// VDPEOf returns the (vdpe, round) holding a kernel's chunk.
+func (p *Plan) VDPEOf(kernel, chunk int) (vdpe, round int, err error) {
+	c := p.ChunkCount()
+	if kernel < 0 || kernel >= p.Conv.OutC || chunk < 0 || chunk >= c {
+		return 0, 0, fmt.Errorf("mapper: (kernel %d, chunk %d) out of range", kernel, chunk)
+	}
+	flat := kernel*c + chunk
+	return flat % p.VDPEs, flat / p.VDPEs, nil
+}
+
+// QuantizeActivations converts a float activation tensor to unsigned
+// qmax-scale integers with the given scale (clamping negatives to zero,
+// the post-ReLU contract).
+func QuantizeActivations(x *tensor.T, scale float32, qmax int) []int {
+	out := make([]int, x.Len())
+	for i, v := range x.Data {
+		q := int(v/scale + 0.5)
+		if q < 0 {
+			q = 0
+		}
+		if q > qmax {
+			q = qmax
+		}
+		out[i] = q
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package models
+
+import "fmt"
+
+// All builders assume 224x224x3 ImageNet-shaped inputs, the configuration
+// the paper evaluates.
+
+// conv appends a standard convolution layer.
+func conv(ls *[]Layer, name string, k, d, l, hout, stride int) {
+	*ls = append(*ls, Layer{Name: name, Kind: Conv, K: k, D: d, L: l, HOut: hout, WOut: hout, Stride: stride})
+}
+
+// dwconv appends a depthwise convolution layer.
+func dwconv(ls *[]Layer, name string, k, ch, hout, stride int) {
+	*ls = append(*ls, Layer{Name: name, Kind: DWConv, K: k, D: 1, L: ch, HOut: hout, WOut: hout, Stride: stride})
+}
+
+// fc appends a fully-connected layer.
+func fc(ls *[]Layer, name string, in, out int) {
+	*ls = append(*ls, Layer{Name: name, Kind: Dense, K: 1, D: in, L: out, HOut: 1, WOut: 1, Stride: 1})
+}
+
+// VGG16 returns the VGG-16 descriptor (13 convs + 3 FCs).
+func VGG16() Model {
+	var ls []Layer
+	type blk struct{ n, ch, sz int }
+	in := 3
+	for bi, b := range []blk{{2, 64, 224}, {2, 128, 112}, {3, 256, 56}, {3, 512, 28}, {3, 512, 14}} {
+		for i := 0; i < b.n; i++ {
+			conv(&ls, fmt.Sprintf("conv%d_%d", bi+1, i+1), 3, in, b.ch, b.sz, 1)
+			in = b.ch
+		}
+	}
+	fc(&ls, "fc6", 512*7*7, 4096)
+	fc(&ls, "fc7", 4096, 4096)
+	fc(&ls, "fc8", 4096, 1000)
+	return Model{Name: "VGG16", Layers: ls}
+}
+
+// ResNet50 returns the ResNet-50 descriptor (conv1 + 16 bottlenecks + FC).
+func ResNet50() Model {
+	var ls []Layer
+	conv(&ls, "conv1", 7, 3, 64, 112, 2)
+	type stage struct{ blocks, mid, out, sz int }
+	in := 64
+	for si, st := range []stage{{3, 64, 256, 56}, {4, 128, 512, 28}, {6, 256, 1024, 14}, {3, 512, 2048, 7}} {
+		for b := 0; b < st.blocks; b++ {
+			pre := fmt.Sprintf("res%d_%d", si+2, b+1)
+			stride := 1
+			if b == 0 && si > 0 {
+				stride = 2
+			}
+			conv(&ls, pre+"_1x1a", 1, in, st.mid, st.sz, stride)
+			conv(&ls, pre+"_3x3", 3, st.mid, st.mid, st.sz, 1)
+			conv(&ls, pre+"_1x1b", 1, st.mid, st.out, st.sz, 1)
+			if b == 0 {
+				conv(&ls, pre+"_down", 1, in, st.out, st.sz, stride)
+			}
+			in = st.out
+		}
+	}
+	fc(&ls, "fc", 2048, 1000)
+	return Model{Name: "ResNet50", Layers: ls}
+}
+
+// GoogleNet returns the GoogLeNet (Inception v1) descriptor.
+func GoogleNet() Model {
+	var ls []Layer
+	conv(&ls, "conv1", 7, 3, 64, 112, 2)
+	conv(&ls, "conv2_reduce", 1, 64, 64, 56, 1)
+	conv(&ls, "conv2", 3, 64, 192, 56, 1)
+	// Inception module channel table: in, c1, c3r, c3, c5r, c5, pp.
+	type inc struct {
+		name                         string
+		in, c1, c3r, c3, c5r, c5, pp int
+		sz                           int
+	}
+	for _, m := range []inc{
+		{"3a", 192, 64, 96, 128, 16, 32, 32, 28},
+		{"3b", 256, 128, 128, 192, 32, 96, 64, 28},
+		{"4a", 480, 192, 96, 208, 16, 48, 64, 14},
+		{"4b", 512, 160, 112, 224, 24, 64, 64, 14},
+		{"4c", 512, 128, 128, 256, 24, 64, 64, 14},
+		{"4d", 512, 112, 144, 288, 32, 64, 64, 14},
+		{"4e", 528, 256, 160, 320, 32, 128, 128, 14},
+		{"5a", 832, 256, 160, 320, 32, 128, 128, 7},
+		{"5b", 832, 384, 192, 384, 48, 128, 128, 7},
+	} {
+		conv(&ls, "inc"+m.name+"_1x1", 1, m.in, m.c1, m.sz, 1)
+		conv(&ls, "inc"+m.name+"_3x3r", 1, m.in, m.c3r, m.sz, 1)
+		conv(&ls, "inc"+m.name+"_3x3", 3, m.c3r, m.c3, m.sz, 1)
+		conv(&ls, "inc"+m.name+"_5x5r", 1, m.in, m.c5r, m.sz, 1)
+		conv(&ls, "inc"+m.name+"_5x5", 5, m.c5r, m.c5, m.sz, 1)
+		conv(&ls, "inc"+m.name+"_pool", 1, m.in, m.pp, m.sz, 1)
+	}
+	fc(&ls, "fc", 1024, 1000)
+	return Model{Name: "GoogleNet", Layers: ls}
+}
+
+// MobileNetV2 returns the MobileNet_V2 descriptor (inverted residuals).
+func MobileNetV2() Model {
+	var ls []Layer
+	conv(&ls, "conv1", 3, 3, 32, 112, 2)
+	type ir struct{ t, c, n, s int }
+	in, sz := 32, 112
+	bi := 0
+	for _, b := range []ir{{1, 16, 1, 1}, {6, 24, 2, 2}, {6, 32, 3, 2}, {6, 64, 4, 2}, {6, 96, 3, 1}, {6, 160, 3, 2}, {6, 320, 1, 1}} {
+		for i := 0; i < b.n; i++ {
+			bi++
+			stride := 1
+			if i == 0 {
+				stride = b.s
+			}
+			outSz := sz
+			if stride == 2 {
+				outSz = sz / 2
+			}
+			hid := in * b.t
+			pre := fmt.Sprintf("ir%d", bi)
+			if b.t != 1 {
+				conv(&ls, pre+"_expand", 1, in, hid, sz, 1)
+			}
+			dwconv(&ls, pre+"_dw", 3, hid, outSz, stride)
+			conv(&ls, pre+"_project", 1, hid, b.c, outSz, 1)
+			in, sz = b.c, outSz
+		}
+	}
+	conv(&ls, "conv_last", 1, 320, 1280, 7, 1)
+	fc(&ls, "fc", 1280, 1000)
+	return Model{Name: "MobileNet_V2", Layers: ls}
+}
+
+// ShuffleNetV2 returns the ShuffleNet_V2 1x descriptor.
+func ShuffleNetV2() Model {
+	var ls []Layer
+	conv(&ls, "conv1", 3, 3, 24, 112, 2)
+	// maxpool to 56x56 carries no kernels.
+	type stage struct{ ch, blocks, sz int }
+	in := 24
+	bi := 0
+	for _, st := range []stage{{116, 4, 28}, {232, 8, 14}, {464, 4, 7}} {
+		half := st.ch / 2
+		for b := 0; b < st.blocks; b++ {
+			bi++
+			pre := fmt.Sprintf("sh%d", bi)
+			if b == 0 {
+				// Downsampling unit: both branches are active.
+				dwconv(&ls, pre+"_ldw", 3, in, st.sz, 2)
+				conv(&ls, pre+"_lpw", 1, in, half, st.sz, 1)
+				conv(&ls, pre+"_r1", 1, in, half, st.sz*2, 1)
+				dwconv(&ls, pre+"_rdw", 3, half, st.sz, 2)
+				conv(&ls, pre+"_r2", 1, half, half, st.sz, 1)
+			} else {
+				// Basic unit: right branch on half the channels.
+				conv(&ls, pre+"_r1", 1, half, half, st.sz, 1)
+				dwconv(&ls, pre+"_rdw", 3, half, st.sz, 1)
+				conv(&ls, pre+"_r2", 1, half, half, st.sz, 1)
+			}
+			in = st.ch
+		}
+	}
+	conv(&ls, "conv5", 1, 464, 1024, 7, 1)
+	fc(&ls, "fc", 1024, 1000)
+	return Model{Name: "ShuffleNet_V2", Layers: ls}
+}
+
+// DenseNet121 returns the DenseNet-121 descriptor.
+func DenseNet121() Model {
+	var ls []Layer
+	conv(&ls, "conv1", 7, 3, 64, 112, 2)
+	const growth = 32
+	in, sz := 64, 56
+	for di, blocks := range []int{6, 12, 24, 16} {
+		for b := 0; b < blocks; b++ {
+			pre := fmt.Sprintf("dense%d_%d", di+1, b+1)
+			conv(&ls, pre+"_1x1", 1, in, 4*growth, sz, 1)
+			conv(&ls, pre+"_3x3", 3, 4*growth, growth, sz, 1)
+			in += growth
+		}
+		if di < 3 {
+			// Transition: 1x1 halving + 2x2 avgpool.
+			conv(&ls, fmt.Sprintf("trans%d", di+1), 1, in, in/2, sz, 1)
+			in /= 2
+			sz /= 2
+		}
+	}
+	fc(&ls, "fc", in, 1000)
+	return Model{Name: "DenseNet", Layers: ls}
+}

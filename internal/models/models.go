@@ -1,0 +1,153 @@
+// Package models provides programmatic architecture descriptors for the
+// CNNs the paper evaluates (GoogleNet, ResNet50, MobileNet_V2,
+// ShuffleNet_V2) and tabulates (VGG16, DenseNet121 in Table II). The
+// descriptors carry per-layer kernel geometry (K, D, L), output spatial
+// dimensions and strides — everything the Table II kernel census and the
+// Fig. 9 performance simulations need, none of the weights (which Table II
+// does not depend on; see DESIGN.md "Substitutions").
+package models
+
+// Kind classifies a workload layer.
+type Kind int
+
+// Layer kinds.
+const (
+	// Conv is a standard convolution: each of L kernels spans K*K*D.
+	Conv Kind = iota
+	// DWConv is a depthwise convolution: L kernels of K*K*1 (the
+	// MobileNet/ShuffleNet workhorse the paper calls out in Sec. VI-C).
+	DWConv
+	// Dense is a fully-connected layer: L kernels of D points each.
+	Dense
+)
+
+// String returns the kind mnemonic.
+func (k Kind) String() string {
+	switch k {
+	case Conv:
+		return "conv"
+	case DWConv:
+		return "dwconv"
+	case Dense:
+		return "fc"
+	}
+	return "?"
+}
+
+// Layer describes one weight-bearing layer's VDP workload.
+type Layer struct {
+	Name   string
+	Kind   Kind
+	K      int // kernel spatial size (1 for Dense)
+	D      int // per-kernel input depth (1 for DWConv)
+	L      int // number of kernels (output channels / units)
+	HOut   int // output height (1 for Dense)
+	WOut   int // output width (1 for Dense)
+	Stride int
+}
+
+// S returns the flattened kernel-vector size K*K*D — the paper's DKV size.
+func (l Layer) S() int { return l.K * l.K * l.D }
+
+// VDPs returns the number of VDP operations (output points) the layer
+// produces: HOut*WOut*L.
+func (l Layer) VDPs() int64 { return int64(l.HOut) * int64(l.WOut) * int64(l.L) }
+
+// MACs returns the layer's multiply-accumulate count: VDPs * S.
+func (l Layer) MACs() int64 { return l.VDPs() * int64(l.S()) }
+
+// Params returns the layer's weight parameter count: L * S.
+func (l Layer) Params() int64 { return int64(l.L) * int64(l.S()) }
+
+// Model is a named stack of workload layers.
+type Model struct {
+	Name   string
+	Layers []Layer
+}
+
+// TotalKernels returns the total kernel count across layers (Table II's
+// T_L).
+func (m Model) TotalKernels() int64 {
+	var t int64
+	for _, l := range m.Layers {
+		t += int64(l.L)
+	}
+	return t
+}
+
+// TotalMACs returns the model's MAC count.
+func (m Model) TotalMACs() int64 {
+	var t int64
+	for _, l := range m.Layers {
+		t += l.MACs()
+	}
+	return t
+}
+
+// TotalParams returns the model's weight count.
+func (m Model) TotalParams() int64 {
+	var t int64
+	for _, l := range m.Layers {
+		t += l.Params()
+	}
+	return t
+}
+
+// ConvKernels returns the convolutional kernel count (Conv + DWConv,
+// excluding fully-connected units) — the population Table II censuses:
+// its published totals match the conv-only counts of each architecture.
+func (m Model) ConvKernels() int64 {
+	var t int64
+	for _, l := range m.Layers {
+		if l.Kind != Dense {
+			t += int64(l.L)
+		}
+	}
+	return t
+}
+
+// KernelCensus counts convolutional kernels with S <= thresh and
+// S > thresh (Table II uses thresh = 44, the best analog VDPE size).
+func (m Model) KernelCensus(thresh int) (le, gt int64) {
+	for _, l := range m.Layers {
+		if l.Kind == Dense {
+			continue
+		}
+		if l.S() <= thresh {
+			le += int64(l.L)
+		} else {
+			gt += int64(l.L)
+		}
+	}
+	return le, gt
+}
+
+// MaxS returns the largest DKV size in the model (4608 for ResNet50 in the
+// paper's Sec. II-B).
+func (m Model) MaxS() int {
+	best := 0
+	for _, l := range m.Layers {
+		if l.S() > best {
+			best = l.S()
+		}
+	}
+	return best
+}
+
+// PaperTableII holds the published Table II kernel counts for reference.
+var PaperTableII = map[string]struct{ LE, GT int64 }{
+	"ResNet50":  {1, 26562},
+	"GoogleNet": {13, 7554},
+	"VGG16":     {69, 4168},
+	"DenseNet":  {1, 10242},
+}
+
+// Evaluated returns the four CNNs of the Fig. 9 / Table V evaluation.
+func Evaluated() []Model {
+	return []Model{GoogleNet(), ResNet50(), MobileNetV2(), ShuffleNetV2()}
+}
+
+// TableIIModels returns the four CNNs of Table II.
+func TableIIModels() []Model {
+	return []Model{ResNet50(), GoogleNet(), VGG16(), DenseNet121()}
+}

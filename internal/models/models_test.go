@@ -1,0 +1,169 @@
+package models
+
+import "testing"
+
+func TestLayerMath(t *testing.T) {
+	l := Layer{Kind: Conv, K: 3, D: 512, L: 512, HOut: 14, WOut: 14}
+	if l.S() != 4608 {
+		t.Fatalf("S=%d want 4608", l.S())
+	}
+	if l.VDPs() != 14*14*512 {
+		t.Fatalf("VDPs=%d", l.VDPs())
+	}
+	if l.MACs() != l.VDPs()*4608 {
+		t.Fatal("MACs inconsistent")
+	}
+	if l.Params() != 512*4608 {
+		t.Fatal("Params inconsistent")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Conv.String() != "conv" || DWConv.String() != "dwconv" || Dense.String() != "fc" {
+		t.Fatal("kind names broken")
+	}
+	if Kind(9).String() != "?" {
+		t.Fatal("unknown kind")
+	}
+}
+
+// ResNet50's largest DKV is the paper's running example: S = 3*3*512 = 4608.
+func TestResNet50MaxS(t *testing.T) {
+	if got := ResNet50().MaxS(); got != 4608 {
+		t.Fatalf("MaxS=%d want 4608 (Sec. II-B)", got)
+	}
+}
+
+// Published parameter-count sanity: each descriptor must land near the
+// architecture's known weight count (conv+fc only, no BN).
+func TestParameterCounts(t *testing.T) {
+	cases := []struct {
+		m      Model
+		lo, hi int64 // millions of weights
+	}{
+		{ResNet50(), 22e6, 28e6},       // ~25.5M
+		{VGG16(), 130e6, 140e6},        // ~138M
+		{GoogleNet(), 5e6, 8e6},        // ~6M (no aux heads)
+		{MobileNetV2(), 2.5e6, 4.5e6},  // ~3.4M
+		{ShuffleNetV2(), 1.5e6, 2.8e6}, // ~2.3M
+		{DenseNet121(), 6e6, 9e6},      // ~7.5M (conv+fc, no BN)
+	}
+	for _, c := range cases {
+		p := c.m.TotalParams()
+		if p < c.lo || p > c.hi {
+			t.Errorf("%s: params=%d want in [%d, %d]", c.m.Name, p, c.lo, c.hi)
+		}
+	}
+}
+
+// MAC-count sanity against published figures (ImageNet 224x224).
+func TestMACCounts(t *testing.T) {
+	cases := []struct {
+		m      Model
+		lo, hi int64
+	}{
+		{ResNet50(), 3.0e9, 4.5e9},       // ~3.8G multiply-adds
+		{VGG16(), 14e9, 16.5e9},          // ~15.5G
+		{GoogleNet(), 1.2e9, 1.8e9},      // ~1.5G
+		{MobileNetV2(), 0.25e9, 0.45e9},  // ~0.3G
+		{ShuffleNetV2(), 0.10e9, 0.20e9}, // ~0.15G
+	}
+	for _, c := range cases {
+		mac := c.m.TotalMACs()
+		if mac < c.lo || mac > c.hi {
+			t.Errorf("%s: MACs=%d want in [%d, %d]", c.m.Name, mac, c.lo, c.hi)
+		}
+	}
+}
+
+// Table II reproduction: the share of kernels with S > 44 must dominate
+// (>98% in the paper) for the four Table II CNNs, and our absolute counts
+// must be within 25% of the published T_L.
+func TestTableIICensus(t *testing.T) {
+	for _, m := range TableIIModels() {
+		le, gt := m.KernelCensus(44)
+		total := le + gt
+		if total == 0 {
+			t.Fatalf("%s: empty model", m.Name)
+		}
+		frac := float64(gt) / float64(total)
+		if frac < 0.95 {
+			t.Errorf("%s: only %.1f%% of kernels have S>44 (paper: >98%%)", m.Name, frac*100)
+		}
+		if ref, ok := PaperTableII[m.Name]; ok {
+			refTotal := ref.LE + ref.GT
+			ratio := float64(total) / float64(refTotal)
+			if ratio < 0.75 || ratio > 1.25 {
+				t.Errorf("%s: total kernels %d vs paper %d (ratio %.2f)", m.Name, total, refTotal, ratio)
+			}
+		}
+	}
+}
+
+// The depthwise-heavy mobile CNNs must show a *large* S<=44 share — the
+// property the paper uses to explain their smaller Fig. 9 gains.
+func TestMobileModelsUseSmallKernels(t *testing.T) {
+	for _, m := range []Model{MobileNetV2(), ShuffleNetV2()} {
+		le, gt := m.KernelCensus(44)
+		frac := float64(le) / float64(le+gt)
+		if frac < 0.10 {
+			t.Errorf("%s: only %.1f%% small kernels; expected a sizable share from depthwise convs", m.Name, frac*100)
+		}
+	}
+}
+
+func TestEvaluatedSet(t *testing.T) {
+	ev := Evaluated()
+	if len(ev) != 4 {
+		t.Fatalf("want 4 evaluated models, got %d", len(ev))
+	}
+	names := map[string]bool{}
+	for _, m := range ev {
+		names[m.Name] = true
+		if len(m.Layers) == 0 {
+			t.Fatalf("%s: no layers", m.Name)
+		}
+	}
+	for _, want := range []string{"GoogleNet", "ResNet50", "MobileNet_V2", "ShuffleNet_V2"} {
+		if !names[want] {
+			t.Fatalf("missing %s", want)
+		}
+	}
+}
+
+// Depthwise layers must carry D=1 (S=K*K): that is what makes their DKVs
+// fit analog VDPEs.
+func TestDepthwiseLayersHaveUnitDepth(t *testing.T) {
+	for _, m := range []Model{MobileNetV2(), ShuffleNetV2()} {
+		found := false
+		for _, l := range m.Layers {
+			if l.Kind == DWConv {
+				found = true
+				if l.D != 1 {
+					t.Fatalf("%s/%s: depthwise D=%d want 1", m.Name, l.Name, l.D)
+				}
+				if l.S() != l.K*l.K {
+					t.Fatalf("%s/%s: S=%d want %d", m.Name, l.Name, l.S(), l.K*l.K)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("%s: no depthwise layers", m.Name)
+		}
+	}
+}
+
+func TestKernelCensusThresholds(t *testing.T) {
+	m := ResNet50()
+	le0, gt0 := m.KernelCensus(0)
+	if le0 != 0 || gt0 != m.ConvKernels() {
+		t.Fatal("threshold 0 should put everything above")
+	}
+	leBig, gtBig := m.KernelCensus(1 << 20)
+	if gtBig != 0 || leBig != m.ConvKernels() {
+		t.Fatal("huge threshold should put everything below")
+	}
+	if m.ConvKernels() >= m.TotalKernels() {
+		t.Fatal("FC kernels must be excluded from the census population")
+	}
+}

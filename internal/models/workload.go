@@ -1,0 +1,85 @@
+package models
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Workload summaries used by the Fig. 9 discussion (Sec. VI-C): which
+// share of a CNN's VDP operations falls at which DKV size, and how many
+// psum chunks each accelerator's VDPE size implies.
+
+// SBucket aggregates the layers whose DKV size falls in [Lo, Hi].
+type SBucket struct {
+	Lo, Hi  int
+	Layers  int
+	Kernels int64
+	VDPs    int64
+	MACs    int64
+}
+
+// SHistogram buckets a model's conv/dense workload by DKV size S using
+// the given bucket boundaries (ascending; a final open bucket catches the
+// rest).
+func (m Model) SHistogram(bounds []int) []SBucket {
+	sorted := append([]int(nil), bounds...)
+	sort.Ints(sorted)
+	buckets := make([]SBucket, 0, len(sorted)+1)
+	lo := 0
+	for _, b := range sorted {
+		buckets = append(buckets, SBucket{Lo: lo, Hi: b})
+		lo = b + 1
+	}
+	buckets = append(buckets, SBucket{Lo: lo, Hi: 1 << 30})
+	for _, l := range m.Layers {
+		s := l.S()
+		for i := range buckets {
+			if s >= buckets[i].Lo && s <= buckets[i].Hi {
+				buckets[i].Layers++
+				buckets[i].Kernels += int64(l.L)
+				buckets[i].VDPs += l.VDPs()
+				buckets[i].MACs += l.MACs()
+				break
+			}
+		}
+	}
+	return buckets
+}
+
+// ChunksPerOutput returns the total psum chunks the model generates on a
+// VDPE of size n: sum over layers of VDPs * ceil(S/n). This is the
+// quantity Sec. III-A argues dominates analog accelerators' latency.
+func (m Model) ChunksPerOutput(n int) int64 {
+	var t int64
+	for _, l := range m.Layers {
+		c := int64((l.S() + n - 1) / n)
+		t += l.VDPs() * c
+	}
+	return t
+}
+
+// PsumAdvantage returns the ratio of psum chunks at VDPE size nBase over
+// size nLarge — how much psum traffic a larger VDPE removes (e.g. 22 vs
+// 176 for MAM vs SCONNA).
+func (m Model) PsumAdvantage(nBase, nLarge int) float64 {
+	base := m.ChunksPerOutput(nBase)
+	large := m.ChunksPerOutput(nLarge)
+	if large == 0 {
+		return 0
+	}
+	return float64(base) / float64(large)
+}
+
+// Summary renders a one-line-per-layer workload table.
+func (m Model) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %d layers, %d kernels, %.2f GMACs, %.1fM params\n",
+		m.Name, len(m.Layers), m.TotalKernels(), float64(m.TotalMACs())/1e9,
+		float64(m.TotalParams())/1e6)
+	for _, l := range m.Layers {
+		fmt.Fprintf(&sb, "  %-16s %-6s K=%d D=%-4d L=%-4d S=%-5d out=%dx%d VDPs=%d\n",
+			l.Name, l.Kind, l.K, l.D, l.L, l.S(), l.HOut, l.WOut, l.VDPs())
+	}
+	return sb.String()
+}

@@ -1,0 +1,87 @@
+package models
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSHistogramPartitions(t *testing.T) {
+	m := ResNet50()
+	buckets := m.SHistogram([]int{44, 576})
+	if len(buckets) != 3 {
+		t.Fatalf("want 3 buckets, got %d", len(buckets))
+	}
+	var kernels int64
+	var macs int64
+	for _, b := range buckets {
+		kernels += b.Kernels
+		macs += b.MACs
+	}
+	if kernels != m.TotalKernels() {
+		t.Fatalf("buckets lose kernels: %d vs %d", kernels, m.TotalKernels())
+	}
+	if macs != m.TotalMACs() {
+		t.Fatalf("buckets lose MACs: %d vs %d", macs, m.TotalMACs())
+	}
+	// ResNet50's big 3x3 layers land in the open bucket.
+	if buckets[2].MACs == 0 {
+		t.Fatal("open bucket empty")
+	}
+}
+
+func TestSHistogramUnsortedBounds(t *testing.T) {
+	m := ShuffleNetV2()
+	a := m.SHistogram([]int{576, 44})
+	b := m.SHistogram([]int{44, 576})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("bounds order must not matter")
+		}
+	}
+}
+
+// Section III-A arithmetic: a 22-point VDPE generates ~8x the psum chunks
+// of a 176-point VDPE on large CNNs, and the advantage shrinks for the
+// depthwise-heavy mobile CNNs (the paper's Sec. VI-C explanation).
+func TestPsumAdvantageOrdering(t *testing.T) {
+	large := ResNet50().PsumAdvantage(22, 176)
+	mobile := MobileNetV2().PsumAdvantage(22, 176)
+	if large < 4 {
+		t.Fatalf("ResNet50 psum advantage %.2f too small", large)
+	}
+	if mobile >= large {
+		t.Fatalf("mobile advantage %.2f should trail large-CNN advantage %.2f", mobile, large)
+	}
+}
+
+func TestChunksPerOutputMonotone(t *testing.T) {
+	m := GoogleNet()
+	if m.ChunksPerOutput(16) <= m.ChunksPerOutput(176) {
+		t.Fatal("smaller VDPEs must generate more chunks")
+	}
+	if m.ChunksPerOutput(1<<20) != totalVDPs(m) {
+		t.Fatal("huge VDPE should give exactly one chunk per output")
+	}
+}
+
+func totalVDPs(m Model) int64 {
+	var t int64
+	for _, l := range m.Layers {
+		t += l.VDPs()
+	}
+	return t
+}
+
+func TestSummaryRendersEveryLayer(t *testing.T) {
+	m := ShuffleNetV2()
+	s := m.Summary()
+	if !strings.Contains(s, m.Name) {
+		t.Fatal("missing model name")
+	}
+	if strings.Count(s, "\n") < len(m.Layers) {
+		t.Fatal("missing layers")
+	}
+	if !strings.Contains(s, "dwconv") {
+		t.Fatal("missing depthwise rows")
+	}
+}

@@ -1,0 +1,48 @@
+package nn
+
+import "math/rand"
+
+// BuildSmallCNN constructs the accuracy-study CNN: a compact conv net over
+// 1x16x16 inputs whose width scales with `width`, letting the Table V
+// experiment emulate models of different sizes (larger width = more
+// parameters = more error tolerance, the trend the paper observes between
+// small and large CNNs).
+//
+// Architecture: conv3x3(1->w) relu maxpool2 | conv3x3(w->2w) relu maxpool2
+// | conv3x3(2w->4w) relu | gap | dense(4w->classes).
+func BuildSmallCNN(width, classes int, seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	return &Network{Layers: []Layer{
+		NewConv2D("c1", 1, width, 3, 1, 1, false, rng),
+		&ReLU{},
+		&MaxPool2{},
+		NewConv2D("c2", width, 2*width, 3, 1, 1, false, rng),
+		&ReLU{},
+		&MaxPool2{},
+		NewConv2D("c3", 2*width, 4*width, 3, 1, 1, false, rng),
+		&ReLU{},
+		&GlobalAvgPool{},
+		NewDense("fc", 4*width, classes, rng),
+	}}
+}
+
+// BuildDepthwiseCNN constructs a MobileNet-flavoured variant using
+// depthwise separable convolutions, exercising the depthwise path that
+// dominates MobileNet_V2/ShuffleNet_V2 workloads in the paper.
+func BuildDepthwiseCNN(width, classes int, seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	return &Network{Layers: []Layer{
+		NewConv2D("c1", 1, width, 3, 1, 1, false, rng),
+		&ReLU{},
+		&MaxPool2{},
+		NewConv2D("dw1", width, width, 3, 1, 1, true, rng),
+		NewConv2D("pw1", width, 2*width, 1, 1, 0, false, rng),
+		&ReLU{},
+		&MaxPool2{},
+		NewConv2D("dw2", 2*width, 2*width, 3, 1, 1, true, rng),
+		NewConv2D("pw2", 2*width, 4*width, 1, 1, 0, false, rng),
+		&ReLU{},
+		&GlobalAvgPool{},
+		NewDense("fc", 4*width, classes, rng),
+	}}
+}

@@ -1,0 +1,185 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Network is a sequential stack of layers with a softmax cross-entropy
+// head.
+type Network struct {
+	Layers []Layer
+}
+
+// Forward runs the stack and returns the logits.
+func (n *Network) Forward(x *tensor.T) *tensor.T {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Params returns all trainable parameters.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// NumParams returns the total trainable scalar count.
+func (n *Network) NumParams() int {
+	t := 0
+	for _, p := range n.Params() {
+		t += p.W.Len()
+	}
+	return t
+}
+
+// Softmax returns the softmax of logits.
+func Softmax(logits *tensor.T) []float64 {
+	maxv := float64(logits.Data[logits.ArgMax()])
+	exp := make([]float64, logits.Len())
+	var sum float64
+	for i, v := range logits.Data {
+		exp[i] = math.Exp(float64(v) - maxv)
+		sum += exp[i]
+	}
+	for i := range exp {
+		exp[i] /= sum
+	}
+	return exp
+}
+
+// LossAndGrad computes softmax cross-entropy loss against the label and
+// the gradient with respect to the logits.
+func LossAndGrad(logits *tensor.T, label int) (float64, *tensor.T) {
+	p := Softmax(logits)
+	loss := -math.Log(math.Max(p[label], 1e-12))
+	grad := tensor.New(logits.Shape...)
+	for i := range p {
+		grad.Data[i] = float32(p[i])
+	}
+	grad.Data[label] -= 1
+	return loss, grad
+}
+
+// Backward propagates dLoss/dLogits through the stack.
+func (n *Network) Backward(grad *tensor.T) {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+}
+
+// SGD is a momentum SGD optimizer.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	Decay    float64 // L2 weight decay
+}
+
+// Step applies accumulated gradients (scaled by 1/batch) and zeroes them.
+func (s SGD) Step(params []*Param, batch int) {
+	inv := float32(1 / float64(batch))
+	for _, p := range params {
+		for i := range p.W.Data {
+			g := p.Grad.Data[i]*inv + float32(s.Decay)*p.W.Data[i]
+			p.vel.Data[i] = float32(s.Momentum)*p.vel.Data[i] - float32(s.LR)*g
+			p.W.Data[i] += p.vel.Data[i]
+			p.Grad.Data[i] = 0
+		}
+	}
+}
+
+// Example is one labelled training example.
+type Example struct {
+	X     *tensor.T
+	Label int
+}
+
+// TrainResult summarizes a training run.
+type TrainResult struct {
+	FinalLoss     float64
+	TrainAccuracy float64
+}
+
+// Train runs epochs of mini-batch SGD over the examples and returns the
+// final-epoch mean loss and training accuracy. Deterministic given rng.
+func (n *Network) Train(examples []Example, epochs, batch int, opt SGD, rng *rand.Rand) TrainResult {
+	if batch < 1 {
+		batch = 1
+	}
+	idx := make([]int, len(examples))
+	for i := range idx {
+		idx[i] = i
+	}
+	var res TrainResult
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var lossSum float64
+		correct := 0
+		for b := 0; b < len(idx); b += batch {
+			end := b + batch
+			if end > len(idx) {
+				end = len(idx)
+			}
+			for _, i := range idx[b:end] {
+				ex := examples[i]
+				logits := n.Forward(ex.X)
+				if logits.ArgMax() == ex.Label {
+					correct++
+				}
+				loss, grad := LossAndGrad(logits, ex.Label)
+				lossSum += loss
+				n.Backward(grad)
+			}
+			opt.Step(n.Params(), end-b)
+		}
+		res.FinalLoss = lossSum / float64(len(idx))
+		res.TrainAccuracy = float64(correct) / float64(len(idx))
+	}
+	return res
+}
+
+// Evaluate returns top-1 and top-k accuracy over the examples.
+func (n *Network) Evaluate(examples []Example, k int) (top1, topk float64) {
+	if len(examples) == 0 {
+		return 0, 0
+	}
+	c1, ck := 0, 0
+	for _, ex := range examples {
+		logits := n.Forward(ex.X)
+		if logits.ArgMax() == ex.Label {
+			c1++
+		}
+		if inTopK(logits.Data, ex.Label, k) {
+			ck++
+		}
+	}
+	return float64(c1) / float64(len(examples)), float64(ck) / float64(len(examples))
+}
+
+// inTopK reports whether label is among the k largest logits.
+func inTopK(logits []float32, label, k int) bool {
+	lv := logits[label]
+	higher := 0
+	for i, v := range logits {
+		if i != label && v > lv {
+			higher++
+		}
+	}
+	return higher < k
+}
+
+// Summary renders a one-line-per-layer description.
+func (n *Network) Summary() string {
+	s := ""
+	for i, l := range n.Layers {
+		s += fmt.Sprintf("%2d: %s\n", i, l.Name())
+	}
+	return s + fmt.Sprintf("params: %d", n.NumParams())
+}

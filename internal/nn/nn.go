@@ -1,0 +1,374 @@
+// Package nn is the neural-network substrate of the reproduction: float32
+// layers with forward and backward passes and an SGD trainer. The paper
+// runs its accuracy study on PyTorch with ImageNet-pretrained CNNs; this
+// package replaces that dependency with a pure-Go training stack so the
+// Table V experiment can train real models end-to-end (see DESIGN.md,
+// "Substitutions").
+//
+// Layers operate on single examples in CHW layout; training loops over a
+// batch accumulating gradients before each optimizer step.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Param is one trainable tensor with its gradient accumulator.
+type Param struct {
+	Name string
+	W    *tensor.T
+	Grad *tensor.T
+	vel  *tensor.T // SGD momentum buffer
+}
+
+func newParam(name string, shape ...int) *Param {
+	return &Param{Name: name, W: tensor.New(shape...), Grad: tensor.New(shape...), vel: tensor.New(shape...)}
+}
+
+// Layer is a differentiable module.
+type Layer interface {
+	// Forward computes the layer output for input x.
+	Forward(x *tensor.T) *tensor.T
+	// Backward receives dLoss/dOutput and returns dLoss/dInput,
+	// accumulating parameter gradients along the way. It must be called
+	// after Forward on the same input.
+	Backward(grad *tensor.T) *tensor.T
+	// Params returns the layer's trainable parameters (may be empty).
+	Params() []*Param
+	// Name identifies the layer in summaries.
+	Name() string
+}
+
+// Conv2D is a 2-D convolution over CHW tensors with square kernels,
+// stride and symmetric zero padding. Depthwise convolutions (groups equal
+// to channels, as in MobileNet/ShuffleNet) are selected with Depthwise.
+type Conv2D struct {
+	InC, OutC, K, Stride, Pad int
+	Depthwise                 bool
+
+	Wt   *Param // [OutC, InC(or 1), K, K]
+	Bias *Param // [OutC]
+
+	x *tensor.T // saved input
+}
+
+// NewConv2D constructs a convolution with He-normal initialized weights.
+func NewConv2D(name string, inC, outC, k, stride, pad int, depthwise bool, rng *rand.Rand) *Conv2D {
+	wc := inC
+	if depthwise {
+		if inC != outC {
+			panic(fmt.Sprintf("nn: depthwise conv needs inC==outC, got %d/%d", inC, outC))
+		}
+		wc = 1
+	}
+	c := &Conv2D{InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad, Depthwise: depthwise}
+	c.Wt = newParam(name+".w", outC, wc, k, k)
+	c.Bias = newParam(name+".b", outC)
+	fanIn := float64(wc * k * k)
+	c.Wt.W.RandNormal(rng, math.Sqrt(2/fanIn))
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	if c.Depthwise {
+		return fmt.Sprintf("dwconv%dx%d", c.K, c.K)
+	}
+	return fmt.Sprintf("conv%dx%d", c.K, c.K)
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.Wt, c.Bias} }
+
+// OutSize returns the spatial output size for input size h.
+func (c *Conv2D) OutSize(h int) int { return (h+2*c.Pad-c.K)/c.Stride + 1 }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.T) *tensor.T {
+	c.x = x
+	h, w := x.Shape[1], x.Shape[2]
+	oh, ow := c.OutSize(h), c.OutSize(w)
+	out := tensor.New(c.OutC, oh, ow)
+	for oc := 0; oc < c.OutC; oc++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				sum := c.Bias.W.Data[oc]
+				if c.Depthwise {
+					sum += c.corrOne(x, oc, 0, oy, ox, oc)
+				} else {
+					for ic := 0; ic < c.InC; ic++ {
+						sum += c.corrOne(x, oc, ic, oy, ox, ic)
+					}
+				}
+				out.Set(sum, oc, oy, ox)
+			}
+		}
+	}
+	return out
+}
+
+// corrOne correlates kernel (oc, wc) against input channel ic at output
+// position (oy, ox).
+func (c *Conv2D) corrOne(x *tensor.T, oc, wc, oy, ox, ic int) float32 {
+	h, w := x.Shape[1], x.Shape[2]
+	var sum float32
+	for ky := 0; ky < c.K; ky++ {
+		iy := oy*c.Stride + ky - c.Pad
+		if iy < 0 || iy >= h {
+			continue
+		}
+		for kx := 0; kx < c.K; kx++ {
+			ix := ox*c.Stride + kx - c.Pad
+			if ix < 0 || ix >= w {
+				continue
+			}
+			sum += c.Wt.W.At(oc, wc, ky, kx) * x.At(ic, iy, ix)
+		}
+	}
+	return sum
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.T) *tensor.T {
+	x := c.x
+	h, w := x.Shape[1], x.Shape[2]
+	oh, ow := grad.Shape[1], grad.Shape[2]
+	dx := tensor.New(x.Shape...)
+	for oc := 0; oc < c.OutC; oc++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				g := grad.At(oc, oy, ox)
+				if g == 0 {
+					continue
+				}
+				c.Bias.Grad.Data[oc] += g
+				ics := []int{oc}
+				if !c.Depthwise {
+					ics = ics[:0]
+					for ic := 0; ic < c.InC; ic++ {
+						ics = append(ics, ic)
+					}
+				}
+				for wi, ic := range ics {
+					wc := wi
+					if c.Depthwise {
+						wc = 0
+					}
+					for ky := 0; ky < c.K; ky++ {
+						iy := oy*c.Stride + ky - c.Pad
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < c.K; kx++ {
+							ix := ox*c.Stride + kx - c.Pad
+							if ix < 0 || ix >= w {
+								continue
+							}
+							c.Wt.Grad.Data[((oc*c.Wt.W.Shape[1]+wc)*c.K+ky)*c.K+kx] += g * x.At(ic, iy, ix)
+							dx.Data[(ic*h+iy)*w+ix] += g * c.Wt.W.At(oc, wc, ky, kx)
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// ReLU is the rectified linear activation.
+type ReLU struct{ mask []bool }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "relu" }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.T) *tensor.T {
+	out := x.Clone()
+	r.mask = make([]bool, len(x.Data))
+	for i, v := range x.Data {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.T) *tensor.T {
+	dx := grad.Clone()
+	for i := range dx.Data {
+		if !r.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// MaxPool2 is a 2x2, stride-2 max pool over CHW tensors.
+type MaxPool2 struct {
+	argmax []int
+	inShp  []int
+}
+
+// Name implements Layer.
+func (m *MaxPool2) Name() string { return "maxpool2" }
+
+// Params implements Layer.
+func (m *MaxPool2) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (m *MaxPool2) Forward(x *tensor.T) *tensor.T {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh, ow := h/2, w/2
+	out := tensor.New(c, oh, ow)
+	m.argmax = make([]int, c*oh*ow)
+	m.inShp = x.Shape
+	for ch := 0; ch < c; ch++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				bi := -1
+				var bv float32 = -math.MaxFloat32
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						idx := (ch*h+oy*2+dy)*w + ox*2 + dx
+						if x.Data[idx] > bv {
+							bv = x.Data[idx]
+							bi = idx
+						}
+					}
+				}
+				out.Set(bv, ch, oy, ox)
+				m.argmax[(ch*oh+oy)*ow+ox] = bi
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (m *MaxPool2) Backward(grad *tensor.T) *tensor.T {
+	dx := tensor.New(m.inShp...)
+	for i, src := range m.argmax {
+		dx.Data[src] += grad.Data[i]
+	}
+	return dx
+}
+
+// GlobalAvgPool reduces each channel to its spatial mean, yielding a
+// 1-D tensor of length C.
+type GlobalAvgPool struct{ inShp []int }
+
+// Name implements Layer.
+func (g *GlobalAvgPool) Name() string { return "gap" }
+
+// Params implements Layer.
+func (g *GlobalAvgPool) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (g *GlobalAvgPool) Forward(x *tensor.T) *tensor.T {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	g.inShp = x.Shape
+	out := tensor.New(c)
+	for ch := 0; ch < c; ch++ {
+		var s float32
+		for i := 0; i < h*w; i++ {
+			s += x.Data[ch*h*w+i]
+		}
+		out.Data[ch] = s / float32(h*w)
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (g *GlobalAvgPool) Backward(grad *tensor.T) *tensor.T {
+	c, h, w := g.inShp[0], g.inShp[1], g.inShp[2]
+	dx := tensor.New(g.inShp...)
+	for ch := 0; ch < c; ch++ {
+		gv := grad.Data[ch] / float32(h*w)
+		for i := 0; i < h*w; i++ {
+			dx.Data[ch*h*w+i] = gv
+		}
+	}
+	return dx
+}
+
+// Flatten reshapes any tensor to 1-D.
+type Flatten struct{ inShp []int }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return "flatten" }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.T) *tensor.T {
+	f.inShp = x.Shape
+	return x.Reshape(x.Len())
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *tensor.T) *tensor.T { return grad.Reshape(f.inShp...) }
+
+// Dense is a fully-connected layer over 1-D tensors.
+type Dense struct {
+	In, Out int
+	Wt      *Param // [Out, In]
+	Bias    *Param // [Out]
+	x       *tensor.T
+}
+
+// NewDense constructs a fully-connected layer with He initialization.
+func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{In: in, Out: out}
+	d.Wt = newParam(name+".w", out, in)
+	d.Bias = newParam(name+".b", out)
+	d.Wt.W.RandNormal(rng, math.Sqrt(2/float64(in)))
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return "dense" }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.Wt, d.Bias} }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.T) *tensor.T {
+	d.x = x
+	out := tensor.New(d.Out)
+	for o := 0; o < d.Out; o++ {
+		s := d.Bias.W.Data[o]
+		row := d.Wt.W.Data[o*d.In : (o+1)*d.In]
+		for i, v := range x.Data {
+			s += row[i] * v
+		}
+		out.Data[o] = s
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.T) *tensor.T {
+	dx := tensor.New(d.In)
+	for o := 0; o < d.Out; o++ {
+		g := grad.Data[o]
+		d.Bias.Grad.Data[o] += g
+		row := d.Wt.W.Data[o*d.In : (o+1)*d.In]
+		grow := d.Wt.Grad.Data[o*d.In : (o+1)*d.In]
+		for i, v := range d.x.Data {
+			grow[i] += g * v
+			dx.Data[i] += g * row[i]
+		}
+	}
+	return dx
+}

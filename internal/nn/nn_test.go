@@ -1,0 +1,268 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// numericalGrad estimates dLoss/dTheta for parameter element (p, i) by
+// central differences, where loss is evaluated by f.
+func numericalGrad(f func() float64, w *tensor.T, i int) float64 {
+	const eps = 1e-3
+	orig := w.Data[i]
+	w.Data[i] = orig + eps
+	lp := f()
+	w.Data[i] = orig - eps
+	lm := f()
+	w.Data[i] = orig
+	return (lp - lm) / (2 * eps)
+}
+
+// checkLayerGradients verifies analytic parameter and input gradients of a
+// small network against central differences.
+func checkLayerGradients(t *testing.T, net *Network, x *tensor.T, label int, tol float64) {
+	t.Helper()
+	loss := func() float64 {
+		l, _ := LossAndGrad(net.Forward(x), label)
+		return l
+	}
+	// Analytic gradients.
+	for _, p := range net.Params() {
+		p.Grad.Zero()
+	}
+	l0, g := LossAndGrad(net.Forward(x), label)
+	if math.IsNaN(l0) {
+		t.Fatal("NaN loss")
+	}
+	dx := g
+	for i := len(net.Layers) - 1; i >= 0; i-- {
+		dx = net.Layers[i].Backward(dx)
+	}
+	for _, p := range net.Params() {
+		step := p.W.Len() / 5
+		if step == 0 {
+			step = 1
+		}
+		for i := 0; i < p.W.Len(); i += step {
+			want := numericalGrad(loss, p.W, i)
+			got := float64(p.Grad.Data[i])
+			if math.Abs(got-want) > tol*(1+math.Abs(want)) {
+				t.Fatalf("param %s[%d]: analytic %.5f vs numeric %.5f", p.Name, i, got, want)
+			}
+		}
+	}
+	// Input gradient.
+	step := x.Len() / 7
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < x.Len(); i += step {
+		want := numericalGrad(loss, x, i)
+		got := float64(dx.Data[i])
+		if math.Abs(got-want) > tol*(1+math.Abs(want)) {
+			t.Fatalf("input[%d]: analytic %.5f vs numeric %.5f", i, got, want)
+		}
+	}
+}
+
+func randInput(rng *rand.Rand, shape ...int) *tensor.T {
+	x := tensor.New(shape...)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64() * 0.5)
+	}
+	return x
+}
+
+func TestConv2DGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := &Network{Layers: []Layer{
+		NewConv2D("c", 2, 3, 3, 1, 1, false, rng),
+		&Flatten{},
+		NewDense("fc", 3*6*6, 4, rng),
+	}}
+	checkLayerGradients(t, net, randInput(rng, 2, 6, 6), 2, 2e-2)
+}
+
+func TestConv2DStrideGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := &Network{Layers: []Layer{
+		NewConv2D("c", 1, 2, 3, 2, 1, false, rng),
+		&Flatten{},
+		NewDense("fc", 2*4*4, 3, rng),
+	}}
+	checkLayerGradients(t, net, randInput(rng, 1, 8, 8), 1, 2e-2)
+}
+
+func TestDepthwiseConvGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := &Network{Layers: []Layer{
+		NewConv2D("dw", 3, 3, 3, 1, 1, true, rng),
+		&Flatten{},
+		NewDense("fc", 3*5*5, 3, rng),
+	}}
+	checkLayerGradients(t, net, randInput(rng, 3, 5, 5), 0, 2e-2)
+}
+
+func TestPoolAndGapGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := &Network{Layers: []Layer{
+		NewConv2D("c", 1, 4, 3, 1, 1, false, rng),
+		&ReLU{},
+		&MaxPool2{},
+		&GlobalAvgPool{},
+		NewDense("fc", 4, 3, rng),
+	}}
+	checkLayerGradients(t, net, randInput(rng, 1, 8, 8), 2, 2e-2)
+}
+
+func TestDepthwiseRequiresEqualChannels(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewConv2D("bad", 3, 6, 3, 1, 1, true, rand.New(rand.NewSource(1)))
+}
+
+func TestConvOutSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := NewConv2D("c", 1, 1, 3, 1, 1, false, rng)
+	if c.OutSize(16) != 16 {
+		t.Fatal("same-pad 3x3 stride 1 should preserve size")
+	}
+	c2 := NewConv2D("c2", 1, 1, 3, 2, 1, false, rng)
+	if c2.OutSize(16) != 8 {
+		t.Fatalf("stride-2 OutSize=%d want 8", c2.OutSize(16))
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	logits := tensor.FromSlice([]float32{1, 2, 3, 4}, 4)
+	p := Softmax(logits)
+	var sum float64
+	for i := 1; i < len(p); i++ {
+		if p[i] <= p[i-1] {
+			t.Fatal("softmax must preserve order")
+		}
+	}
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("softmax sums to %g", sum)
+	}
+	// Numerical stability for large logits.
+	big := tensor.FromSlice([]float32{1000, 1001}, 2)
+	pb := Softmax(big)
+	if math.IsNaN(pb[0]) || math.IsNaN(pb[1]) {
+		t.Fatal("softmax overflowed")
+	}
+}
+
+func TestLossAndGradSigns(t *testing.T) {
+	logits := tensor.FromSlice([]float32{0, 0, 0}, 3)
+	loss, grad := LossAndGrad(logits, 1)
+	if math.Abs(loss-math.Log(3)) > 1e-6 {
+		t.Fatalf("uniform loss=%g want ln3", loss)
+	}
+	if grad.Data[1] >= 0 {
+		t.Fatal("true-class gradient must be negative")
+	}
+	if grad.Data[0] <= 0 || grad.Data[2] <= 0 {
+		t.Fatal("other-class gradients must be positive")
+	}
+}
+
+func TestSGDStepMovesAgainstGradient(t *testing.T) {
+	p := newParam("w", 2)
+	p.W.Data[0] = 1
+	p.Grad.Data[0] = 1 // positive gradient -> weight must decrease
+	SGD{LR: 0.1}.Step([]*Param{p}, 1)
+	if p.W.Data[0] >= 1 {
+		t.Fatal("SGD moved with the gradient")
+	}
+	if p.Grad.Data[0] != 0 {
+		t.Fatal("gradients must be zeroed after step")
+	}
+}
+
+func TestTrainLearnsXORLikeTask(t *testing.T) {
+	// A tiny dense net must fit a linearly-inseparable 2-D task.
+	rng := rand.New(rand.NewSource(7))
+	net := &Network{Layers: []Layer{
+		NewDense("h", 2, 8, rng),
+		&ReLU{},
+		NewDense("o", 8, 2, rng),
+	}}
+	var ex []Example
+	for _, c := range [][3]float32{{0, 0, 0}, {0, 1, 1}, {1, 0, 1}, {1, 1, 0}} {
+		ex = append(ex, Example{X: tensor.FromSlice([]float32{c[0], c[1]}, 2), Label: int(c[2])})
+	}
+	res := net.Train(ex, 400, 4, SGD{LR: 0.1, Momentum: 0.9}, rng)
+	if res.TrainAccuracy < 1.0 {
+		t.Fatalf("failed to fit XOR: acc=%.2f loss=%.3f", res.TrainAccuracy, res.FinalLoss)
+	}
+}
+
+func TestEvaluateTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	net := &Network{Layers: []Layer{NewDense("o", 2, 4, rng)}}
+	ex := []Example{{X: tensor.FromSlice([]float32{1, -1}, 2), Label: 0}}
+	top1, top4 := net.Evaluate(ex, 4)
+	if top4 != 1.0 {
+		t.Fatalf("top-4 of 4 classes must be 1, got %g", top4)
+	}
+	if top1 < 0 || top1 > 1 {
+		t.Fatal("top1 out of range")
+	}
+	if t1, tk := (&Network{}).Evaluate(nil, 5); t1 != 0 || tk != 0 {
+		t.Fatal("empty evaluate should be 0")
+	}
+}
+
+func TestInTopK(t *testing.T) {
+	logits := []float32{0.1, 0.9, 0.5, 0.3}
+	if !inTopK(logits, 1, 1) {
+		t.Fatal("label 1 is the argmax")
+	}
+	if inTopK(logits, 0, 2) {
+		t.Fatal("label 0 is rank 4")
+	}
+	if !inTopK(logits, 2, 2) {
+		t.Fatal("label 2 is rank 2")
+	}
+}
+
+func TestBuildersProduceWorkingNets(t *testing.T) {
+	for _, b := range []struct {
+		name string
+		net  *Network
+	}{
+		{"small", BuildSmallCNN(4, 8, 1)},
+		{"depthwise", BuildDepthwiseCNN(4, 8, 1)},
+	} {
+		x := tensor.New(1, 16, 16)
+		out := b.net.Forward(x)
+		if out.Len() != 8 {
+			t.Fatalf("%s: output len %d want 8", b.name, out.Len())
+		}
+		if b.net.NumParams() == 0 {
+			t.Fatalf("%s: no parameters", b.name)
+		}
+		if b.net.Summary() == "" {
+			t.Fatalf("%s: empty summary", b.name)
+		}
+	}
+}
+
+func BenchmarkSmallCNNForward(b *testing.B) {
+	net := BuildSmallCNN(8, 8, 1)
+	x := tensor.New(1, 16, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x)
+	}
+}

@@ -1,0 +1,62 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshot is the gob wire format: named parameter tensors with shapes.
+type snapshot struct {
+	Params []paramBlob
+}
+
+type paramBlob struct {
+	Name  string
+	Shape []int
+	Data  []float32
+}
+
+// Save writes all trainable parameters to w in gob format. Architectures
+// are code, not data: Load restores weights into an identically
+// constructed network.
+func (n *Network) Save(w io.Writer) error {
+	var s snapshot
+	for _, p := range n.Params() {
+		s.Params = append(s.Params, paramBlob{
+			Name:  p.Name,
+			Shape: append([]int(nil), p.W.Shape...),
+			Data:  append([]float32(nil), p.W.Data...),
+		})
+	}
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// Load restores parameters saved by Save into this network. Parameter
+// names, order and shapes must match the saved snapshot.
+func (n *Network) Load(r io.Reader) error {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return fmt.Errorf("nn: decoding snapshot: %w", err)
+	}
+	params := n.Params()
+	if len(params) != len(s.Params) {
+		return fmt.Errorf("nn: snapshot has %d params, network has %d", len(s.Params), len(params))
+	}
+	for i, p := range params {
+		blob := s.Params[i]
+		if p.Name != blob.Name {
+			return fmt.Errorf("nn: param %d name %q vs snapshot %q", i, p.Name, blob.Name)
+		}
+		if len(p.W.Data) != len(blob.Data) {
+			return fmt.Errorf("nn: param %q size %d vs snapshot %d", p.Name, len(p.W.Data), len(blob.Data))
+		}
+		for j, d := range blob.Shape {
+			if j >= len(p.W.Shape) || p.W.Shape[j] != d {
+				return fmt.Errorf("nn: param %q shape %v vs snapshot %v", p.Name, p.W.Shape, blob.Shape)
+			}
+		}
+		copy(p.W.Data, blob.Data)
+	}
+	return nil
+}

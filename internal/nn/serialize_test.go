@@ -1,0 +1,64 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	src := BuildSmallCNN(4, 8, 77)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := BuildSmallCNN(4, 8, 999) // different init
+	if err := dst.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(1, 16, 16)
+	rng := rand.New(rand.NewSource(1))
+	for i := range x.Data {
+		x.Data[i] = float32(rng.Float64())
+	}
+	a := src.Forward(x)
+	b := dst.Forward(x)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("logit %d differs after load: %g vs %g", i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+func TestLoadRejectsMismatchedArchitecture(t *testing.T) {
+	src := BuildSmallCNN(4, 8, 1)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := BuildSmallCNN(6, 8, 1) // wider: shapes differ
+	if err := other.Load(&buf); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	net := BuildSmallCNN(4, 8, 1)
+	if err := net.Load(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestLoadRejectsRenamedParams(t *testing.T) {
+	src := BuildDepthwiseCNN(4, 8, 1)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := BuildSmallCNN(4, 8, 1)
+	if err := dst.Load(&buf); err == nil {
+		t.Fatal("expected param mismatch error")
+	}
+}

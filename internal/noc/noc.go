@@ -1,0 +1,126 @@
+// Package noc models the accelerator's on-chip interconnect (Section VI-A
+// of the paper): a mesh of tiles connected through routers, used to move
+// CNN parameters from global memory to tiles and partial sums between
+// tiles, plus the intra-tile H-tree bus. Latency and power constants come
+// from Table IV (router: 42 mW, 2 cycles, 0.151 mm^2; bus: 7 mW, 5 cycles,
+// 0.009 mm^2).
+package noc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config describes the interconnect operating point.
+type Config struct {
+	// Width and Height define the tile mesh dimensions.
+	Width, Height int
+	// ClockGHz converts Table IV cycle counts into time (1 GHz default).
+	ClockGHz float64
+	// RouterCycles per hop (2 in Table IV).
+	RouterCycles int
+	// BusCycles per bus transaction (5 in Table IV).
+	BusCycles int
+	// LinkBytesPerCycle is the flit width of mesh links.
+	LinkBytesPerCycle int
+	// RouterPowerW and BusPowerW are Table IV powers.
+	RouterPowerW, BusPowerW float64
+	// RouterAreaMM2 and BusAreaMM2 are Table IV areas.
+	RouterAreaMM2, BusAreaMM2 float64
+}
+
+// DefaultConfig returns the Table IV interconnect operating point for a
+// mesh of the given tile count (arranged as close to square as possible).
+func DefaultConfig(tiles int) Config {
+	w := int(math.Ceil(math.Sqrt(float64(tiles))))
+	if w < 1 {
+		w = 1
+	}
+	h := (tiles + w - 1) / w
+	if h < 1 {
+		h = 1
+	}
+	return Config{
+		Width: w, Height: h,
+		ClockGHz:          1.0,
+		RouterCycles:      2,
+		BusCycles:         5,
+		LinkBytesPerCycle: 32,
+		RouterPowerW:      42e-3,
+		BusPowerW:         7e-3,
+		RouterAreaMM2:     0.151,
+		BusAreaMM2:        9.0e-3,
+	}
+}
+
+// Tiles returns the number of tile slots in the mesh.
+func (c Config) Tiles() int { return c.Width * c.Height }
+
+// cycleNS returns one clock period in ns.
+func (c Config) cycleNS() float64 { return 1 / c.ClockGHz }
+
+// Coord returns the (x, y) mesh coordinate of tile id.
+func (c Config) Coord(tile int) (x, y int) {
+	if tile < 0 || tile >= c.Tiles() {
+		panic(fmt.Sprintf("noc: tile %d out of range [0,%d)", tile, c.Tiles()))
+	}
+	return tile % c.Width, tile / c.Width
+}
+
+// Hops returns the XY-routed hop count between two tiles.
+func (c Config) Hops(src, dst int) int {
+	sx, sy := c.Coord(src)
+	dx, dy := c.Coord(dst)
+	return abs(sx-dx) + abs(sy-dy)
+}
+
+// TransferNS returns the latency of moving `bytes` from tile src to tile
+// dst: per-hop router traversal plus link serialization.
+func (c Config) TransferNS(src, dst, bytes int) float64 {
+	hops := c.Hops(src, dst)
+	if hops == 0 {
+		return c.BusNS(bytes) // intra-tile: H-tree bus
+	}
+	routing := float64(hops*c.RouterCycles) * c.cycleNS()
+	flits := (bytes + c.LinkBytesPerCycle - 1) / c.LinkBytesPerCycle
+	serial := float64(flits) * c.cycleNS()
+	return routing + serial
+}
+
+// BusNS returns the intra-tile H-tree bus latency for `bytes`.
+func (c Config) BusNS(bytes int) float64 {
+	flits := (bytes + c.LinkBytesPerCycle - 1) / c.LinkBytesPerCycle
+	if flits < 1 {
+		flits = 1
+	}
+	return float64(c.BusCycles+flits-1) * c.cycleNS()
+}
+
+// TransferEnergyJ returns the energy of a transfer: the occupancy time of
+// each traversed router (and the bus at the endpoints) times its Table IV
+// power.
+func (c Config) TransferEnergyJ(src, dst, bytes int) float64 {
+	hops := c.Hops(src, dst)
+	if hops == 0 {
+		return c.BusPowerW * c.BusNS(bytes) * 1e-9
+	}
+	t := c.TransferNS(src, dst, bytes) * 1e-9
+	return float64(hops)*c.RouterPowerW*t + c.BusPowerW*c.BusNS(bytes)*1e-9
+}
+
+// TotalRouterPowerW returns static router power across the mesh.
+func (c Config) TotalRouterPowerW() float64 {
+	return float64(c.Tiles()) * c.RouterPowerW
+}
+
+// TotalAreaMM2 returns the interconnect area across the mesh.
+func (c Config) TotalAreaMM2() float64 {
+	return float64(c.Tiles()) * (c.RouterAreaMM2 + c.BusAreaMM2)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,117 @@
+package noc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigMesh(t *testing.T) {
+	c := DefaultConfig(46)
+	if c.Tiles() < 46 {
+		t.Fatalf("mesh %dx%d holds %d < 46 tiles", c.Width, c.Height, c.Tiles())
+	}
+	if c.RouterCycles != 2 || c.BusCycles != 5 {
+		t.Fatal("cycle counts disagree with Table IV")
+	}
+	if c.RouterPowerW != 42e-3 || c.BusPowerW != 7e-3 {
+		t.Fatal("powers disagree with Table IV")
+	}
+	if c.RouterAreaMM2 != 0.151 || c.BusAreaMM2 != 9.0e-3 {
+		t.Fatal("areas disagree with Table IV")
+	}
+	one := DefaultConfig(1)
+	if one.Tiles() != 1 {
+		t.Fatalf("single tile mesh has %d tiles", one.Tiles())
+	}
+}
+
+func TestCoordAndHops(t *testing.T) {
+	c := DefaultConfig(9) // 3x3
+	if c.Width != 3 || c.Height != 3 {
+		t.Fatalf("mesh %dx%d want 3x3", c.Width, c.Height)
+	}
+	x, y := c.Coord(4)
+	if x != 1 || y != 1 {
+		t.Fatalf("Coord(4)=(%d,%d) want (1,1)", x, y)
+	}
+	if c.Hops(0, 8) != 4 { // (0,0) -> (2,2)
+		t.Fatalf("Hops(0,8)=%d want 4", c.Hops(0, 8))
+	}
+	if c.Hops(3, 3) != 0 {
+		t.Fatal("self hops should be 0")
+	}
+}
+
+func TestCoordOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DefaultConfig(4).Coord(10)
+}
+
+func TestTransferLatency(t *testing.T) {
+	c := DefaultConfig(9)
+	// 1 hop, 32 bytes = 1 flit: 2 router cycles + 1 serialization cycle.
+	got := c.TransferNS(0, 1, 32)
+	if math.Abs(got-3.0) > 1e-12 {
+		t.Fatalf("TransferNS=%g want 3", got)
+	}
+	// Intra-tile uses the H-tree bus: 5 cycles for one flit.
+	if bus := c.TransferNS(4, 4, 32); math.Abs(bus-5.0) > 1e-12 {
+		t.Fatalf("intra-tile=%g want 5", bus)
+	}
+	// Larger payloads serialize.
+	if c.TransferNS(0, 1, 320) <= got {
+		t.Fatal("larger payload should take longer")
+	}
+}
+
+// Property: latency is monotone in hop distance and payload size.
+func TestTransferMonotone(t *testing.T) {
+	c := DefaultConfig(16)
+	f := func(a, b uint8, sz uint16) bool {
+		src := int(a) % c.Tiles()
+		dst := int(b) % c.Tiles()
+		bytes := int(sz)%1024 + 1
+		l1 := c.TransferNS(src, dst, bytes)
+		l2 := c.TransferNS(src, dst, bytes+512)
+		return l2 >= l1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransferEnergyPositive(t *testing.T) {
+	c := DefaultConfig(9)
+	if e := c.TransferEnergyJ(0, 8, 64); e <= 0 {
+		t.Fatalf("energy=%g", e)
+	}
+	if e := c.TransferEnergyJ(3, 3, 64); e <= 0 {
+		t.Fatalf("intra-tile energy=%g", e)
+	}
+	// More hops cost more energy.
+	if c.TransferEnergyJ(0, 8, 64) <= c.TransferEnergyJ(0, 1, 64) {
+		t.Fatal("energy should grow with distance")
+	}
+}
+
+func TestAggregatePowerAndArea(t *testing.T) {
+	c := DefaultConfig(9)
+	if p := c.TotalRouterPowerW(); math.Abs(p-9*42e-3) > 1e-12 {
+		t.Fatalf("router power=%g", p)
+	}
+	if a := c.TotalAreaMM2(); math.Abs(a-9*(0.151+9e-3)) > 1e-12 {
+		t.Fatalf("area=%g", a)
+	}
+}
+
+func TestBusNSMinimum(t *testing.T) {
+	c := DefaultConfig(4)
+	if c.BusNS(0) < 5 {
+		t.Fatal("bus transaction should cost at least BusCycles")
+	}
+}

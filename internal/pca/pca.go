@@ -1,0 +1,251 @@
+// Package pca models SCONNA's Photo-Charge Accumulator (Section IV-C and
+// V-C of the paper): a photodetector feeding a time-integrating receiver
+// (TIR) whose capacitor accumulates one charge quantum per optical '1'
+// bit, double-buffered across two capacitors to hide discharge latency,
+// followed by an ADC that converts the accrued analog voltage into the
+// binary VDP result.
+//
+// The paper characterizes the circuit in NI MultiSim with R=50 ohm,
+// C=250 pF and an amplifier gain of 80; this package integrates the same
+// circuit analytically and by explicit forward-Euler traces (see DESIGN.md
+// "Substitutions").
+package pca
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/photonics"
+)
+
+// TIR is the time-integrating receiver stage: a capacitor integrating
+// photocurrent pulses behind a voltage amplifier.
+type TIR struct {
+	// ROhms is the load/input resistance (50 ohm in Sec. V-C).
+	ROhms float64
+	// CFarads is the integration capacitor (250 pF in Sec. V-C).
+	CFarads float64
+	// Gain is the voltage amplifier gain (80 in Sec. V-C).
+	Gain float64
+	// VSupplyV is the supply rail bounding the amplifier output; beyond it
+	// the accumulator saturates and the count is lost.
+	VSupplyV float64
+}
+
+// DefaultTIR returns the Section V-C circuit values.
+func DefaultTIR() TIR {
+	return TIR{ROhms: 50, CFarads: 250e-12, Gain: 80, VSupplyV: 1.2}
+}
+
+// DeltaVPerOne returns the post-amplifier voltage increment contributed by
+// a single optical '1' bit: gain * I_pulse * t_bit / C.
+func (t TIR) DeltaVPerOne(pulseA, tBitS float64) float64 {
+	return t.Gain * pulseA * tBitS / t.CFarads
+}
+
+// OutputVoltage returns the post-amplifier voltage after accumulating ones
+// pulses of pulseA amperes lasting tBitS seconds each, clamped at the
+// supply rail.
+func (t TIR) OutputVoltage(ones int, pulseA, tBitS float64) float64 {
+	v := float64(ones) * t.DeltaVPerOne(pulseA, tBitS)
+	return math.Min(v, t.VSupplyV)
+}
+
+// Saturates reports whether accumulating maxOnes pulses would clip at the
+// supply rail — the Section V-C question Fig. 7(b) answers in the negative
+// for N=176, 2^8-bit streams.
+func (t TIR) Saturates(maxOnes int, pulseA, tBitS float64) bool {
+	return float64(maxOnes)*t.DeltaVPerOne(pulseA, tBitS) > t.VSupplyV
+}
+
+// IntegrateTrace integrates an explicit photocurrent waveform (amperes,
+// one sample per dt seconds) through the capacitor by forward Euler and
+// returns the post-amplifier voltage trace clamped at the rail. It is the
+// waveform-level counterpart of OutputVoltage used to validate linearity.
+func (t TIR) IntegrateTrace(currentA []float64, dtS float64) []float64 {
+	out := make([]float64, len(currentA))
+	q := 0.0
+	for i, c := range currentA {
+		q += c * dtS
+		v := t.Gain * q / t.CFarads
+		if v > t.VSupplyV {
+			v = t.VSupplyV
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// ADC converts the TIR output voltage into a binary count. The converter
+// itself is ideal mid-tread quantization plus input-referred Gaussian noise
+// whose magnitude is calibrated so the mean absolute percentage error of
+// the converted results is ~1.3%, the figure the paper measures for its
+// 8-bit SAR-flash ADC [47] (Sec. V-C).
+type ADC struct {
+	// Bits is the converter resolution (8 in the paper).
+	Bits int
+	// VRefV is the full-scale input voltage.
+	VRefV float64
+	// NoiseLSB is the input-referred rms noise in LSB units.
+	NoiseLSB float64
+
+	rng *rand.Rand
+}
+
+// NewADC returns an ADC with deterministic noise seeded by seed.
+func NewADC(bits int, vref, noiseLSB float64, seed int64) *ADC {
+	if bits < 1 || bits > 24 {
+		panic(fmt.Sprintf("pca: unsupported ADC resolution %d", bits))
+	}
+	return &ADC{Bits: bits, VRefV: vref, NoiseLSB: noiseLSB, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Levels returns the number of output codes, 2^Bits.
+func (a *ADC) Levels() int { return 1 << uint(a.Bits) }
+
+// Convert quantizes v (volts) to an output code in [0, Levels-1].
+func (a *ADC) Convert(v float64) int {
+	lsb := a.VRefV / float64(a.Levels()-1)
+	noisy := v + a.rng.NormFloat64()*a.NoiseLSB*lsb
+	code := int(math.Round(noisy / lsb))
+	if code < 0 {
+		code = 0
+	}
+	if code >= a.Levels() {
+		code = a.Levels() - 1
+	}
+	return code
+}
+
+// MeasureMAPE estimates the converter's mean absolute percentage error
+// over samples voltages swept uniformly across (5%, 100%] of full scale,
+// the calibration the paper quotes as 1.3%.
+func (a *ADC) MeasureMAPE(samples int) float64 {
+	lsb := a.VRefV / float64(a.Levels()-1)
+	sum := 0.0
+	for i := 0; i < samples; i++ {
+		frac := 0.05 + 0.95*float64(i)/float64(samples-1)
+		v := frac * a.VRefV
+		got := float64(a.Convert(v)) * lsb
+		sum += math.Abs(got-v) / v
+	}
+	return sum / float64(samples) * 100
+}
+
+// Config assembles a full PCA operating point.
+type Config struct {
+	TIR TIR
+	// PD converts optical power to current.
+	PD photonics.Photodetector
+	// PowerOneDBm is the optical power of a logic '1' at the detector
+	// (the -28 dBm sensitivity point of Sec. V).
+	PowerOneDBm float64
+	// BitRate is the stream bitrate in bit/s (30 Gbps).
+	BitRate float64
+	// MaxOnes is the accumulation capacity requirement: N * 2^B ones
+	// (176*256 in Sec. V-C).
+	MaxOnes int
+	// ADCBits and ADCNoiseLSB configure the converter.
+	ADCBits     int
+	ADCNoiseLSB float64
+	// DischargeNS is the time to drain a capacitor before it can
+	// accumulate again; the redundant TIR hides it (Sec. IV-C).
+	DischargeNS float64
+}
+
+// DefaultConfig returns the Section V-C operating point.
+func DefaultConfig() Config {
+	return Config{
+		TIR:         DefaultTIR(),
+		PD:          photonics.DefaultPhotodetector(),
+		PowerOneDBm: -28,
+		BitRate:     30e9,
+		MaxOnes:     176 * 256,
+		ADCBits:     8,
+		ADCNoiseLSB: 1.0,
+		DischargeNS: 10,
+	}
+}
+
+// PulseCurrentA returns the photocurrent of a '1' bit.
+func (c Config) PulseCurrentA() float64 {
+	return c.PD.Photocurrent(photonics.DBmToWatts(c.PowerOneDBm))
+}
+
+// BitTimeS returns the duration of one stream bit.
+func (c Config) BitTimeS() float64 { return 1 / c.BitRate }
+
+// FullScaleVoltage returns the TIR output when MaxOnes ones accumulate —
+// the natural ADC reference voltage.
+func (c Config) FullScaleVoltage() float64 {
+	return float64(c.MaxOnes) * c.TIR.DeltaVPerOne(c.PulseCurrentA(), c.BitTimeS())
+}
+
+// AlphaPoint is one sample of the Fig. 7(b) linearity sweep.
+type AlphaPoint struct {
+	AlphaPct float64 // (# of ones / MaxOnes) * 100
+	VoltageV float64 // TIR analog output voltage
+}
+
+// Fig7b sweeps alpha from 0 to 100% in steps and returns the TIR output
+// voltage at each point, reproducing the linearity experiment of Fig. 7(b).
+func (c Config) Fig7b(steps int) []AlphaPoint {
+	out := make([]AlphaPoint, 0, steps+1)
+	for i := 0; i <= steps; i++ {
+		alpha := float64(i) / float64(steps)
+		ones := int(alpha * float64(c.MaxOnes))
+		v := c.TIR.OutputVoltage(ones, c.PulseCurrentA(), c.BitTimeS())
+		out = append(out, AlphaPoint{AlphaPct: alpha * 100, VoltageV: v})
+	}
+	return out
+}
+
+// Accumulator is the runtime double-buffered PCA: one capacitor integrates
+// while the other discharges, as in Fig. 4(b).
+type Accumulator struct {
+	cfg    Config
+	adc    *ADC
+	ones   [2]int
+	busyNS [2]float64 // discharge completes at this simulated time
+	active int
+}
+
+// NewAccumulator builds a runtime PCA with a deterministic ADC noise seed.
+func NewAccumulator(cfg Config, seed int64) *Accumulator {
+	fs := cfg.FullScaleVoltage()
+	return &Accumulator{cfg: cfg, adc: NewADC(cfg.ADCBits, fs, cfg.ADCNoiseLSB, seed)}
+}
+
+// Add accumulates n optical ones on the active capacitor.
+func (a *Accumulator) Add(n int) { a.ones[a.active] += n }
+
+// Voltage returns the active capacitor's post-amplifier voltage.
+func (a *Accumulator) Voltage() float64 {
+	return a.cfg.TIR.OutputVoltage(a.ones[a.active], a.cfg.PulseCurrentA(), a.cfg.BitTimeS())
+}
+
+// Ones returns the raw accumulated ones count on the active capacitor.
+func (a *Accumulator) Ones() int { return a.ones[a.active] }
+
+// ReadAndSwap converts the active capacitor through the ADC, schedules its
+// discharge, and switches accumulation to the redundant capacitor. nowNS is
+// the simulated time; it returns the ADC code and an error if the redundant
+// capacitor has not finished discharging (the only condition under which
+// the double-buffering of Fig. 4(b) stalls).
+func (a *Accumulator) ReadAndSwap(nowNS float64) (int, error) {
+	next := 1 - a.active
+	if nowNS < a.busyNS[next] {
+		return 0, fmt.Errorf("pca: redundant capacitor busy until %.2f ns (now %.2f)", a.busyNS[next], nowNS)
+	}
+	code := a.adc.Convert(a.Voltage())
+	a.ones[a.active] = 0
+	a.busyNS[a.active] = nowNS + a.cfg.DischargeNS
+	a.active = next
+	return code, nil
+}
+
+// CodeToOnes maps an ADC code back to an estimated ones count.
+func (a *Accumulator) CodeToOnes(code int) int {
+	return int(math.Round(float64(code) / float64(a.adc.Levels()-1) * float64(a.cfg.MaxOnes)))
+}

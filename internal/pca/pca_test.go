@@ -1,0 +1,210 @@
+package pca
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultTIRMatchesPaper(t *testing.T) {
+	tir := DefaultTIR()
+	if tir.ROhms != 50 || tir.CFarads != 250e-12 || tir.Gain != 80 {
+		t.Fatal("TIR constants disagree with Sec. V-C (R=50, C=250pF, gain=80)")
+	}
+}
+
+func TestDeltaVPerOne(t *testing.T) {
+	tir := DefaultTIR()
+	// I=1.9uA (from -28 dBm at R=1.2 A/W), tbit=33.3ps at 30 Gbps:
+	// dV = 80 * 1.9e-6 * 33.3e-12 / 250e-12 = ~20.3 uV.
+	got := tir.DeltaVPerOne(1.9e-6, 1.0/30e9)
+	want := 80 * 1.9e-6 * (1.0 / 30e9) / 250e-12
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("dV=%g want %g", got, want)
+	}
+}
+
+// Fig. 7(b): the analog output voltage rises linearly with alpha and does
+// NOT saturate at alpha=100% for the N=176, 2^8-bit operating point.
+func TestFig7bLinearNoSaturation(t *testing.T) {
+	cfg := DefaultConfig()
+	pts := cfg.Fig7b(20)
+	if len(pts) != 21 {
+		t.Fatalf("want 21 points, got %d", len(pts))
+	}
+	if pts[0].VoltageV != 0 {
+		t.Fatal("alpha=0 must give 0 V")
+	}
+	full := pts[len(pts)-1]
+	if full.AlphaPct != 100 {
+		t.Fatalf("last alpha=%g want 100", full.AlphaPct)
+	}
+	if full.VoltageV >= cfg.TIR.VSupplyV {
+		t.Fatalf("saturated at alpha=100%%: %.3f V >= rail %.3f V", full.VoltageV, cfg.TIR.VSupplyV)
+	}
+	if cfg.TIR.Saturates(cfg.MaxOnes, cfg.PulseCurrentA(), cfg.BitTimeS()) {
+		t.Fatal("Saturates() disagrees with Fig. 7(b)")
+	}
+	// Linearity: every point on the straight line through the endpoints,
+	// within the one-quantum granularity of the ones count.
+	quantum := cfg.TIR.DeltaVPerOne(cfg.PulseCurrentA(), cfg.BitTimeS())
+	for _, p := range pts {
+		want := full.VoltageV * p.AlphaPct / 100
+		if math.Abs(p.VoltageV-want) > 2*quantum {
+			t.Fatalf("alpha=%.0f%%: V=%.6g want %.6g (nonlinear)", p.AlphaPct, p.VoltageV, want)
+		}
+	}
+}
+
+func TestOutputVoltageClampsAtRail(t *testing.T) {
+	tir := DefaultTIR()
+	v := tir.OutputVoltage(1<<30, 1.9e-6, 1.0/30e9)
+	if v != tir.VSupplyV {
+		t.Fatalf("expected clamp at %.2f V, got %.6f", tir.VSupplyV, v)
+	}
+	if !tir.Saturates(1<<30, 1.9e-6, 1.0/30e9) {
+		t.Fatal("Saturates should report true for absurd counts")
+	}
+}
+
+// Property: the explicit forward-Euler trace agrees with the closed-form
+// accumulation for pulse-train inputs.
+func TestIntegrateTraceMatchesClosedForm(t *testing.T) {
+	tir := DefaultTIR()
+	f := func(seedOnes uint8) bool {
+		ones := int(seedOnes)%64 + 1
+		pulse := 1.9e-6
+		tbit := 1.0 / 30e9
+		const perBit = 4
+		dt := tbit / perBit
+		var current []float64
+		for i := 0; i < ones; i++ {
+			for s := 0; s < perBit; s++ {
+				current = append(current, pulse)
+			}
+			for s := 0; s < perBit; s++ {
+				current = append(current, 0) // interleave zeros
+			}
+		}
+		trace := tir.IntegrateTrace(current, dt)
+		got := trace[len(trace)-1]
+		want := tir.OutputVoltage(ones, pulse, tbit)
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestADCConvertIdealWithoutNoise(t *testing.T) {
+	a := NewADC(8, 1.0, 0, 1)
+	if a.Levels() != 256 {
+		t.Fatalf("Levels=%d want 256", a.Levels())
+	}
+	lsb := 1.0 / 255
+	for _, code := range []int{0, 1, 127, 254, 255} {
+		if got := a.Convert(float64(code) * lsb); got != code {
+			t.Fatalf("Convert(%d*lsb)=%d", code, got)
+		}
+	}
+	// Out-of-range clamps.
+	if a.Convert(-0.5) != 0 || a.Convert(2.0) != 255 {
+		t.Fatal("clamping broken")
+	}
+}
+
+// Sec. V-C: the ADC error model is calibrated to ~1.3% MAPE.
+func TestADCMAPECalibration(t *testing.T) {
+	cfg := DefaultConfig()
+	a := NewADC(cfg.ADCBits, 1.0, cfg.ADCNoiseLSB, 7)
+	mape := a.MeasureMAPE(20000)
+	if mape < 0.8 || mape > 1.8 {
+		t.Fatalf("MAPE=%.2f%% want ~1.3%%", mape)
+	}
+}
+
+func TestADCDeterministicWithSeed(t *testing.T) {
+	a1 := NewADC(8, 1.0, 1.0, 42)
+	a2 := NewADC(8, 1.0, 1.0, 42)
+	for i := 0; i < 100; i++ {
+		v := float64(i) / 100
+		if a1.Convert(v) != a2.Convert(v) {
+			t.Fatal("same seed must give same conversions")
+		}
+	}
+}
+
+func TestAccumulationCapacityRequirement(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.MaxOnes != 45056 {
+		t.Fatalf("MaxOnes=%d want 176*256=45056 (Sec. V-C)", cfg.MaxOnes)
+	}
+	fs := cfg.FullScaleVoltage()
+	if fs <= 0 || fs >= cfg.TIR.VSupplyV {
+		t.Fatalf("full-scale %.3f V must be positive and below the rail", fs)
+	}
+}
+
+func TestAccumulatorDoubleBuffering(t *testing.T) {
+	cfg := DefaultConfig()
+	acc := NewAccumulator(cfg, 1)
+	acc.Add(1000)
+	if acc.Ones() != 1000 {
+		t.Fatalf("Ones=%d want 1000", acc.Ones())
+	}
+	if acc.Voltage() <= 0 {
+		t.Fatal("voltage should be positive")
+	}
+	code, err := acc.ReadAndSwap(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code < 0 || code >= 256 {
+		t.Fatalf("code=%d out of range", code)
+	}
+	if acc.Ones() != 0 {
+		t.Fatal("swap should land on an empty capacitor")
+	}
+	// Immediately reading again must fail: the first capacitor is still
+	// discharging (DischargeNS=10).
+	acc.Add(10)
+	if _, err := acc.ReadAndSwap(5); err == nil {
+		t.Fatal("expected busy-capacitor error at t=5ns")
+	}
+	// After the discharge window it succeeds.
+	if _, err := acc.ReadAndSwap(11); err != nil {
+		t.Fatalf("unexpected error after discharge: %v", err)
+	}
+}
+
+// Property: converting an accumulated count and mapping back recovers the
+// count within the ADC error budget.
+func TestCodeToOnesRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	acc := NewAccumulator(cfg, 3)
+	now := 0.0
+	f := func(raw uint16) bool {
+		now += 10 * cfg.DischargeNS // past every discharge window
+		ones := int(raw) % cfg.MaxOnes
+		acc.Add(ones)
+		code, err := acc.ReadAndSwap(now)
+		if err != nil {
+			return false
+		}
+		got := acc.CodeToOnes(code)
+		// Allowed error: 1 LSB of quantization + 4 sigma of noise, in ones.
+		tol := float64(cfg.MaxOnes) / 255 * (1 + 4*cfg.ADCNoiseLSB)
+		return math.Abs(float64(got-ones)) <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFig7bSweep(b *testing.B) {
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Fig7b(100)
+	}
+}

@@ -1,0 +1,134 @@
+package photonics
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file models the DWDM channel plan and the inter-channel crosstalk
+// that Section V-B cites as one of the effects limiting SCONNA's practical
+// VDPC size below the FSR-limited 200 channels.
+
+// ChannelPlan lays out N wavelength channels on a uniform DWDM grid
+// anchored at BaseNM, descending by SpacingNM per channel.
+type ChannelPlan struct {
+	BaseNM    float64
+	SpacingNM float64
+	N         int
+}
+
+// NewChannelPlan returns the paper's grid: 1550 nm anchor, 0.25 nm
+// spacing.
+func NewChannelPlan(n int) ChannelPlan {
+	return ChannelPlan{BaseNM: 1550, SpacingNM: 0.25, N: n}
+}
+
+// Wavelength returns channel i's wavelength in nm.
+func (c ChannelPlan) Wavelength(i int) float64 {
+	if i < 0 || i >= c.N {
+		panic(fmt.Sprintf("photonics: channel %d out of range [0,%d)", i, c.N))
+	}
+	return c.BaseNM - float64(i)*c.SpacingNM
+}
+
+// SpanNM returns the total spectral span of the plan.
+func (c ChannelPlan) SpanNM() float64 {
+	if c.N <= 1 {
+		return 0
+	}
+	return float64(c.N-1) * c.SpacingNM
+}
+
+// FitsFSR reports whether the plan fits within one free spectral range.
+func (c ChannelPlan) FitsFSR(fsrNM float64) bool { return c.SpanNM() < fsrNM }
+
+// CrosstalkDB returns the worst-case coherent crosstalk power ratio (dB,
+// negative) seen by the victim channel at index victim from all other
+// channels' filters: each aggressor MRR of linewidth fwhmNM leaks a
+// Lorentzian tail onto the victim wavelength.
+func (c ChannelPlan) CrosstalkDB(victim int, fwhmNM float64) float64 {
+	victimLambda := c.Wavelength(victim)
+	sum := 0.0
+	for i := 0; i < c.N; i++ {
+		if i == victim {
+			continue
+		}
+		d := c.Wavelength(i) - victimLambda
+		x := 2 * d / fwhmNM
+		sum += 1 / (1 + x*x)
+	}
+	if sum == 0 {
+		return math.Inf(-1)
+	}
+	return LinearToDB(sum)
+}
+
+// WorstCrosstalkDB returns the worst channel's aggregate crosstalk across
+// the plan (the middle channels see the most neighbours).
+func (c ChannelPlan) WorstCrosstalkDB(fwhmNM float64) float64 {
+	worst := math.Inf(-1)
+	for i := 0; i < c.N; i++ {
+		if x := c.CrosstalkDB(i, fwhmNM); x > worst {
+			worst = x
+		}
+	}
+	return worst
+}
+
+// MaxChannelsForCrosstalk returns the largest N on this grid whose
+// worst-case aggregate crosstalk stays at or below limitDB (a negative
+// budget such as -20 dB). It grows the plan until the budget breaks.
+func MaxChannelsForCrosstalk(spacingNM, fwhmNM, limitDB float64, cap int) int {
+	best := 0
+	for n := 2; n <= cap; n++ {
+		plan := ChannelPlan{BaseNM: 1550, SpacingNM: spacingNM, N: n}
+		if plan.WorstCrosstalkDB(fwhmNM) <= limitDB {
+			best = n
+		} else {
+			break
+		}
+	}
+	return best
+}
+
+// ThermalTuner models the integrated microheater of an MRR/OAG: the
+// static power needed to hold a resonance shift and the settling time of a
+// shift step.
+type ThermalTuner struct {
+	// NMPerMW is the tuning efficiency (resonance shift per mW of heater
+	// power); silicon microheaters achieve ~0.25 nm/mW.
+	NMPerMW float64
+	// TimeConstantUS is the thermal time constant in microseconds
+	// (1-10 us for integrated heaters).
+	TimeConstantUS float64
+	// MaxMW bounds the heater drive.
+	MaxMW float64
+}
+
+// DefaultThermalTuner returns a literature-typical silicon microheater.
+func DefaultThermalTuner() ThermalTuner {
+	return ThermalTuner{NMPerMW: 0.25, TimeConstantUS: 10, MaxMW: 40}
+}
+
+// HoldPowerMW returns the static power to hold a shift of shiftNM, or an
+// error if it exceeds the heater's range.
+func (t ThermalTuner) HoldPowerMW(shiftNM float64) (float64, error) {
+	if shiftNM < 0 {
+		shiftNM = -shiftNM
+	}
+	p := shiftNM / t.NMPerMW
+	if p > t.MaxMW {
+		return 0, fmt.Errorf("photonics: shift %.2f nm needs %.1f mW > max %.1f mW", shiftNM, p, t.MaxMW)
+	}
+	return p, nil
+}
+
+// SettleTimeUS returns the time for the resonance to settle within
+// `tolerance` (fraction, e.g. 1/256 for 8-bit accuracy) of a step change:
+// t = tau * ln(1/tolerance).
+func (t ThermalTuner) SettleTimeUS(tolerance float64) float64 {
+	if tolerance <= 0 || tolerance >= 1 {
+		panic(fmt.Sprintf("photonics: tolerance %g out of (0,1)", tolerance))
+	}
+	return t.TimeConstantUS * math.Log(1/tolerance)
+}

@@ -1,0 +1,118 @@
+package photonics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChannelPlanGrid(t *testing.T) {
+	p := NewChannelPlan(176)
+	if p.Wavelength(0) != 1550 {
+		t.Fatal("anchor wrong")
+	}
+	if got := p.Wavelength(1); math.Abs(got-1549.75) > 1e-12 {
+		t.Fatalf("channel 1 = %g want 1549.75", got)
+	}
+	if got := p.SpanNM(); math.Abs(got-43.75) > 1e-9 {
+		t.Fatalf("span=%g want 43.75 (175 x 0.25)", got)
+	}
+	// The paper's N=176 plan fits one 50 nm FSR; 201 channels would not.
+	if !p.FitsFSR(50) {
+		t.Fatal("176-channel plan must fit a 50 nm FSR")
+	}
+	big := NewChannelPlan(201)
+	if big.FitsFSR(50) {
+		t.Fatal("201 channels must not fit (Sec. V-B cap is 200)")
+	}
+}
+
+func TestChannelPlanBounds(t *testing.T) {
+	p := NewChannelPlan(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Wavelength(4)
+}
+
+func TestCrosstalkMiddleWorst(t *testing.T) {
+	p := NewChannelPlan(21)
+	edge := p.CrosstalkDB(0, 0.8)
+	mid := p.CrosstalkDB(10, 0.8)
+	if mid <= edge {
+		t.Fatalf("middle channel crosstalk %.2f should exceed edge %.2f", mid, edge)
+	}
+	if worst := p.WorstCrosstalkDB(0.8); worst < mid-1e-9 {
+		t.Fatal("worst should be at least the middle channel's")
+	}
+}
+
+func TestCrosstalkGrowsWithFWHM(t *testing.T) {
+	p := NewChannelPlan(32)
+	narrow := p.WorstCrosstalkDB(0.2)
+	wide := p.WorstCrosstalkDB(0.8)
+	if wide <= narrow {
+		t.Fatalf("wider resonances must leak more: %.2f vs %.2f dB", wide, narrow)
+	}
+}
+
+func TestSingleChannelNoCrosstalk(t *testing.T) {
+	p := NewChannelPlan(1)
+	if !math.IsInf(p.CrosstalkDB(0, 0.8), -1) {
+		t.Fatal("lone channel has no aggressors")
+	}
+}
+
+func TestMaxChannelsForCrosstalk(t *testing.T) {
+	// A loose -3 dB budget admits many channels; a brutal -40 dB budget
+	// admits fewer. The solver must be monotone in the budget.
+	loose := MaxChannelsForCrosstalk(0.25, 0.8, -3, 250)
+	tight := MaxChannelsForCrosstalk(0.25, 0.8, -40, 250)
+	if loose < tight {
+		t.Fatalf("loose budget %d < tight budget %d", loose, tight)
+	}
+	if tight < 0 || loose > 250 {
+		t.Fatal("solver out of range")
+	}
+}
+
+func TestThermalTunerHoldPower(t *testing.T) {
+	tt := DefaultThermalTuner()
+	p, err := tt.HoldPowerMW(2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-10) > 1e-9 { // 2.5 nm / 0.25 nm-per-mW
+		t.Fatalf("hold power %.2f mW want 10", p)
+	}
+	// Negative shifts cost the same magnitude.
+	p2, _ := tt.HoldPowerMW(-2.5)
+	if p2 != p {
+		t.Fatal("sign should not matter")
+	}
+	if _, err := tt.HoldPowerMW(100); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+// Settling to 8-bit tolerance takes several thermal time constants —
+// the physical basis for the accel model's microsecond-scale analog
+// weight-reload penalty (DESIGN.md calibration note).
+func TestThermalSettleTime(t *testing.T) {
+	tt := DefaultThermalTuner()
+	t8 := tt.SettleTimeUS(1.0 / 256)
+	if t8 < 4*tt.TimeConstantUS || t8 > 7*tt.TimeConstantUS {
+		t.Fatalf("8-bit settle %.1f us should be ~5.5 tau", t8)
+	}
+	t4 := tt.SettleTimeUS(1.0 / 16)
+	if t4 >= t8 {
+		t.Fatal("coarser tolerance must settle faster")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid tolerance")
+		}
+	}()
+	tt.SettleTimeUS(0)
+}

@@ -1,0 +1,101 @@
+package photonics
+
+import "math"
+
+// Photodetector models the balanced photodiodes of the summation elements
+// and the PCA photodetector: responsivity, dark current, and the three
+// noise contributions of Eq. 3 (shot, thermal, RIN).
+type Photodetector struct {
+	// ResponsivityAW is R_PD in A/W (1.2 in Table III).
+	ResponsivityAW float64
+	// DarkCurrentA is I_d in amperes (35 nA in Table III).
+	DarkCurrentA float64
+	// LoadOhms is R_L (50 ohm in Table III).
+	LoadOhms float64
+	// TemperatureK is the absolute temperature (300 K in Table III).
+	TemperatureK float64
+	// RINdBHz is the laser relative intensity noise (-140 dB/Hz).
+	RINdBHz float64
+}
+
+// DefaultPhotodetector returns the Table III operating point.
+func DefaultPhotodetector() Photodetector {
+	return Photodetector{
+		ResponsivityAW: 1.2,
+		DarkCurrentA:   35e-9,
+		LoadOhms:       50,
+		TemperatureK:   300,
+		RINdBHz:        -140,
+	}
+}
+
+// Photocurrent returns the signal current R*P for incident power powerW.
+func (p Photodetector) Photocurrent(powerW float64) float64 {
+	return p.ResponsivityAW * powerW
+}
+
+// NoisePSD implements Eq. 3 of the paper: the noise current spectral
+// density beta (A/sqrt(Hz)) at incident optical power powerW,
+//
+//	beta = sqrt( 2q(R*P + Id) + 4kT/RL + R^2 P^2 RIN )
+func (p Photodetector) NoisePSD(powerW float64) float64 {
+	i := p.Photocurrent(powerW)
+	shot := 2 * ElectronCharge * (i + p.DarkCurrentA)
+	thermal := 4 * BoltzmannConst * p.TemperatureK / p.LoadOhms
+	rin := DBToLinear(p.RINdBHz) * i * i
+	return math.Sqrt(shot + thermal + rin)
+}
+
+// NoiseRMS returns the total rms noise current over the Eq. 2 noise
+// bandwidth DR/sqrt(2) for data rate dr (samples/s).
+func (p Photodetector) NoiseRMS(powerW, dr float64) float64 {
+	return p.NoisePSD(powerW) * math.Sqrt(dr/math.Sqrt2)
+}
+
+// SNRdB returns the electrical signal-to-noise ratio in dB (20*log10 of the
+// current ratio) at incident power powerW and data rate dr.
+func (p Photodetector) SNRdB(powerW, dr float64) float64 {
+	sig := p.Photocurrent(powerW)
+	return 20 * math.Log10(sig/p.NoiseRMS(powerW, dr))
+}
+
+// ENOB implements Eq. 2: the effective number of resolvable bits at the
+// detector for power powerW and data rate dr,
+//
+//	B_Res = ( 20*log10( R*P / (beta*sqrt(DR/sqrt(2))) ) - 1.76 ) / 6.02
+func (p Photodetector) ENOB(powerW, dr float64) float64 {
+	return (p.SNRdB(powerW, dr) - 1.76) / 6.02
+}
+
+// SensitivityDBm inverts Eq. 2: the minimum optical power (dBm) at which
+// the detector resolves bres bits at data rate dr. It returns NaN when the
+// requested resolution is unreachable at any power (the RIN ceiling:
+// at high power SNR saturates at 1/sqrt(RIN*BW)).
+func (p Photodetector) SensitivityDBm(bres, dr float64) float64 {
+	target := bres
+	// Monotone-increasing in power until the RIN plateau; bisect in dBm.
+	lo, hi := -80.0, 30.0
+	if p.ENOB(DBmToWatts(hi), dr) < target {
+		return math.NaN()
+	}
+	if p.ENOB(DBmToWatts(lo), dr) >= target {
+		return lo
+	}
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if p.ENOB(DBmToWatts(mid), dr) >= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// MaxENOB returns the RIN-limited resolution ceiling at data rate dr: the
+// ENOB attained as power grows without bound.
+func (p Photodetector) MaxENOB(dr float64) float64 {
+	bw := dr / math.Sqrt2
+	snr := 20 * math.Log10(1/math.Sqrt(DBToLinear(p.RINdBHz)*bw))
+	return (snr - 1.76) / 6.02
+}

@@ -1,0 +1,83 @@
+package photonics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LossChain accumulates named optical loss/gain contributions in dB and
+// evaluates end-to-end power, the bookkeeping behind Eq. 4 of the paper.
+type LossChain struct {
+	terms []lossTerm
+}
+
+type lossTerm struct {
+	name string
+	dB   float64
+}
+
+// Add appends a loss of dB decibels (positive = attenuation) labelled name,
+// returning the chain for fluent use.
+func (c *LossChain) Add(name string, dB float64) *LossChain {
+	c.terms = append(c.terms, lossTerm{name, dB})
+	return c
+}
+
+// AddN appends n repetitions of a per-element loss as one aggregate term,
+// e.g. out-of-band loss across N-1 cascaded OSMs.
+func (c *LossChain) AddN(name string, perElementDB float64, n int) *LossChain {
+	if n < 0 {
+		n = 0
+	}
+	return c.Add(fmt.Sprintf("%s x%d", name, n), perElementDB*float64(n))
+}
+
+// TotalDB returns the summed loss in dB.
+func (c *LossChain) TotalDB() float64 {
+	t := 0.0
+	for _, term := range c.terms {
+		t += term.dB
+	}
+	return t
+}
+
+// Apply attenuates inputW (watts) by the chain's total loss.
+func (c *LossChain) Apply(inputW float64) float64 {
+	return inputW * DBToLinear(-c.TotalDB())
+}
+
+// OutputDBm returns the output power in dBm for an input of inputDBm.
+func (c *LossChain) OutputDBm(inputDBm float64) float64 {
+	return inputDBm - c.TotalDB()
+}
+
+// String renders the chain as an itemized budget, one term per line.
+func (c *LossChain) String() string {
+	var sb strings.Builder
+	for _, t := range c.terms {
+		fmt.Fprintf(&sb, "%-28s %7.3f dB\n", t.name, t.dB)
+	}
+	fmt.Fprintf(&sb, "%-28s %7.3f dB", "TOTAL", c.TotalDB())
+	return sb.String()
+}
+
+// Laser models one laser diode of the laser block.
+type Laser struct {
+	// PowerDBm is the emitted optical power per wavelength channel
+	// (10 dBm in Table III).
+	PowerDBm float64
+	// WallPlugEfficiency is eta_WPE (0.1 in Table III).
+	WallPlugEfficiency float64
+}
+
+// DefaultLaser returns the Table III laser operating point.
+func DefaultLaser() Laser { return Laser{PowerDBm: 10, WallPlugEfficiency: 0.1} }
+
+// OpticalPowerW returns the emitted optical power in watts.
+func (l Laser) OpticalPowerW() float64 { return DBmToWatts(l.PowerDBm) }
+
+// ElectricalPowerW returns the wall-plug electrical power consumed:
+// optical power divided by the wall-plug efficiency.
+func (l Laser) ElectricalPowerW() float64 {
+	return l.OpticalPowerW() / l.WallPlugEfficiency
+}

@@ -1,0 +1,110 @@
+package photonics
+
+import (
+	"fmt"
+	"math"
+)
+
+// MRR models an add-drop microring resonator with a Lorentzian passband.
+// The drop-port power transmission at detuning d = lambda - resonance is
+//
+//	D(d) = Dmax / (1 + (2d/FWHM)^2)
+//
+// and the through-port transmission is Tmax - D(d)*(Tmax-Tmin), a standard
+// first-order cavity approximation sufficient for the truth-table and
+// loss-budget behaviour the paper relies on.
+type MRR struct {
+	// ResonanceNM is the current resonance wavelength in nm, including any
+	// thermal or electro-refractive shift applied via Shift.
+	ResonanceNM float64
+	// FWHMNM is the full passband width at half maximum, in nm.
+	FWHMNM float64
+	// FSRNM is the free spectral range in nm (50 nm in the paper, Sec. V-B).
+	FSRNM float64
+	// DropILdB is the insertion loss at resonance through the drop port.
+	DropILdB float64
+	// ThroughILdB is the out-of-band insertion loss through the through
+	// port (the paper's OBL, 0.01 dB for MRRs and OSMs).
+	ThroughILdB float64
+}
+
+// NewMRR returns an MRR resonant at resonanceNM with the given FWHM and the
+// paper's default FSR (50 nm) and losses.
+func NewMRR(resonanceNM, fwhmNM float64) *MRR {
+	return &MRR{
+		ResonanceNM: resonanceNM,
+		FWHMNM:      fwhmNM,
+		FSRNM:       50,
+		DropILdB:    0.01,
+		ThroughILdB: 0.01,
+	}
+}
+
+// Shift moves the resonance by deltaNM (positive = red shift). Thermal
+// tuning via the integrated microheater and electro-refractive PN-junction
+// shifts both reduce to resonance displacement at this level of modeling.
+func (m *MRR) Shift(deltaNM float64) { m.ResonanceNM += deltaNM }
+
+// effectiveDetuning folds the detuning into the principal FSR interval so
+// that adjacent resonance orders are respected.
+func (m *MRR) effectiveDetuning(lambdaNM float64) float64 {
+	d := lambdaNM - m.ResonanceNM
+	if m.FSRNM > 0 {
+		d = math.Mod(d, m.FSRNM)
+		if d > m.FSRNM/2 {
+			d -= m.FSRNM
+		} else if d < -m.FSRNM/2 {
+			d += m.FSRNM
+		}
+	}
+	return d
+}
+
+// DropTransmission returns the linear power transmission from input port to
+// drop port at lambdaNM.
+func (m *MRR) DropTransmission(lambdaNM float64) float64 {
+	d := m.effectiveDetuning(lambdaNM)
+	x := 2 * d / m.FWHMNM
+	peak := DBToLinear(-m.DropILdB)
+	return peak / (1 + x*x)
+}
+
+// ThroughTransmission returns the linear power transmission from input port
+// to through port at lambdaNM: out-of-band it is the OBL floor; on
+// resonance the power is diverted to the drop port.
+func (m *MRR) ThroughTransmission(lambdaNM float64) float64 {
+	floor := DBToLinear(-m.ThroughILdB)
+	return floor * (1 - m.DropTransmission(lambdaNM))
+}
+
+// ExtinctionDB returns the drop-port extinction ratio in dB between zero
+// detuning and detuning d nm.
+func (m *MRR) ExtinctionDB(dNM float64) float64 {
+	on := m.DropTransmission(m.ResonanceNM)
+	off := m.DropTransmission(m.ResonanceNM + dNM)
+	return LinearToDB(on / off)
+}
+
+// Validate reports an error if the MRR parameters are non-physical.
+func (m *MRR) Validate() error {
+	if m.FWHMNM <= 0 {
+		return fmt.Errorf("photonics: FWHM must be positive, got %g", m.FWHMNM)
+	}
+	if m.FSRNM < 0 {
+		return fmt.Errorf("photonics: FSR must be non-negative, got %g", m.FSRNM)
+	}
+	if m.FSRNM > 0 && m.FWHMNM >= m.FSRNM {
+		return fmt.Errorf("photonics: FWHM %g >= FSR %g", m.FWHMNM, m.FSRNM)
+	}
+	return nil
+}
+
+// ChannelCount returns how many DWDM channels with the given spacing fit in
+// one FSR — the theoretical VDPC size bound of Section V-B
+// (N = FSR/spacing = 50/0.25 = 200 in the paper).
+func (m *MRR) ChannelCount(spacingNM float64) int {
+	if spacingNM <= 0 || m.FSRNM <= 0 {
+		return 0
+	}
+	return int(m.FSRNM / spacingNM)
+}

@@ -1,0 +1,186 @@
+package photonics
+
+import "math"
+
+// OAG models the paper's Optical AND Gate (Fig. 6): an add-drop MRR with
+// two embedded PN-junction operand terminals and an integrated microheater.
+//
+// The microheater tunes the operand-independent resonance from its
+// fabrication position gamma to the programmed position eta, chosen so that
+// only when BOTH operand junctions are driven (I=1, W=1) the accumulated
+// electro-refractive shift lands the resonance on the input wavelength,
+// steering it to the drop port: T(lambda_in) = I AND W.
+type OAG struct {
+	// Ring is the underlying resonator. Its ResonanceNM holds the
+	// programmed (heater-tuned) position eta with no operands applied.
+	Ring MRR
+	// LambdaInNM is the input optical wavelength position.
+	LambdaInNM float64
+	// PNShiftNM is the resonance shift contributed by one driven
+	// PN-junction operand terminal.
+	PNShiftNM float64
+	// ElectricalMaxBR is the driver/junction-limited maximum bitrate in
+	// bit/s; Fig. 7(a) shows BR saturating at 40 Gbps.
+	ElectricalMaxBR float64
+	// MarginDB is the settled high-level power margin above detector
+	// sensitivity assumed when solving the OMA constraint.
+	MarginDB float64
+	// SettleFactor scales the cavity photon lifetime into the effective
+	// intensity settling constant tau = SettleFactor/(2*pi*df). It folds
+	// charge/discharge asymmetry and driver rise time into one constant,
+	// calibrated (4.14) so the Fig. 7(a) OMA frontier meets the 40 Gbps
+	// electrical saturation at FWHM ~ 0.8 nm, as the paper reports.
+	SettleFactor float64
+}
+
+// settleTau returns the effective intensity settling time constant in
+// seconds.
+func (g *OAG) settleTau() float64 {
+	return g.SettleFactor / (2 * math.Pi * FWHMToHz(g.Ring.FWHMNM, g.LambdaInNM))
+}
+
+// NewOAG builds an OAG at the paper's default operating point: input
+// wavelength 1550 nm, FWHM fwhmNM, PN shift of two linewidths (so a single
+// driven junction leaves the ring ~12 dB off resonance), 40 Gbps electrical
+// cap.
+func NewOAG(fwhmNM float64) *OAG {
+	const lambda = 1550.0
+	shift := 2 * fwhmNM
+	ring := NewMRR(lambda-2*shift, fwhmNM)
+	return &OAG{
+		Ring:            *ring,
+		LambdaInNM:      lambda,
+		PNShiftNM:       shift,
+		ElectricalMaxBR: 40e9,
+		MarginDB:        0.2,
+		SettleFactor:    4.14,
+	}
+}
+
+// SteadyStateDrop returns the settled drop-port transmission for operand
+// bits (i, w): the logical AND behaviour of Fig. 6(b).
+func (g *OAG) SteadyStateDrop(i, w bool) float64 {
+	r := g.Ring // copy; apply operand shifts
+	if i {
+		r.Shift(g.PNShiftNM)
+	}
+	if w {
+		r.Shift(g.PNShiftNM)
+	}
+	return r.DropTransmission(g.LambdaInNM)
+}
+
+// TruthTable returns the four settled drop-port transmissions indexed by
+// [i][w].
+func (g *OAG) TruthTable() [2][2]float64 {
+	var t [2][2]float64
+	for i := 0; i <= 1; i++ {
+		for w := 0; w <= 1; w++ {
+			t[i][w] = g.SteadyStateDrop(i == 1, w == 1)
+		}
+	}
+	return t
+}
+
+// ContrastDB returns the worst-case optical contrast of the gate: the ratio
+// between the (1,1) output level and the largest of the other three levels.
+func (g *OAG) ContrastDB() float64 {
+	t := g.TruthTable()
+	on := t[1][1]
+	off := math.Max(t[0][0], math.Max(t[0][1], t[1][0]))
+	return LinearToDB(on / off)
+}
+
+// TransientSample is one point of a Fig. 6(c)-style transient analysis.
+type TransientSample struct {
+	TimeNS float64 // time in ns
+	I, W   bool    // electrical operand bits applied
+	Power  float64 // instantaneous drop-port transmission (linear)
+}
+
+// Transient runs a sampled transient analysis of the gate driven by the two
+// operand bit sequences at bitrate br (bit/s), with samplesPerBit points
+// per bit interval. The drop-port power follows the settled AND level with
+// a first-order exponential response at the cavity photon lifetime —
+// the behaviour Lumerical INTERCONNECT produces in the paper's Fig. 6(c).
+func (g *OAG) Transient(ibits, wbits []bool, br float64, samplesPerBit int) []TransientSample {
+	n := len(ibits)
+	if len(wbits) < n {
+		n = len(wbits)
+	}
+	tau := g.settleTau()
+	tbit := 1 / br
+	dt := tbit / float64(samplesPerBit)
+	out := make([]TransientSample, 0, n*samplesPerBit)
+	p := g.SteadyStateDrop(false, false)
+	for k := 0; k < n; k++ {
+		target := g.SteadyStateDrop(ibits[k], wbits[k])
+		for s := 0; s < samplesPerBit; s++ {
+			p += (target - p) * (1 - math.Exp(-dt/tau))
+			out = append(out, TransientSample{
+				TimeNS: (float64(k)*tbit + float64(s+1)*dt) * 1e9,
+				I:      ibits[k], W: wbits[k],
+				Power: p,
+			})
+		}
+	}
+	return out
+}
+
+// DecodeTransient thresholds a transient trace back into logical bits by
+// sampling the final point of each bit interval against the midpoint
+// between the settled (1,1) and worst off levels. It is used by tests to
+// verify T(lambda_in) = I AND W at a given bitrate.
+func (g *OAG) DecodeTransient(trace []TransientSample, samplesPerBit int) []bool {
+	t := g.TruthTable()
+	on := t[1][1]
+	off := math.Max(t[0][0], math.Max(t[0][1], t[1][0]))
+	thresh := (on + off) / 2
+	var bits []bool
+	for i := samplesPerBit - 1; i < len(trace); i += samplesPerBit {
+		bits = append(bits, trace[i].Power >= thresh)
+	}
+	return bits
+}
+
+// OMADBm returns the optical modulation amplitude in dBm at bitrate br for
+// a settled '1' power of settledDBm at the photodetector: the difference
+// between the lowest '1' level and the highest '0' level after one bit time
+// of exponential settling (worst-case single-bit eye).
+func (g *OAG) OMADBm(br, settledDBm float64) float64 {
+	tau := g.settleTau()
+	tbit := 1 / br
+	e := math.Exp(-tbit / tau)
+	p1 := DBmToWatts(settledDBm)
+	// Worst '1': rising from 0 for one bit. Worst '0': falling from p1.
+	oma := p1 * (1 - 2*e)
+	if oma <= 0 {
+		return math.Inf(-1)
+	}
+	return WattsToDBm(oma)
+}
+
+// MaxBitrate returns the highest bitrate (bit/s) at which the gate's OMA
+// stays at or above the detector sensitivity sensDBm, assuming the settled
+// '1' level is sensDBm+MarginDB at the detector, capped by the electrical
+// limit. This generates the Fig. 7(a) frontier: BR grows with FWHM (shorter
+// photon lifetime) and saturates at ElectricalMaxBR (~0.8 nm for 40 Gbps).
+func (g *OAG) MaxBitrate(sensDBm float64) float64 {
+	settled := sensDBm + g.MarginDB
+	lo, hi := 1e8, g.ElectricalMaxBR
+	if g.OMADBm(lo, settled) < sensDBm {
+		return 0
+	}
+	if g.OMADBm(hi, settled) >= sensDBm {
+		return hi
+	}
+	for iter := 0; iter < 80; iter++ {
+		mid := (lo + hi) / 2
+		if g.OMADBm(mid, settled) >= sensDBm {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

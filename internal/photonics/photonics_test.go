@@ -1,0 +1,279 @@
+package photonics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestUnitConversionsRoundTrip(t *testing.T) {
+	f := func(raw float64) bool {
+		dbm := math.Mod(math.Abs(raw), 60) - 30 // [-30, 30) dBm
+		w := DBmToWatts(dbm)
+		return almost(WattsToDBm(w), dbm, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !almost(DBToLinear(3.0103), 2, 1e-3) {
+		t.Fatal("3 dB should double power")
+	}
+	if !almost(LinearToDB(10), 10, 1e-12) {
+		t.Fatal("10x should be 10 dB")
+	}
+}
+
+func TestFWHMToHzAndLifetime(t *testing.T) {
+	// 0.8 nm at 1550 nm is ~99.8 GHz.
+	df := FWHMToHz(0.8, 1550)
+	if df < 95e9 || df > 105e9 {
+		t.Fatalf("df=%.3g want ~1e11", df)
+	}
+	tau := PhotonLifetime(0.8, 1550)
+	if !almost(tau, 1/(2*math.Pi*df), 1e-18) {
+		t.Fatalf("tau=%.3g inconsistent", tau)
+	}
+	if q := QualityFactor(0.8, 1550); !almost(q, 1937.5, 0.1) {
+		t.Fatalf("Q=%.1f want 1937.5", q)
+	}
+}
+
+func TestMRRDropTransmissionShape(t *testing.T) {
+	m := NewMRR(1550, 0.5)
+	on := m.DropTransmission(1550)
+	if on < 0.99 || on > 1 {
+		t.Fatalf("on-resonance drop=%g want ~1 (0.01 dB IL)", on)
+	}
+	// At half-width detuning the Lorentzian is at half power.
+	half := m.DropTransmission(1550 + 0.25)
+	if !almost(half, on/2, 1e-6) {
+		t.Fatalf("half-width drop=%g want %g", half, on/2)
+	}
+	// Monotone decay away from resonance within half FSR.
+	prev := on
+	for d := 0.1; d < 20; d += 0.1 {
+		cur := m.DropTransmission(1550 + d)
+		if cur > prev+1e-12 {
+			t.Fatalf("drop not monotone at detuning %g", d)
+		}
+		prev = cur
+	}
+}
+
+func TestMRRFSRPeriodicity(t *testing.T) {
+	m := NewMRR(1550, 0.5)
+	if !almost(m.DropTransmission(1550+50), m.DropTransmission(1550), 1e-9) {
+		t.Fatal("resonance should repeat at one FSR")
+	}
+	if got := m.ChannelCount(0.25); got != 200 {
+		t.Fatalf("ChannelCount=%d want 200 (paper Sec. V-B)", got)
+	}
+}
+
+func TestMRRThroughComplementsDrop(t *testing.T) {
+	m := NewMRR(1550, 0.5)
+	// On resonance nearly everything leaves via the drop port.
+	if th := m.ThroughTransmission(1550); th > 0.01 {
+		t.Fatalf("on-resonance through=%g want ~0", th)
+	}
+	// Far off resonance the through port passes all but the OBL floor.
+	if th := m.ThroughTransmission(1550 + 10); th < 0.99 {
+		t.Fatalf("off-resonance through=%g want ~1", th)
+	}
+}
+
+func TestMRRValidate(t *testing.T) {
+	if err := NewMRR(1550, 0.5).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := NewMRR(1550, -1)
+	if bad.Validate() == nil {
+		t.Fatal("negative FWHM should fail")
+	}
+	bad2 := NewMRR(1550, 60) // FWHM > FSR
+	if bad2.Validate() == nil {
+		t.Fatal("FWHM >= FSR should fail")
+	}
+}
+
+func TestMRRShift(t *testing.T) {
+	m := NewMRR(1550, 0.5)
+	m.Shift(1.0)
+	if !almost(m.ResonanceNM, 1551, 1e-12) {
+		t.Fatal("shift not applied")
+	}
+}
+
+// The OAG must behave as a logical AND gate in steady state: Fig. 6(b).
+func TestOAGTruthTable(t *testing.T) {
+	g := NewOAG(0.35)
+	tt := g.TruthTable()
+	on := tt[1][1]
+	for i := 0; i <= 1; i++ {
+		for w := 0; w <= 1; w++ {
+			if i == 1 && w == 1 {
+				continue
+			}
+			if tt[i][w] > on/10 {
+				t.Fatalf("level (%d,%d)=%g too close to on=%g", i, w, tt[i][w], on)
+			}
+		}
+	}
+	if g.ContrastDB() < 10 {
+		t.Fatalf("contrast %.1f dB too low", g.ContrastDB())
+	}
+}
+
+// Fig. 6(c): a transient run at 10 Gbps decodes to I AND W.
+func TestOAGTransientDecodesToAND(t *testing.T) {
+	g := NewOAG(0.35)
+	rng := rand.New(rand.NewSource(42))
+	n := 64
+	ib := make([]bool, n)
+	wb := make([]bool, n)
+	for i := range ib {
+		ib[i] = rng.Intn(2) == 1
+		wb[i] = rng.Intn(2) == 1
+	}
+	const spb = 16
+	trace := g.Transient(ib, wb, 10e9, spb)
+	if len(trace) != n*spb {
+		t.Fatalf("trace len=%d want %d", len(trace), n*spb)
+	}
+	got := g.DecodeTransient(trace, spb)
+	for i := range got {
+		want := ib[i] && wb[i]
+		if got[i] != want {
+			t.Fatalf("bit %d: decoded %v want %v (I=%v W=%v)", i, got[i], want, ib[i], wb[i])
+		}
+	}
+}
+
+// Fig. 7(a): supported bitrate increases with FWHM and saturates at 40 Gbps
+// around FWHM ~ 0.8 nm.
+func TestOAGMaxBitrateFrontier(t *testing.T) {
+	const sens = -28.0
+	prev := 0.0
+	for _, fw := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7} {
+		br := NewOAG(fw).MaxBitrate(sens)
+		if br <= prev {
+			t.Fatalf("BR not increasing at FWHM=%.1f: %.3g <= %.3g", fw, br, prev)
+		}
+		prev = br
+	}
+	if br := NewOAG(0.8).MaxBitrate(sens); br < 39e9 {
+		t.Fatalf("BR at 0.8 nm = %.3g want ~40e9 (saturated)", br)
+	}
+	if br := NewOAG(1.2).MaxBitrate(sens); br != 40e9 {
+		t.Fatalf("BR beyond saturation = %.3g want exactly the 40 Gbps cap", br)
+	}
+	// The paper operates at 30 Gbps with FWHM <= 0.8 nm: check 30 Gbps is
+	// attainable below 0.8 nm.
+	if br := NewOAG(0.62).MaxBitrate(sens); br < 30e9 {
+		t.Fatalf("BR at 0.62 nm = %.3g want >= 30e9", br)
+	}
+}
+
+func TestOMAMonotoneInBitrate(t *testing.T) {
+	g := NewOAG(0.4)
+	prev := math.Inf(1)
+	for br := 5e9; br <= 60e9; br += 5e9 {
+		oma := g.OMADBm(br, -27.8)
+		if oma > prev+1e-9 {
+			t.Fatalf("OMA should degrade with bitrate: %.2f > %.2f at %.0f", oma, prev, br)
+		}
+		prev = oma
+	}
+}
+
+func TestPhotodetectorNoiseTerms(t *testing.T) {
+	pd := DefaultPhotodetector()
+	// Thermal-only floor at zero power: sqrt(4kT/RL + 2q*Id).
+	wantFloor := math.Sqrt(4*BoltzmannConst*300/50 + 2*ElectronCharge*35e-9)
+	if got := pd.NoisePSD(0); !almost(got, wantFloor, wantFloor*1e-6) {
+		t.Fatalf("zero-power PSD=%.3g want %.3g", got, wantFloor)
+	}
+	// PSD grows with power (RIN term).
+	if pd.NoisePSD(1e-3) <= pd.NoisePSD(1e-6) {
+		t.Fatal("PSD should grow with power")
+	}
+}
+
+func TestENOBAndSensitivityInverse(t *testing.T) {
+	pd := DefaultPhotodetector()
+	dr := 5e9
+	for _, b := range []float64{1, 4, 6} {
+		sens := pd.SensitivityDBm(b, dr)
+		if math.IsNaN(sens) {
+			t.Fatalf("sensitivity NaN for B=%g", b)
+		}
+		if got := pd.ENOB(DBmToWatts(sens), dr); got < b-0.01 {
+			t.Fatalf("ENOB(sens)=%.3f want >= %g", got, b)
+		}
+	}
+	// Resolution requests beyond the RIN ceiling are unreachable.
+	ceil := pd.MaxENOB(dr)
+	if !math.IsNaN(pd.SensitivityDBm(ceil+2, dr)) {
+		t.Fatal("expected NaN beyond RIN ceiling")
+	}
+}
+
+func TestENOBDecreasesWithDataRate(t *testing.T) {
+	pd := DefaultPhotodetector()
+	p := DBmToWatts(-20)
+	if pd.ENOB(p, 1e9) <= pd.ENOB(p, 10e9) {
+		t.Fatal("ENOB should fall as data rate rises")
+	}
+}
+
+func TestLossChain(t *testing.T) {
+	var c LossChain
+	c.Add("coupling", 1.6).Add("osm", 4).AddN("obl", 0.01, 175)
+	want := 1.6 + 4 + 1.75
+	if !almost(c.TotalDB(), want, 1e-9) {
+		t.Fatalf("TotalDB=%g want %g", c.TotalDB(), want)
+	}
+	if !almost(c.OutputDBm(10), 10-want, 1e-9) {
+		t.Fatal("OutputDBm wrong")
+	}
+	out := c.Apply(1e-3)
+	if !almost(WattsToDBm(out), -want, 1e-9) {
+		t.Fatal("Apply wrong")
+	}
+	if s := c.String(); len(s) == 0 {
+		t.Fatal("empty String")
+	}
+	var empty LossChain
+	if empty.TotalDB() != 0 {
+		t.Fatal("empty chain should be lossless")
+	}
+}
+
+func TestLaserPower(t *testing.T) {
+	l := DefaultLaser()
+	if !almost(l.OpticalPowerW(), 10e-3, 1e-9) {
+		t.Fatalf("optical power=%g want 10 mW", l.OpticalPowerW())
+	}
+	if !almost(l.ElectricalPowerW(), 100e-3, 1e-9) {
+		t.Fatalf("electrical power=%g want 100 mW", l.ElectricalPowerW())
+	}
+}
+
+func BenchmarkOAGTransient(b *testing.B) {
+	g := NewOAG(0.35)
+	rng := rand.New(rand.NewSource(1))
+	n := 256
+	ib := make([]bool, n)
+	wb := make([]bool, n)
+	for i := range ib {
+		ib[i] = rng.Intn(2) == 1
+		wb[i] = rng.Intn(2) == 1
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Transient(ib, wb, 30e9, 8)
+	}
+}

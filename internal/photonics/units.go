@@ -1,0 +1,49 @@
+// Package photonics provides analytic models of the silicon-photonic
+// devices SCONNA is built from: add-drop microring resonators (MRRs), the
+// paper's Optical AND Gate (OAG, Section IV-B), photodetectors with
+// shot/thermal/RIN noise (Eq. 3), lasers, and insertion-loss chains
+// (Eq. 4).
+//
+// The paper characterizes its devices with Ansys/Lumerical foundry tools;
+// this package substitutes analytic Lorentzian cavity models with
+// photon-lifetime-limited transient response (see DESIGN.md,
+// "Substitutions"). All powers are in watts unless a name says dBm; all
+// wavelengths in nanometres.
+package photonics
+
+import "math"
+
+// Physical constants (SI).
+const (
+	SpeedOfLight   = 2.99792458e8    // m/s
+	ElectronCharge = 1.602176634e-19 // C
+	BoltzmannConst = 1.380649e-23    // J/K
+)
+
+// DBToLinear converts a decibel ratio to a linear power ratio.
+func DBToLinear(db float64) float64 { return math.Pow(10, db/10) }
+
+// LinearToDB converts a linear power ratio to decibels.
+func LinearToDB(lin float64) float64 { return 10 * math.Log10(lin) }
+
+// DBmToWatts converts absolute power in dBm to watts.
+func DBmToWatts(dbm float64) float64 { return 1e-3 * math.Pow(10, dbm/10) }
+
+// WattsToDBm converts absolute power in watts to dBm.
+func WattsToDBm(w float64) float64 { return 10 * math.Log10(w/1e-3) }
+
+// FWHMToHz converts a resonance linewidth in nm at center wavelength
+// lambdaNM (nm) to the equivalent linewidth in Hz: df = c*dl/lambda^2.
+func FWHMToHz(fwhmNM, lambdaNM float64) float64 {
+	lm := lambdaNM * 1e-9
+	return SpeedOfLight * (fwhmNM * 1e-9) / (lm * lm)
+}
+
+// PhotonLifetime returns the cavity photon lifetime in seconds for a
+// resonance of the given FWHM (nm) at lambdaNM: tau = 1/(2*pi*df).
+func PhotonLifetime(fwhmNM, lambdaNM float64) float64 {
+	return 1 / (2 * math.Pi * FWHMToHz(fwhmNM, lambdaNM))
+}
+
+// QualityFactor returns the loaded Q of a resonance: lambda/FWHM.
+func QualityFactor(fwhmNM, lambdaNM float64) float64 { return lambdaNM / fwhmNM }

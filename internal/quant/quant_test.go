@@ -1,0 +1,190 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func trainTinyNet(t testing.TB) (*nn.Network, []nn.Example, []nn.Example) {
+	t.Helper()
+	cfg := dataset.DefaultConfig()
+	ex := dataset.Generate(cfg, 240)
+	train, test := dataset.Split(ex, 0.25)
+	net := nn.BuildSmallCNN(4, dataset.NumClasses, 11)
+	net.Train(train, 10, 16, nn.SGD{LR: 0.05, Momentum: 0.9}, rand.New(rand.NewSource(11)))
+	return net, train, test
+}
+
+func TestExactEngine(t *testing.T) {
+	e := ExactEngine{}
+	if e.Dot([]int{1, 2, 3}, []int{4, -5, 6}) != 12 {
+		t.Fatal("exact dot broken")
+	}
+	if e.Name() != "exact" {
+		t.Fatal("name broken")
+	}
+}
+
+func TestQuantizeRejectsBadBits(t *testing.T) {
+	net := nn.BuildSmallCNN(4, 8, 1)
+	if _, err := Quantize(net, 1, nil); err == nil {
+		t.Fatal("expected error for 1-bit")
+	}
+	if _, err := Quantize(net, 9, nil); err == nil {
+		t.Fatal("expected error for 9-bit")
+	}
+}
+
+func TestQuantizeSignedClamps(t *testing.T) {
+	w := []float32{-10, -1, 0, 1, 10}
+	q := quantizeSigned(w, 1, 5)
+	want := []int{-5, -1, 0, 1, 5}
+	for i := range q {
+		if q[i] != want[i] {
+			t.Fatalf("q=%v want %v", q, want)
+		}
+	}
+}
+
+func TestQuantizeActsClampsNonNegative(t *testing.T) {
+	x := []float32{-1, 0, 0.5, 2}
+	q := quantizeActs(x, 1.0/255, 255)
+	if q[0] != 0 || q[1] != 0 || (q[2] != 127 && q[2] != 128) || q[3] != 255 {
+		t.Fatalf("q=%v", q)
+	}
+}
+
+// 8-bit exact-integer quantization should track the float network closely
+// on a trained model (the premise of the paper's "integer-quantized CNN"
+// setting).
+func TestQuantizedMatchesFloat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	net, train, test := trainTinyNet(t)
+	qn, err := Quantize(net, 8, train[:32])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qn.NumWeights() == 0 {
+		t.Fatal("no quantized weights")
+	}
+	floatTop1, _ := net.Evaluate(test, 5)
+	qTop1, qTop5 := qn.Evaluate(test, 5, ExactEngine{})
+	if qTop5 < qTop1 {
+		t.Fatal("top5 < top1")
+	}
+	if math.Abs(floatTop1-qTop1) > 0.08 {
+		t.Fatalf("8-bit quantization drop too large: float %.3f vs int8 %.3f", floatTop1, qTop1)
+	}
+}
+
+// The SCONNA engine with ideal ADC must agree with the exact engine to
+// within the one-bit-per-lane stream quantization — i.e. logits nearly
+// identical, accuracy essentially unchanged.
+func TestSconnaIdealADCCloseToExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	net, train, test := trainTinyNet(t)
+	qn, err := Quantize(net, 8, train[:32])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := core.DefaultConfig()
+	ccfg.N = 64
+	ccfg.M = 1
+	ccfg.IdealADC = true
+	eng, err := NewSconnaEngine(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact1, _ := qn.Evaluate(test[:24], 5, ExactEngine{})
+	sc1, _ := qn.Evaluate(test[:24], 5, eng)
+	if math.Abs(exact1-sc1) > 0.13 {
+		t.Fatalf("ideal-ADC SCONNA drop too large: %.3f vs %.3f", exact1, sc1)
+	}
+}
+
+func TestSconnaEngineChunks(t *testing.T) {
+	ccfg := core.DefaultConfig()
+	ccfg.N = 16
+	ccfg.M = 1
+	eng, err := NewSconnaEngine(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Chunks(16) != 1 || eng.Chunks(17) != 2 || eng.Chunks(160) != 10 {
+		t.Fatal("chunking broken")
+	}
+	if eng.Name() != "sconna" {
+		t.Fatal("name broken")
+	}
+	ccfg.IdealADC = true
+	eng2, _ := NewSconnaEngine(ccfg)
+	if eng2.Name() != "sconna-ideal-adc" {
+		t.Fatal("ideal name broken")
+	}
+}
+
+// Property-style check: a single quantized conv layer through the SCONNA
+// engine agrees with the exact engine within the stream error bound.
+func TestSconnaDotWithinBound(t *testing.T) {
+	ccfg := core.DefaultConfig()
+	ccfg.N = 32
+	ccfg.M = 1
+	ccfg.IdealADC = true
+	eng, err := NewSconnaEngine(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		k := 1 + rng.Intn(100)
+		div := make([]int, k)
+		dkv := make([]int, k)
+		for i := range div {
+			div[i] = rng.Intn(256)
+			dkv[i] = rng.Intn(511) - 255
+		}
+		got := eng.Dot(div, dkv)
+		want := ExactEngine{}.Dot(div, dkv)
+		if math.Abs(float64(got-want)) > float64(k*256) {
+			t.Fatalf("k=%d got %d want %d", k, got, want)
+		}
+	}
+}
+
+func TestForwardShapes(t *testing.T) {
+	net := nn.BuildSmallCNN(4, 8, 3)
+	cal := []nn.Example{{X: tensor.New(1, 16, 16), Label: 0}}
+	cal[0].X.Fill(0.5)
+	qn, err := Quantize(net, 8, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := qn.Forward(cal[0].X, ExactEngine{})
+	if out.Len() != 8 {
+		t.Fatalf("logit count %d want 8", out.Len())
+	}
+}
+
+func TestQuantizeDepthwiseNet(t *testing.T) {
+	net := nn.BuildDepthwiseCNN(4, 8, 3)
+	cal := []nn.Example{{X: tensor.New(1, 16, 16), Label: 0}}
+	cal[0].X.Fill(0.3)
+	qn, err := Quantize(net, 8, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := qn.Forward(cal[0].X, ExactEngine{})
+	if out.Len() != 8 {
+		t.Fatalf("logit count %d want 8", out.Len())
+	}
+}

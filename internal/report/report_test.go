@@ -1,0 +1,89 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("beta", 42)
+	s := tb.String()
+	if !strings.Contains(s, "Title") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "1.50") {
+		t.Fatalf("missing cells:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("want 5 lines, got %d:\n%s", len(lines), s)
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows=%d", tb.Rows())
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "a", "bbbbbbbb")
+	tb.AddRow("xxxxxxxxxx", "y")
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// All lines equal width after alignment (modulo trailing spaces).
+	w := len(strings.TrimRight(lines[0], " "))
+	for _, l := range lines[1:] {
+		if len(strings.TrimRight(l, " ")) < w-12 {
+			t.Fatalf("misaligned:\n%s", s)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:         "3",
+		1234.5:    "1234.5",
+		12.345:    "12.35",
+		0.5:       "0.5000",
+		0.0000012: "1.200e-06",
+		-7:        "-7",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%g)=%q want %q", in, got, want)
+		}
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := NewTable("", "k", "v")
+	tb.AddRow("a,b", `say "hi"`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"a,b"`) {
+		t.Fatalf("comma not quoted: %q", csv)
+	}
+	if !strings.Contains(csv, `"say ""hi"""`) {
+		t.Fatalf("quote not escaped: %q", csv)
+	}
+	if !strings.HasPrefix(csv, "k,v\n") {
+		t.Fatalf("header wrong: %q", csv)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := Series("sweep", "x", "y", []float64{1, 2}, []float64{10, 20})
+	if !strings.Contains(s, "sweep") || !strings.Contains(s, "10") {
+		t.Fatalf("series broken:\n%s", s)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := NewTable("empty", "only")
+	if tb.Rows() != 0 {
+		t.Fatal("phantom rows")
+	}
+	if s := tb.String(); !strings.Contains(s, "only") {
+		t.Fatal("header missing")
+	}
+}

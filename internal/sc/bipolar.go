@@ -1,0 +1,89 @@
+package sc
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+)
+
+// Bipolar stochastic format (Section II-D background): a stream of length
+// N encodes a value v in [-1, 1] as v = 2*N1/N - 1, and multiplication is
+// a bitwise XNOR. SCONNA itself uses the unipolar format with explicit
+// sign steering (which wastes no encoding range on the sign), but the
+// bipolar form is provided for completeness and for the SNG ablations.
+
+// Bipolar is a bipolar-coded stochastic number.
+type Bipolar struct {
+	Bits *bitstream.Vector
+}
+
+// BipolarFromFloat encodes v in [-1, 1] into a stream of length n using
+// generator g. The encoding error is bounded by the generator's own
+// quantization (exact for the deterministic generators when v maps to an
+// integer ones count).
+func BipolarFromFloat(v float64, n int, g bitstream.Generator) Bipolar {
+	if v < -1 || v > 1 {
+		panic(fmt.Sprintf("sc: bipolar value %g out of [-1,1]", v))
+	}
+	ones := int((v + 1) / 2 * float64(n))
+	if ones < 0 {
+		ones = 0
+	}
+	if ones > n {
+		ones = n
+	}
+	return Bipolar{Bits: g.Generate(ones, n)}
+}
+
+// Value decodes the bipolar stream back to [-1, 1].
+func (b Bipolar) Value() float64 {
+	n := b.Bits.Len()
+	if n == 0 {
+		return 0
+	}
+	return 2*float64(b.Bits.PopCount())/float64(n) - 1
+}
+
+// Len returns the stream length.
+func (b Bipolar) Len() int { return b.Bits.Len() }
+
+// MulBipolar multiplies two bipolar streams with the XNOR gate:
+// P(out=1) = P(a=b), which decodes to the product of the two values when
+// the streams are uncorrelated.
+func MulBipolar(a, b Bipolar) Bipolar {
+	n := a.Bits.Len()
+	out := bitstream.New(n)
+	out.Xor(a.Bits, b.Bits)
+	inv := bitstream.New(n)
+	inv.Not(out)
+	return Bipolar{Bits: inv}
+}
+
+// BipolarMulError sweeps value pairs on a grid of the given stride and
+// returns mean and max absolute multiplication error (value units) for a
+// generator pairing — the bipolar counterpart of MulError, used by the
+// SNG ablation.
+func BipolarMulError(ga, gb bitstream.Generator, n, steps int) (mae, maxErr float64) {
+	count := 0
+	var sum float64
+	for i := 0; i <= steps; i++ {
+		va := -1 + 2*float64(i)/float64(steps)
+		a := BipolarFromFloat(va, n, ga)
+		for j := 0; j <= steps; j++ {
+			vb := -1 + 2*float64(j)/float64(steps)
+			b := BipolarFromFloat(vb, n, gb)
+			got := MulBipolar(a, b).Value()
+			exact := a.Value() * b.Value() // exact over the *encoded* values
+			e := got - exact
+			if e < 0 {
+				e = -e
+			}
+			sum += e
+			if e > maxErr {
+				maxErr = e
+			}
+			count++
+		}
+	}
+	return sum / float64(count), maxErr
+}

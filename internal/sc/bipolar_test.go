@@ -1,0 +1,77 @@
+package sc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitstream"
+)
+
+func TestBipolarEncodeDecode(t *testing.T) {
+	for _, v := range []float64{-1, -0.5, 0, 0.5, 1} {
+		b := BipolarFromFloat(v, 256, bitstream.Unary{})
+		if math.Abs(b.Value()-v) > 1.0/256 {
+			t.Fatalf("v=%g decoded %g", v, b.Value())
+		}
+		if b.Len() != 256 {
+			t.Fatalf("len=%d", b.Len())
+		}
+	}
+}
+
+func TestBipolarOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BipolarFromFloat(1.5, 64, bitstream.Unary{})
+}
+
+// XNOR on identical streams yields the all-ones stream: v*v for
+// perfectly correlated streams decodes to 1, the classic bipolar
+// correlation hazard — this is WHY generator pairing matters.
+func TestBipolarCorrelationHazard(t *testing.T) {
+	a := BipolarFromFloat(0.0, 64, bitstream.Unary{})
+	p := MulBipolar(a, a)
+	if p.Value() != 1 {
+		t.Fatalf("self-XNOR should saturate to +1, got %g", p.Value())
+	}
+}
+
+// With an uncorrelated pairing the XNOR product tracks the true product.
+func TestBipolarMulAccuracy(t *testing.T) {
+	f := func(ra, rb uint8) bool {
+		va := -1 + 2*float64(ra)/255
+		vb := -1 + 2*float64(rb)/255
+		a := BipolarFromFloat(va, 256, bitstream.Unary{})
+		b := BipolarFromFloat(vb, 256, bitstream.Bresenham{})
+		got := MulBipolar(a, b).Value()
+		exact := a.Value() * b.Value()
+		// Bipolar error scales as ~2/sqrt-free deterministic bound:
+		// |err| <= 2*(1 bit)/N *2 plus pairing slack.
+		return math.Abs(got-exact) <= 16.0/256
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBipolarMulErrorSweep(t *testing.T) {
+	mae, maxe := BipolarMulError(bitstream.Unary{}, bitstream.Bresenham{}, 256, 16)
+	if mae > 0.03 || maxe > 0.08 {
+		t.Fatalf("deterministic bipolar pairing too lossy: mae=%.4f max=%.4f", mae, maxe)
+	}
+	maeL, _ := BipolarMulError(bitstream.LFSR{Width: 8, Seed: 1}, bitstream.LFSR{Width: 8, Seed: 0xB5}, 256, 16)
+	if maeL < mae {
+		t.Fatalf("LFSR pairing (%.4f) should not beat deterministic (%.4f)", maeL, mae)
+	}
+}
+
+func TestBipolarEmpty(t *testing.T) {
+	b := Bipolar{Bits: bitstream.New(0)}
+	if b.Value() != 0 {
+		t.Fatal("empty bipolar should decode to 0")
+	}
+}

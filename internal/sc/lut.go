@@ -1,0 +1,107 @@
+package sc
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+)
+
+// OSMLUT is the OSM peripheral lookup table of Section IV-B: all stochastic
+// bit-vectors are generated a priori (offline) and stored in bit-parallel
+// form, so at run time the peripheral only performs a lookup and pushes the
+// two vectors through serializers.
+//
+// The paper describes 2^B entries, each holding a combination of
+// uncorrelated bit-vectors (Iv, Wv); entries are addressed through an
+// XOR-based hash Ib^Wb. Functionally the table must yield the canonical
+// stream for each operand value, so we store, per value v in [0,2^B):
+//
+//   - IStream[v]: the input-role stream (unary/thermometer coded), and
+//   - WStream[v]: the weight-role stream (Bresenham rate coded),
+//
+// a pairing whose AND product is exact to within one bit and whose SCC is
+// ~0, satisfying the uncorrelated-streams requirement from [26]. The
+// XOR-hash addressing of the physical eDRAM is retained for the latency
+// model (see internal/accel); it does not change the fetched values.
+type OSMLUT struct {
+	// Bits is the operand precision B; streams have 2^Bits bits.
+	Bits int
+
+	iStreams []*bitstream.Vector
+	wStreams []*bitstream.Vector
+}
+
+// NewOSMLUT builds the lookup table for operand precision bits (e.g. 8),
+// generating 2^bits+1 entries per role (values 0..2^bits inclusive; the
+// all-ones stream encodes full scale).
+func NewOSMLUT(bits int) *OSMLUT {
+	if bits < 1 || bits > 16 {
+		panic(fmt.Sprintf("sc: unsupported LUT precision %d", bits))
+	}
+	n := 1 << uint(bits)
+	l := &OSMLUT{Bits: bits}
+	l.iStreams = make([]*bitstream.Vector, n+1)
+	l.wStreams = make([]*bitstream.Vector, n+1)
+	iu, wb := bitstream.Unary{}, bitstream.Bresenham{}
+	for v := 0; v <= n; v++ {
+		l.iStreams[v] = iu.Generate(v, n)
+		l.wStreams[v] = wb.Generate(v, n)
+	}
+	return l
+}
+
+// StreamLen returns the stream length in bits (2^Bits).
+func (l *OSMLUT) StreamLen() int { return 1 << uint(l.Bits) }
+
+// Entries returns the number of value entries (2^Bits + 1).
+func (l *OSMLUT) Entries() int { return len(l.iStreams) }
+
+// SizeBits returns the storage footprint of the table in bits, matching the
+// paper's sizing rule: 2^B entries, each storing two 2^B-bit vectors.
+func (l *OSMLUT) SizeBits() int { return (1 << uint(l.Bits)) * 2 * (1 << uint(l.Bits)) }
+
+// Lookup returns the pre-generated stream pair for input value ib and
+// weight magnitude wb. Both must be in [0, 2^Bits].
+func (l *OSMLUT) Lookup(ib, wb int) (iv, wv SN) {
+	return SN{Bits: l.iStreams[ib]}, SN{Bits: l.wStreams[wb]}
+}
+
+// XORIndex reproduces the paper's XOR-based hash used to address the
+// physical eDRAM rows. It is exposed for the latency/energy model and for
+// documentation; value lookup uses the operand values directly.
+func XORIndex(ib, wb uint32) uint32 { return ib ^ wb }
+
+// MulInts multiplies two integer operands through the LUT streams and the
+// AND gate, returning the raw ones count of the product stream. The exact
+// product in the same units is ib*wb/2^Bits; the count differs from it by
+// at most one (the LUT pairing property).
+func (l *OSMLUT) MulInts(ib, wb int) int {
+	iv, wv := l.Lookup(ib, wb)
+	return MulCount(iv, wv)
+}
+
+// DotInts computes a signed integer dot product through the LUT: inputs are
+// unsigned (post-ReLU, as the paper notes bit-stream I carries no sign) and
+// weights are signed integers in [-2^Bits, 2^Bits]. It returns the raw
+// positive/negative accumulation counts, the physical quantities the two
+// PCAs integrate.
+func (l *OSMLUT) DotInts(inputs []int, weights []int) DotResult {
+	if len(inputs) != len(weights) {
+		panic(fmt.Sprintf("sc: length mismatch %d vs %d", len(inputs), len(weights)))
+	}
+	res := DotResult{Length: l.StreamLen()}
+	for i, ib := range inputs {
+		wb := weights[i]
+		neg := wb < 0
+		if neg {
+			wb = -wb
+		}
+		c := l.MulInts(ib, wb)
+		if neg {
+			res.NegOnes += c
+		} else {
+			res.PosOnes += c
+		}
+	}
+	return res
+}

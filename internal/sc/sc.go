@@ -1,0 +1,151 @@
+// Package sc implements the stochastic-computing arithmetic layer of the
+// SCONNA reproduction (Sections II-D and IV of the paper).
+//
+// Values are unipolar stochastic numbers: a bit-stream of length 2^B whose
+// fraction of ones encodes a value in [0,1]. Multiplication is a bitwise
+// AND (performed optically by the OSM in hardware); addition is unscaled
+// unipolar addition, i.e. counting ones across streams (performed by the
+// photo-charge accumulator). Signed weights use sign-magnitude form: the
+// sign bit steers the product stream to the positive (OWA) or negative
+// (OWA') accumulation waveguide (Section IV-A).
+package sc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitstream"
+)
+
+// SN is a unipolar stochastic number: a bit-stream whose fraction of ones
+// encodes Value in [0,1].
+type SN struct {
+	Bits *bitstream.Vector
+}
+
+// Value returns the encoded unipolar value, ones/length.
+func (s SN) Value() float64 { return s.Bits.Fraction() }
+
+// Len returns the stream length in bits.
+func (s SN) Len() int { return s.Bits.Len() }
+
+// FromInt encodes the integer v (0 <= v <= 2^bits) as a stream of length
+// 2^bits using generator g.
+func FromInt(v int, bits int, g bitstream.Generator) SN {
+	n := 1 << uint(bits)
+	if v < 0 || v > n {
+		panic(fmt.Sprintf("sc: value %d out of range [0,%d]", v, n))
+	}
+	return SN{Bits: g.Generate(v, n)}
+}
+
+// Mul returns the AND-gate product of a and b as a new stochastic number.
+// This is the software model of the Optical AND Gate output stream.
+func Mul(a, b SN) SN {
+	out := bitstream.New(a.Bits.Len())
+	out.And(a.Bits, b.Bits)
+	return SN{Bits: out}
+}
+
+// MulCount returns the number of ones in the AND product without
+// materializing the product stream: the photodetector in the PCA only ever
+// sees the total charge, never the stream.
+func MulCount(a, b SN) int { return bitstream.AndPopCount(a.Bits, b.Bits) }
+
+// UnscaledAdd performs unipolar unscaled addition over the product streams:
+// it returns the total number of ones across all streams, exactly what a
+// PCA capacitor integrates when all streams are incident on its
+// photodetector (Section IV-C).
+func UnscaledAdd(streams ...SN) int {
+	total := 0
+	for _, s := range streams {
+		total += s.Bits.PopCount()
+	}
+	return total
+}
+
+// Signed is a sign-magnitude stochastic operand: the paper's weight
+// bit-stream W "provides a weight value along with a sign bit".
+type Signed struct {
+	Mag SN
+	Neg bool
+}
+
+// Value returns the signed value encoded by the operand.
+func (s Signed) Value() float64 {
+	v := s.Mag.Value()
+	if s.Neg {
+		return -v
+	}
+	return v
+}
+
+// DotResult is the output of a signed stochastic dot product: the raw
+// positive and negative accumulation counts (what the OWA- and OWA'-coupled
+// PCAs each integrate) and the stream length used.
+type DotResult struct {
+	PosOnes int // ones accumulated on OWA   (sign bit 0)
+	NegOnes int // ones accumulated on OWA'  (sign bit 1)
+	Length  int // bits per stream (2^B)
+}
+
+// Raw returns PosOnes - NegOnes, the signed accumulation in "ones" units.
+func (d DotResult) Raw() int { return d.PosOnes - d.NegOnes }
+
+// Value returns the dot product in value units: (pos-neg)/length, i.e. the
+// sum over i of I_i*W_i with I_i, W_i in [0,1].
+func (d DotResult) Value() float64 {
+	if d.Length == 0 {
+		return 0
+	}
+	return float64(d.Raw()) / float64(d.Length)
+}
+
+// Dot computes the signed stochastic dot product of unsigned inputs and
+// signed weights, modeling one SCONNA VDPE: each pair is multiplied by an
+// OSM (AND), the sign bit steers the product to the positive or negative
+// accumulator, and each accumulator counts ones (PCA).
+func Dot(inputs []SN, weights []Signed) DotResult {
+	if len(inputs) != len(weights) {
+		panic(fmt.Sprintf("sc: length mismatch %d vs %d", len(inputs), len(weights)))
+	}
+	var res DotResult
+	if len(inputs) == 0 {
+		return res
+	}
+	res.Length = inputs[0].Len()
+	for i := range inputs {
+		c := bitstream.AndPopCount(inputs[i].Bits, weights[i].Mag.Bits)
+		if weights[i].Neg {
+			res.NegOnes += c
+		} else {
+			res.PosOnes += c
+		}
+	}
+	return res
+}
+
+// MulError quantifies the multiplication error of a generator pairing:
+// it returns the mean absolute error and maximum absolute error (both in
+// value units, i.e. fractions of full scale) of AND-multiplication over all
+// (a,b) pairs with the given stride, for streams of length 2^bits.
+func MulError(gi, gw bitstream.Generator, bits, stride int) (mae, maxErr float64) {
+	n := 1 << uint(bits)
+	var sum float64
+	count := 0
+	for a := 0; a <= n; a += stride {
+		ia := gi.Generate(a, n)
+		for b := 0; b <= n; b += stride {
+			wb := gw.Generate(b, n)
+			got := float64(bitstream.AndPopCount(ia, wb)) / float64(n)
+			exact := float64(a) * float64(b) / float64(n*n)
+			e := math.Abs(got - exact)
+			sum += e
+			if e > maxErr {
+				maxErr = e
+			}
+			count++
+		}
+	}
+	return sum / float64(count), maxErr
+}

@@ -1,0 +1,209 @@
+package sc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitstream"
+)
+
+func TestFromIntValue(t *testing.T) {
+	for _, v := range []int{0, 1, 100, 255, 256} {
+		s := FromInt(v, 8, bitstream.Unary{})
+		want := float64(v) / 256
+		if got := s.Value(); math.Abs(got-want) > 1e-12 {
+			t.Errorf("v=%d Value=%g want %g", v, got, want)
+		}
+		if s.Len() != 256 {
+			t.Errorf("len=%d want 256", s.Len())
+		}
+	}
+}
+
+func TestFromIntOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromInt(257, 8, bitstream.Unary{})
+}
+
+// Fig. 3 of the paper: I with 4/8 ones times W with 6/8 ones yields a
+// product stream with 3/8 ones (4/8 * 6/8 = 3/8).
+func TestPaperFig3Multiplication(t *testing.T) {
+	i := FromInt(4, 3, bitstream.Unary{})
+	w := FromInt(6, 3, bitstream.Bresenham{})
+	p := Mul(i, w)
+	if got := p.Bits.PopCount(); got != 3 {
+		t.Fatalf("product ones=%d want 3", got)
+	}
+	if got := MulCount(i, w); got != 3 {
+		t.Fatalf("MulCount=%d want 3", got)
+	}
+}
+
+// Property: LUT multiplication is exact to within one stream bit for all
+// operand pairs at B=8 (the "error-free multiplication" design goal).
+func TestLUTMulExactWithinOneBit(t *testing.T) {
+	lut := NewOSMLUT(8)
+	n := lut.StreamLen()
+	for a := 0; a <= n; a += 5 {
+		for b := 0; b <= n; b += 7 {
+			got := lut.MulInts(a, b)
+			exact := float64(a) * float64(b) / float64(n)
+			if d := math.Abs(float64(got) - exact); d > 1.0 {
+				t.Fatalf("a=%d b=%d got=%d exact=%.3f", a, b, got, exact)
+			}
+		}
+	}
+}
+
+func TestLUTSizeMatchesPaperRule(t *testing.T) {
+	lut := NewOSMLUT(8)
+	// 2^8 entries x two 2^8-bit vectors = 131072 bits = 16 KiB.
+	if got := lut.SizeBits(); got != 256*2*256 {
+		t.Fatalf("SizeBits=%d want %d", got, 256*2*256)
+	}
+	if lut.Entries() != 257 {
+		t.Fatalf("Entries=%d want 257", lut.Entries())
+	}
+}
+
+func TestXORIndex(t *testing.T) {
+	if XORIndex(0xAA, 0x55) != 0xFF {
+		t.Fatal("xor hash broken")
+	}
+	if XORIndex(123, 123) != 0 {
+		t.Fatal("xor hash identity broken")
+	}
+}
+
+func TestUnscaledAdd(t *testing.T) {
+	a := FromInt(10, 4, bitstream.Unary{})
+	b := FromInt(5, 4, bitstream.Bresenham{})
+	c := FromInt(0, 4, bitstream.Unary{})
+	if got := UnscaledAdd(a, b, c); got != 15 {
+		t.Fatalf("UnscaledAdd=%d want 15", got)
+	}
+	if got := UnscaledAdd(); got != 0 {
+		t.Fatalf("empty UnscaledAdd=%d want 0", got)
+	}
+}
+
+func TestSignedValue(t *testing.T) {
+	s := Signed{Mag: FromInt(128, 8, bitstream.Bresenham{}), Neg: true}
+	if got := s.Value(); math.Abs(got+0.5) > 1e-12 {
+		t.Fatalf("Value=%g want -0.5", got)
+	}
+	s.Neg = false
+	if got := s.Value(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Value=%g want 0.5", got)
+	}
+}
+
+// Property: a signed stochastic dot product matches the exact rational dot
+// product to within len(inputs) stream bits (each OSM contributes at most
+// one bit of error).
+func TestDotMatchesExact(t *testing.T) {
+	const bits = 8
+	n := 1 << bits
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(32)
+		inputs := make([]SN, k)
+		weights := make([]Signed, k)
+		exact := 0.0
+		for i := 0; i < k; i++ {
+			iv := rng.Intn(n + 1)
+			wv := rng.Intn(n + 1)
+			neg := rng.Intn(2) == 1
+			inputs[i] = FromInt(iv, bits, bitstream.Unary{})
+			weights[i] = Signed{Mag: FromInt(wv, bits, bitstream.Bresenham{}), Neg: neg}
+			term := float64(iv) * float64(wv) / float64(n*n)
+			if neg {
+				exact -= term
+			} else {
+				exact += term
+			}
+		}
+		res := Dot(inputs, weights)
+		if res.Length != n {
+			return false
+		}
+		// Each term may be off by at most 1/n in value units.
+		return math.Abs(res.Value()-exact) <= float64(k)/float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotEmptyAndMismatch(t *testing.T) {
+	res := Dot(nil, nil)
+	if res.Raw() != 0 || res.Value() != 0 {
+		t.Fatal("empty dot should be zero")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Dot(make([]SN, 1), nil)
+}
+
+// Property: DotInts steering matches independent sign bookkeeping.
+func TestDotIntsSignSteering(t *testing.T) {
+	lut := NewOSMLUT(6)
+	inputs := []int{10, 20, 30, 64}
+	weights := []int{5, -7, 0, -64}
+	res := lut.DotInts(inputs, weights)
+	wantPos := lut.MulInts(10, 5) + lut.MulInts(30, 0)
+	wantNeg := lut.MulInts(20, 7) + lut.MulInts(64, 64)
+	if res.PosOnes != wantPos || res.NegOnes != wantNeg {
+		t.Fatalf("got (%d,%d) want (%d,%d)", res.PosOnes, res.NegOnes, wantPos, wantNeg)
+	}
+	if res.Raw() != wantPos-wantNeg {
+		t.Fatal("Raw mismatch")
+	}
+}
+
+// Ablation A2 evidence: deterministic LUT streams beat LFSR random streams
+// on multiplication error by a wide margin.
+func TestDeterministicBeatsLFSR(t *testing.T) {
+	maeDet, maxDet := MulError(bitstream.Unary{}, bitstream.Bresenham{}, 8, 17)
+	maeLFSR, _ := MulError(bitstream.LFSR{Width: 8, Seed: 1}, bitstream.LFSR{Width: 8, Seed: 0xB5}, 8, 17)
+	if maxDet > 1.0/256.0+1e-9 {
+		t.Fatalf("deterministic max error %.5f exceeds 1 bit", maxDet)
+	}
+	if maeLFSR < 2*maeDet {
+		t.Fatalf("expected LFSR MAE (%.5f) >> deterministic MAE (%.5f)", maeLFSR, maeDet)
+	}
+}
+
+func TestMulErrorZeroForZeroOperands(t *testing.T) {
+	lut := NewOSMLUT(4)
+	if lut.MulInts(0, 16) != 0 || lut.MulInts(16, 0) != 0 {
+		t.Fatal("zero operand must yield zero product")
+	}
+	if lut.MulInts(16, 16) != 16 {
+		t.Fatalf("full-scale product=%d want 16", lut.MulInts(16, 16))
+	}
+}
+
+func BenchmarkLUTDotInts176(b *testing.B) {
+	lut := NewOSMLUT(8)
+	rng := rand.New(rand.NewSource(1))
+	inputs := make([]int, 176)
+	weights := make([]int, 176)
+	for i := range inputs {
+		inputs[i] = rng.Intn(257)
+		weights[i] = rng.Intn(513) - 256
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lut.DotInts(inputs, weights)
+	}
+}

@@ -1,0 +1,183 @@
+// Package sim provides the transaction-level, event-driven simulation
+// kernel underlying the performance plane of this reproduction — the Go
+// counterpart of the paper's "custom, transaction-level, event-driven
+// python-based simulator" (Section VI-B).
+//
+// Two abstractions cover the accelerator models' needs:
+//
+//   - Kernel: a classic discrete-event scheduler (time-ordered callback
+//     queue) used to sequence layer rounds and barriers.
+//   - Station: an analytic FIFO resource with one or more servers, used for
+//     contended components (eDRAM ports, psum reduction networks, ADCs,
+//     NoC links). Transactions reserve service time and the station
+//     resolves queueing delay without per-cycle simulation.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at  float64 // ns
+	seq uint64  // tie-break for deterministic ordering
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event scheduler. The zero value is ready to use.
+type Kernel struct {
+	now    float64
+	seq    uint64
+	queue  eventQueue
+	events uint64
+}
+
+// Now returns the current simulated time in ns.
+func (k *Kernel) Now() float64 { return k.now }
+
+// Schedule enqueues fn to run delayNS after the current time. Negative
+// delays panic: causality violations are bugs.
+func (k *Kernel) Schedule(delayNS float64, fn func()) {
+	if delayNS < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", delayNS))
+	}
+	k.ScheduleAt(k.now+delayNS, fn)
+}
+
+// ScheduleAt enqueues fn at absolute time atNS (>= Now).
+func (k *Kernel) ScheduleAt(atNS float64, fn func()) {
+	if atNS < k.now {
+		panic(fmt.Sprintf("sim: schedule in the past (%g < %g)", atNS, k.now))
+	}
+	k.seq++
+	heap.Push(&k.queue, &event{at: atNS, seq: k.seq, fn: fn})
+}
+
+// Run processes events until the queue drains, returning the final time.
+func (k *Kernel) Run() float64 { return k.RunUntil(math.Inf(1)) }
+
+// RunUntil processes events with timestamps <= limitNS and returns the
+// time of the last processed event (or the current time if none ran).
+func (k *Kernel) RunUntil(limitNS float64) float64 {
+	for k.queue.Len() > 0 {
+		next := k.queue[0]
+		if next.at > limitNS {
+			break
+		}
+		heap.Pop(&k.queue)
+		k.now = next.at
+		k.events++
+		next.fn()
+	}
+	return k.now
+}
+
+// Pending returns the number of queued events.
+func (k *Kernel) Pending() int { return k.queue.Len() }
+
+// Processed returns the total number of events executed.
+func (k *Kernel) Processed() uint64 { return k.events }
+
+// Station is an analytic FIFO resource with `servers` identical servers.
+// Transactions call Reserve with their ready time and service demand; the
+// station returns when service starts and ends, accounting queueing delay.
+type Station struct {
+	name    string
+	freeAt  []float64
+	busyNS  float64
+	count   uint64
+	lastEnd float64
+}
+
+// NewStation creates a station with the given number of servers (>= 1).
+func NewStation(name string, servers int) *Station {
+	if servers < 1 {
+		panic(fmt.Sprintf("sim: station %q needs >= 1 server", name))
+	}
+	return &Station{name: name, freeAt: make([]float64, servers)}
+}
+
+// Name returns the station's label.
+func (s *Station) Name() string { return s.name }
+
+// Reserve books serviceNS of work for a transaction that becomes ready at
+// readyNS. It picks the earliest-free server, returns the actual start and
+// end times, and records statistics.
+func (s *Station) Reserve(readyNS, serviceNS float64) (start, end float64) {
+	if serviceNS < 0 {
+		panic(fmt.Sprintf("sim: negative service %g at %q", serviceNS, s.name))
+	}
+	best := 0
+	for i := 1; i < len(s.freeAt); i++ {
+		if s.freeAt[i] < s.freeAt[best] {
+			best = i
+		}
+	}
+	start = math.Max(readyNS, s.freeAt[best])
+	end = start + serviceNS
+	s.freeAt[best] = end
+	s.busyNS += serviceNS
+	s.count++
+	if end > s.lastEnd {
+		s.lastEnd = end
+	}
+	return start, end
+}
+
+// FreeAt returns the earliest time any server becomes free.
+func (s *Station) FreeAt() float64 {
+	min := s.freeAt[0]
+	for _, f := range s.freeAt[1:] {
+		if f < min {
+			min = f
+		}
+	}
+	return min
+}
+
+// LastEnd returns the completion time of the latest-finishing reservation.
+func (s *Station) LastEnd() float64 { return s.lastEnd }
+
+// BusyNS returns the total booked service time across servers.
+func (s *Station) BusyNS() float64 { return s.busyNS }
+
+// Count returns the number of reservations served.
+func (s *Station) Count() uint64 { return s.count }
+
+// Utilization returns busy time divided by (servers * horizonNS).
+func (s *Station) Utilization(horizonNS float64) float64 {
+	if horizonNS <= 0 {
+		return 0
+	}
+	return s.busyNS / (float64(len(s.freeAt)) * horizonNS)
+}
+
+// Reset clears all bookings and statistics.
+func (s *Station) Reset() {
+	for i := range s.freeAt {
+		s.freeAt[i] = 0
+	}
+	s.busyNS, s.count, s.lastEnd = 0, 0, 0
+}

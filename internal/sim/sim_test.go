@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelOrdering(t *testing.T) {
+	var k Kernel
+	var order []int
+	k.Schedule(5, func() { order = append(order, 5) })
+	k.Schedule(1, func() { order = append(order, 1) })
+	k.Schedule(3, func() { order = append(order, 3) })
+	end := k.Run()
+	if end != 5 {
+		t.Fatalf("end=%g want 5", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 3 || order[2] != 5 {
+		t.Fatalf("order=%v", order)
+	}
+	if k.Processed() != 3 {
+		t.Fatalf("processed=%d", k.Processed())
+	}
+}
+
+func TestKernelTieBreakIsFIFO(t *testing.T) {
+	var k Kernel
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(1, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events must run FIFO: %v", order)
+		}
+	}
+}
+
+func TestKernelNestedScheduling(t *testing.T) {
+	var k Kernel
+	var times []float64
+	k.Schedule(1, func() {
+		times = append(times, k.Now())
+		k.Schedule(2, func() { times = append(times, k.Now()) })
+	})
+	k.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("times=%v", times)
+	}
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	var k Kernel
+	ran := 0
+	k.Schedule(1, func() { ran++ })
+	k.Schedule(10, func() { ran++ })
+	k.RunUntil(5)
+	if ran != 1 || k.Pending() != 1 {
+		t.Fatalf("ran=%d pending=%d", ran, k.Pending())
+	}
+	k.Run()
+	if ran != 2 {
+		t.Fatal("remaining event lost")
+	}
+}
+
+func TestKernelCausalityPanics(t *testing.T) {
+	var k Kernel
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	k.Schedule(-1, func() {})
+}
+
+func TestStationSingleServerFIFO(t *testing.T) {
+	s := NewStation("adc", 1)
+	st1, e1 := s.Reserve(0, 10)
+	if st1 != 0 || e1 != 10 {
+		t.Fatalf("first: %g-%g", st1, e1)
+	}
+	// Ready at 5 but server busy until 10.
+	st2, e2 := s.Reserve(5, 10)
+	if st2 != 10 || e2 != 20 {
+		t.Fatalf("queued: %g-%g", st2, e2)
+	}
+	// Ready after the server is idle: no queueing.
+	st3, _ := s.Reserve(50, 1)
+	if st3 != 50 {
+		t.Fatalf("idle arrival start=%g", st3)
+	}
+	if s.Count() != 3 || s.BusyNS() != 21 {
+		t.Fatalf("count=%d busy=%g", s.Count(), s.BusyNS())
+	}
+	if s.LastEnd() != 51 {
+		t.Fatalf("lastEnd=%g", s.LastEnd())
+	}
+}
+
+func TestStationMultiServer(t *testing.T) {
+	s := NewStation("mem", 2)
+	_, e1 := s.Reserve(0, 10)
+	_, e2 := s.Reserve(0, 10)
+	if e1 != 10 || e2 != 10 {
+		t.Fatal("two servers should run in parallel")
+	}
+	st3, _ := s.Reserve(0, 10)
+	if st3 != 10 {
+		t.Fatalf("third transaction start=%g want 10", st3)
+	}
+	if u := s.Utilization(15); math.Abs(u-1.0) > 1e-12 {
+		t.Fatalf("utilization=%g want 1.0 (30 busy over 2x15)", u)
+	}
+}
+
+func TestStationReset(t *testing.T) {
+	s := NewStation("x", 1)
+	s.Reserve(0, 5)
+	s.Reset()
+	if s.Count() != 0 || s.BusyNS() != 0 || s.FreeAt() != 0 || s.LastEnd() != 0 {
+		t.Fatal("reset incomplete")
+	}
+	if s.Name() != "x" {
+		t.Fatal("name lost")
+	}
+}
+
+// Property: a single-server station serializes work — total completion
+// equals at least total service, and intervals never overlap.
+func TestStationNoOverlapProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewStation("p", 1)
+		type iv struct{ a, b float64 }
+		var ivs []iv
+		for i := 0; i < 30; i++ {
+			ready := rng.Float64() * 100
+			svc := rng.Float64() * 10
+			a, b := s.Reserve(ready, svc)
+			if a < ready || math.Abs((b-a)-svc) > 1e-9 {
+				return false
+			}
+			ivs = append(ivs, iv{a, b})
+		}
+		sort.Slice(ivs, func(i, j int) bool {
+			if ivs[i].a != ivs[j].a {
+				return ivs[i].a < ivs[j].a
+			}
+			return ivs[i].b < ivs[j].b
+		})
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].a < ivs[i-1].b-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStationValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 0 servers")
+		}
+	}()
+	NewStation("bad", 0)
+}
+
+func TestUtilizationZeroHorizon(t *testing.T) {
+	s := NewStation("z", 1)
+	if s.Utilization(0) != 0 {
+		t.Fatal("zero horizon should give zero utilization")
+	}
+}
+
+func BenchmarkKernelScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var k Kernel
+		for j := 0; j < 100; j++ {
+			k.Schedule(float64(j%10), func() {})
+		}
+		k.Run()
+	}
+}

@@ -1,0 +1,153 @@
+// Package tensor provides the minimal dense float32 tensor underlying the
+// neural-network substrate of this reproduction. Layout is row-major with
+// CHW ordering for images (channel, height, width).
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// T is a dense float32 tensor.
+type T struct {
+	Shape []int
+	Data  []float32
+}
+
+// New allocates a zeroed tensor with the given shape.
+func New(shape ...int) *T {
+	n := 1
+	for _, s := range shape {
+		if s <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dim %d in %v", s, shape))
+		}
+		n *= s
+	}
+	return &T{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// FromSlice wraps data with the given shape, validating the element count.
+func FromSlice(data []float32, shape ...int) *T {
+	t := &T{Shape: append([]int(nil), shape...), Data: data}
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: %d elements for shape %v (want %d)", len(data), shape, n))
+	}
+	return t
+}
+
+// Len returns the number of elements.
+func (t *T) Len() int { return len(t.Data) }
+
+// Dims returns the rank.
+func (t *T) Dims() int { return len(t.Shape) }
+
+// At returns the element at the given multi-index (rank must match).
+func (t *T) At(idx ...int) float32 { return t.Data[t.offset(idx)] }
+
+// Set stores v at the given multi-index.
+func (t *T) Set(v float32, idx ...int) { t.Data[t.offset(idx)] = v }
+
+func (t *T) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index rank %d vs shape %v", len(idx), t.Shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// Clone returns a deep copy.
+func (t *T) Clone() *T {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Zero sets all elements to 0.
+func (t *T) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets all elements to v.
+func (t *T) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// SameShape reports whether two tensors have identical shapes.
+func (t *T) SameShape(o *T) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i := range t.Shape {
+		if t.Shape[i] != o.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Reshape returns a view with a new shape of equal element count.
+func (t *T) Reshape(shape ...int) *T {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: reshape %v -> %v", t.Shape, shape))
+	}
+	return &T{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// MaxAbs returns the maximum absolute value (0 for empty tensors).
+func (t *T) MaxAbs() float32 {
+	var m float32
+	for _, v := range t.Data {
+		a := float32(math.Abs(float64(v)))
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the largest element.
+func (t *T) ArgMax() int {
+	best := 0
+	for i, v := range t.Data {
+		if v > t.Data[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// RandNormal fills the tensor with N(0, std) values from rng.
+func (t *T) RandNormal(rng *rand.Rand, std float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64() * std)
+	}
+}
+
+// AXPY computes t += alpha*o elementwise (shapes must match).
+func (t *T) AXPY(alpha float32, o *T) {
+	if !t.SameShape(o) {
+		panic("tensor: AXPY shape mismatch")
+	}
+	for i := range t.Data {
+		t.Data[i] += alpha * o.Data[i]
+	}
+}

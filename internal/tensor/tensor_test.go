@@ -1,0 +1,153 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndIndexing(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Len() != 24 || x.Dims() != 3 {
+		t.Fatalf("len=%d dims=%d", x.Len(), x.Dims())
+	}
+	x.Set(7, 1, 2, 3)
+	if x.At(1, 2, 3) != 7 {
+		t.Fatal("round-trip failed")
+	}
+	if x.At(0, 0, 0) != 0 {
+		t.Fatal("zero init failed")
+	}
+}
+
+func TestIndexValidation(t *testing.T) {
+	x := New(2, 2)
+	for _, bad := range [][]int{{2, 0}, {0, -1}, {0}, {0, 0, 0}} {
+		bad := bad
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for index %v", bad)
+				}
+			}()
+			x.At(bad...)
+		}()
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero dim")
+		}
+	}()
+	New(3, 0)
+}
+
+func TestFromSlice(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	if x.At(1, 2) != 6 {
+		t.Fatal("layout wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for count mismatch")
+		}
+	}()
+	FromSlice([]float32{1}, 2, 2)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	x := New(4)
+	x.Fill(3)
+	y := x.Clone()
+	y.Data[0] = 9
+	if x.Data[0] != 3 {
+		t.Fatal("clone shares storage")
+	}
+	if !x.SameShape(y) {
+		t.Fatal("clone shape mismatch")
+	}
+}
+
+func TestZeroFill(t *testing.T) {
+	x := New(3)
+	x.Fill(2.5)
+	for _, v := range x.Data {
+		if v != 2.5 {
+			t.Fatal("fill failed")
+		}
+	}
+	x.Zero()
+	for _, v := range x.Data {
+		if v != 0 {
+			t.Fatal("zero failed")
+		}
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := New(2, 6)
+	y := x.Reshape(3, 4)
+	y.Data[5] = 1
+	if x.Data[5] != 1 {
+		t.Fatal("reshape must share storage")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad reshape")
+		}
+	}()
+	x.Reshape(5)
+}
+
+func TestMaxAbsAndArgMax(t *testing.T) {
+	x := FromSlice([]float32{-4, 2, 3, -1}, 4)
+	if x.MaxAbs() != 4 {
+		t.Fatalf("MaxAbs=%g", x.MaxAbs())
+	}
+	if x.ArgMax() != 2 {
+		t.Fatalf("ArgMax=%d", x.ArgMax())
+	}
+}
+
+func TestAXPY(t *testing.T) {
+	x := FromSlice([]float32{1, 2}, 2)
+	y := FromSlice([]float32{10, 20}, 2)
+	x.AXPY(0.5, y)
+	if x.Data[0] != 6 || x.Data[1] != 12 {
+		t.Fatalf("AXPY got %v", x.Data)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape mismatch panic")
+		}
+	}()
+	x.AXPY(1, New(3))
+}
+
+// Property: At/Set round-trips over random indices.
+func TestAtSetProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := New(3, 5, 7)
+		i, j, k := rng.Intn(3), rng.Intn(5), rng.Intn(7)
+		v := float32(rng.NormFloat64())
+		x.Set(v, i, j, k)
+		return x.At(i, j, k) == v && x.Data[(i*5+j)*7+k] == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandNormalDeterministic(t *testing.T) {
+	a, b := New(100), New(100)
+	a.RandNormal(rand.New(rand.NewSource(5)), 1)
+	b.RandNormal(rand.New(rand.NewSource(5)), 1)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("same seed must reproduce")
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package sconna
+
+import (
+	"repro/internal/accel"
+	"repro/internal/accuracy"
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/pca"
+	"repro/internal/photonics"
+	"repro/internal/scalability"
+)
+
+// Version identifies this reproduction release.
+const Version = "1.0.0"
+
+// Functional plane (the paper's primary contribution, Section IV).
+type (
+	// CoreConfig selects the functional operating point of a SCONNA VDPC.
+	CoreConfig = core.Config
+	// VDPE is one vector-dot-product element (N OSMs + filter bank +
+	// PCA pair).
+	VDPE = core.VDPE
+	// VDPC is a vector-dot-product core of M VDPEs.
+	VDPC = core.VDPC
+	// OSM is one optical stochastic multiplier.
+	OSM = core.OSM
+	// SignedResult is a VDPE dot-product output.
+	SignedResult = core.SignedResult
+)
+
+// DefaultCoreConfig returns the paper's SCONNA functional operating point
+// (B=8, N=M=176, FWHM 0.8 nm, 0.25 nm DWDM spacing, 1.3% ADC MAPE).
+func DefaultCoreConfig() CoreConfig { return core.DefaultConfig() }
+
+// NewVDPE builds one vector-dot-product element.
+func NewVDPE(cfg CoreConfig) (*VDPE, error) { return core.NewVDPE(cfg) }
+
+// NewVDPC builds a vector-dot-product core of cfg.M VDPEs.
+func NewVDPC(cfg CoreConfig) (*VDPC, error) { return core.NewVDPC(cfg) }
+
+// Performance plane (Section VI).
+type (
+	// AccelConfig describes one accelerator for the performance model.
+	AccelConfig = accel.Config
+	// AccelResult is one (accelerator, model) simulation outcome.
+	AccelResult = accel.Result
+	// Fig9Data aggregates the Fig. 9 comparison.
+	Fig9Data = accel.Fig9Data
+	// Model is a CNN workload descriptor.
+	Model = models.Model
+)
+
+// SconnaAccel returns the paper's SCONNA accelerator configuration
+// (1024 VDPEs, N=M=176, 30 Gbps).
+func SconnaAccel() AccelConfig { return accel.Sconna() }
+
+// MAMAccel returns the MAM (HOLYLIGHT) baseline (3971 VDPEs, N=22,
+// 4-bit slices at 5 GS/s).
+func MAMAccel() AccelConfig { return accel.MAM() }
+
+// AMMAccel returns the AMM (DEAP-CNN) baseline (3172 VDPEs, N=16,
+// 4-bit slices at 5 GS/s).
+func AMMAccel() AccelConfig { return accel.AMM() }
+
+// Simulate runs batch-1 weight-stationary inference of model on the
+// accelerator and returns timing/power/area results.
+func Simulate(cfg AccelConfig, model Model) (AccelResult, error) {
+	return accel.Simulate(cfg, model)
+}
+
+// RunFig9 regenerates the paper's Fig. 9 comparison (SCONNA vs MAM vs AMM
+// over GoogleNet, ResNet50, MobileNet_V2, ShuffleNet_V2).
+func RunFig9() (Fig9Data, error) { return accel.Fig9Default() }
+
+// EvaluatedModels returns the four CNNs of the Fig. 9 evaluation.
+func EvaluatedModels() []Model { return models.Evaluated() }
+
+// TableIIModels returns the four CNNs of the paper's Table II census.
+func TableIIModels() []Model { return models.TableIIModels() }
+
+// Scalability analysis (Section V).
+type (
+	// ScalabilityConfig carries the Table III constants for Eq. 2-4.
+	ScalabilityConfig = scalability.Config
+	// TableICell is one reproduced Table I entry.
+	TableICell = scalability.TableICell
+	// SconnaScaling reports the Section V-B N determination.
+	SconnaScaling = scalability.SconnaScaling
+)
+
+// DefaultScalabilityConfig returns the Table III operating point.
+func DefaultScalabilityConfig() ScalabilityConfig { return scalability.DefaultConfig() }
+
+// TableI regenerates the paper's Table I (max VDPE size N for AMM/MAM at
+// 4/6-bit over 1-10 GS/s).
+func TableI() []TableICell { return scalability.DefaultConfig().TableI() }
+
+// SolveSconnaN reproduces the Section V-B determination of SCONNA's VDPC
+// size at the given stream bitrate (30 Gbps in the paper).
+func SolveSconnaN(bitrateHz float64) SconnaScaling {
+	return scalability.DefaultConfig().SolveSconna(bitrateHz)
+}
+
+// Device-level experiments (Figs. 6-7).
+
+// Fig7aPoint is one point of the bitrate-vs-FWHM frontier of Fig. 7(a).
+type Fig7aPoint struct {
+	FWHMNM    float64
+	BitrateHz float64
+}
+
+// Fig7a sweeps the OAG's maximum bitrate against resonance FWHM at the
+// given detector sensitivity (-28 dBm in the paper), reproducing the
+// Fig. 7(a) frontier that saturates at 40 Gbps near 0.8 nm.
+func Fig7a(sensitivityDBm float64, fwhms []float64) []Fig7aPoint {
+	out := make([]Fig7aPoint, 0, len(fwhms))
+	for _, fw := range fwhms {
+		g := photonics.NewOAG(fw)
+		out = append(out, Fig7aPoint{FWHMNM: fw, BitrateHz: g.MaxBitrate(sensitivityDBm)})
+	}
+	return out
+}
+
+// Fig7b sweeps the PCA analog output voltage against the fraction of ones
+// accumulated (Fig. 7(b) linearity experiment).
+func Fig7b(steps int) []pca.AlphaPoint {
+	return pca.DefaultConfig().Fig7b(steps)
+}
+
+// Accuracy study (Table V).
+type (
+	// AccuracySpec describes one proxy model of the Table V study.
+	AccuracySpec = accuracy.Spec
+	// AccuracyRow is one Table V line.
+	AccuracyRow = accuracy.Row
+	// AccuracyOptions sizes the Table V study.
+	AccuracyOptions = accuracy.Options
+)
+
+// RunTableV executes the accuracy-drop study over the default proxy
+// models with the given options (accuracy.DefaultOptions for the full
+// study, accuracy.QuickOptions for a reduced run).
+func RunTableV(opts AccuracyOptions) ([]AccuracyRow, error) {
+	return accuracy.Run(accuracy.DefaultSpecs(), opts)
+}
+
+// DefaultAccuracyOptions returns the full Table V study configuration.
+func DefaultAccuracyOptions() AccuracyOptions { return accuracy.DefaultOptions() }
+
+// QuickAccuracyOptions returns a reduced Table V configuration for smoke
+// runs.
+func QuickAccuracyOptions() AccuracyOptions { return accuracy.QuickOptions() }
