@@ -120,6 +120,31 @@ func BenchmarkFig9b(b *testing.B) { fig9Bench(b) }
 // BenchmarkFig9c regenerates the FPS/W/mm^2 comparison (E8).
 func BenchmarkFig9c(b *testing.B) { fig9Bench(b) }
 
+// fig9SweepBench records the concurrent evaluation engine's scaling on
+// the Fig. 9 design space: compare the workers=1 and workers=all results
+// to see the sweep's speedup on this host (the outputs are bit-identical).
+func fig9SweepBench(b *testing.B, workers int) {
+	b.Helper()
+	cfgs := []accel.Config{accel.Sconna(), accel.MAM(), accel.AMM()}
+	ms := models.Evaluated()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := accel.Fig9Parallel(cfgs, ms, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(data.Rows) != 12 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+// BenchmarkFig9SweepSerial pins the Fig. 9 sweep to one worker.
+func BenchmarkFig9SweepSerial(b *testing.B) { fig9SweepBench(b, 1) }
+
+// BenchmarkFig9SweepParallel fans the Fig. 9 sweep across all cores.
+func BenchmarkFig9SweepParallel(b *testing.B) { fig9SweepBench(b, 0) }
+
 // tableVState holds the one-time trained/quantized model for E9.
 var tableVState struct {
 	once   sync.Once
@@ -161,6 +186,28 @@ func BenchmarkTableV(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		top1, _ := tableVState.qn.Evaluate(tableVState.test, 5, tableVState.engine)
+		if top1 < 0 || top1 > 1 {
+			b.Fatal("accuracy out of range")
+		}
+	}
+}
+
+// BenchmarkTableVParallel times the same batched inference through the
+// concurrent evaluation path: example shards fan across all cores, one
+// SCONNA engine per shard.
+func BenchmarkTableVParallel(b *testing.B) {
+	tableVSetup(b)
+	ccfg := DefaultCoreConfig()
+	ccfg.N = 64
+	ccfg.M = 1
+	factory := quant.SconnaEngineFactory(ccfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		top1, _, err := tableVState.qn.EvaluateParallel(tableVState.test, 5, factory, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if top1 < 0 || top1 > 1 {
 			b.Fatal("accuracy out of range")
 		}

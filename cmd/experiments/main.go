@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	experiments -exp all|table1|table2|fig6c|fig7a|fig7b|fig9|table5|ablations [-quick] [-out DIR]
+//	experiments -exp all|table1|table2|fig6c|fig7a|fig7b|fig9|table5|ablations [-quick] [-workers N] [-out DIR]
 //
-// -quick shrinks the Table V training runs for smoke tests; -out writes
-// each experiment's rows as CSV files into DIR.
+// -quick shrinks the Table V training runs for smoke tests; -workers
+// bounds the concurrency of the design-space sweeps and the Table V
+// study (0 = all cores; results are identical at every worker count);
+// -out writes each experiment's rows as CSV files into DIR.
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	sconna "repro"
@@ -30,8 +33,10 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment id: all|table1|table2|fig6c|fig7a|fig7b|fig9|table5|ablations")
 	quick := flag.Bool("quick", false, "reduced-size Table V study")
+	workers := flag.Int("workers", 0, "worker pool size for sweeps and the Table V study (0 = all cores)")
 	out := flag.String("out", "", "directory to write CSV outputs")
 	flag.Parse()
+	pool := *workers
 
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -55,22 +60,22 @@ func main() {
 		}
 	}
 
-	run("table1", tableI)
+	run("table1", func() *report.Table { return tableI(pool) })
 	run("table2", tableII)
 	run("fig6c", fig6c)
 	run("fig7a", fig7a)
 	run("fig7b", fig7b)
-	run("fig9", fig9)
+	run("fig9", func() *report.Table { return fig9(pool) })
 	if *exp == "all" || *exp == "table5" {
-		run("table5", func() *report.Table { return tableV(*quick) })
+		run("table5", func() *report.Table { return tableV(*quick, pool) })
 	}
 	if *exp == "ablations" {
 		*exp = "all" // expand the group: run() filters by name
 	}
-	run("ablation-b", ablationStreamLength)
+	run("ablation-b", func() *report.Table { return ablationStreamLength(pool) })
 	run("ablation-sng", ablationSNG)
 	run("ablation-psum", ablationPsum)
-	run("ablation-batch", ablationBatch)
+	run("ablation-batch", func() *report.Table { return ablationBatch(pool) })
 }
 
 func fatal(err error) {
@@ -79,10 +84,10 @@ func fatal(err error) {
 }
 
 // tableI reproduces Table I: max VDPE size N for the analog organizations.
-func tableI() *report.Table {
+func tableI(pool int) *report.Table {
 	t := report.NewTable("Table I — analog VDPE size N vs precision and data rate",
 		"org", "precision", "DR (GS/s)", "N (measured)", "N (paper)")
-	for _, c := range sconna.TableI() {
+	for _, c := range sconna.TableIParallel(pool) {
 		t.AddRow(c.Org.String(), fmt.Sprintf("%d-bit", c.Precision), c.DataRate/1e9, c.N, c.PaperN)
 	}
 	s := sconna.SolveSconnaN(30e9)
@@ -156,9 +161,10 @@ func fig7b() *report.Table {
 	return t
 }
 
-// fig9 reproduces the headline comparison.
-func fig9() *report.Table {
-	data, err := sconna.RunFig9()
+// fig9 reproduces the headline comparison, fanning the 12 simulations
+// across the worker pool.
+func fig9(pool int) *report.Table {
+	data, err := sconna.RunFig9Parallel(pool)
 	if err != nil {
 		fatal(err)
 	}
@@ -167,22 +173,34 @@ func fig9() *report.Table {
 	for _, r := range data.Rows {
 		t.AddRow(r.Model, r.Accel, r.FPS, r.FPSPerW, r.FPSPerWMM, r.PowerW, r.LatencyMS)
 	}
-	for accel, ref := range accel.PaperFig9Gmeans {
-		t.AddRow("GMEAN RATIO vs", accel,
-			fmt.Sprintf("%.1fx (paper %.1fx)", data.GmeanFPS[accel], ref.FPS),
-			fmt.Sprintf("%.1fx (paper %.0fx)", data.GmeanFPSPerW[accel], ref.FPSPerW),
-			fmt.Sprintf("%.1fx (paper %.0fx)", data.GmeanFPSPerWMM[accel], ref.FPSPerWMM),
+	// Sorted baseline order: map iteration would shuffle the rows
+	// between runs, breaking the "identical output at every worker
+	// count" contract at the CLI surface.
+	baselines := make([]string, 0, len(accel.PaperFig9Gmeans))
+	for name := range accel.PaperFig9Gmeans {
+		baselines = append(baselines, name)
+	}
+	sort.Strings(baselines)
+	for _, name := range baselines {
+		ref := accel.PaperFig9Gmeans[name]
+		t.AddRow("GMEAN RATIO vs", name,
+			fmt.Sprintf("%.1fx (paper %.1fx)", data.GmeanFPS[name], ref.FPS),
+			fmt.Sprintf("%.1fx (paper %.0fx)", data.GmeanFPSPerW[name], ref.FPSPerW),
+			fmt.Sprintf("%.1fx (paper %.0fx)", data.GmeanFPSPerWMM[name], ref.FPSPerWMM),
 			"-", "-")
 	}
 	return t
 }
 
-// tableV reproduces the accuracy-drop study.
-func tableV(quick bool) *report.Table {
+// tableV reproduces the accuracy-drop study; the four proxy pipelines
+// train in parallel and each evaluation fans example shards across
+// engine-per-shard workers.
+func tableV(quick bool, pool int) *report.Table {
 	opts := sconna.DefaultAccuracyOptions()
 	if quick {
 		opts = sconna.QuickAccuracyOptions()
 	}
+	opts.Workers = pool
 	rows, err := sconna.RunTableV(opts)
 	if err != nil {
 		fatal(err)
@@ -200,18 +218,23 @@ func tableV(quick bool) *report.Table {
 }
 
 // ablationStreamLength (A1): SCONNA FPS vs stream precision B.
-func ablationStreamLength() *report.Table {
+func ablationStreamLength(pool int) *report.Table {
 	t := report.NewTable("Ablation A1 — SCONNA stream length 2^B vs throughput (ResNet50)",
 		"B (bits)", "stream bits", "op latency (ns)", "FPS")
-	for _, b := range []int{4, 6, 8} {
+	bitsList := []int{4, 6, 8}
+	var jobs []sconna.AccelJob
+	for _, b := range bitsList {
 		cfg := sconna.SconnaAccel()
 		cfg.Precision = b
 		cfg.SlicePrecision = b
-		r, err := sconna.Simulate(cfg, models.ResNet50())
-		if err != nil {
-			fatal(err)
-		}
-		t.AddRow(b, 1<<uint(b), cfg.OpNS(), r.FPS)
+		jobs = append(jobs, sconna.AccelJob{Cfg: cfg, Model: models.ResNet50()})
+	}
+	results, err := sconna.SimulateAll(jobs, pool)
+	if err != nil {
+		fatal(err)
+	}
+	for i, b := range bitsList {
+		t.AddRow(b, 1<<uint(b), jobs[i].Cfg.OpNS(), results[i].FPS)
 	}
 	return t
 }
@@ -252,20 +275,29 @@ func ablationPsum() *report.Table {
 }
 
 // ablationBatch (A4): batching amortizes weight reloads — by how much,
-// per accelerator (ResNet50).
-func ablationBatch() *report.Table {
+// per accelerator (ResNet50). The 9 (accelerator, batch) simulations fan
+// across the worker pool.
+func ablationBatch(pool int) *report.Table {
 	t := report.NewTable("Ablation A4 — batch size vs FPS (ResNet50; analog reloads amortize)",
 		"accelerator", "batch 1", "batch 8", "batch 32", "speedup @32")
-	for _, base := range []sconna.AccelConfig{sconna.SconnaAccel(), sconna.MAMAccel(), sconna.AMMAccel()} {
-		fps := map[int]float64{}
-		for _, b := range []int{1, 8, 32} {
+	bases := []sconna.AccelConfig{sconna.SconnaAccel(), sconna.MAMAccel(), sconna.AMMAccel()}
+	batches := []int{1, 8, 32}
+	var jobs []sconna.AccelJob
+	for _, base := range bases {
+		for _, b := range batches {
 			cfg := base
 			cfg.Batch = b
-			r, err := sconna.Simulate(cfg, models.ResNet50())
-			if err != nil {
-				fatal(err)
-			}
-			fps[b] = r.FPS
+			jobs = append(jobs, sconna.AccelJob{Cfg: cfg, Model: models.ResNet50()})
+		}
+	}
+	results, err := sconna.SimulateAll(jobs, pool)
+	if err != nil {
+		fatal(err)
+	}
+	for bi, base := range bases {
+		fps := map[int]float64{}
+		for i, b := range batches {
+			fps[b] = results[bi*len(batches)+i].FPS
 		}
 		t.AddRow(base.Name, fps[1], fps[8], fps[32], fps[32]/fps[1])
 	}

@@ -25,6 +25,32 @@
 // (internal/nn, internal/quant, internal/tensor, internal/dataset), and
 // architecture descriptors for the paper's six CNNs (internal/models).
 //
+// # Concurrency model
+//
+// Both planes evaluate concurrently on the bounded worker pool of
+// internal/parallel, under one invariant: parallel results are
+// bit-identical to the serial path at every worker count.
+//
+//   - Performance plane: accel.Simulate is a pure function, so
+//     accel.SimulateAll / accel.Sweep (and Fig9, the Table I solve, the
+//     Fig. 7(a) frontier) simply fan independent jobs across the pool and
+//     collect results in job order.
+//
+//   - Functional plane: the SCONNA engine is stateful — its core.VDPC
+//     draws ADC noise from a per-engine RNG — so it must never be shared
+//     across goroutines. quant.(*Network).EvaluateParallel instead
+//     partitions examples into fixed-size shards (quant.EvalShardSize, a
+//     property of the evaluation, not of the machine) and builds one
+//     engine per shard through a quant.EngineFactory whose seed derives
+//     from the shard index. The shard partition and seeds depend only on
+//     the inputs, and hit counts merge by integer summation, so any
+//     schedule reproduces the workers=1 walk exactly. accuracy.Run
+//     parallelizes the same way one level up: each proxy's
+//     train/quantize/evaluate pipeline is deterministic in its spec seed.
+//
+// Error handling aggregates per-item failures in index order
+// (parallel.ForEach), keeping even failure messages deterministic.
+//
 // This package re-exports the stable public surface; see README.md for a
 // tour and EXPERIMENTS.md for paper-vs-measured results of every table
 // and figure.

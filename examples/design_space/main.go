@@ -2,6 +2,10 @@
 // operating point — the Fig. 7(a) bitrate-vs-FWHM frontier of the optical
 // AND gate and the Fig. 7(b) PCA charge-accumulation linearity — plus a
 // Fig. 6(c)-style transient eye check.
+//
+// The three sections are independent device studies, so they build
+// concurrently on the shared bounded worker pool (internal/parallel) and
+// print in order — the output is identical to the serial walk.
 package main
 
 import (
@@ -10,30 +14,57 @@ import (
 	"strings"
 
 	sconna "repro"
+	"repro/internal/parallel"
 	"repro/internal/photonics"
 )
 
 func main() {
-	fmt.Println("Fig. 7(a) — OAG max bitrate vs FWHM at OMA = -28 dBm")
+	sections, err := parallel.Map(0, 3, func(i int) (string, error) {
+		switch i {
+		case 0:
+			return fig7aSection(), nil
+		case 1:
+			return fig7bSection(), nil
+		default:
+			return fig6cSection(), nil
+		}
+	})
+	if err != nil { // unreachable: the sections cannot fail
+		panic(err)
+	}
+	fmt.Print(strings.Join(sections, "\n"))
+}
+
+func fig7aSection() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Fig. 7(a) — OAG max bitrate vs FWHM at OMA = -28 dBm")
 	var fwhms []float64
 	for f := 0.1; f <= 1.2001; f += 0.1 {
 		fwhms = append(fwhms, f)
 	}
 	for _, p := range sconna.Fig7a(-28, fwhms) {
 		bars := int(p.BitrateHz / 1e9 / 2)
-		fmt.Printf("  %.1f nm | %-22s %5.1f Gbps\n", p.FWHMNM, strings.Repeat("#", bars), p.BitrateHz/1e9)
+		fmt.Fprintf(&b, "  %.1f nm | %-22s %5.1f Gbps\n", p.FWHMNM, strings.Repeat("#", bars), p.BitrateHz/1e9)
 	}
-	fmt.Println("  -> saturates at the 40 Gbps electrical cap near 0.8 nm;")
-	fmt.Println("     the paper operates conservatively at 30 Gbps.")
+	fmt.Fprintln(&b, "  -> saturates at the 40 Gbps electrical cap near 0.8 nm;")
+	fmt.Fprintln(&b, "     the paper operates conservatively at 30 Gbps.")
+	return b.String()
+}
 
-	fmt.Println("\nFig. 7(b) — PCA analog output voltage vs alpha")
+func fig7bSection() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Fig. 7(b) — PCA analog output voltage vs alpha")
 	for _, p := range sconna.Fig7b(10) {
 		bars := int(p.VoltageV * 40)
-		fmt.Printf("  %5.1f%% | %-40s %.4f V\n", p.AlphaPct, strings.Repeat("#", bars), p.VoltageV)
+		fmt.Fprintf(&b, "  %5.1f%% | %-40s %.4f V\n", p.AlphaPct, strings.Repeat("#", bars), p.VoltageV)
 	}
-	fmt.Println("  -> linear to alpha=100%: the TIR never saturates at N=176.")
+	fmt.Fprintln(&b, "  -> linear to alpha=100%: the TIR never saturates at N=176.")
+	return b.String()
+}
 
-	fmt.Println("\nFig. 6(c) — OAG transient eye at 10 Gbps")
+func fig6cSection() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Fig. 6(c) — OAG transient eye at 10 Gbps")
 	g := photonics.NewOAG(0.35)
 	rng := rand.New(rand.NewSource(7))
 	n := 24
@@ -47,15 +78,15 @@ func main() {
 	trace := g.Transient(ib, wb, 10e9, spb)
 	decoded := g.DecodeTransient(trace, spb)
 	row := func(name string, bits []bool) {
-		fmt.Printf("  %-8s ", name)
-		for _, b := range bits {
-			if b {
-				fmt.Print("1")
+		fmt.Fprintf(&b, "  %-8s ", name)
+		for _, bit := range bits {
+			if bit {
+				b.WriteByte('1')
 			} else {
-				fmt.Print("0")
+				b.WriteByte('0')
 			}
 		}
-		fmt.Println()
+		b.WriteByte('\n')
 	}
 	row("I", ib)
 	row("W", wb)
@@ -65,4 +96,5 @@ func main() {
 	}
 	row("I AND W", want)
 	row("T(l_in)", decoded)
+	return b.String()
 }

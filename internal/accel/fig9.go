@@ -49,24 +49,33 @@ func Gmean(xs []float64) float64 {
 
 // Fig9 runs the full comparison of the given accelerators over the given
 // models. The first accelerator is the ratio baseline numerator (SCONNA in
-// the paper's Fig. 9).
+// the paper's Fig. 9). It is Fig9Parallel at the default worker count.
 func Fig9(cfgs []Config, ms []models.Model) (Fig9Data, error) {
+	return Fig9Parallel(cfgs, ms, 0)
+}
+
+// Fig9Parallel is Fig9 with an explicit worker count (<= 0 selects
+// GOMAXPROCS). The (config, model) simulations fan across the pool via
+// Sweep; the ratio/gmean merge then walks the ordered results exactly as
+// the serial implementation did, so the output is bit-identical for any
+// worker count.
+func Fig9Parallel(cfgs []Config, ms []models.Model, workers int) (Fig9Data, error) {
 	data := Fig9Data{
 		GmeanFPS:       map[string]float64{},
 		GmeanFPSPerW:   map[string]float64{},
 		GmeanFPSPerWMM: map[string]float64{},
 	}
-	type key struct{ accel string }
+	results, err := Sweep(cfgs, ms, workers)
+	if err != nil {
+		return Fig9Data{}, err
+	}
 	ratiosFPS := map[string][]float64{}
 	ratiosW := map[string][]float64{}
 	ratiosA := map[string][]float64{}
-	for _, m := range ms {
+	for mi, m := range ms {
 		var first Result
 		for i, cfg := range cfgs {
-			r, err := Simulate(cfg, m)
-			if err != nil {
-				return Fig9Data{}, err
-			}
+			r := results[mi*len(cfgs)+i]
 			if i == 0 {
 				first = r
 			} else {

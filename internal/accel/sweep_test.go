@@ -1,0 +1,113 @@
+package accel
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/models"
+)
+
+func sweepJobs() []Job {
+	var jobs []Job
+	for _, m := range models.Evaluated() {
+		for _, cfg := range []Config{Sconna(), MAM(), AMM()} {
+			jobs = append(jobs, Job{Cfg: cfg, Model: m})
+		}
+	}
+	return jobs
+}
+
+// Simulate is a pure function, so the parallel sweep must return results
+// byte-identical to the serial (workers=1) walk at every worker count.
+func TestSimulateAllWorkerInvariance(t *testing.T) {
+	t.Parallel()
+	jobs := sweepJobs()
+	serial, err := SimulateAll(jobs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(jobs) {
+		t.Fatalf("got %d results for %d jobs", len(serial), len(jobs))
+	}
+	for _, workers := range []int{2, 4, 16} {
+		par, err := SimulateAll(jobs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("workers=%d sweep diverged from serial", workers)
+		}
+	}
+}
+
+// SimulateAll must preserve job order: result i simulates job i.
+func TestSimulateAllOrdered(t *testing.T) {
+	t.Parallel()
+	jobs := sweepJobs()
+	results, err := SimulateAll(jobs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Model != jobs[i].Model.Name || r.Config.Name != jobs[i].Cfg.Name {
+			t.Fatalf("result %d is (%s, %s), want (%s, %s)",
+				i, r.Model, r.Config.Name, jobs[i].Model.Name, jobs[i].Cfg.Name)
+		}
+	}
+}
+
+// Sweep lays results out model-major, matching Fig. 9 row order.
+func TestSweepModelMajorOrder(t *testing.T) {
+	t.Parallel()
+	cfgs := []Config{Sconna(), MAM()}
+	ms := models.Evaluated()[:2]
+	results, err := Sweep(cfgs, ms, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(cfgs)*len(ms) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for mi, m := range ms {
+		for ci, cfg := range cfgs {
+			r := results[mi*len(cfgs)+ci]
+			if r.Model != m.Name || r.Config.Name != cfg.Name {
+				t.Fatalf("cell (%d,%d) is (%s, %s)", mi, ci, r.Model, r.Config.Name)
+			}
+		}
+	}
+}
+
+// An invalid configuration in the middle of a sweep must surface as an
+// error that names the failing job without suppressing the others.
+func TestSimulateAllPropagatesError(t *testing.T) {
+	t.Parallel()
+	bad := Sconna()
+	bad.TotalVDPEs = 0
+	jobs := []Job{
+		{Cfg: Sconna(), Model: models.ResNet50()},
+		{Cfg: bad, Model: models.ResNet50()},
+	}
+	if _, err := SimulateAll(jobs, 4); err == nil {
+		t.Fatal("expected invalid job to fail the sweep")
+	}
+}
+
+// The parallel Fig. 9 pipeline must reproduce the serial one exactly:
+// same rows, same gmean ratios.
+func TestFig9ParallelMatchesSerial(t *testing.T) {
+	t.Parallel()
+	cfgs := []Config{Sconna(), MAM(), AMM()}
+	ms := models.Evaluated()
+	serial, err := Fig9Parallel(cfgs, ms, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig9Parallel(cfgs, ms, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("parallel Fig. 9 diverged from serial")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/quant"
 )
 
@@ -91,6 +92,12 @@ type Options struct {
 	// and sub-percent arithmetic perturbations become measurable, like
 	// ImageNet's fine-grained classes do for the paper.
 	Noise float64
+	// Workers bounds the study's concurrency: proxy models train in
+	// parallel and each model's batched inference fans example shards
+	// across engine-per-shard workers. <= 0 selects GOMAXPROCS. The
+	// results are bit-identical for every worker count (see
+	// quant.EvaluateParallel).
+	Workers int
 }
 
 // DefaultOptions returns the full-study configuration.
@@ -117,9 +124,33 @@ func QuickOptions() Options {
 	return o
 }
 
-// RunSpec trains, quantizes and evaluates one proxy model, returning its
-// Table V row.
-func RunSpec(spec Spec, opts Options) (Row, error) {
+// ShortOptions returns the `go test -short` tier: the smallest runs that
+// still exercise the full train/quantize/evaluate pipeline. Accuracy
+// floors do not hold at this scale — short-mode tests assert structure
+// and error bounds, not convergence.
+func ShortOptions() Options {
+	o := QuickOptions()
+	o.TrainExamples = 96
+	o.Epochs = 3
+	o.EvalExamples = 16
+	o.VDPESize = 32
+	return o
+}
+
+// Prepared carries the one-time trained and quantized artifacts of one
+// proxy spec: the fixture the evaluation stage (and tests sharing fixtures
+// across files) run against.
+type Prepared struct {
+	Spec Spec
+	Net  *nn.Network
+	QN   *quant.Network
+	Test []nn.Example
+}
+
+// Prepare generates the spec's dataset, trains the proxy CNN and
+// quantizes it. The whole stage is deterministic in (spec, opts): every
+// RNG is seeded from spec.Seed.
+func Prepare(spec Spec, opts Options) (*Prepared, error) {
 	dcfg := dataset.DefaultConfig()
 	dcfg.Seed = spec.Seed
 	if opts.Noise > 0 {
@@ -155,23 +186,39 @@ func RunSpec(spec Spec, opts Options) (Row, error) {
 	}
 	qn, err := quant.Quantize(net, opts.Bits, calib)
 	if err != nil {
-		return Row{}, fmt.Errorf("accuracy: %s: %w", spec.Name, err)
+		return nil, fmt.Errorf("accuracy: %s: %w", spec.Name, err)
 	}
+	return &Prepared{Spec: spec, Net: net, QN: qn, Test: test}, nil
+}
 
+// CoreConfig returns the functional-core operating point the prepared
+// model evaluates against under opts.
+func (p *Prepared) CoreConfig(opts Options) core.Config {
 	ccfg := core.DefaultConfig()
 	ccfg.Bits = opts.Bits
 	ccfg.N = opts.VDPESize
 	ccfg.M = 1
 	ccfg.IdealADC = opts.IdealADC
-	ccfg.ADCSeed = spec.Seed
-	engine, err := quant.NewSconnaEngine(ccfg)
-	if err != nil {
-		return Row{}, fmt.Errorf("accuracy: %s: %w", spec.Name, err)
-	}
+	ccfg.ADCSeed = p.Spec.Seed
+	return ccfg
+}
 
-	row := Row{Model: spec.Name, Params: net.NumParams()}
-	e1, e5 := qn.Evaluate(test, 5, quant.ExactEngine{})
-	s1, s5 := qn.Evaluate(test, 5, engine)
+// Evaluate runs the exact-integer and SCONNA evaluations of the prepared
+// model and returns its Table V row. Both evaluations fan example shards
+// across opts.Workers goroutines with one dot-product engine per shard
+// (the SCONNA engine's VDPC is stateful and must not be shared); the
+// shard partition and per-shard ADC seeds are fixed, so the row is
+// bit-identical at every worker count.
+func (p *Prepared) Evaluate(opts Options) (Row, error) {
+	row := Row{Model: p.Spec.Name, Params: p.Net.NumParams()}
+	e1, e5, err := p.QN.EvaluateParallel(p.Test, 5, quant.SharedEngine(quant.ExactEngine{}), opts.Workers)
+	if err != nil {
+		return Row{}, fmt.Errorf("accuracy: %s: exact evaluation: %w", p.Spec.Name, err)
+	}
+	s1, s5, err := p.QN.EvaluateParallel(p.Test, 5, quant.SconnaEngineFactory(p.CoreConfig(opts)), opts.Workers)
+	if err != nil {
+		return Row{}, fmt.Errorf("accuracy: %s: SCONNA evaluation: %w", p.Spec.Name, err)
+	}
 	row.Top1Exact, row.Top5Exact = e1*100, e5*100
 	row.Top1Sconna, row.Top5Sconna = s1*100, s5*100
 	row.Drop1 = row.Top1Exact - row.Top1Sconna
@@ -179,17 +226,36 @@ func RunSpec(spec Spec, opts Options) (Row, error) {
 	return row, nil
 }
 
-// Run executes the full Table V study and appends a gmean row computed the
-// way the paper reports it (geometric mean over per-model drops, floored
-// at 0.05 points to keep the gmean defined when a model shows no drop).
+// RunSpec trains, quantizes and evaluates one proxy model, returning its
+// Table V row.
+func RunSpec(spec Spec, opts Options) (Row, error) {
+	p, err := Prepare(spec, opts)
+	if err != nil {
+		return Row{}, err
+	}
+	return p.Evaluate(opts)
+}
+
+// Run executes the full Table V study — the per-spec train/quantize/eval
+// pipelines fan across opts.Workers goroutines; each pipeline is
+// deterministic in its spec, so the study is bit-identical to the serial
+// path — and appends a gmean row computed the way the paper reports it
+// (geometric mean over per-model drops, floored at 0.05 points to keep
+// the gmean defined when a model shows no drop).
 func Run(specs []Spec, opts Options) ([]Row, error) {
-	rows := make([]Row, 0, len(specs)+1)
-	for _, s := range specs {
-		r, err := RunSpec(s, opts)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, r)
+	inner := opts
+	if len(specs) > 1 {
+		// The spec pipelines already occupy the pool; keep each
+		// pipeline's evaluation shards serial rather than stacking a
+		// second pool per spec on the same cores. Evaluation results
+		// are worker-invariant, so this changes scheduling only.
+		inner.Workers = 1
+	}
+	rows, err := parallel.Map(opts.Workers, len(specs), func(i int) (Row, error) {
+		return RunSpec(specs[i], inner)
+	})
+	if err != nil {
+		return nil, err
 	}
 	g := Row{Model: "Gmean"}
 	g.Drop1 = gmeanFloored(rows, func(r Row) float64 { return r.Drop1 })

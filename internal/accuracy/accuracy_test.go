@@ -2,10 +2,13 @@ package accuracy
 
 import (
 	"math"
+	"reflect"
+	"sync"
 	"testing"
 )
 
 func TestDefaultSpecsCoverPaperModels(t *testing.T) {
+	t.Parallel()
 	specs := DefaultSpecs()
 	if len(specs) != 4 {
 		t.Fatalf("want 4 specs, got %d", len(specs))
@@ -25,6 +28,7 @@ func TestDefaultSpecsCoverPaperModels(t *testing.T) {
 }
 
 func TestGmeanFloored(t *testing.T) {
+	t.Parallel()
 	rows := []Row{{Drop1: 0.0}, {Drop1: 0.8}}
 	g := gmeanFloored(rows, func(r Row) float64 { return r.Drop1 })
 	want := math.Sqrt(0.05 * 0.8)
@@ -33,22 +37,50 @@ func TestGmeanFloored(t *testing.T) {
 	}
 }
 
+// proxyFixture holds the package's one-time trained/quantized proxy: the
+// evaluation tests share it instead of each retraining their own network.
+// -short swaps in the smallest pipeline that still exercises every stage.
+var proxyFixture struct {
+	once sync.Once
+	p    *Prepared
+	opts Options
+	err  error
+}
+
+func preparedProxy(t *testing.T) (*Prepared, Options) {
+	t.Helper()
+	proxyFixture.once.Do(func() {
+		opts := QuickOptions()
+		if testing.Short() {
+			opts = ShortOptions()
+		}
+		proxyFixture.opts = opts
+		proxyFixture.p, proxyFixture.err = Prepare(Spec{Name: "GoogleNet(proxy)", Width: 8, Seed: 7}, opts)
+	})
+	if proxyFixture.err != nil {
+		t.Fatal(proxyFixture.err)
+	}
+	return proxyFixture.p, proxyFixture.opts
+}
+
 // The core Table V claim, at reduced scale: quantized inference through
 // the SCONNA functional core loses only a small amount of accuracy
-// relative to exact integer inference.
+// relative to exact integer inference. The short tier runs the same
+// pipeline on a barely-trained proxy, so it asserts the error mechanism's
+// bound but not a convergence floor.
 func TestTableVDropSmall(t *testing.T) {
-	if testing.Short() {
-		t.Skip("training in -short mode")
-	}
-	opts := QuickOptions()
-	row, err := RunSpec(Spec{Name: "GoogleNet(proxy)", Width: 8, Seed: 7}, opts)
+	p, opts := preparedProxy(t)
+	row, err := p.Evaluate(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if row.Top1Exact < 60 {
+	dropBound := 15.0
+	if testing.Short() {
+		dropBound = 45.0
+	} else if row.Top1Exact < 60 {
 		t.Fatalf("proxy failed to train: exact top-1 %.1f%%", row.Top1Exact)
 	}
-	if row.Drop1 > 15 {
+	if row.Drop1 > dropBound {
 		t.Fatalf("Top-1 drop %.1f points implausibly large", row.Drop1)
 	}
 	if row.Top5Exact < row.Top1Exact {
@@ -60,26 +92,60 @@ func TestTableVDropSmall(t *testing.T) {
 }
 
 // Ideal-ADC inference must never be worse than noisy-ADC inference by a
-// meaningful margin (the ADC is the paper's error source, Sec. V-C).
+// meaningful margin (the ADC is the paper's error source, Sec. V-C). The
+// two evaluations share the fixture's one trained network.
 func TestIdealADCBoundsNoisy(t *testing.T) {
-	if testing.Short() {
-		t.Skip("training in -short mode")
-	}
-	opts := QuickOptions()
-	spec := Spec{Name: "ResNet50(proxy)", Width: 8, Seed: 9}
-	noisy, err := RunSpec(spec, opts)
+	p, opts := preparedProxy(t)
+	noisy, err := p.Evaluate(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts.IdealADC = true
-	ideal, err := RunSpec(spec, opts)
+	ideal, err := p.Evaluate(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ideal.Drop1 > noisy.Drop1+6 {
+	slack, streamBound := 6.0, 8.0
+	if testing.Short() {
+		slack, streamBound = 15.0, 25.0
+	}
+	if ideal.Drop1 > noisy.Drop1+slack {
 		t.Fatalf("ideal ADC drop %.1f should not exceed noisy drop %.1f", ideal.Drop1, noisy.Drop1)
 	}
-	if ideal.Drop1 > 8 {
+	if ideal.Drop1 > streamBound {
 		t.Fatalf("ideal-ADC drop %.1f points too large: stream error alone must be small", ideal.Drop1)
+	}
+}
+
+// The parallel study must be bit-identical to the serial one: per-spec
+// pipelines are deterministic in their seeds and the shard partition of
+// each evaluation is independent of the worker count.
+func TestRunWorkerInvariance(t *testing.T) {
+	t.Parallel()
+	opts := ShortOptions()
+	opts.TrainExamples = 64
+	opts.Epochs = 1
+	opts.EvalExamples = 16
+	specs := []Spec{
+		{Name: "GoogleNet(proxy)", Width: 4, Seed: 21},
+		{Name: "ResNet50(proxy)", Width: 4, Seed: 22},
+	}
+	opts.Workers = 1
+	serial, err := Run(specs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(specs)+1 || serial[len(serial)-1].Model != "Gmean" {
+		t.Fatalf("unexpected study shape: %+v", serial)
+	}
+	for _, workers := range []int{2, 8} {
+		opts.Workers = workers
+		par, err := Run(specs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("workers=%d study diverged from serial:\n%+v\nvs\n%+v", workers, par, serial)
+		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -46,6 +47,35 @@ func Generate(cfg Config, n int) []nn.Example {
 	for i := 0; i < n; i++ {
 		label := i % NumClasses
 		out = append(out, nn.Example{X: Render(cfg, label, rng), Label: label})
+	}
+	return out
+}
+
+// GenerateParallel produces n labelled examples (classes balanced
+// round-robin like Generate) across a bounded worker pool; workers <= 0
+// selects GOMAXPROCS. Each example renders from its own RNG stream,
+// deterministically derived from (cfg.Seed, example index), so the output
+// depends only on cfg and n — bit-identical at every worker count.
+//
+// It is deliberately NOT a drop-in replacement for Generate: at the same
+// seed the two draw different images (single sequential stream vs
+// per-example streams). The accuracy study pins its trained fixtures and
+// Table V numbers to Generate's stream; swapping this in there would
+// silently retrain every proxy on different data. Use it for new
+// workloads sized beyond what serial generation sustains.
+func GenerateParallel(cfg Config, n, workers int) []nn.Example {
+	if cfg.Size == 0 {
+		cfg.Size = 16
+	}
+	out := make([]nn.Example, n)
+	err := parallel.ForEach(workers, n, func(i int) error {
+		rng := rand.New(rand.NewSource(cfg.Seed*1000003 + int64(i)))
+		label := i % NumClasses
+		out[i] = nn.Example{X: Render(cfg, label, rng), Label: label}
+		return nil
+	})
+	if err != nil { // unreachable: rendering cannot fail
+		panic(err)
 	}
 	return out
 }

@@ -47,6 +47,55 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 }
 
+// GenerateParallel seeds each example independently, so its output must
+// be byte-identical at every worker count — including the serial walk.
+func TestGenerateParallelWorkerInvariance(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	serial := GenerateParallel(cfg, 64, 1)
+	if len(serial) != 64 {
+		t.Fatalf("got %d examples", len(serial))
+	}
+	for _, workers := range []int{2, 4, 16} {
+		par := GenerateParallel(cfg, 64, workers)
+		for i := range serial {
+			if par[i].Label != serial[i].Label {
+				t.Fatalf("workers=%d label %d diverged", workers, i)
+			}
+			for j := range serial[i].X.Data {
+				if par[i].X.Data[j] != serial[i].X.Data[j] {
+					t.Fatalf("workers=%d example %d pixel %d diverged", workers, i, j)
+				}
+			}
+		}
+	}
+}
+
+// GenerateParallel keeps Generate's contract: balanced labels, bounded
+// pixels, configured shape.
+func TestGenerateParallelBalancedAndBounded(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	ex := GenerateParallel(cfg, 64, 8)
+	counts := map[int]int{}
+	for _, e := range ex {
+		counts[e.Label]++
+		if e.X.Shape[0] != 1 || e.X.Shape[1] != cfg.Size || e.X.Shape[2] != cfg.Size {
+			t.Fatalf("shape %v", e.X.Shape)
+		}
+		for _, v := range e.X.Data {
+			if v < 0 || v > 1 {
+				t.Fatalf("pixel %g out of [0,1]", v)
+			}
+		}
+	}
+	for c := 0; c < NumClasses; c++ {
+		if counts[c] != 8 {
+			t.Fatalf("class %d count %d want 8", c, counts[c])
+		}
+	}
+}
+
 func TestSplitFractions(t *testing.T) {
 	ex := Generate(DefaultConfig(), 100)
 	train, test := Split(ex, 0.2)
@@ -70,19 +119,25 @@ func TestClassNamesComplete(t *testing.T) {
 // train accuracy quickly. This is the gate for the Table V study being
 // meaningful.
 func TestDatasetLearnable(t *testing.T) {
+	// The short tier trains a smaller run with a looser floor: it still
+	// gates "a CNN learns something from these patterns" without paying
+	// the full-convergence cost.
+	examples, epochs := 320, 14
+	trainFloor, testFloor := 0.9, 0.8
 	if testing.Short() {
-		t.Skip("training in -short mode")
+		examples, epochs = 160, 6
+		trainFloor, testFloor = 0.4, 0.3
 	}
 	cfg := DefaultConfig()
-	ex := Generate(cfg, 320)
+	ex := Generate(cfg, examples)
 	train, test := Split(ex, 0.25)
 	net := nn.BuildSmallCNN(6, NumClasses, 42)
-	res := net.Train(train, 14, 16, nn.SGD{LR: 0.05, Momentum: 0.9}, rand.New(rand.NewSource(42)))
-	if res.TrainAccuracy < 0.9 {
+	res := net.Train(train, epochs, 16, nn.SGD{LR: 0.05, Momentum: 0.9}, rand.New(rand.NewSource(42)))
+	if res.TrainAccuracy < trainFloor {
 		t.Fatalf("train accuracy %.2f too low (loss %.3f)", res.TrainAccuracy, res.FinalLoss)
 	}
 	top1, top5 := net.Evaluate(test, 5)
-	if top1 < 0.8 {
+	if top1 < testFloor {
 		t.Fatalf("test top-1 %.2f too low", top1)
 	}
 	if top5 < top1 {

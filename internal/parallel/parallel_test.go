@@ -1,0 +1,137 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	t.Parallel()
+	if Workers(3) != 3 {
+		t.Fatal("explicit worker count must pass through")
+	}
+	if Workers(0) < 1 || Workers(-5) < 1 {
+		t.Fatal("defaulted worker count must be positive")
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	t.Parallel()
+	for _, workers := range []int{1, 2, 7, 64} {
+		n := 100
+		counts := make([]atomic.Int64, n)
+		if err := ForEach(workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	t.Parallel()
+	if err := ForEach(4, 0, func(int) error { t.Error("must not run"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachErrorOrderDeterministic(t *testing.T) {
+	t.Parallel()
+	fail := func(i int) error {
+		if i%3 == 0 {
+			return fmt.Errorf("boom-%d", i)
+		}
+		return nil
+	}
+	serial := ForEach(1, 20, fail)
+	for _, workers := range []int{2, 8} {
+		par := ForEach(workers, 20, fail)
+		if par == nil || serial == nil {
+			t.Fatal("expected errors")
+		}
+		if par.Error() != serial.Error() {
+			t.Fatalf("workers=%d error order diverged:\n%s\nvs\n%s", workers, par, serial)
+		}
+	}
+	if !strings.Contains(serial.Error(), "item 0: boom-0") {
+		t.Fatalf("missing indexed error: %s", serial)
+	}
+}
+
+func TestForEachErrorDoesNotStopOtherItems(t *testing.T) {
+	t.Parallel()
+	var ran atomic.Int64
+	err := ForEach(4, 10, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("first item fails")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if ran.Load() != 10 {
+		t.Fatalf("all items must still run, got %d", ran.Load())
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	t.Parallel()
+	for _, workers := range []int{1, 3, 16} {
+		got, err := Map(workers, 50, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d out of order at %d: %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	t.Parallel()
+	got, err := Map(4, 10, func(i int) (int, error) {
+		if i == 7 {
+			return 0, errors.New("nope")
+		}
+		return i, nil
+	})
+	if err == nil || got != nil {
+		t.Fatal("map with failing item must return nil slice and error")
+	}
+}
+
+func TestSpansPartition(t *testing.T) {
+	t.Parallel()
+	spans := Spans(10, 4)
+	want := []Span{{0, 4}, {4, 8}, {8, 10}}
+	if len(spans) != len(want) {
+		t.Fatalf("spans %v", spans)
+	}
+	for i := range want {
+		if spans[i] != want[i] {
+			t.Fatalf("span %d = %v want %v", i, spans[i], want[i])
+		}
+	}
+	if Spans(0, 4) != nil {
+		t.Fatal("no spans for empty input")
+	}
+	if got := Spans(5, 0); len(got) != 1 || got[0] != (Span{0, 5}) {
+		t.Fatalf("size<=0 must yield one span, got %v", got)
+	}
+	if (Span{2, 6}).Len() != 4 {
+		t.Fatal("span length")
+	}
+}

@@ -1,0 +1,111 @@
+package quant
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+)
+
+// quantizedFixture quantizes the shared trained network once for the
+// parallel-evaluation tests.
+func quantizedFixture(t testing.TB) (*Network, []nn.Example) {
+	t.Helper()
+	net, train, test := trainTinyNet(t)
+	qn, err := Quantize(net, 8, train[:32])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qn, test
+}
+
+// Parallel evaluation with a stateless shared engine must reproduce the
+// serial Evaluate bit-for-bit at every worker count: the shard merge is
+// integer summation and ExactEngine is a pure function.
+func TestEvaluateParallelMatchesSerialExact(t *testing.T) {
+	qn, test := quantizedFixture(t)
+	wantTop1, wantTop5 := qn.Evaluate(test, 5, ExactEngine{})
+	for _, workers := range []int{1, 2, 3, 8} {
+		got1, got5, err := qn.EvaluateParallel(test, 5, SharedEngine(ExactEngine{}), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got1 != wantTop1 || got5 != wantTop5 {
+			t.Fatalf("workers=%d parallel (%.6f, %.6f) != serial (%.6f, %.6f)",
+				workers, got1, got5, wantTop1, wantTop5)
+		}
+	}
+}
+
+// Parallel evaluation through the stateful SCONNA engine must be
+// invariant in the worker count: the shard partition and per-shard ADC
+// seeds are fixed, so any parallel schedule realizes the same noise
+// streams as the serial (workers=1) walk over the shards.
+func TestEvaluateParallelWorkerInvariance(t *testing.T) {
+	qn, test := quantizedFixture(t)
+	ccfg := core.DefaultConfig()
+	ccfg.N = 32
+	ccfg.M = 1
+	ccfg.ADCSeed = 77
+	factory := SconnaEngineFactory(ccfg)
+	ref1, ref5, err := qn.EvaluateParallel(test, 5, factory, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got1, got5, err := qn.EvaluateParallel(test, 5, factory, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got1 != ref1 || got5 != ref5 {
+			t.Fatalf("workers=%d (%.6f, %.6f) != workers=1 (%.6f, %.6f)",
+				workers, got1, got5, ref1, ref5)
+		}
+	}
+}
+
+// Re-running the same parallel evaluation must reproduce itself exactly —
+// each shard's engine is rebuilt from the same derived seed.
+func TestEvaluateParallelRepeatable(t *testing.T) {
+	qn, test := quantizedFixture(t)
+	ccfg := core.DefaultConfig()
+	ccfg.N = 32
+	ccfg.M = 1
+	factory := SconnaEngineFactory(ccfg)
+	a1, a5, err := qn.EvaluateParallel(test, 5, factory, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, b5, err := qn.EvaluateParallel(test, 5, factory, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != b1 || a5 != b5 {
+		t.Fatalf("rerun diverged: (%.6f, %.6f) vs (%.6f, %.6f)", a1, a5, b1, b5)
+	}
+}
+
+func TestEvaluateParallelEmpty(t *testing.T) {
+	t.Parallel()
+	qn := &Network{Bits: 8}
+	top1, top5, err := qn.EvaluateParallel(nil, 5, SharedEngine(ExactEngine{}), 4)
+	if err != nil || top1 != 0 || top5 != 0 {
+		t.Fatalf("empty evaluation: %v %v %v", top1, top5, err)
+	}
+}
+
+// A factory failure must surface as an error naming the shard, not panic
+// or deadlock, and must not poison other shards' work.
+func TestEvaluateParallelFactoryError(t *testing.T) {
+	qn, test := quantizedFixture(t)
+	bad := func(shard int) (DotEngine, error) {
+		if shard == 0 {
+			return nil, errors.New("no engine for shard 0")
+		}
+		return ExactEngine{}, nil
+	}
+	if _, _, err := qn.EvaluateParallel(test, 5, bad, 4); err == nil {
+		t.Fatal("expected factory error to propagate")
+	}
+}

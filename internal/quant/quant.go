@@ -69,12 +69,15 @@ type QDense struct {
 	InScale float32
 }
 
-// qlayer is a node of the quantized network.
+// qlayer is a node of the quantized network. It holds no forward-pass
+// state (pooling layers are instantiated per call), so a Network is safe
+// for concurrent Forward calls as long as each goroutine brings its own
+// DotEngine.
 type qlayer struct {
 	conv  *QConv2D
 	dense *QDense
 	relu  bool
-	pool  *nn.MaxPool2
+	pool  bool
 	gap   bool
 	flat  bool
 }
@@ -149,7 +152,7 @@ func Quantize(src *nn.Network, bits int, calibration []nn.Example) (*Network, er
 		case *nn.ReLU:
 			qn.layers = append(qn.layers, qlayer{relu: true})
 		case *nn.MaxPool2:
-			qn.layers = append(qn.layers, qlayer{pool: &nn.MaxPool2{}})
+			qn.layers = append(qn.layers, qlayer{pool: true})
 		case *nn.GlobalAvgPool:
 			qn.layers = append(qn.layers, qlayer{gap: true})
 		case *nn.Flatten:
@@ -210,8 +213,10 @@ func (q *Network) Forward(x *tensor.T, engine DotEngine) *tensor.T {
 					x.Data[i] = 0
 				}
 			}
-		case l.pool != nil:
-			x = l.pool.Forward(x)
+		case l.pool:
+			// Fresh instance per call: nn.MaxPool2 caches backprop state
+			// in-place, which would race across concurrent evaluations.
+			x = (&nn.MaxPool2{}).Forward(x)
 		case l.gap:
 			x = (&nn.GlobalAvgPool{}).Forward(x)
 		case l.flat:
@@ -280,28 +285,14 @@ func (d *QDense) forward(x *tensor.T, engine DotEngine, qmax int) *tensor.T {
 }
 
 // Evaluate returns top-1 and top-k accuracy of quantized inference over
-// the examples using engine.
+// the examples using engine, serially on the caller's goroutine. For
+// concurrent evaluation with engine-per-shard isolation see
+// EvaluateParallel.
 func (q *Network) Evaluate(examples []nn.Example, k int, engine DotEngine) (top1, topk float64) {
 	if len(examples) == 0 {
 		return 0, 0
 	}
-	c1, ck := 0, 0
-	for _, ex := range examples {
-		logits := q.Forward(ex.X, engine)
-		if logits.ArgMax() == ex.Label {
-			c1++
-		}
-		lv := logits.Data[ex.Label]
-		higher := 0
-		for i, v := range logits.Data {
-			if i != ex.Label && v > lv {
-				higher++
-			}
-		}
-		if higher < k {
-			ck++
-		}
-	}
+	c1, ck := q.evaluateBlock(examples, k, engine)
 	return float64(c1) / float64(len(examples)), float64(ck) / float64(len(examples))
 }
 

@@ -3,6 +3,7 @@ package quant
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -11,14 +12,32 @@ import (
 	"repro/internal/tensor"
 )
 
+// tinyNetFixture holds the package's one-time trained network: every test
+// needing a trained model shares it instead of retraining (the training
+// run dominates this package's test time). -short shrinks the run; tests
+// relax convergence-dependent assertions accordingly.
+var tinyNetFixture struct {
+	once  sync.Once
+	net   *nn.Network
+	train []nn.Example
+	test  []nn.Example
+}
+
 func trainTinyNet(t testing.TB) (*nn.Network, []nn.Example, []nn.Example) {
 	t.Helper()
-	cfg := dataset.DefaultConfig()
-	ex := dataset.Generate(cfg, 240)
-	train, test := dataset.Split(ex, 0.25)
-	net := nn.BuildSmallCNN(4, dataset.NumClasses, 11)
-	net.Train(train, 10, 16, nn.SGD{LR: 0.05, Momentum: 0.9}, rand.New(rand.NewSource(11)))
-	return net, train, test
+	tinyNetFixture.once.Do(func() {
+		n, epochs := 240, 10
+		if testing.Short() {
+			n, epochs = 120, 4
+		}
+		cfg := dataset.DefaultConfig()
+		ex := dataset.Generate(cfg, n)
+		train, test := dataset.Split(ex, 0.25)
+		net := nn.BuildSmallCNN(4, dataset.NumClasses, 11)
+		net.Train(train, epochs, 16, nn.SGD{LR: 0.05, Momentum: 0.9}, rand.New(rand.NewSource(11)))
+		tinyNetFixture.net, tinyNetFixture.train, tinyNetFixture.test = net, train, test
+	})
+	return tinyNetFixture.net, tinyNetFixture.train, tinyNetFixture.test
 }
 
 func TestExactEngine(t *testing.T) {
@@ -64,9 +83,6 @@ func TestQuantizeActsClampsNonNegative(t *testing.T) {
 // on a trained model (the premise of the paper's "integer-quantized CNN"
 // setting).
 func TestQuantizedMatchesFloat(t *testing.T) {
-	if testing.Short() {
-		t.Skip("training in -short mode")
-	}
 	net, train, test := trainTinyNet(t)
 	qn, err := Quantize(net, 8, train[:32])
 	if err != nil {
@@ -80,7 +96,14 @@ func TestQuantizedMatchesFloat(t *testing.T) {
 	if qTop5 < qTop1 {
 		t.Fatal("top5 < top1")
 	}
-	if math.Abs(floatTop1-qTop1) > 0.08 {
+	// The short tier's barely-trained net sits nearer decision boundaries,
+	// so int8 rounding flips more predictions; the mechanism under test is
+	// the same.
+	tol := 0.08
+	if testing.Short() {
+		tol = 0.20
+	}
+	if math.Abs(floatTop1-qTop1) > tol {
 		t.Fatalf("8-bit quantization drop too large: float %.3f vs int8 %.3f", floatTop1, qTop1)
 	}
 }
@@ -89,9 +112,6 @@ func TestQuantizedMatchesFloat(t *testing.T) {
 // within the one-bit-per-lane stream quantization — i.e. logits nearly
 // identical, accuracy essentially unchanged.
 func TestSconnaIdealADCCloseToExact(t *testing.T) {
-	if testing.Short() {
-		t.Skip("training in -short mode")
-	}
 	net, train, test := trainTinyNet(t)
 	qn, err := Quantize(net, 8, train[:32])
 	if err != nil {

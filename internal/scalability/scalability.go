@@ -9,6 +9,7 @@ package scalability
 import (
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/photonics"
 )
 
@@ -260,19 +261,39 @@ func PaperTableIN(org Organization, precision, drGS int) int {
 }
 
 // TableI regenerates Table I: max N for AMM and MAM at 4- and 6-bit
-// precision across data rates of 1, 3, 5 and 10 GS/s.
+// precision across data rates of 1, 3, 5 and 10 GS/s. It is TableIParallel
+// at the default worker count.
 func (c Config) TableI() []TableICell {
-	var out []TableICell
+	return c.TableIParallel(0)
+}
+
+// TableIParallel solves the Table I cells across a bounded worker pool
+// (<= 0 selects GOMAXPROCS). Each cell's MaxN solve is a pure function of
+// the configuration, so the table is identical for any worker count.
+func (c Config) TableIParallel(workers int) []TableICell {
+	type cellSpec struct {
+		org Organization
+		b   int
+		gs  int
+	}
+	var specs []cellSpec
 	for _, org := range []Organization{AMM, MAM} {
 		for _, b := range []int{4, 6} {
 			for _, gs := range []int{1, 3, 5, 10} {
-				out = append(out, TableICell{
-					Org: org, Precision: b, DataRate: float64(gs) * 1e9,
-					N:      c.MaxN(org, b, float64(gs)*1e9),
-					PaperN: PaperTableIN(org, b, gs),
-				})
+				specs = append(specs, cellSpec{org, b, gs})
 			}
 		}
+	}
+	out, err := parallel.Map(workers, len(specs), func(i int) (TableICell, error) {
+		s := specs[i]
+		return TableICell{
+			Org: s.org, Precision: s.b, DataRate: float64(s.gs) * 1e9,
+			N:      c.MaxN(s.org, s.b, float64(s.gs)*1e9),
+			PaperN: PaperTableIN(s.org, s.b, s.gs),
+		}, nil
+	})
+	if err != nil { // unreachable: the cell solver cannot fail
+		panic(err)
 	}
 	return out
 }

@@ -2,6 +2,7 @@ package scalability
 
 import (
 	"math"
+	"reflect"
 	"testing"
 )
 
@@ -204,5 +205,25 @@ func BenchmarkTableISolve(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c.TableI()
+	}
+}
+
+// The Table I solve is a pure function per cell, so the parallel solver
+// must return the identical table at every worker count.
+func TestTableIParallelWorkerInvariance(t *testing.T) {
+	t.Parallel()
+	c := DefaultConfig()
+	serial := c.TableIParallel(1)
+	if len(serial) != 16 {
+		t.Fatalf("table has %d cells, want 16", len(serial))
+	}
+	for _, workers := range []int{2, 8} {
+		par := c.TableIParallel(workers)
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("workers=%d Table I diverged from serial", workers)
+		}
+	}
+	if !reflect.DeepEqual(serial, c.TableI()) {
+		t.Fatal("TableI must equal TableIParallel at the default worker count")
 	}
 }

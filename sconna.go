@@ -5,6 +5,7 @@ import (
 	"repro/internal/accuracy"
 	"repro/internal/core"
 	"repro/internal/models"
+	"repro/internal/parallel"
 	"repro/internal/pca"
 	"repro/internal/photonics"
 	"repro/internal/scalability"
@@ -44,6 +45,8 @@ type (
 	AccelConfig = accel.Config
 	// AccelResult is one (accelerator, model) simulation outcome.
 	AccelResult = accel.Result
+	// AccelJob is one (accelerator, model) pair of a design-space sweep.
+	AccelJob = accel.Job
 	// Fig9Data aggregates the Fig. 9 comparison.
 	Fig9Data = accel.Fig9Data
 	// Model is a CNN workload descriptor.
@@ -68,9 +71,24 @@ func Simulate(cfg AccelConfig, model Model) (AccelResult, error) {
 	return accel.Simulate(cfg, model)
 }
 
+// SimulateAll fans a design-space sweep across a bounded worker pool and
+// returns the results in job order; workers <= 0 selects GOMAXPROCS. The
+// output is bit-identical to a serial loop for any worker count.
+func SimulateAll(jobs []AccelJob, workers int) ([]AccelResult, error) {
+	return accel.SimulateAll(jobs, workers)
+}
+
 // RunFig9 regenerates the paper's Fig. 9 comparison (SCONNA vs MAM vs AMM
-// over GoogleNet, ResNet50, MobileNet_V2, ShuffleNet_V2).
+// over GoogleNet, ResNet50, MobileNet_V2, ShuffleNet_V2), fanning the 12
+// simulations across all cores.
 func RunFig9() (Fig9Data, error) { return accel.Fig9Default() }
+
+// RunFig9Parallel is RunFig9 with an explicit worker count (<= 0 selects
+// GOMAXPROCS); the result is identical for every worker count.
+func RunFig9Parallel(workers int) (Fig9Data, error) {
+	return accel.Fig9Parallel([]AccelConfig{accel.Sconna(), accel.MAM(), accel.AMM()},
+		models.Evaluated(), workers)
+}
 
 // EvaluatedModels returns the four CNNs of the Fig. 9 evaluation.
 func EvaluatedModels() []Model { return models.Evaluated() }
@@ -92,8 +110,14 @@ type (
 func DefaultScalabilityConfig() ScalabilityConfig { return scalability.DefaultConfig() }
 
 // TableI regenerates the paper's Table I (max VDPE size N for AMM/MAM at
-// 4/6-bit over 1-10 GS/s).
+// 4/6-bit over 1-10 GS/s), solving the cells across all cores.
 func TableI() []TableICell { return scalability.DefaultConfig().TableI() }
+
+// TableIParallel is TableI with an explicit worker count (<= 0 selects
+// GOMAXPROCS); the table is identical for every worker count.
+func TableIParallel(workers int) []TableICell {
+	return scalability.DefaultConfig().TableIParallel(workers)
+}
 
 // SolveSconnaN reproduces the Section V-B determination of SCONNA's VDPC
 // size at the given stream bitrate (30 Gbps in the paper).
@@ -111,12 +135,16 @@ type Fig7aPoint struct {
 
 // Fig7a sweeps the OAG's maximum bitrate against resonance FWHM at the
 // given detector sensitivity (-28 dBm in the paper), reproducing the
-// Fig. 7(a) frontier that saturates at 40 Gbps near 0.8 nm.
+// Fig. 7(a) frontier that saturates at 40 Gbps near 0.8 nm. The sweep
+// points are independent device solves, so they fan across all cores;
+// the ordered result is identical to a serial sweep.
 func Fig7a(sensitivityDBm float64, fwhms []float64) []Fig7aPoint {
-	out := make([]Fig7aPoint, 0, len(fwhms))
-	for _, fw := range fwhms {
-		g := photonics.NewOAG(fw)
-		out = append(out, Fig7aPoint{FWHMNM: fw, BitrateHz: g.MaxBitrate(sensitivityDBm)})
+	out, err := parallel.Map(0, len(fwhms), func(i int) (Fig7aPoint, error) {
+		g := photonics.NewOAG(fwhms[i])
+		return Fig7aPoint{FWHMNM: fwhms[i], BitrateHz: g.MaxBitrate(sensitivityDBm)}, nil
+	})
+	if err != nil { // unreachable: the device solve cannot fail
+		panic(err)
 	}
 	return out
 }
