@@ -145,6 +145,56 @@ func BenchmarkFig9SweepSerial(b *testing.B) { fig9SweepBench(b, 1) }
 // BenchmarkFig9SweepParallel fans the Fig. 9 sweep across all cores.
 func BenchmarkFig9SweepParallel(b *testing.B) { fig9SweepBench(b, 0) }
 
+// BenchmarkFig9Cold prices an uncached Fig. 9 grid: a fresh cache-aware
+// runner every iteration, so all 12 cells simulate. Compare with
+// BenchmarkFig9Warm for the content-addressed cache's effect (the
+// acceptance bar is >= 10x).
+func BenchmarkFig9Cold(b *testing.B) {
+	cfgs := []accel.Config{accel.Sconna(), accel.MAM(), accel.AMM()}
+	ms := models.Evaluated()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := accel.NewRunner(accel.RunnerOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, err := r.Fig9(cfgs, ms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(data.Rows) != 12 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+// BenchmarkFig9Warm prices a fully warmed Fig. 9 grid: one shared runner
+// pre-warmed outside the timer, so every cell is a memory hit and only
+// the cache lookups and the ratio/gmean merge remain. The results are
+// bit-identical to the cold run — only the wall time moves.
+func BenchmarkFig9Warm(b *testing.B) {
+	cfgs := []accel.Config{accel.Sconna(), accel.MAM(), accel.AMM()}
+	ms := models.Evaluated()
+	r, err := accel.NewRunner(accel.RunnerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := r.Fig9(cfgs, ms); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := r.Fig9(cfgs, ms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(data.Rows) != 12 {
+			b.Fatal("rows")
+		}
+	}
+}
+
 // tableVState holds the one-time trained/quantized model for E9.
 var tableVState struct {
 	once   sync.Once

@@ -3,12 +3,16 @@
 //
 // Usage:
 //
-//	experiments -exp all|table1|table2|fig6c|fig7a|fig7b|fig9|table5|ablations [-quick] [-workers N] [-out DIR]
+//	experiments -exp all|table1|table2|fig6c|fig7a|fig7b|fig9|table5|ablations [-quick] [-workers N] [-out DIR] [-cache-dir DIR]
 //
 // -quick shrinks the Table V training runs for smoke tests; -workers
 // bounds the concurrency of the design-space sweeps and the Table V
 // study (0 = all cores; results are identical at every worker count);
-// -out writes each experiment's rows as CSV files into DIR.
+// -out writes each experiment's rows as CSV files into DIR; -cache-dir
+// persists design-space results in a content-addressed store so
+// repeated runs recompute only changed cells (cached results are
+// bit-identical, so stdout never depends on the cache state; traffic
+// stats print to stderr).
 package main
 
 import (
@@ -35,8 +39,19 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced-size Table V study")
 	workers := flag.Int("workers", 0, "worker pool size for sweeps and the Table V study (0 = all cores)")
 	out := flag.String("out", "", "directory to write CSV outputs")
+	cacheDir := flag.String("cache-dir", "", "persist design-space results in this content-addressed store")
 	flag.Parse()
 	pool := *workers
+
+	arun, err := sconna.NewAccelRunner(sconna.AccelRunnerOptions{Workers: pool, CacheDir: *cacheDir})
+	if err != nil {
+		fatal(err)
+	}
+	srun, err := sconna.NewScalabilityRunner(sconna.DefaultScalabilityConfig(),
+		sconna.ScalabilityRunnerOptions{Workers: pool, CacheDir: *cacheDir})
+	if err != nil {
+		fatal(err)
+	}
 
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -60,22 +75,38 @@ func main() {
 		}
 	}
 
-	run("table1", func() *report.Table { return tableI(pool) })
+	run("table1", func() *report.Table { return tableI(srun) })
 	run("table2", tableII)
 	run("fig6c", fig6c)
 	run("fig7a", fig7a)
 	run("fig7b", fig7b)
-	run("fig9", func() *report.Table { return fig9(pool) })
+	run("fig9", func() *report.Table { return fig9(arun) })
 	if *exp == "all" || *exp == "table5" {
 		run("table5", func() *report.Table { return tableV(*quick, pool) })
 	}
 	if *exp == "ablations" {
 		*exp = "all" // expand the group: run() filters by name
 	}
-	run("ablation-b", func() *report.Table { return ablationStreamLength(pool) })
+	run("ablation-b", func() *report.Table { return ablationStreamLength(arun) })
 	run("ablation-sng", ablationSNG)
 	run("ablation-psum", ablationPsum)
-	run("ablation-batch", func() *report.Table { return ablationBatch(pool) })
+	run("ablation-batch", func() *report.Table { return ablationBatch(arun) })
+
+	// Cache traffic goes to stderr so stdout stays byte-identical between
+	// cold and warm runs (the CI smoke step relies on both properties).
+	if *cacheDir != "" {
+		reportCache("accel", arun.Stats())
+		reportCache("scalability", srun.Stats())
+	}
+}
+
+// reportCache prints one store's traffic counters to stderr (idle stores
+// stay silent).
+func reportCache(name string, s sconna.CacheStats) {
+	if s.Lookups == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "cache[%s]: %s\n", name, s)
 }
 
 func fatal(err error) {
@@ -83,11 +114,12 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// tableI reproduces Table I: max VDPE size N for the analog organizations.
-func tableI(pool int) *report.Table {
+// tableI reproduces Table I: max VDPE size N for the analog
+// organizations, solving the cells through the cache-aware runner.
+func tableI(srun *sconna.ScalabilityRunner) *report.Table {
 	t := report.NewTable("Table I — analog VDPE size N vs precision and data rate",
 		"org", "precision", "DR (GS/s)", "N (measured)", "N (paper)")
-	for _, c := range sconna.TableIParallel(pool) {
+	for _, c := range srun.TableI() {
 		t.AddRow(c.Org.String(), fmt.Sprintf("%d-bit", c.Precision), c.DataRate/1e9, c.N, c.PaperN)
 	}
 	s := sconna.SolveSconnaN(30e9)
@@ -162,9 +194,11 @@ func fig7b() *report.Table {
 }
 
 // fig9 reproduces the headline comparison, fanning the 12 simulations
-// across the worker pool.
-func fig9(pool int) *report.Table {
-	data, err := sconna.RunFig9Parallel(pool)
+// across the worker pool through the cache-aware runner.
+func fig9(arun *sconna.AccelRunner) *report.Table {
+	data, err := arun.Fig9(
+		[]sconna.AccelConfig{sconna.SconnaAccel(), sconna.MAMAccel(), sconna.AMMAccel()},
+		sconna.EvaluatedModels())
 	if err != nil {
 		fatal(err)
 	}
@@ -218,7 +252,7 @@ func tableV(quick bool, pool int) *report.Table {
 }
 
 // ablationStreamLength (A1): SCONNA FPS vs stream precision B.
-func ablationStreamLength(pool int) *report.Table {
+func ablationStreamLength(arun *sconna.AccelRunner) *report.Table {
 	t := report.NewTable("Ablation A1 — SCONNA stream length 2^B vs throughput (ResNet50)",
 		"B (bits)", "stream bits", "op latency (ns)", "FPS")
 	bitsList := []int{4, 6, 8}
@@ -229,7 +263,7 @@ func ablationStreamLength(pool int) *report.Table {
 		cfg.SlicePrecision = b
 		jobs = append(jobs, sconna.AccelJob{Cfg: cfg, Model: models.ResNet50()})
 	}
-	results, err := sconna.SimulateAll(jobs, pool)
+	results, err := arun.SimulateAll(jobs)
 	if err != nil {
 		fatal(err)
 	}
@@ -277,7 +311,7 @@ func ablationPsum() *report.Table {
 // ablationBatch (A4): batching amortizes weight reloads — by how much,
 // per accelerator (ResNet50). The 9 (accelerator, batch) simulations fan
 // across the worker pool.
-func ablationBatch(pool int) *report.Table {
+func ablationBatch(arun *sconna.AccelRunner) *report.Table {
 	t := report.NewTable("Ablation A4 — batch size vs FPS (ResNet50; analog reloads amortize)",
 		"accelerator", "batch 1", "batch 8", "batch 32", "speedup @32")
 	bases := []sconna.AccelConfig{sconna.SconnaAccel(), sconna.MAMAccel(), sconna.AMMAccel()}
@@ -290,7 +324,7 @@ func ablationBatch(pool int) *report.Table {
 			jobs = append(jobs, sconna.AccelJob{Cfg: cfg, Model: models.ResNet50()})
 		}
 	}
-	results, err := sconna.SimulateAll(jobs, pool)
+	results, err := arun.SimulateAll(jobs)
 	if err != nil {
 		fatal(err)
 	}

@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	sconnsim -model resnet50 -accel sconna [-layers] [-all]
+//	sconnsim -model resnet50 -accel sconna [-layers] [-all] [-workers N] [-cache-dir DIR]
+//
+// Every simulation flows through the cache-aware evaluation runner: -all
+// fans the three accelerators across the worker pool (-workers, 0 = all
+// cores; the output is identical at every worker count), and -cache-dir
+// persists results in a content-addressed store shared with cmd/experiments
+// so repeated invocations recompute only changed configurations.
 package main
 
 import (
@@ -25,6 +31,8 @@ func main() {
 	accelName := flag.String("accel", "sconna", "accelerator: sconna|mam|amm")
 	layers := flag.Bool("layers", false, "print per-layer breakdown")
 	all := flag.Bool("all", false, "run every accelerator on the model")
+	workers := flag.Int("workers", 0, "worker pool size for -all sweeps (0 = all cores)")
+	cacheDir := flag.String("cache-dir", "", "persist simulation results in this content-addressed store")
 	flag.Parse()
 
 	model, err := pickModel(*modelName)
@@ -42,14 +50,27 @@ func main() {
 		cfgs = append(cfgs, cfg)
 	}
 
+	runner, err := sconna.NewAccelRunner(sconna.AccelRunnerOptions{
+		Workers:  *workers,
+		CacheDir: *cacheDir,
+	})
+	if err != nil {
+		fail(err)
+	}
+	jobs := make([]sconna.AccelJob, len(cfgs))
+	for i, cfg := range cfgs {
+		jobs[i] = sconna.AccelJob{Cfg: cfg, Model: model}
+	}
+	results, err := runner.SimulateAll(jobs)
+	if err != nil {
+		fail(err)
+	}
+
 	summary := report.NewTable(fmt.Sprintf("%s — %.2f GMACs, %.1fM params", model.Name,
 		float64(model.TotalMACs())/1e9, float64(model.TotalParams())/1e6),
 		"accelerator", "latency (ms)", "FPS", "power (W)", "energy (mJ)", "FPS/W", "FPS/W/mm2")
-	for _, cfg := range cfgs {
-		res, err := sconna.Simulate(cfg, model)
-		if err != nil {
-			fail(err)
-		}
+	for i, cfg := range cfgs {
+		res := results[i]
 		summary.AddRow(cfg.Name, res.TotalNS/1e6, res.FPS, res.Power.Total(), res.EnergyJ*1e3,
 			res.FPSPerW, res.FPSPerWMM)
 		if *layers {
@@ -63,6 +84,9 @@ func main() {
 		}
 	}
 	fmt.Println(summary.String())
+	if *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "cache[accel]: %s\n", runner.Stats())
+	}
 }
 
 func pickModel(name string) (sconna.Model, error) {

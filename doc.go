@@ -51,6 +51,41 @@
 // Error handling aggregates per-item failures in index order
 // (parallel.ForEach), keeping even failure messages deterministic.
 //
+// # Result caching
+//
+// The design-space plane is split into pure engines and cache-aware
+// runners. accel.Simulate and the scalability MaxN solver are pure
+// functions of their inputs, so every simulation request flows through a
+// Runner (accel.Runner, scalability.Runner) that memoizes results in a
+// content-addressed store (internal/cache) keyed by canonical input
+// digests (internal/digest):
+//
+//   - Digest contract: each input type (accel.Config, models.Model,
+//     scalability.Config) writes its fields through a digest.Hasher in
+//     declared order under a schema tag ("repro/accel.Config@v1", ...).
+//     Golden-value tests in internal/digest pin the resulting hex
+//     digests, making the cache-key format a compatibility contract.
+//
+//   - Store layers: an in-memory LRU holds the hot working set; an
+//     optional on-disk gob store (one file per digest, atomic
+//     temp-file + rename writes) persists results across processes, so
+//     CI, notebooks and param studies recompute only changed cells;
+//     single-flight de-duplication collapses concurrent misses on one
+//     digest into a single computation.
+//
+//   - Invalidation story: there is none to run — keys are content
+//     digests of every field the computation reads, so a changed input
+//     is a different address and stale entries are simply never
+//     consulted. Changing what a simulation reads (or how) must bump the
+//     schema tag, which retires the entire old namespace at once.
+//
+// Because a hit returns exactly what the pure engine would compute,
+// cached, uncached, serial and parallel runs are all bit-identical at
+// any worker count (asserted by the runner determinism tests). The
+// package-level sweep helpers (accel.SimulateAll, Sweep, Fig9, the
+// Table I solve) run through ephemeral in-memory runners; both CLIs
+// accept -cache-dir to share a persistent store.
+//
 // This package re-exports the stable public surface; see README.md for a
 // tour and EXPERIMENTS.md for paper-vs-measured results of every table
 // and figure.

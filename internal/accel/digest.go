@@ -1,0 +1,60 @@
+package accel
+
+import "repro/internal/digest"
+
+// Digest schema tags. Bump a tag whenever a field Simulate reads is
+// added, removed, reordered, or reinterpreted: old cache entries then
+// stop being addressed instead of being silently misread — that is the
+// whole invalidation story of the content-addressed store.
+const (
+	configSchema = "repro/accel.Config@v1"
+	jobSchema    = "repro/accel.Job@v1"
+)
+
+// Digest returns the canonical content digest of the configuration:
+// every Config and Peripherals field, in declared order.
+func (c Config) Digest() digest.Digest {
+	h := digest.New()
+	c.writeDigest(h)
+	return h.Sum()
+}
+
+func (c Config) writeDigest(h *digest.Hasher) {
+	h.Str(configSchema)
+	h.Str(c.Name)
+	h.Int(int(c.Org))
+	h.Int(c.N).Int(c.M).Int(c.TotalVDPEs).Int(c.VDPCsPerTile)
+	h.Int(c.Precision).Int(c.SlicePrecision)
+	h.F64(c.BitRateHz).F64(c.ThermalTuneNS).F64(c.HeaterHoldW)
+	h.F64(c.LaserPerWavelengthW).F64(c.IOBytesPerNS)
+	h.Int(c.Batch)
+	p := c.Peripherals
+	h.F64(p.ReductionPowerW).F64(p.ReductionAreaMM2).F64(p.ReductionNS)
+	h.F64(p.ActivationPowerW).F64(p.ActivationAreaMM2).F64(p.ActivationNS)
+	h.F64(p.IOPowerW).F64(p.IOAreaMM2).F64(p.IONS)
+	h.F64(p.PoolingPowerW).F64(p.PoolingAreaMM2).F64(p.PoolingNS)
+	h.F64(p.EDRAMPowerW).F64(p.EDRAMAreaMM2).F64(p.EDRAMNS)
+	h.F64(p.BusPowerW).F64(p.BusAreaMM2)
+	h.F64(p.RouterPowerW).F64(p.RouterAreaMM2)
+	h.F64(p.DACPowerW).F64(p.DACAreaMM2).F64(p.DACNS)
+	h.F64(p.ADCAnalogPowerW).F64(p.ADCAnalogAreaMM2)
+	h.F64(p.ADCSconnaPowerW).F64(p.ADCSconnaAreaMM2)
+	h.F64(p.ADCNS)
+	h.F64(p.SerializerPowerW).F64(p.SerializerAreaMM2).F64(p.SerializerNS)
+	h.F64(p.LUTPowerW).F64(p.LUTAreaMM2).F64(p.LUTNS)
+	h.F64(p.PCAPowerW).F64(p.PCAAreaMM2)
+	h.F64(p.BufferNS)
+}
+
+// Digest returns the cache key of one simulation cell: the Job's config
+// and model digests composed under the job schema tag. Simulate is a pure
+// function of exactly these inputs, so this digest fully addresses its
+// Result.
+func (j Job) Digest() digest.Digest {
+	h := digest.New()
+	h.Str(jobSchema)
+	j.Cfg.writeDigest(h)
+	md := j.Model.Digest()
+	h.Bytes(md[:])
+	return h.Sum()
+}

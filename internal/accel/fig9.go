@@ -55,19 +55,21 @@ func Fig9(cfgs []Config, ms []models.Model) (Fig9Data, error) {
 }
 
 // Fig9Parallel is Fig9 with an explicit worker count (<= 0 selects
-// GOMAXPROCS). The (config, model) simulations fan across the pool via
-// Sweep; the ratio/gmean merge then walks the ordered results exactly as
-// the serial implementation did, so the output is bit-identical for any
-// worker count.
+// GOMAXPROCS). It runs the sweep through an ephemeral cache-aware Runner;
+// the ratio/gmean merge walks the ordered results exactly as the serial
+// implementation did, so the output is bit-identical for any worker
+// count.
 func Fig9Parallel(cfgs []Config, ms []models.Model, workers int) (Fig9Data, error) {
+	return memoryRunner(workers).Fig9(cfgs, ms)
+}
+
+// mergeFig9 folds ordered model-major sweep results into the Fig. 9 rows
+// and SCONNA-over-baseline gmean ratios.
+func mergeFig9(cfgs []Config, ms []models.Model, results []Result) Fig9Data {
 	data := Fig9Data{
 		GmeanFPS:       map[string]float64{},
 		GmeanFPSPerW:   map[string]float64{},
 		GmeanFPSPerWMM: map[string]float64{},
-	}
-	results, err := Sweep(cfgs, ms, workers)
-	if err != nil {
-		return Fig9Data{}, err
 	}
 	ratiosFPS := map[string][]float64{}
 	ratiosW := map[string][]float64{}
@@ -95,7 +97,7 @@ func Fig9Parallel(cfgs []Config, ms []models.Model, workers int) (Fig9Data, erro
 		data.GmeanFPSPerW[name] = Gmean(ratiosW[name])
 		data.GmeanFPSPerWMM[name] = Gmean(ratiosA[name])
 	}
-	return data, nil
+	return data
 }
 
 // Fig9Default runs the paper's configuration: SCONNA vs MAM vs AMM on the

@@ -58,6 +58,11 @@ type Result struct {
 // accelerator through the event-driven kernel and returns the timing,
 // power, energy and area results.
 //
+// Simulate (and everything it calls) must stay a pure function of
+// (cfg, model): the cache-aware Runner memoizes its results by a content
+// digest of exactly those inputs, so any hidden state here would let a
+// cache hit diverge from a recomputation.
+//
 // Dataflow per layer (Sec. VI-B): the L*C decomposed kernel chunks are
 // pinned across the effective VDPEs; each reload round processes all
 // Hout*Wout positions; psums from the C chunks of each output reduce
@@ -226,11 +231,4 @@ func (c Config) AreaMM2() float64 {
 	tileArea := p.EDRAMAreaMM2 + p.IOAreaMM2 + p.RouterAreaMM2 + p.BusAreaMM2 +
 		p.ActivationAreaMM2 + p.PoolingAreaMM2 + p.ReductionAreaMM2
 	return float64(anchor.TotalVDPEs)*perVDPE + tiles*tileArea
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,98 @@
+package accel
+
+import (
+	"path/filepath"
+
+	"repro/internal/cache"
+	"repro/internal/models"
+	"repro/internal/parallel"
+)
+
+// RunnerOptions configures a cache-aware Runner.
+type RunnerOptions struct {
+	// Workers bounds the sweep worker pool (<= 0 selects GOMAXPROCS).
+	Workers int
+	// CacheEntries bounds the in-memory result LRU (<= 0 selects
+	// cache.DefaultEntries).
+	CacheEntries int
+	// CacheDir, when non-empty, persists results on disk under
+	// CacheDir/accel so later runs (CI, notebooks, param studies) warm-
+	// start. Empty keeps the cache in-memory only.
+	CacheDir string
+}
+
+// Runner is the evaluation engine of the performance plane: every
+// simulation request flows through it. Simulate is a pure function of
+// (Config, Model), so the Runner memoizes results in a content-addressed
+// cache keyed by Job digests and fans misses across a bounded worker
+// pool with single-flight de-duplication. Cached, uncached, serial and
+// parallel runs all return bit-identical results at any worker count.
+type Runner struct {
+	workers int
+	cache   *cache.Cache[Result]
+}
+
+// NewRunner builds a Runner. It fails only when the disk cache directory
+// cannot be created.
+func NewRunner(opts RunnerOptions) (*Runner, error) {
+	dir := opts.CacheDir
+	if dir != "" {
+		// Namespace the store: scalability.Runner shares the same root.
+		dir = filepath.Join(dir, "accel")
+	}
+	c, err := cache.New[Result](cache.Options{Entries: opts.CacheEntries, Dir: dir})
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{workers: opts.Workers, cache: c}, nil
+}
+
+// memoryRunner builds the ephemeral in-memory Runner behind the
+// package-level sweep functions.
+func memoryRunner(workers int) *Runner {
+	r, err := NewRunner(RunnerOptions{Workers: workers})
+	if err != nil { // unreachable: no disk layer to fail
+		panic(err)
+	}
+	return r
+}
+
+// Simulate returns the simulation result for (cfg, model), computing it
+// at most once per content digest for the life of the cache. Results are
+// shared by value between hits; callers must not mutate Result.Layers.
+func (r *Runner) Simulate(cfg Config, model models.Model) (Result, error) {
+	job := Job{Cfg: cfg, Model: model}
+	return r.cache.GetOrCompute(job.Digest(), func() (Result, error) {
+		return Simulate(cfg, model)
+	})
+}
+
+// SimulateAll runs every job across the worker pool and returns results
+// in job order. Duplicate jobs (and jobs already cached) compute once.
+func (r *Runner) SimulateAll(jobs []Job) ([]Result, error) {
+	return parallel.Map(r.workers, len(jobs), func(i int) (Result, error) {
+		return r.Simulate(jobs[i].Cfg, jobs[i].Model)
+	})
+}
+
+// Sweep crosses every configuration with every model, model-major —
+// the row order of the paper's Fig. 9.
+func (r *Runner) Sweep(cfgs []Config, ms []models.Model) ([]Result, error) {
+	return r.SimulateAll(sweepJobList(cfgs, ms))
+}
+
+// Fig9 runs the full comparison of the given accelerators over the given
+// models through the cache. The first accelerator is the ratio baseline
+// numerator (SCONNA in the paper's Fig. 9); the ratio/gmean merge walks
+// the ordered sweep results exactly as the serial implementation did, so
+// the output is bit-identical for any worker count and any cache state.
+func (r *Runner) Fig9(cfgs []Config, ms []models.Model) (Fig9Data, error) {
+	results, err := r.Sweep(cfgs, ms)
+	if err != nil {
+		return Fig9Data{}, err
+	}
+	return mergeFig9(cfgs, ms, results), nil
+}
+
+// Stats snapshots the result-cache traffic counters.
+func (r *Runner) Stats() cache.Stats { return r.cache.Stats() }

@@ -1,0 +1,165 @@
+package accel
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/models"
+)
+
+func newTestRunner(t *testing.T, opts RunnerOptions) *Runner {
+	t.Helper()
+	r, err := NewRunner(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// The Runner is an availability layer over a pure function: its results
+// must equal direct Simulate calls exactly, hit or miss.
+func TestRunnerMatchesDirectSimulate(t *testing.T) {
+	t.Parallel()
+	r := newTestRunner(t, RunnerOptions{Workers: 1})
+	for _, job := range sweepJobs() {
+		want, err := Simulate(job.Cfg, job.Model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.Simulate(job.Cfg, job.Model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s/%s: runner result diverged from Simulate", job.Cfg.Name, job.Model.Name)
+		}
+	}
+}
+
+// Cold, warm, serial and parallel sweeps must all be bit-identical at
+// any worker count — the core contract of the cache-aware refactor.
+func TestRunnerWarmColdWorkerInvariance(t *testing.T) {
+	t.Parallel()
+	jobs := sweepJobs()
+	serial, err := SimulateAll(jobs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 16} {
+		r := newTestRunner(t, RunnerOptions{Workers: workers})
+		cold, err := r.SimulateAll(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := r.SimulateAll(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cold, serial) {
+			t.Fatalf("workers=%d: cold sweep diverged from serial", workers)
+		}
+		if !reflect.DeepEqual(warm, serial) {
+			t.Fatalf("workers=%d: warm sweep diverged from serial", workers)
+		}
+		s := r.Stats()
+		if s.Misses != int64(len(jobs)) {
+			t.Fatalf("workers=%d: %d misses over two passes, want %d (warm pass must not recompute)",
+				workers, s.Misses, len(jobs))
+		}
+		if s.Lookups != 2*int64(len(jobs)) || s.Hits() != int64(len(jobs)) {
+			t.Fatalf("workers=%d: stats = %+v", workers, s)
+		}
+	}
+}
+
+// Duplicate jobs in one sweep must compute once per unique digest, even
+// when they race through the worker pool (single-flight).
+func TestRunnerDuplicateJobsComputeOnce(t *testing.T) {
+	t.Parallel()
+	base := sweepJobs()[:3]
+	var jobs []Job
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, base...)
+	}
+	r := newTestRunner(t, RunnerOptions{})
+	results, err := r.SimulateAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if !reflect.DeepEqual(res, results[i%len(base)]) {
+			t.Fatalf("duplicate job %d diverged from its first occurrence", i)
+		}
+	}
+	if s := r.Stats(); s.Misses != int64(len(base)) {
+		t.Fatalf("%d misses for %d unique jobs", s.Misses, len(base))
+	}
+}
+
+// A persisted store must hand a fresh Runner (a new process, in real
+// use) bit-identical results with zero recomputation.
+func TestRunnerDiskRoundTrip(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	jobs := sweepJobs()
+	r1 := newTestRunner(t, RunnerOptions{CacheDir: dir})
+	cold, err := r1.SimulateAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := r1.Stats(); s.DiskWrites != int64(len(jobs)) {
+		t.Fatalf("persisted %d entries, want %d", s.DiskWrites, len(jobs))
+	}
+
+	r2 := newTestRunner(t, RunnerOptions{CacheDir: dir})
+	warm, err := r2.SimulateAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm, cold) {
+		t.Fatal("disk-warmed sweep diverged from the cold sweep")
+	}
+	s := r2.Stats()
+	if s.Misses != 0 || s.DiskHits != int64(len(jobs)) {
+		t.Fatalf("warm stats = %+v, want 0 misses / %d disk hits", s, len(jobs))
+	}
+}
+
+// Runner.Fig9 must reproduce Fig9Parallel (and therefore the serial
+// reference) exactly, cold and warm.
+func TestRunnerFig9MatchesFig9Parallel(t *testing.T) {
+	t.Parallel()
+	cfgs := []Config{Sconna(), MAM(), AMM()}
+	ms := models.Evaluated()
+	want, err := Fig9Parallel(cfgs, ms, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newTestRunner(t, RunnerOptions{})
+	for pass := 0; pass < 2; pass++ {
+		got, err := r.Fig9(cfgs, ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("pass %d: runner Fig9 diverged from serial Fig9Parallel", pass)
+		}
+	}
+}
+
+// Validation failures must propagate and must not poison the cache.
+func TestRunnerErrorNotCached(t *testing.T) {
+	t.Parallel()
+	r := newTestRunner(t, RunnerOptions{})
+	bad := Sconna()
+	bad.N = 0
+	if _, err := r.Simulate(bad, models.GoogleNet()); err == nil {
+		t.Fatal("invalid config did not error through the runner")
+	}
+	if s := r.Stats(); s.Misses != 1 {
+		t.Fatalf("stats = %+v, want the failed compute counted as a miss", s)
+	}
+	if _, err := r.Simulate(bad, models.GoogleNet()); err == nil {
+		t.Fatal("second lookup of the invalid config did not error")
+	}
+}

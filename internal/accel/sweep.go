@@ -1,9 +1,6 @@
 package accel
 
-import (
-	"repro/internal/models"
-	"repro/internal/parallel"
-)
+import "repro/internal/models"
 
 // Job is one (accelerator, model) simulation request of a design-space
 // sweep.
@@ -12,26 +9,31 @@ type Job struct {
 	Model models.Model
 }
 
-// SimulateAll runs every job across a bounded worker pool and returns the
-// results in job order. Simulate is a pure function of its inputs, so the
-// output is bit-identical to a serial loop for any worker count; workers
-// <= 0 selects GOMAXPROCS.
-func SimulateAll(jobs []Job, workers int) ([]Result, error) {
-	return parallel.Map(workers, len(jobs), func(i int) (Result, error) {
-		return Simulate(jobs[i].Cfg, jobs[i].Model)
-	})
-}
-
-// Sweep crosses every accelerator configuration with every model and
-// simulates the full design space across the worker pool. Results come
-// back model-major ((m0,c0), (m0,c1), ..., (m1,c0), ...), matching the
-// row order of the paper's Fig. 9.
-func Sweep(cfgs []Config, ms []models.Model, workers int) ([]Result, error) {
+// sweepJobList crosses configurations with models, model-major
+// ((m0,c0), (m0,c1), ..., (m1,c0), ...) — the row order of Fig. 9.
+func sweepJobList(cfgs []Config, ms []models.Model) []Job {
 	jobs := make([]Job, 0, len(cfgs)*len(ms))
 	for _, m := range ms {
 		for _, cfg := range cfgs {
 			jobs = append(jobs, Job{Cfg: cfg, Model: m})
 		}
 	}
-	return SimulateAll(jobs, workers)
+	return jobs
+}
+
+// SimulateAll runs every job through an ephemeral cache-aware Runner and
+// returns the results in job order. Simulate is a pure function of its
+// inputs, so the output is bit-identical to a serial loop for any worker
+// count; workers <= 0 selects GOMAXPROCS. Duplicate jobs in the list
+// compute once (single-flight de-duplication). Callers that want results
+// to survive across calls or processes hold a Runner instead.
+func SimulateAll(jobs []Job, workers int) ([]Result, error) {
+	return memoryRunner(workers).SimulateAll(jobs)
+}
+
+// Sweep crosses every accelerator configuration with every model and
+// simulates the full design space across the worker pool. Results come
+// back model-major, matching the row order of the paper's Fig. 9.
+func Sweep(cfgs []Config, ms []models.Model, workers int) ([]Result, error) {
+	return memoryRunner(workers).Sweep(cfgs, ms)
 }

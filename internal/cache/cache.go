@@ -1,0 +1,209 @@
+// Package cache is the content-addressed result store behind the
+// reproduction's cache-aware runners (accel.Runner, scalability.Runner).
+// A Cache memoizes the results of pure computations keyed by canonical
+// input digests (internal/digest), through three layers:
+//
+//   - an in-memory LRU sized in entries (the hot working set of a sweep);
+//   - an optional on-disk gob store, one file per digest, shared across
+//     processes and runs (what makes warm CI/notebook sweeps O(changed
+//     cells) instead of O(grid));
+//   - single-flight de-duplication, so concurrent sweep workers that miss
+//     on the same digest block on one computation instead of redoing it.
+//
+// The cache is strictly an availability layer: because keys are content
+// digests of every input the computation reads, a hit returns exactly
+// what the computation would return, and callers observe bit-identical
+// results whether an entry was computed, remembered, or read back from
+// disk. Disk failures (unwritable directory, corrupt entry) degrade to
+// recomputation and are counted in Stats, never surfaced as errors.
+package cache
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/digest"
+)
+
+// DefaultEntries is the in-memory LRU capacity when Options.Entries is
+// unset. The Fig. 9 grid is 12 cells; 4096 comfortably holds the largest
+// ablation and param-study grids in the tree.
+const DefaultEntries = 4096
+
+// Options configures a Cache.
+type Options struct {
+	// Entries bounds the in-memory LRU (<= 0 selects DefaultEntries).
+	Entries int
+	// Dir enables the on-disk gob store rooted at this directory
+	// (created if absent). Empty disables the disk layer.
+	Dir string
+}
+
+// Stats counts cache traffic. Hits split by layer; Misses count lookups
+// that yielded no cached value: actual computations (including ones
+// whose compute returned an error) and joins of an in-flight computation
+// that failed.
+type Stats struct {
+	Lookups    int64 // GetOrCompute calls
+	MemHits    int64 // served by the in-memory LRU
+	DiskHits   int64 // served by the on-disk store
+	Shared     int64 // shared a successful in-flight computation of the same digest
+	Misses     int64 // computed, or shared a failed computation
+	Evictions  int64 // LRU entries displaced
+	DiskWrites int64 // entries persisted
+	DiskErrors int64 // unreadable/unwritable disk entries (degraded to compute)
+}
+
+// Hits returns the total lookups served without computing.
+func (s Stats) Hits() int64 { return s.MemHits + s.DiskHits + s.Shared }
+
+// HitRate returns Hits as a fraction of Lookups (0 when idle).
+func (s Stats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits()) / float64(s.Lookups)
+}
+
+// String renders the traffic summary both CLIs print to stderr; the CI
+// cache-effectiveness smoke step greps this exact format, so it lives in
+// one place.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d lookups, %d hits, %d misses (%.1f%% hits)",
+		s.Lookups, s.Hits(), s.Misses, 100*s.HitRate())
+}
+
+// flight is one in-progress computation; waiters block on done and then
+// share v/err.
+type flight[V any] struct {
+	done chan struct{}
+	v    V
+	err  error
+}
+
+// Cache memoizes values of type V keyed by content digest. Safe for
+// concurrent use. Values are returned by (shallow) copy of the stored
+// value: callers must treat results as immutable, which holds for the
+// simulation results cached here.
+type Cache[V any] struct {
+	mu      sync.Mutex
+	lru     *lru[V]
+	disk    *diskStore[V]
+	flights map[digest.Digest]*flight[V]
+	stats   Stats
+}
+
+// New builds a Cache. It fails only when the disk directory cannot be
+// created.
+func New[V any](opts Options) (*Cache[V], error) {
+	entries := opts.Entries
+	if entries <= 0 {
+		entries = DefaultEntries
+	}
+	c := &Cache[V]{
+		lru:     newLRU[V](entries),
+		flights: map[digest.Digest]*flight[V]{},
+	}
+	if opts.Dir != "" {
+		d, err := newDiskStore[V](opts.Dir)
+		if err != nil {
+			return nil, err
+		}
+		c.disk = d
+	}
+	return c, nil
+}
+
+// GetOrCompute returns the cached value for key, or runs compute exactly
+// once per in-flight digest and remembers its result. Errors from compute
+// are shared with concurrent waiters but never cached, so a transient
+// failure does not poison the key. The only errors returned are compute's
+// own.
+func (c *Cache[V]) GetOrCompute(key digest.Digest, compute func() (V, error)) (V, error) {
+	c.mu.Lock()
+	c.stats.Lookups++
+	if v, ok := c.lru.get(key); ok {
+		c.stats.MemHits++
+		c.mu.Unlock()
+		return v, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		// A join only counts as a hit when the shared computation
+		// succeeded; a failed flight cached nothing, so reporting it as
+		// a hit would inflate the effectiveness stats.
+		c.note(func(s *Stats) {
+			if f.err == nil {
+				s.Shared++
+			} else {
+				s.Misses++
+			}
+		})
+		return f.v, f.err
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	v, fromDisk, err := c.fill(key, compute)
+	c.mu.Lock()
+	delete(c.flights, key)
+	switch {
+	case err != nil:
+		c.stats.Misses++
+	case fromDisk:
+		c.stats.DiskHits++
+		c.stats.Evictions += int64(c.lru.add(key, v))
+	default:
+		c.stats.Misses++
+		c.stats.Evictions += int64(c.lru.add(key, v))
+	}
+	c.mu.Unlock()
+	// Release waiters before the disk write: the value is final, so
+	// flight joiners must not stall behind persistence I/O.
+	f.v, f.err = v, err
+	close(f.done)
+	if err == nil && !fromDisk && c.disk != nil {
+		if werr := c.disk.store(key, v); werr != nil {
+			c.note(func(s *Stats) { s.DiskErrors++ })
+		} else {
+			c.note(func(s *Stats) { s.DiskWrites++ })
+		}
+	}
+	return v, err
+}
+
+// fill resolves a miss: disk probe first, compute otherwise.
+func (c *Cache[V]) fill(key digest.Digest, compute func() (V, error)) (v V, fromDisk bool, err error) {
+	if c.disk != nil {
+		switch v, ok, derr := c.disk.load(key); {
+		case derr != nil:
+			c.note(func(s *Stats) { s.DiskErrors++ })
+		case ok:
+			return v, true, nil
+		}
+	}
+	v, err = compute()
+	return v, false, err
+}
+
+func (c *Cache[V]) note(f func(*Stats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Cache[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.len()
+}

@@ -1,0 +1,281 @@
+package cache
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/digest"
+)
+
+func key(s string) digest.Digest { return digest.New().Str(s).Sum() }
+
+// value builds a distinct payload per key so round-trip tests can detect
+// cross-key mixups.
+func value(s string) []float64 { return []float64{float64(len(s)), 1.5} }
+
+func mustGet[V any](t *testing.T, c *Cache[V], k digest.Digest, compute func() (V, error)) V {
+	t.Helper()
+	v, err := c.GetOrCompute(k, compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestHitMissAccounting(t *testing.T) {
+	t.Parallel()
+	c, err := New[[]float64](Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	computes := 0
+	get := func(s string) []float64 {
+		return mustGet(t, c, key(s), func() ([]float64, error) {
+			computes++
+			return value(s), nil
+		})
+	}
+	get("a")
+	if got := get("a"); !reflect.DeepEqual(got, value("a")) {
+		t.Fatalf("hit returned %v", got)
+	}
+	get("b")
+	get("a")
+	if computes != 2 {
+		t.Fatalf("computed %d times, want 2", computes)
+	}
+	s := c.Stats()
+	if s.Lookups != 4 || s.MemHits != 2 || s.Misses != 2 || s.DiskHits != 0 {
+		t.Fatalf("stats = %+v, want 4 lookups / 2 mem hits / 2 misses", s)
+	}
+	if s.Hits() != 2 {
+		t.Fatalf("Hits() = %d, want 2", s.Hits())
+	}
+	if rate := s.HitRate(); rate != 0.5 {
+		t.Fatalf("HitRate() = %v, want 0.5", rate)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	t.Parallel()
+	c, err := New[[]float64](Options{Entries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var computes atomic.Int64
+	get := func(s string) {
+		mustGet(t, c, key(s), func() ([]float64, error) {
+			computes.Add(1)
+			return value(s), nil
+		})
+	}
+	get("a")
+	get("b")
+	get("a") // refresh a: b is now the LRU entry
+	get("c") // evicts b
+	if c.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", c.Len())
+	}
+	if s := c.Stats(); s.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", s.Evictions)
+	}
+	get("a") // must still be resident
+	if computes.Load() != 3 {
+		t.Fatalf("computed %d times before re-fetching b, want 3", computes.Load())
+	}
+	get("b") // evicted: recomputes
+	if computes.Load() != 4 {
+		t.Fatalf("computed %d times after re-fetching b, want 4", computes.Load())
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	t.Parallel()
+	c, err := New[[]float64](Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 2; i++ {
+		if _, err := c.GetOrCompute(key("x"), func() ([]float64, error) {
+			calls++
+			return nil, boom
+		}); !errors.Is(err, boom) {
+			t.Fatalf("got err %v, want boom", err)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("failed compute ran %d times, want 2 (errors must not be cached)", calls)
+	}
+	v := mustGet(t, c, key("x"), func() ([]float64, error) { return value("x"), nil })
+	if !reflect.DeepEqual(v, value("x")) {
+		t.Fatalf("recovery compute returned %v", v)
+	}
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	c1, err := New[[]float64](Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustGet(t, c1, key("cell"), func() ([]float64, error) { return value("cell"), nil })
+	if s := c1.Stats(); s.DiskWrites != 1 {
+		t.Fatalf("DiskWrites = %d, want 1", s.DiskWrites)
+	}
+
+	// A fresh cache over the same directory must serve the entry from
+	// disk without computing.
+	c2, err := New[[]float64](Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mustGet(t, c2, key("cell"), func() ([]float64, error) {
+		t.Fatal("compute ran despite a persisted entry")
+		return nil, nil
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("disk round-trip: got %v, want %v", got, want)
+	}
+	s := c2.Stats()
+	if s.DiskHits != 1 || s.Misses != 0 {
+		t.Fatalf("stats = %+v, want 1 disk hit / 0 misses", s)
+	}
+	// The disk hit is promoted into memory: a second lookup is a mem hit.
+	mustGet(t, c2, key("cell"), func() ([]float64, error) { return nil, errors.New("no") })
+	if s := c2.Stats(); s.MemHits != 1 {
+		t.Fatalf("MemHits = %d after promoted lookup, want 1", s.MemHits)
+	}
+}
+
+func TestCorruptDiskEntryDegradesToCompute(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	c1, err := New[[]float64](Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustGet(t, c1, key("cell"), func() ([]float64, error) { return value("cell"), nil })
+	entries, err := filepath.Glob(filepath.Join(dir, "*.gob"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("glob: %v (%d entries)", err, len(entries))
+	}
+	if err := os.WriteFile(entries[0], []byte("not gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := New[[]float64](Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mustGet(t, c2, key("cell"), func() ([]float64, error) { return value("cell"), nil })
+	if !reflect.DeepEqual(got, value("cell")) {
+		t.Fatalf("got %v after corrupt entry", got)
+	}
+	s := c2.Stats()
+	if s.DiskErrors == 0 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want a disk error and one compute", s)
+	}
+}
+
+// Single-flight: any number of concurrent lookups of one digest run the
+// compute exactly once, and every caller sees the same value. Run with
+// -race.
+func TestSingleFlight(t *testing.T) {
+	t.Parallel()
+	c, err := New[[]float64](Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 32
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	results := make([][]float64, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.GetOrCompute(key("one"), func() ([]float64, error) {
+				computes.Add(1)
+				return value("one"), nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	if computes.Load() != 1 {
+		t.Fatalf("computed %d times for one digest, want 1", computes.Load())
+	}
+	for i, r := range results {
+		if !reflect.DeepEqual(r, value("one")) {
+			t.Fatalf("caller %d saw %v", i, r)
+		}
+	}
+	s := c.Stats()
+	if s.Lookups != callers || s.Misses != 1 || s.Hits() != callers-1 {
+		t.Fatalf("stats = %+v, want %d lookups / 1 miss / %d hits", s, callers, callers-1)
+	}
+}
+
+// A concurrent sweep whose job list repeats digests must compute each
+// unique digest exactly once — the cache property that makes duplicate
+// sweep cells free. Run with -race.
+func TestSingleFlightUniqueDigests(t *testing.T) {
+	t.Parallel()
+	c, err := New[[]float64](Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const unique, dup = 7, 13
+	counts := make([]atomic.Int64, unique)
+	errs := make([]error, unique*dup)
+	var wg sync.WaitGroup
+	for u := 0; u < unique; u++ {
+		for d := 0; d < dup; d++ {
+			wg.Add(1)
+			go func(u, i int) {
+				defer wg.Done()
+				_, errs[i] = c.GetOrCompute(key(string(rune('a'+u))), func() ([]float64, error) {
+					counts[u].Add(1)
+					return value("v"), nil
+				})
+			}(u, u*dup+d)
+		}
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("lookup %d: %v", i, err)
+		}
+	}
+	for u := range counts {
+		if got := counts[u].Load(); got != 1 {
+			t.Fatalf("digest %d computed %d times, want 1", u, got)
+		}
+	}
+	if s := c.Stats(); s.Misses != unique || s.Lookups != unique*dup {
+		t.Fatalf("stats = %+v, want %d misses over %d lookups", s, unique, unique*dup)
+	}
+}
+
+// The String format is grepped verbatim by the CI cache-effectiveness
+// smoke step; both CLIs print it. Keep it pinned.
+func TestStatsString(t *testing.T) {
+	t.Parallel()
+	s := Stats{Lookups: 12, MemHits: 12}
+	if got := s.String(); got != "12 lookups, 12 hits, 0 misses (100.0% hits)" {
+		t.Fatalf("Stats.String() = %q", got)
+	}
+}

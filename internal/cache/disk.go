@@ -1,0 +1,67 @@
+package cache
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"repro/internal/digest"
+)
+
+// diskStore persists one gob file per digest under dir. Writes go through
+// a temp file + rename so concurrent writers (including other processes
+// sharing the directory) can never expose a torn entry; both sides of a
+// rename race hold identical bytes, because the content is addressed by a
+// digest of everything that determines it.
+type diskStore[V any] struct {
+	dir string
+}
+
+func newDiskStore[V any](dir string) (*diskStore[V], error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: disk store: %w", err)
+	}
+	return &diskStore[V]{dir: dir}, nil
+}
+
+func (d *diskStore[V]) path(key digest.Digest) string {
+	return filepath.Join(d.dir, key.String()+".gob")
+}
+
+// load reads the entry for key. A missing file is (zero, false, nil); a
+// present-but-unreadable file reports its error so the caller can count
+// it and fall back to computing.
+func (d *diskStore[V]) load(key digest.Digest) (V, bool, error) {
+	var v V
+	f, err := os.Open(d.path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return v, false, nil
+	}
+	if err != nil {
+		return v, false, err
+	}
+	defer f.Close()
+	if err := gob.NewDecoder(f).Decode(&v); err != nil {
+		return v, false, fmt.Errorf("cache: corrupt entry %s: %w", key.Short(), err)
+	}
+	return v, true, nil
+}
+
+func (d *diskStore[V]) store(key digest.Digest, v V) error {
+	tmp, err := os.CreateTemp(d.dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := gob.NewEncoder(tmp).Encode(v); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), d.path(key))
+}

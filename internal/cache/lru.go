@@ -1,0 +1,53 @@
+package cache
+
+import (
+	"container/list"
+
+	"repro/internal/digest"
+)
+
+// lru is a fixed-capacity least-recently-used map from digest to value.
+// Not safe for concurrent use; Cache serializes access.
+type lru[V any] struct {
+	cap   int
+	order *list.List // front = most recent; element value is *lruEntry[V]
+	items map[digest.Digest]*list.Element
+}
+
+type lruEntry[V any] struct {
+	key digest.Digest
+	v   V
+}
+
+func newLRU[V any](capacity int) *lru[V] {
+	return &lru[V]{cap: capacity, order: list.New(), items: map[digest.Digest]*list.Element{}}
+}
+
+func (l *lru[V]) get(key digest.Digest) (V, bool) {
+	if el, ok := l.items[key]; ok {
+		l.order.MoveToFront(el)
+		return el.Value.(*lruEntry[V]).v, true
+	}
+	var zero V
+	return zero, false
+}
+
+// add inserts or refreshes key and returns how many entries were evicted
+// (0 or 1).
+func (l *lru[V]) add(key digest.Digest, v V) int {
+	if el, ok := l.items[key]; ok {
+		el.Value.(*lruEntry[V]).v = v
+		l.order.MoveToFront(el)
+		return 0
+	}
+	l.items[key] = l.order.PushFront(&lruEntry[V]{key: key, v: v})
+	if l.order.Len() <= l.cap {
+		return 0
+	}
+	oldest := l.order.Back()
+	l.order.Remove(oldest)
+	delete(l.items, oldest.Value.(*lruEntry[V]).key)
+	return 1
+}
+
+func (l *lru[V]) len() int { return l.order.Len() }

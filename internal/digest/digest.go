@@ -1,0 +1,114 @@
+// Package digest provides canonical, field-order-stable content digests
+// for the reproduction's simulation inputs. A digest is the cache key of
+// the content-addressed result store (internal/cache): two inputs share a
+// digest exactly when every field the simulation reads is identical, so a
+// digest hit is a proof that the memoized result is the result.
+//
+// The encoding is a compatibility contract. Each domain type writes its
+// fields through a Hasher in declared order, prefixed with a schema tag
+// ("repro/accel.Config@v1", ...); golden-value tests in this package pin
+// the resulting hex digests. Changing a simulated field, its order, or
+// its meaning MUST bump the schema tag — that is the invalidation story:
+// old on-disk entries simply stop being addressed, they are never
+// reinterpreted.
+//
+// Every value written is framed with a one-byte type tag, and strings and
+// raw bytes carry a length prefix, so the byte stream is unambiguous:
+// Str("ab"),Str("c") and Str("a"),Str("bc") hash differently, as do
+// Int(1) and U64(1).
+package digest
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+)
+
+// Size is the digest length in bytes (SHA-256).
+const Size = sha256.Size
+
+// Digest is a content digest usable directly as a cache key.
+type Digest [Size]byte
+
+// String returns the full lowercase hex form (the on-disk file name of a
+// cached entry).
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// Short returns a 12-hex-char prefix for logs and reports.
+func (d Digest) Short() string { return hex.EncodeToString(d[:6]) }
+
+// Hasher accumulates tagged, framed values into a SHA-256 state. The
+// zero value is not usable; call New.
+type Hasher struct {
+	h   hash.Hash
+	buf [9]byte // 1 tag byte + up to 8 payload bytes
+}
+
+// New returns an empty Hasher.
+func New() *Hasher { return &Hasher{h: sha256.New()} }
+
+// Value type tags. Each written value is framed as tag || payload so that
+// adjacent fields can never alias across a type or length boundary.
+const (
+	tagStr   = 's'
+	tagBytes = 'r'
+	tagInt   = 'i'
+	tagUint  = 'u'
+	tagFloat = 'f'
+	tagBool  = 'b'
+)
+
+func (h *Hasher) word(tag byte, v uint64) *Hasher {
+	h.buf[0] = tag
+	binary.BigEndian.PutUint64(h.buf[1:], v)
+	h.h.Write(h.buf[:])
+	return h
+}
+
+// Str writes a length-prefixed string.
+func (h *Hasher) Str(s string) *Hasher {
+	h.word(tagStr, uint64(len(s)))
+	h.h.Write([]byte(s))
+	return h
+}
+
+// Bytes writes a length-prefixed byte slice (used to compose digests:
+// writing a sub-digest's bytes nests one contract inside another).
+func (h *Hasher) Bytes(p []byte) *Hasher {
+	h.word(tagBytes, uint64(len(p)))
+	h.h.Write(p)
+	return h
+}
+
+// Int writes an int as a signed 64-bit word.
+func (h *Hasher) Int(v int) *Hasher { return h.I64(int64(v)) }
+
+// I64 writes a signed 64-bit word.
+func (h *Hasher) I64(v int64) *Hasher { return h.word(tagInt, uint64(v)) }
+
+// U64 writes an unsigned 64-bit word.
+func (h *Hasher) U64(v uint64) *Hasher { return h.word(tagUint, v) }
+
+// F64 writes a float64 as its IEEE-754 bit pattern, so the key preserves
+// every distinction the simulation arithmetic can observe (including
+// -0 vs 0 and NaN payloads).
+func (h *Hasher) F64(v float64) *Hasher { return h.word(tagFloat, math.Float64bits(v)) }
+
+// Bool writes a boolean.
+func (h *Hasher) Bool(v bool) *Hasher {
+	var b uint64
+	if v {
+		b = 1
+	}
+	return h.word(tagBool, b)
+}
+
+// Sum returns the digest of everything written so far. The Hasher remains
+// usable (further writes extend the stream).
+func (h *Hasher) Sum() Digest {
+	var d Digest
+	h.h.Sum(d[:0])
+	return d
+}

@@ -1,0 +1,69 @@
+package digest
+
+import "testing"
+
+// The hasher must be deterministic: identical write sequences produce
+// identical digests across calls and hasher instances.
+func TestDeterminism(t *testing.T) {
+	t.Parallel()
+	build := func() Digest {
+		return New().Str("sconna").Int(176).F64(30e9).Bool(true).Sum()
+	}
+	if build() != build() {
+		t.Fatal("identical write sequences produced different digests")
+	}
+}
+
+// Framing must make the byte stream unambiguous: values can never alias
+// across a field boundary, and the same payload under different type
+// tags must hash differently.
+func TestFraming(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		a, b *Hasher
+	}{
+		{"string split", New().Str("ab").Str("c"), New().Str("a").Str("bc")},
+		{"bytes vs string", New().Str("ab"), New().Bytes([]byte("ab"))},
+		{"int vs uint", New().Int(1), New().U64(1)},
+		{"int vs bool", New().Int(1), New().Bool(true)},
+		{"float vs uint bits", New().F64(1), New().U64(0x3FF0000000000000)},
+		{"negative zero", New().F64(0), New().F64(negZero())},
+		{"empty string matters", New().Str(""), New()},
+	}
+	for _, c := range cases {
+		if c.a.Sum() == c.b.Sum() {
+			t.Errorf("%s: distinct write sequences collided", c.name)
+		}
+	}
+}
+
+func negZero() float64 { z := 0.0; return -z }
+
+// Sum must not consume the hasher: further writes extend the stream.
+func TestSumExtends(t *testing.T) {
+	t.Parallel()
+	h := New().Str("a")
+	first := h.Sum()
+	if h.Str("b").Sum() == first {
+		t.Fatal("write after Sum did not change the digest")
+	}
+	if New().Str("a").Sum() != first {
+		t.Fatal("Sum disturbed the accumulated state")
+	}
+}
+
+// The hasher's own byte encoding is part of the compatibility contract:
+// this golden value only moves if the framing or hash function changes,
+// which invalidates every stored digest and must be a deliberate act.
+func TestEncodingGolden(t *testing.T) {
+	t.Parallel()
+	got := New().Str("repro").Int(-1).U64(2).F64(0.5).Bool(false).Bytes([]byte{7}).Sum()
+	const want = "cd3e45ecb2b86c99099c9dcf632bf0b05e3355367d78d1d24efa3ca9adb2b73c"
+	if got.String() != want {
+		t.Fatalf("encoding golden moved:\n got %s\nwant %s", got, want)
+	}
+	if got.Short() != want[:12] {
+		t.Fatalf("Short() = %s, want %s", got.Short(), want[:12])
+	}
+}

@@ -1,0 +1,106 @@
+// Golden digests pin the cache-key format of every simulation input
+// type. A digest is the address of a persisted result, so these values
+// are a compatibility contract: if one moves, on-disk caches silently
+// cold-start. Legitimate moves (a new simulated field, a reorder, a
+// semantic change) must come with a schema-tag bump in the owning
+// package AND an update here — never update a golden to "fix" a test
+// without understanding which input change moved it.
+package digest_test
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/models"
+	"repro/internal/scalability"
+)
+
+func TestGoldenAccelConfigDigests(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		cfg  accel.Config
+		want string
+	}{
+		{"SCONNA", accel.Sconna(), "3452e891f7db6961fde7233b1726a6e6f5b6f1c9874a3dd13102a045f057ea71"},
+		{"MAM", accel.MAM(), "6850aab5452a96a5e84c330261511441b6568602468512fa0cacf40196da6683"},
+		{"AMM", accel.AMM(), "a4d8da69501b9eb2e6b25be8bf640e49a28c0b4dda4e9452cb6b8bb0db52ad76"},
+	}
+	for _, c := range cases {
+		if got := c.cfg.Digest().String(); got != c.want {
+			t.Errorf("%s config digest moved:\n got %s\nwant %s", c.name, got, c.want)
+		}
+	}
+}
+
+func TestGoldenModelDigests(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		m    models.Model
+		want string
+	}{
+		{models.GoogleNet(), "60ed22bd7ff7779acde7be1408ec40cf58a9302316b23fa3d243ed20b77df3af"},
+		{models.ResNet50(), "7442a63989f9c6d49c0e1d90b67c2c4438154451727e433d342440f5770bcb4f"},
+		{models.MobileNetV2(), "acb9de07c2f4697c6b46c29977030f591fcdc179fa01be8d720f63b38b5aa71b"},
+		{models.ShuffleNetV2(), "ae966dc6e6ba91d2ca3c8a93d138dc32d5e793695b22d8bfab213a6aa487c3d1"},
+		{models.VGG16(), "3cc3c8d4207c6e1c9e8eb5210671ef7e7250034ede15b32a8a8c9d22d85b9102"},
+		{models.DenseNet121(), "5d132bc0a0656911454772dce76c19ffa438c76c265018fc7abd090413f5cfe4"},
+	}
+	for _, c := range cases {
+		if got := c.m.Digest().String(); got != c.want {
+			t.Errorf("%s digest moved:\n got %s\nwant %s", c.m.Name, got, c.want)
+		}
+	}
+}
+
+func TestGoldenScalabilityConfigDigest(t *testing.T) {
+	t.Parallel()
+	const want = "960199075a8d1bb235f24e2c80b8dae7b77ca0c737e3f4f3666ae018f0d726f1"
+	if got := scalability.DefaultConfig().Digest().String(); got != want {
+		t.Errorf("scalability config digest moved:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestGoldenJobDigest(t *testing.T) {
+	t.Parallel()
+	job := accel.Job{Cfg: accel.Sconna(), Model: models.ResNet50()}
+	const want = "65605c9a52a15d24327abfdfde45dfe356ba139fa2b45fef51ce2c602d9142e4"
+	if got := job.Digest().String(); got != want {
+		t.Errorf("job digest moved:\n got %s\nwant %s", got, want)
+	}
+}
+
+// Every field the simulations read must move the digest; a field the
+// digest ignores would let two different inputs share a cached result.
+func TestDigestFieldSensitivity(t *testing.T) {
+	t.Parallel()
+	base := accel.Sconna()
+	mutations := map[string]func(*accel.Config){
+		"Name":           func(c *accel.Config) { c.Name = "x" },
+		"Org":            func(c *accel.Config) { c.Org = scalability.MAM },
+		"N":              func(c *accel.Config) { c.N++ },
+		"Batch":          func(c *accel.Config) { c.Batch = 8 },
+		"BitRateHz":      func(c *accel.Config) { c.BitRateHz *= 2 },
+		"HeaterHoldW":    func(c *accel.Config) { c.HeaterHoldW = 1e-3 },
+		"Peripherals.NS": func(c *accel.Config) { c.Peripherals.BufferNS = 3 },
+	}
+	for name, mutate := range mutations {
+		cfg := base
+		mutate(&cfg)
+		if cfg.Digest() == base.Digest() {
+			t.Errorf("mutating %s did not move the config digest", name)
+		}
+	}
+
+	m := models.ResNet50()
+	m.Layers[3].Stride++
+	if m.Digest() == models.ResNet50().Digest() {
+		t.Error("mutating a layer stride did not move the model digest")
+	}
+
+	s := scalability.DefaultConfig()
+	s.BudgetIsElectrical = !s.BudgetIsElectrical
+	if s.Digest() == scalability.DefaultConfig().Digest() {
+		t.Error("mutating BudgetIsElectrical did not move the scalability digest")
+	}
+}

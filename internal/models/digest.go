@@ -1,0 +1,25 @@
+package models
+
+import "repro/internal/digest"
+
+// modelSchema tags the Model digest encoding. Bump it whenever a field
+// the performance simulation reads is added, removed, reordered, or
+// reinterpreted — see the compatibility contract in internal/digest.
+const modelSchema = "repro/models.Model@v1"
+
+// Digest returns the canonical content digest of the model: every layer
+// field the performance plane reads, in declared order. Models with
+// identical workloads share a digest regardless of how they were built,
+// which is what lets cached sweep cells survive across processes.
+func (m Model) Digest() digest.Digest {
+	h := digest.New()
+	h.Str(modelSchema)
+	h.Str(m.Name)
+	h.Int(len(m.Layers))
+	for _, l := range m.Layers {
+		h.Str(l.Name).Int(int(l.Kind))
+		h.Int(l.K).Int(l.D).Int(l.L)
+		h.Int(l.HOut).Int(l.WOut).Int(l.Stride)
+	}
+	return h.Sum()
+}

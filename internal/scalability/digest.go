@@ -1,0 +1,49 @@
+package scalability
+
+import "repro/internal/digest"
+
+// Digest schema tags; bump on any change to the fields the solvers read
+// (see the compatibility contract in internal/digest).
+const (
+	configSchema = "repro/scalability.Config@v1"
+	cellSchema   = "repro/scalability.TableICell@v1"
+)
+
+// Digest returns the canonical content digest of the Table III operating
+// point: the photodetector fields and every Config field, in declared
+// order.
+func (c Config) Digest() digest.Digest {
+	h := digest.New()
+	c.writeDigest(h)
+	return h.Sum()
+}
+
+func (c Config) writeDigest(h *digest.Hasher) {
+	h.Str(configSchema)
+	h.F64(c.PD.ResponsivityAW).F64(c.PD.DarkCurrentA).F64(c.PD.LoadOhms)
+	h.F64(c.PD.TemperatureK).F64(c.PD.RINdBHz)
+	h.F64(c.BudgetDBm)
+	h.F64(c.ILSMFdB).F64(c.ILECdB)
+	h.F64(c.ILWGdBPerMM)
+	h.F64(c.ELSplitterDB)
+	h.F64(c.ILOSMdB)
+	h.F64(c.OBLOSMdB).F64(c.OBLMRRdB)
+	h.F64(c.ILMRRdB)
+	h.F64(c.ILPenaltyDB)
+	h.F64(c.DOSMmm)
+	h.F64(c.WallPlugEfficiency)
+	h.Bool(c.BudgetIsElectrical)
+	h.F64(c.AMMExtraDB)
+	h.Int(c.NSearchLimit)
+}
+
+// cellDigest returns the cache key of one Table I cell solve: the full
+// operating point plus the cell coordinates (organization, precision,
+// data rate). MaxN is a pure function of exactly these inputs.
+func (c Config) cellDigest(org Organization, precision int, dr float64) digest.Digest {
+	h := digest.New()
+	h.Str(cellSchema)
+	c.writeDigest(h)
+	h.Int(int(org)).Int(precision).F64(dr)
+	return h.Sum()
+}

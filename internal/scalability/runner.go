@@ -1,0 +1,113 @@
+package scalability
+
+import (
+	"path/filepath"
+
+	"repro/internal/cache"
+	"repro/internal/parallel"
+)
+
+// RunnerOptions configures a cache-aware Table I Runner.
+type RunnerOptions struct {
+	// Workers bounds the cell-solve worker pool (<= 0 selects GOMAXPROCS).
+	Workers int
+	// CacheEntries bounds the in-memory cell LRU (<= 0 selects
+	// cache.DefaultEntries).
+	CacheEntries int
+	// CacheDir, when non-empty, persists solved cells on disk under
+	// CacheDir/scalability so later runs warm-start. Empty keeps the
+	// cache in-memory only.
+	CacheDir string
+}
+
+// Runner is the cache-aware evaluation engine of the scalability plane.
+// Each Table I cell's MaxN solve is a pure function of (Config, org,
+// precision, data rate), so the Runner memoizes solved N values in a
+// content-addressed cache and fans misses across a bounded worker pool;
+// solved, cached, serial and parallel runs all return the identical
+// table. Only the solver output is cached — reference data like PaperN
+// is attached after recall, so editing the published table never
+// requires invalidating stored solves.
+type Runner struct {
+	cfg     Config
+	workers int
+	cache   *cache.Cache[int]
+}
+
+// NewRunner builds a Runner over the given operating point. It fails
+// only when the disk cache directory cannot be created.
+func NewRunner(cfg Config, opts RunnerOptions) (*Runner, error) {
+	dir := opts.CacheDir
+	if dir != "" {
+		// Namespace the store: accel.Runner shares the same root.
+		dir = filepath.Join(dir, "scalability")
+	}
+	c, err := cache.New[int](cache.Options{Entries: opts.CacheEntries, Dir: dir})
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{cfg: cfg, workers: opts.Workers, cache: c}, nil
+}
+
+// memoryRunner builds the ephemeral in-memory Runner behind
+// TableIParallel.
+func memoryRunner(cfg Config, workers int) *Runner {
+	r, err := NewRunner(cfg, RunnerOptions{Workers: workers})
+	if err != nil { // unreachable: no disk layer to fail
+		panic(err)
+	}
+	return r
+}
+
+// Cell solves (or recalls) one Table I cell for the Runner's operating
+// point at the given organization, precision and data rate.
+func (r *Runner) Cell(org Organization, precision int, drHz float64) TableICell {
+	n, err := r.cache.GetOrCompute(r.cfg.cellDigest(org, precision, drHz),
+		func() (int, error) {
+			return r.cfg.MaxN(org, precision, drHz), nil
+		})
+	if err != nil { // unreachable: the cell solver cannot fail
+		panic(err)
+	}
+	return TableICell{
+		Org: org, Precision: precision, DataRate: drHz,
+		N:      n,
+		PaperN: PaperTableIN(org, precision, int(drHz/1e9)),
+	}
+}
+
+// TableI regenerates Table I through the cache: max N for AMM and MAM at
+// 4- and 6-bit precision across data rates of 1, 3, 5 and 10 GS/s.
+func (r *Runner) TableI() []TableICell {
+	specs := tableISpecs()
+	out, err := parallel.Map(r.workers, len(specs), func(i int) (TableICell, error) {
+		s := specs[i]
+		return r.Cell(s.org, s.b, float64(s.gs)*1e9), nil
+	})
+	if err != nil { // unreachable: Cell cannot fail
+		panic(err)
+	}
+	return out
+}
+
+// Stats snapshots the cell-cache traffic counters.
+func (r *Runner) Stats() cache.Stats { return r.cache.Stats() }
+
+type tableISpec struct {
+	org Organization
+	b   int
+	gs  int
+}
+
+// tableISpecs enumerates the published Table I grid in row order.
+func tableISpecs() []tableISpec {
+	var specs []tableISpec
+	for _, org := range []Organization{AMM, MAM} {
+		for _, b := range []int{4, 6} {
+			for _, gs := range []int{1, 3, 5, 10} {
+				specs = append(specs, tableISpec{org, b, gs})
+			}
+		}
+	}
+	return specs
+}

@@ -1,0 +1,76 @@
+package scalability
+
+import (
+	"reflect"
+	"testing"
+)
+
+func newTestRunner(t *testing.T, cfg Config, opts RunnerOptions) *Runner {
+	t.Helper()
+	r, err := NewRunner(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// The cache-aware Runner must reproduce the Table I of the direct solve,
+// cold and warm, at any worker count.
+func TestRunnerTableIMatchesDirect(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	want := cfg.TableIParallel(1)
+	for _, workers := range []int{1, 3, 8} {
+		r := newTestRunner(t, cfg, RunnerOptions{Workers: workers})
+		cold := r.TableI()
+		warm := r.TableI()
+		if !reflect.DeepEqual(cold, want) {
+			t.Fatalf("workers=%d: cold table diverged from serial", workers)
+		}
+		if !reflect.DeepEqual(warm, want) {
+			t.Fatalf("workers=%d: warm table diverged from serial", workers)
+		}
+		s := r.Stats()
+		if s.Misses != int64(len(want)) || s.Hits() != int64(len(want)) {
+			t.Fatalf("workers=%d: stats = %+v, want %d misses then %d hits",
+				workers, s, len(want), len(want))
+		}
+	}
+}
+
+// Solved cells must survive on disk across Runner instances (processes)
+// with zero recomputation.
+func TestRunnerTableIDiskRoundTrip(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	cfg := DefaultConfig()
+	r1 := newTestRunner(t, cfg, RunnerOptions{CacheDir: dir})
+	cold := r1.TableI()
+
+	r2 := newTestRunner(t, cfg, RunnerOptions{CacheDir: dir})
+	warm := r2.TableI()
+	if !reflect.DeepEqual(warm, cold) {
+		t.Fatal("disk-warmed table diverged from the cold solve")
+	}
+	s := r2.Stats()
+	if s.Misses != 0 || s.DiskHits != int64(len(cold)) {
+		t.Fatalf("warm stats = %+v, want 0 misses / %d disk hits", s, len(cold))
+	}
+}
+
+// A different operating point must address different cells: the config
+// digest is part of every cell key.
+func TestRunnerCellKeyedByConfig(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	r1 := newTestRunner(t, DefaultConfig(), RunnerOptions{CacheDir: dir})
+	r1.TableI()
+
+	moved := DefaultConfig()
+	moved.BudgetDBm += 3
+	r2 := newTestRunner(t, moved, RunnerOptions{CacheDir: dir})
+	r2.TableI()
+	if s := r2.Stats(); s.DiskHits != 0 || s.Misses == 0 {
+		t.Fatalf("stats = %+v: a changed operating point must not reuse cached cells", s)
+	}
+}

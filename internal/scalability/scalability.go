@@ -9,7 +9,6 @@ package scalability
 import (
 	"math"
 
-	"repro/internal/parallel"
 	"repro/internal/photonics"
 )
 
@@ -267,35 +266,14 @@ func (c Config) TableI() []TableICell {
 	return c.TableIParallel(0)
 }
 
-// TableIParallel solves the Table I cells across a bounded worker pool
-// (<= 0 selects GOMAXPROCS). Each cell's MaxN solve is a pure function of
-// the configuration, so the table is identical for any worker count.
+// TableIParallel solves the Table I cells through an ephemeral
+// cache-aware Runner across a bounded worker pool (<= 0 selects
+// GOMAXPROCS). Each cell's MaxN solve is a pure function of the
+// configuration, so the table is identical for any worker count. Callers
+// that want solved cells to survive across calls or processes hold a
+// Runner instead.
 func (c Config) TableIParallel(workers int) []TableICell {
-	type cellSpec struct {
-		org Organization
-		b   int
-		gs  int
-	}
-	var specs []cellSpec
-	for _, org := range []Organization{AMM, MAM} {
-		for _, b := range []int{4, 6} {
-			for _, gs := range []int{1, 3, 5, 10} {
-				specs = append(specs, cellSpec{org, b, gs})
-			}
-		}
-	}
-	out, err := parallel.Map(workers, len(specs), func(i int) (TableICell, error) {
-		s := specs[i]
-		return TableICell{
-			Org: s.org, Precision: s.b, DataRate: float64(s.gs) * 1e9,
-			N:      c.MaxN(s.org, s.b, float64(s.gs)*1e9),
-			PaperN: PaperTableIN(s.org, s.b, s.gs),
-		}, nil
-	})
-	if err != nil { // unreachable: the cell solver cannot fail
-		panic(err)
-	}
-	return out
+	return memoryRunner(c, workers).TableI()
 }
 
 // SconnaScaling reports the Section V-B determination of SCONNA's VDPC

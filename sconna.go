@@ -3,6 +3,7 @@ package sconna
 import (
 	"repro/internal/accel"
 	"repro/internal/accuracy"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/models"
 	"repro/internal/parallel"
@@ -51,7 +52,24 @@ type (
 	Fig9Data = accel.Fig9Data
 	// Model is a CNN workload descriptor.
 	Model = models.Model
+	// AccelRunner is the cache-aware evaluation engine of the
+	// performance plane: it memoizes Simulate results in a
+	// content-addressed store (optionally persisted on disk) and fans
+	// misses across a bounded worker pool.
+	AccelRunner = accel.Runner
+	// AccelRunnerOptions configures an AccelRunner.
+	AccelRunnerOptions = accel.RunnerOptions
+	// CacheStats counts result-cache traffic (hits by layer, misses,
+	// evictions, disk writes).
+	CacheStats = cache.Stats
 )
+
+// NewAccelRunner builds a cache-aware performance-plane runner. With a
+// CacheDir the result store persists across processes, so repeated
+// sweeps recompute only changed cells.
+func NewAccelRunner(opts AccelRunnerOptions) (*AccelRunner, error) {
+	return accel.NewRunner(opts)
+}
 
 // SconnaAccel returns the paper's SCONNA accelerator configuration
 // (1024 VDPEs, N=M=176, 30 Gbps).
@@ -104,7 +122,17 @@ type (
 	TableICell = scalability.TableICell
 	// SconnaScaling reports the Section V-B N determination.
 	SconnaScaling = scalability.SconnaScaling
+	// ScalabilityRunner is the cache-aware Table I evaluation engine.
+	ScalabilityRunner = scalability.Runner
+	// ScalabilityRunnerOptions configures a ScalabilityRunner.
+	ScalabilityRunnerOptions = scalability.RunnerOptions
 )
+
+// NewScalabilityRunner builds a cache-aware Table I runner over the
+// given operating point.
+func NewScalabilityRunner(cfg ScalabilityConfig, opts ScalabilityRunnerOptions) (*ScalabilityRunner, error) {
+	return scalability.NewRunner(cfg, opts)
+}
 
 // DefaultScalabilityConfig returns the Table III operating point.
 func DefaultScalabilityConfig() ScalabilityConfig { return scalability.DefaultConfig() }

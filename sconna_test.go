@@ -112,3 +112,32 @@ func TestFacadeRunFig9(t *testing.T) {
 		}
 	}
 }
+
+func TestFacadeRunners(t *testing.T) {
+	arun, err := NewAccelRunner(AccelRunnerOptions{CacheDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []AccelJob{
+		{Cfg: SconnaAccel(), Model: EvaluatedModels()[3]},
+		{Cfg: SconnaAccel(), Model: EvaluatedModels()[3]}, // duplicate: computes once
+	}
+	results, err := arun.SimulateAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].FPS != results[1].FPS {
+		t.Fatal("duplicate jobs diverged")
+	}
+	if s := arun.Stats(); s.Misses != 1 || s.Hits() != 1 {
+		t.Fatalf("stats = %+v, want 1 miss / 1 hit", s)
+	}
+
+	srun, err := NewScalabilityRunner(DefaultScalabilityConfig(), ScalabilityRunnerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells := srun.TableI(); len(cells) != 16 {
+		t.Fatalf("runner TableI cells=%d", len(cells))
+	}
+}
