@@ -1,0 +1,101 @@
+// Command benchnn runs the compute-plane benchmark bodies
+// (internal/nnbench) through testing.Benchmark and emits BENCH_nn.json —
+// ns/op and allocs/op per benchmark plus the GEMM-vs-naive convolution
+// speedup — so successive PRs can diff the trajectory without parsing
+// `go test -bench` text.
+//
+// Usage:
+//
+//	benchnn [-out BENCH_nn.json] [-check] [-min-speedup 1.0]
+//
+// With -check the command exits nonzero when the GEMM convolution
+// forward is slower than min-speedup times the naive reference on the
+// fixed smoke shape — the CI regression gate for the im2col/GEMM
+// lowering.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/nnbench"
+)
+
+// entry is one benchmark's trajectory record.
+type entry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"n"`
+}
+
+// report is the BENCH_nn.json wire format. Schema-tagged like the digest
+// contracts: consumers key on the tag, not on field presence.
+type report struct {
+	Schema      string  `json:"schema"`
+	GoMaxProcs  int     `json:"go_max_procs"`
+	Benchmarks  []entry `json:"benchmarks"`
+	ConvSpeedup float64 `json:"conv_gemm_speedup_vs_naive"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_nn.json", "trajectory output path")
+	check := flag.Bool("check", false, "fail when the GEMM conv forward is slower than -min-speedup x naive")
+	minSpeedup := flag.Float64("min-speedup", 1.0, "minimum acceptable GEMM-vs-naive conv forward speedup")
+	flag.Parse()
+
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"conv_forward_naive", nnbench.ConvForwardNaive},
+		{"conv_forward_gemm", nnbench.ConvForwardGEMM},
+		{"conv_backward_gemm", nnbench.ConvBackwardGEMM},
+		{"dense_forward", nnbench.DenseForward},
+		{"quant_forward_naive", nnbench.QuantForwardNaive},
+		{"quant_forward", nnbench.QuantForward},
+		{"train_step_1w", nnbench.TrainStep(1)},
+		{"train_step_allw", nnbench.TrainStep(runtime.GOMAXPROCS(0))},
+	}
+
+	rep := report{Schema: "repro/bench_nn@v1", GoMaxProcs: runtime.GOMAXPROCS(0)}
+	perOp := map[string]float64{}
+	for _, bench := range benches {
+		r := testing.Benchmark(bench.fn)
+		e := entry{
+			Name:        bench.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		}
+		perOp[bench.name] = e.NsPerOp
+		rep.Benchmarks = append(rep.Benchmarks, e)
+		fmt.Fprintf(os.Stderr, "%-22s %14.0f ns/op %10d allocs/op\n", bench.name, e.NsPerOp, e.AllocsPerOp)
+	}
+	rep.ConvSpeedup = perOp["conv_forward_naive"] / perOp["conv_forward_gemm"]
+	fmt.Fprintf(os.Stderr, "conv forward GEMM speedup vs naive: %.1fx\n", rep.ConvSpeedup)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+
+	if *check && rep.ConvSpeedup < *minSpeedup {
+		fatal(fmt.Errorf("GEMM conv forward speedup %.2fx below the %.2fx gate", rep.ConvSpeedup, *minSpeedup))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchnn:", err)
+	os.Exit(1)
+}

@@ -3,11 +3,14 @@
 //
 // Usage:
 //
-//	experiments -exp all|table1|table2|fig6c|fig7a|fig7b|fig9|table5|ablations [-quick] [-workers N] [-out DIR] [-cache-dir DIR]
+//	experiments -exp all|table1|table2|fig6c|fig7a|fig7b|fig9|table5|ablations [-quick] [-workers N] [-train-workers N] [-out DIR] [-cache-dir DIR]
 //
 // -quick shrinks the Table V training runs for smoke tests; -workers
 // bounds the concurrency of the design-space sweeps and the Table V
 // study (0 = all cores; results are identical at every worker count);
+// -train-workers additionally fans each Table V training run across
+// data-parallel gradient workers (bit-identical at every count >= 1;
+// 0 keeps the legacy serial trainer);
 // -out writes each experiment's rows as CSV files into DIR; -cache-dir
 // persists design-space results in a content-addressed store so
 // repeated runs recompute only changed cells (cached results are
@@ -38,6 +41,8 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id: all|table1|table2|fig6c|fig7a|fig7b|fig9|table5|ablations")
 	quick := flag.Bool("quick", false, "reduced-size Table V study")
 	workers := flag.Int("workers", 0, "worker pool size for sweeps and the Table V study (0 = all cores)")
+	trainWorkers := flag.Int("train-workers", 0,
+		"data-parallel gradient workers per Table V training run (0 = legacy serial trainer, -1 = all cores)")
 	out := flag.String("out", "", "directory to write CSV outputs")
 	cacheDir := flag.String("cache-dir", "", "persist design-space results in this content-addressed store")
 	flag.Parse()
@@ -82,7 +87,7 @@ func main() {
 	run("fig7b", fig7b)
 	run("fig9", func() *report.Table { return fig9(arun) })
 	if *exp == "all" || *exp == "table5" {
-		run("table5", func() *report.Table { return tableV(*quick, pool) })
+		run("table5", func() *report.Table { return tableV(*quick, pool, *trainWorkers) })
 	}
 	if *exp == "ablations" {
 		*exp = "all" // expand the group: run() filters by name
@@ -227,14 +232,16 @@ func fig9(arun *sconna.AccelRunner) *report.Table {
 }
 
 // tableV reproduces the accuracy-drop study; the four proxy pipelines
-// train in parallel and each evaluation fans example shards across
-// engine-per-shard workers.
-func tableV(quick bool, pool int) *report.Table {
+// train in parallel (optionally with data-parallel gradient workers
+// inside each training run) and each evaluation fans example shards
+// across engine-per-shard workers.
+func tableV(quick bool, pool, trainWorkers int) *report.Table {
 	opts := sconna.DefaultAccuracyOptions()
 	if quick {
 		opts = sconna.QuickAccuracyOptions()
 	}
 	opts.Workers = pool
+	opts.TrainWorkers = trainWorkers
 	rows, err := sconna.RunTableV(opts)
 	if err != nil {
 		fatal(err)

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	trainsc [-quick] [-ideal-adc] [-train N] [-epochs N]
+//	trainsc [-quick] [-ideal-adc] [-train N] [-epochs N] [-workers N] [-train-workers N]
 package main
 
 import (
@@ -24,6 +24,9 @@ func main() {
 	ideal := flag.Bool("ideal-adc", false, "disable ADC error (isolate stream error)")
 	trainN := flag.Int("train", 0, "override training-set size")
 	epochs := flag.Int("epochs", 0, "override training epochs")
+	workers := flag.Int("workers", 0, "worker pool for the study's pipelines and evaluation shards (0 = all cores)")
+	trainWorkers := flag.Int("train-workers", 0,
+		"data-parallel gradient workers per training run (0 = legacy serial trainer, -1 = all cores; any N >= 1 is bit-identical to N = 1)")
 	flag.Parse()
 
 	opts := sconna.DefaultAccuracyOptions()
@@ -37,6 +40,8 @@ func main() {
 		opts.Epochs = *epochs
 	}
 	opts.IdealADC = *ideal
+	opts.Workers = *workers
+	opts.TrainWorkers = *trainWorkers
 
 	rows, err := sconna.RunTableV(opts)
 	if err != nil {

@@ -84,7 +84,58 @@
 // any worker count (asserted by the runner determinism tests). The
 // package-level sweep helpers (accel.SimulateAll, Sweep, Fig9, the
 // Table I solve) run through ephemeral in-memory runners; both CLIs
-// accept -cache-dir to share a persistent store.
+// accept -cache-dir to share a persistent store. Long-lived disk stores
+// stay bounded via cache.Options.MaxBytes/MaxAge: opening a bounded
+// store garbage-collects it (age eviction first, then
+// LRU-by-mtime down to the size bound) — safe at any time, because an
+// evicted content-addressed entry is recomputed on next demand, never
+// served stale.
+//
+// # Compute plane
+//
+// The CNN hot path — the layers under the Table V accuracy study — runs
+// on an im2col/GEMM lowering (internal/matmul) instead of per-output-
+// pixel gather loops:
+//
+//   - Lowering: each convolution input is gathered once into a patch
+//     matrix (im2col over shared, cached patch geometry, matmul.Pos);
+//     the forward pass is then one cache-blocked GEMM per layer, the
+//     weight gradient one GEMM against the same patch matrix, and the
+//     input gradient a scatter through the same position lists. The
+//     quantized plane (internal/quant) lowers the same way in integer
+//     space, gathering each pixel's operand vector once instead of once
+//     per output channel.
+//
+//   - Determinism contract: float addition is not associative, so the
+//     GEMM keeps the reference reduction order — accumulators start at
+//     the bias and add one partial sum per input channel in fixed
+//     k-order — making outputs and gradients bit-identical to the naive
+//     loops (Conv2D.ForwardNaive/BackwardNaive, quant's ForwardNaive,
+//     kept as executable references and pinned by equivalence tests).
+//     The quantized lowering additionally preserves the engine call
+//     sequence exactly — same operand vectors, same output-channel-major
+//     Dot order — so the stateful SCONNA engine realizes the same ADC
+//     noise stream as before the rewrite.
+//
+//   - Scratch ownership: float im2col buffers are layer-local (layer
+//     instances are single-goroutine by contract); integer gather
+//     buffers live in a quant.Scratch owned one-per-engine, mirroring
+//     the engine-per-shard rule of EvaluateParallel.
+//
+//   - Data-parallel training: nn.TrainParallel partitions each
+//     minibatch into fixed nn.TrainShardSize example shards, runs each
+//     shard's forward/backward on a private replica (shared read-only
+//     weights, private gradients and layer state) and all-reduces shard
+//     gradients into the master in shard-index order before the SGD
+//     step. Partition and reduce order depend only on the inputs, so
+//     trained weights are bit-identical at every worker count. The
+//     legacy serial nn.Train is kept unchanged (its flat gradient walk
+//     rounds differently than the sharded reduction); the Table V study
+//     selects between them with accuracy.Options.TrainWorkers.
+//
+// cmd/benchnn emits the compute-plane benchmark trajectory
+// (BENCH_nn.json) and gates CI on the GEMM-vs-naive convolution
+// speedup.
 //
 // This package re-exports the stable public surface; see README.md for a
 // tour and EXPERIMENTS.md for paper-vs-measured results of every table

@@ -98,6 +98,15 @@ type Options struct {
 	// results are bit-identical for every worker count (see
 	// quant.EvaluateParallel).
 	Workers int
+	// TrainWorkers fans each proxy's minibatch gradient computation
+	// across data-parallel workers (nn.TrainParallel): != 0 enables the
+	// sharded trainer (< 0 selects GOMAXPROCS), whose result is
+	// bit-identical at every worker count. 0 keeps the legacy serial
+	// nn.Train walk, which differs from the sharded trainer only in
+	// gradient summation order (so trained weights — and with them the
+	// study's row values — differ in float rounding between the two
+	// trainers, while each trainer is individually deterministic).
+	TrainWorkers int
 }
 
 // DefaultOptions returns the full-study configuration.
@@ -178,7 +187,18 @@ func Prepare(spec Spec, opts Options) (*Prepared, error) {
 	} else {
 		net = nn.BuildSmallCNN(spec.Width, dataset.NumClasses, spec.Seed)
 	}
-	net.Train(train, epochs, 16, nn.SGD{LR: lr, Momentum: 0.9}, rand.New(rand.NewSource(spec.Seed)))
+	opt := nn.SGD{LR: lr, Momentum: 0.9}
+	if opts.TrainWorkers != 0 {
+		workers := opts.TrainWorkers
+		if workers < 0 {
+			workers = 0 // nn.TrainParallel: <= 0 selects GOMAXPROCS
+		}
+		if _, err := net.TrainParallel(train, epochs, 16, opt, rand.New(rand.NewSource(spec.Seed)), workers); err != nil {
+			return nil, fmt.Errorf("accuracy: %s: data-parallel training: %w", spec.Name, err)
+		}
+	} else {
+		net.Train(train, epochs, 16, opt, rand.New(rand.NewSource(spec.Seed)))
+	}
 
 	calib := train
 	if len(calib) > 48 {

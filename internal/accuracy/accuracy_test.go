@@ -117,6 +117,38 @@ func TestIdealADCBoundsNoisy(t *testing.T) {
 	}
 }
 
+// Data-parallel training must not change what the study measures: a
+// Prepare with TrainWorkers=N is bit-identical to TrainWorkers=1 (the
+// sharded all-reduce is worker-count-invariant), wire format included.
+func TestPrepareTrainWorkersInvariance(t *testing.T) {
+	t.Parallel()
+	opts := ShortOptions()
+	opts.TrainExamples = 48
+	opts.Epochs = 1
+	opts.EvalExamples = 8
+	spec := Spec{Name: "GoogleNet(proxy)", Width: 4, Seed: 31}
+	prepare := func(trainWorkers int) []float32 {
+		o := opts
+		o.TrainWorkers = trainWorkers
+		p, err := Prepare(spec, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ws []float32
+		for _, param := range p.Net.Params() {
+			ws = append(ws, param.W.Data...)
+		}
+		return ws
+	}
+	ref := prepare(1)
+	for _, workers := range []int{2, 8, -1} {
+		got := prepare(workers)
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("TrainWorkers=%d diverged from TrainWorkers=1", workers)
+		}
+	}
+}
+
 // The parallel study must be bit-identical to the serial one: per-spec
 // pipelines are deterministic in their seeds and the shard partition of
 // each evaluation is independent of the worker count.

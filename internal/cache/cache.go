@@ -21,6 +21,7 @@ package cache
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/digest"
 )
@@ -37,6 +38,14 @@ type Options struct {
 	// Dir enables the on-disk gob store rooted at this directory
 	// (created if absent). Empty disables the disk layer.
 	Dir string
+	// MaxBytes bounds the on-disk store's total size: when the store
+	// exceeds it, the least-recently-written entries are evicted
+	// oldest-first (LRU by mtime) until it fits. <= 0 disables the size
+	// bound. Applied by GC, which New runs once at open.
+	MaxBytes int64
+	// MaxAge evicts on-disk entries older than this. 0 disables the age
+	// bound. Applied by GC, which New runs once at open.
+	MaxAge time.Duration
 }
 
 // Stats counts cache traffic. Hits split by layer; Misses count lookups
@@ -52,6 +61,8 @@ type Stats struct {
 	Evictions  int64 // LRU entries displaced
 	DiskWrites int64 // entries persisted
 	DiskErrors int64 // unreadable/unwritable disk entries (degraded to compute)
+	GCRemoved  int64 // disk entries evicted by age/size garbage collection
+	GCBytes    int64 // bytes reclaimed by garbage collection
 }
 
 // Hits returns the total lookups served without computing.
@@ -86,23 +97,29 @@ type flight[V any] struct {
 // value: callers must treat results as immutable, which holds for the
 // simulation results cached here.
 type Cache[V any] struct {
-	mu      sync.Mutex
-	lru     *lru[V]
-	disk    *diskStore[V]
-	flights map[digest.Digest]*flight[V]
-	stats   Stats
+	mu       sync.Mutex
+	lru      *lru[V]
+	disk     *diskStore[V]
+	maxBytes int64
+	maxAge   time.Duration
+	flights  map[digest.Digest]*flight[V]
+	stats    Stats
 }
 
 // New builds a Cache. It fails only when the disk directory cannot be
-// created.
+// created. When an age or size bound is configured, the opening process
+// garbage-collects the store once, so long-lived shared directories
+// (CI caches, notebook stores) stay bounded without a separate daemon.
 func New[V any](opts Options) (*Cache[V], error) {
 	entries := opts.Entries
 	if entries <= 0 {
 		entries = DefaultEntries
 	}
 	c := &Cache[V]{
-		lru:     newLRU[V](entries),
-		flights: map[digest.Digest]*flight[V]{},
+		lru:      newLRU[V](entries),
+		maxBytes: opts.MaxBytes,
+		maxAge:   opts.MaxAge,
+		flights:  map[digest.Digest]*flight[V]{},
 	}
 	if opts.Dir != "" {
 		d, err := newDiskStore[V](opts.Dir)
@@ -110,8 +127,35 @@ func New[V any](opts Options) (*Cache[V], error) {
 			return nil, err
 		}
 		c.disk = d
+		if opts.MaxBytes > 0 || opts.MaxAge > 0 {
+			if _, err := c.GC(); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return c, nil
+}
+
+// GC applies the configured MaxAge/MaxBytes bounds to the on-disk store
+// and returns how many entries were removed. Removal is safe at any
+// time: keys are content digests, so an evicted entry is recomputed (and
+// re-persisted) on next demand, never served stale. The in-memory layer
+// is unaffected — it is bounded separately by Options.Entries, and a
+// memory hit for an evicted digest is still exactly the value the
+// computation would produce. Without a disk layer or bounds GC is a
+// no-op.
+func (c *Cache[V]) GC() (removed int, err error) {
+	if c.disk == nil || (c.maxBytes <= 0 && c.maxAge <= 0) {
+		return 0, nil
+	}
+	removed, freed, err := c.disk.gc(c.maxBytes, c.maxAge, time.Now())
+	if removed > 0 {
+		c.note(func(s *Stats) {
+			s.GCRemoved += int64(removed)
+			s.GCBytes += freed
+		})
+	}
+	return removed, err
 }
 
 // GetOrCompute returns the cached value for key, or runs compute exactly

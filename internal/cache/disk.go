@@ -7,6 +7,9 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"time"
 
 	"repro/internal/digest"
 )
@@ -64,4 +67,93 @@ func (d *diskStore[V]) store(key digest.Digest, v V) error {
 		return err
 	}
 	return os.Rename(tmp.Name(), d.path(key))
+}
+
+// gcEntry is one on-disk cache file as seen by the collector.
+type gcEntry struct {
+	name  string
+	size  int64
+	mtime time.Time
+}
+
+// tmpGrace is how long an orphaned temp file (a crashed writer's
+// leftover) survives garbage collection. A live writer holds its temp
+// file for milliseconds, so an hour is generously safe; without this
+// floor a MaxBytes-only store would never reclaim crash debris (temp
+// files are invisible to the size pass — they are not addressable
+// entries).
+const tmpGrace = time.Hour
+
+// gc bounds the store: entries older than maxAge are removed, then the
+// least-recently-written entries (LRU by mtime — a disk entry is written
+// once, on first compute, so mtime is its last-useful-write time) are
+// evicted oldest-first until the total size fits maxBytes. Either bound
+// <= 0 disables that pass. Temp files from crashed writers are collected
+// once older than min(maxAge, tmpGrace). Missing files (a concurrent GC
+// or a racing writer) are not errors.
+func (d *diskStore[V]) gc(maxBytes int64, maxAge time.Duration, now time.Time) (removed int, freed int64, err error) {
+	dents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return 0, 0, fmt.Errorf("cache: gc scan: %w", err)
+	}
+	var entries []gcEntry
+	var total int64
+	for _, de := range dents {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		isEntry := strings.HasSuffix(name, ".gob")
+		isTmp := strings.HasPrefix(name, ".tmp-")
+		if !isEntry && !isTmp {
+			continue
+		}
+		info, ierr := de.Info()
+		if ierr != nil {
+			continue // raced with a concurrent remove
+		}
+		e := gcEntry{name: name, size: info.Size(), mtime: info.ModTime()}
+		deadline := maxAge
+		if isTmp && (deadline <= 0 || deadline > tmpGrace) {
+			deadline = tmpGrace
+		}
+		if deadline > 0 && now.Sub(e.mtime) > deadline {
+			if d.remove(e.name) {
+				removed++
+				freed += e.size
+			}
+			continue
+		}
+		if isTmp {
+			continue // young temp file: a writer may still own it
+		}
+		entries = append(entries, e)
+		total += e.size
+	}
+	if maxBytes <= 0 || total <= maxBytes {
+		return removed, freed, nil
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].mtime.Equal(entries[j].mtime) {
+			return entries[i].mtime.Before(entries[j].mtime)
+		}
+		return entries[i].name < entries[j].name // deterministic tie-break
+	})
+	for _, e := range entries {
+		if total <= maxBytes {
+			break
+		}
+		if d.remove(e.name) {
+			removed++
+			freed += e.size
+		}
+		total -= e.size
+	}
+	return removed, freed, nil
+}
+
+// remove deletes one store file, reporting whether this process did the
+// removal (a concurrent collector may have won the race).
+func (d *diskStore[V]) remove(name string) bool {
+	return os.Remove(filepath.Join(d.dir, name)) == nil
 }

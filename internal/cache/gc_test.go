@@ -1,0 +1,235 @@
+package cache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/digest"
+)
+
+func gcKey(i int) digest.Digest {
+	h := digest.New()
+	h.Str(fmt.Sprintf("gc-test-%d", i))
+	return h.Sum()
+}
+
+// fillStore computes n entries into a disk-backed cache and returns the
+// store directory's entry file names in creation order.
+func fillStore(t *testing.T, dir string, n int) []string {
+	t.Helper()
+	c, err := New[[]byte](Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		k := gcKey(i)
+		if _, err := c.GetOrCompute(k, func() ([]byte, error) {
+			return make([]byte, 1024), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		names[i] = k.String() + ".gob"
+	}
+	return names
+}
+
+func entryCount(t *testing.T, dir string) int {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, de := range des {
+		if filepath.Ext(de.Name()) == ".gob" {
+			n++
+		}
+	}
+	return n
+}
+
+// TestGCMaxAgeEvictsOldEntries ages half the store below the bound and
+// reopens it: only the aged entries disappear, and the survivors still
+// serve disk hits.
+func TestGCMaxAgeEvictsOldEntries(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	names := fillStore(t, dir, 6)
+	old := time.Now().Add(-48 * time.Hour)
+	for _, name := range names[:3] {
+		if err := os.Chtimes(filepath.Join(dir, name), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := New[[]byte](Options{Dir: dir, MaxAge: 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := entryCount(t, dir); got != 3 {
+		t.Fatalf("%d entries survived, want 3", got)
+	}
+	st := c.Stats()
+	if st.GCRemoved != 3 || st.GCBytes == 0 {
+		t.Fatalf("gc stats %+v, want 3 removals with bytes", st)
+	}
+	for _, name := range names[:3] {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Fatalf("aged entry %s still present", name)
+		}
+	}
+	// A survivor must still be a disk hit; an evicted key recomputes.
+	if _, err := c.GetOrCompute(gcKey(4), func() ([]byte, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.DiskHits != 1 {
+		t.Fatalf("surviving entry should disk-hit, stats %+v", st)
+	}
+}
+
+// TestGCMaxBytesEvictsLRUByMtime over-fills the store, then bounds it:
+// the oldest-written entries go first and the newest survive.
+func TestGCMaxBytesEvictsLRUByMtime(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	names := fillStore(t, dir, 5)
+	// Spread mtimes so LRU order is unambiguous (entry 0 oldest).
+	base := time.Now().Add(-time.Hour)
+	for i, name := range names {
+		mt := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(filepath.Join(dir, name), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var entrySize int64
+	if info, err := os.Stat(filepath.Join(dir, names[0])); err == nil {
+		entrySize = info.Size()
+	} else {
+		t.Fatal(err)
+	}
+	c, err := New[[]byte](Options{Dir: dir, MaxBytes: 2 * entrySize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := entryCount(t, dir); got != 2 {
+		t.Fatalf("%d entries survived, want 2", got)
+	}
+	for _, name := range names[3:] {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("newest entry %s evicted: %v", name, err)
+		}
+	}
+	if st := c.Stats(); st.GCRemoved != 3 {
+		t.Fatalf("gc stats %+v, want 3 removals", st)
+	}
+}
+
+// TestGCCollectsStaleTempFiles: temp files from crashed writers age out;
+// fresh ones are left for their owners.
+func TestGCCollectsStaleTempFiles(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	fillStore(t, dir, 1)
+	stale := filepath.Join(dir, ".tmp-dead")
+	fresh := filepath.Join(dir, ".tmp-live")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-48 * time.Hour)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New[[]byte](Options{Dir: dir, MaxAge: 24 * time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale temp file survived GC")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatal("fresh temp file must be left for its writer")
+	}
+}
+
+// TestGCCollectsTempFilesWithoutMaxAge: a MaxBytes-only store must still
+// reclaim crash debris — temp files are invisible to the size pass, so
+// they fall under the fixed tmpGrace deadline instead.
+func TestGCCollectsTempFilesWithoutMaxAge(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	fillStore(t, dir, 1)
+	stale := filepath.Join(dir, ".tmp-crashed")
+	if err := os.WriteFile(stale, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * tmpGrace)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New[[]byte](Options{Dir: dir, MaxBytes: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale temp file survived a MaxBytes-only GC")
+	}
+	if got := entryCount(t, dir); got != 1 {
+		t.Fatalf("real entry count %d, want 1 (size bound not exceeded)", got)
+	}
+}
+
+// TestGCUnboundedIsNoOp: no bounds, no disk layer — GC must do nothing.
+func TestGCUnboundedIsNoOp(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	fillStore(t, dir, 3)
+	c, err := New[[]byte](Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := c.GC(); err != nil || n != 0 {
+		t.Fatalf("unbounded GC removed %d err %v", n, err)
+	}
+	if got := entryCount(t, dir); got != 3 {
+		t.Fatalf("unbounded GC changed the store: %d entries", got)
+	}
+	mem, err := New[[]byte](Options{MaxAge: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := mem.GC(); err != nil || n != 0 {
+		t.Fatalf("memory-only GC removed %d err %v", n, err)
+	}
+}
+
+// TestGCEvictedEntryRecomputes: after eviction the content-addressed
+// contract holds — the key recomputes to the identical value and is
+// re-persisted.
+func TestGCEvictedEntryRecomputes(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	names := fillStore(t, dir, 2)
+	old := time.Now().Add(-2 * time.Hour)
+	for _, name := range names {
+		if err := os.Chtimes(filepath.Join(dir, name), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := New[[]byte](Options{Dir: dir, MaxAge: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.GetOrCompute(gcKey(0), func() ([]byte, error) { return []byte("recomputed"), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "recomputed" {
+		t.Fatalf("got %q", v)
+	}
+	if st := c.Stats(); st.Misses != 1 || st.DiskWrites != 1 {
+		t.Fatalf("evicted key should recompute and re-persist, stats %+v", st)
+	}
+}

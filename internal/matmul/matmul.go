@@ -1,0 +1,259 @@
+// Package matmul is the im2col/GEMM compute plane under the nn and quant
+// substrates. It lowers 2-D convolution onto a patch-matrix extraction
+// (im2col) followed by a cache-blocked matrix multiply, which is how
+// SC-DCNN-style CNN studies make accuracy sweeps tractable at scale: the
+// patch gather is paid once per input instead of once per output channel,
+// and the inner loops walk contiguous float32 slices with no bounds-check
+// or multi-index overhead.
+//
+// # Determinism contract
+//
+// Float addition is not associative, so a GEMM lowering is only a
+// drop-in replacement if it reproduces the reference summation order
+// bit-for-bit. Every kernel here therefore keeps the inner reduction in
+// fixed k-order: an output accumulator starts from its bias, and partial
+// sums of `group` consecutive elements (one group per input channel for
+// convolution, group 1 for fully-connected flat accumulation) are added
+// in increasing k. Blocking only retiles the independent (row, column)
+// loops — never the reduction — so outputs are bit-identical to the
+// textbook nested loops at every block size. The equivalence tests in
+// internal/nn pin this contract against the naive reference
+// implementations.
+//
+// Zero padding is materialized as literal zeros in the patch matrix. The
+// products they contribute are IEEE signed zeros, and adding a signed
+// zero to an accumulator that started at a real value (or +0) never
+// changes its bits, so the padded GEMM matches the pad-skipping loops
+// exactly.
+package matmul
+
+import "sync"
+
+// Pos describes the patch geometry of one convolution shape: for every
+// output pixel, which kernel slots fall inside the input and where they
+// read from. Integer (quant) and float lowering share one Pos, and the
+// gradient scatter walks the same lists backwards, so the in-bounds
+// enumeration order — (ky, kx) lexicographic, matching the reference
+// loops — is part of the determinism contract.
+//
+// A Pos is immutable after construction and safe for concurrent use.
+type Pos struct {
+	H, W, K, Stride, Pad int
+	OutH, OutW           int
+
+	// Pixel p owns off[start[p]:start[p+1]] and kk[start[p]:start[p+1]]:
+	// spatial source offsets (iy*W + ix) and kernel slots (ky*K + kx) of
+	// its in-bounds window positions, in (ky, kx) order.
+	start []int
+	off   []int
+	kk    []int
+	full  bool // every pixel sees the complete K*K window
+}
+
+// OutSize returns the output spatial size for input size h under the
+// given kernel/stride/pad.
+func OutSize(h, k, stride, pad int) int { return (h+2*pad-k)/stride + 1 }
+
+type posKey struct{ h, w, k, stride, pad int }
+
+// posCache memoizes geometries. sync.Map keeps the steady-state lookup
+// lock-free: Positions sits on the per-example forward hot path of every
+// parallel evaluation worker, where a mutex would serialize the pool.
+var posCache sync.Map // posKey -> *Pos
+
+// Positions returns the (cached) patch geometry for the given input and
+// kernel shape. Layers with a fixed input size share one Pos across the
+// whole run.
+func Positions(h, w, k, stride, pad int) *Pos {
+	key := posKey{h, w, k, stride, pad}
+	if p, ok := posCache.Load(key); ok {
+		return p.(*Pos)
+	}
+	// Duplicate builds during a first-touch race are harmless: every
+	// build is identical and LoadOrStore keeps exactly one.
+	p, _ := posCache.LoadOrStore(key, newPositions(h, w, k, stride, pad))
+	return p.(*Pos)
+}
+
+func newPositions(h, w, k, stride, pad int) *Pos {
+	p := &Pos{H: h, W: w, K: k, Stride: stride, Pad: pad,
+		OutH: OutSize(h, k, stride, pad), OutW: OutSize(w, k, stride, pad)}
+	npix := p.OutH * p.OutW
+	p.start = make([]int, npix+1)
+	p.off = make([]int, 0, npix*k*k)
+	p.kk = make([]int, 0, npix*k*k)
+	pix := 0
+	for oy := 0; oy < p.OutH; oy++ {
+		for ox := 0; ox < p.OutW; ox++ {
+			p.start[pix] = len(p.off)
+			for ky := 0; ky < k; ky++ {
+				iy := oy*stride + ky - pad
+				if iy < 0 || iy >= h {
+					continue
+				}
+				for kx := 0; kx < k; kx++ {
+					ix := ox*stride + kx - pad
+					if ix < 0 || ix >= w {
+						continue
+					}
+					p.off = append(p.off, iy*w+ix)
+					p.kk = append(p.kk, ky*k+kx)
+				}
+			}
+			pix++
+		}
+	}
+	p.start[npix] = len(p.off)
+	p.full = len(p.off) == npix*k*k
+	return p
+}
+
+// NumPix returns the output pixel count OutH*OutW.
+func (p *Pos) NumPix() int { return p.OutH * p.OutW }
+
+// Full reports whether every output pixel sees the complete K*K window
+// (no padding truncation anywhere).
+func (p *Pos) Full() bool { return p.full }
+
+// At returns pixel pix's in-bounds spatial source offsets and kernel
+// slots, in (ky, kx) order. The slices alias the Pos and must not be
+// mutated.
+func (p *Pos) At(pix int) (off, kk []int) {
+	lo, hi := p.start[pix], p.start[pix+1]
+	return p.off[lo:hi], p.kk[lo:hi]
+}
+
+// Im2col gathers src (CHW, inC x H x W) into a row-major patch matrix of
+// shape [NumPix()][inC*K*K]: row p holds pixel p's receptive field with
+// channels outermost and kernel slots innermost, zero-filled where the
+// window hangs over the padding. dst is reused when its capacity
+// suffices; the (possibly reallocated) matrix is returned.
+func (p *Pos) Im2col(dst, src []float32, inC int) []float32 {
+	k2 := p.K * p.K
+	rowLen := inC * k2
+	npix := p.NumPix()
+	n := npix * rowLen
+	if cap(dst) < n {
+		dst = make([]float32, n)
+	} else {
+		dst = dst[:n]
+		if !p.full {
+			clear(dst)
+		}
+	}
+	hw := p.H * p.W
+	for pix := 0; pix < npix; pix++ {
+		row := dst[pix*rowLen : (pix+1)*rowLen]
+		lo, hi := p.start[pix], p.start[pix+1]
+		if hi-lo == k2 {
+			// Complete window: each kernel row is a contiguous run of
+			// the input row, so gather by copy.
+			base := p.off[lo] // iy0*W + ix0
+			for ic := 0; ic < inC; ic++ {
+				srcC := src[ic*hw+base:]
+				dstC := row[ic*k2:]
+				for ky := 0; ky < p.K; ky++ {
+					copy(dstC[ky*p.K:ky*p.K+p.K], srcC[ky*p.W:ky*p.W+p.K])
+				}
+			}
+			continue
+		}
+		offs, kks := p.off[lo:hi], p.kk[lo:hi]
+		for ic := 0; ic < inC; ic++ {
+			srcC := src[ic*hw:]
+			dstC := row[ic*k2:]
+			for i, o := range offs {
+				dstC[kks[i]] = srcC[o]
+			}
+		}
+	}
+	return dst
+}
+
+// pixTile is the column-block width of the blocked kernels: one tile of
+// patch rows (pixTile * rowLen floats) stays hot in cache while every
+// weight row streams over it. 64 pixels x a 3x3x64 patch row is ~144 KiB
+// worst-case in this tree, sized for L2.
+const pixTile = 64
+
+// ConvForward computes the standard-convolution GEMM
+//
+//	out[oc*npix + j] = bias[oc] + sum_g partial_g(w_row(oc), col_row(j))
+//
+// over w [outC x rowLen] and cols [npix x rowLen], with the reduction
+// split into consecutive groups of `group` elements (the per-input-
+// channel partials of the reference loops; group <= 1 selects flat
+// element-by-element accumulation, the Dense contract). Blocked over
+// pixel tiles; the reduction order never depends on the blocking.
+func ConvForward(out, w, cols []float32, outC, npix, rowLen, group int, bias []float32) {
+	for j0 := 0; j0 < npix; j0 += pixTile {
+		j1 := min(j0+pixTile, npix)
+		for oc := 0; oc < outC; oc++ {
+			a := w[oc*rowLen : (oc+1)*rowLen]
+			orow := out[oc*npix:]
+			b0 := bias[oc]
+			for j := j0; j < j1; j++ {
+				orow[j] = accumGrouped(b0, a, cols[j*rowLen:(j+1)*rowLen], group)
+			}
+		}
+	}
+}
+
+// DepthwiseForward computes the depthwise-convolution GEMM over
+// per-channel kernels w [c x k2] and the shared patch matrix
+// cols [npix x c*k2]: channel oc reduces only its own k2-slot group,
+// added to the bias as one partial (the reference corrOne contract).
+func DepthwiseForward(out, w, cols []float32, c, npix, k2 int, bias []float32) {
+	rowLen := c * k2
+	for j0 := 0; j0 < npix; j0 += pixTile {
+		j1 := min(j0+pixTile, npix)
+		for oc := 0; oc < c; oc++ {
+			a := w[oc*k2 : (oc+1)*k2]
+			orow := out[oc*npix:]
+			b0 := bias[oc]
+			for j := j0; j < j1; j++ {
+				orow[j] = b0 + Dot(a, cols[j*rowLen+oc*k2:j*rowLen+(oc+1)*k2])
+			}
+		}
+	}
+}
+
+// accumGrouped accumulates a·b onto init: per-group partials (each summed
+// from zero in k-order) are added to the accumulator in increasing k;
+// group <= 1 adds every product directly.
+func accumGrouped(init float32, a, b []float32, group int) float32 {
+	s := init
+	if group <= 1 {
+		b = b[:len(a)]
+		for i, av := range a {
+			s += av * b[i]
+		}
+		return s
+	}
+	for base := 0; base < len(a); base += group {
+		s += Dot(a[base:base+group], b[base:base+group])
+	}
+	return s
+}
+
+// Dot returns the flat k-order dot product of equal-length slices,
+// accumulated from zero.
+func Dot(a, b []float32) float32 {
+	var s float32
+	b = b[:len(a)]
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}
+
+// Axpy computes dst[i] += alpha*src[i] over len(src) elements — the
+// weight-gradient update of one (output channel, pixel) pair, applied in
+// pixel order by the caller so each gradient element accumulates in the
+// reference order.
+func Axpy(dst []float32, alpha float32, src []float32) {
+	dst = dst[:len(src)]
+	for i, v := range src {
+		dst[i] += alpha * v
+	}
+}

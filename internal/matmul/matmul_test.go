@@ -1,0 +1,211 @@
+package matmul
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestOutSize(t *testing.T) {
+	t.Parallel()
+	if OutSize(16, 3, 1, 1) != 16 {
+		t.Fatal("same-pad 3x3")
+	}
+	if OutSize(16, 3, 2, 1) != 8 {
+		t.Fatal("stride 2")
+	}
+	if OutSize(5, 5, 1, 0) != 1 {
+		t.Fatal("k == h")
+	}
+}
+
+func TestPositionsGeometry(t *testing.T) {
+	t.Parallel()
+	p := Positions(4, 5, 3, 1, 1)
+	if p.OutH != 4 || p.OutW != 5 {
+		t.Fatalf("out %dx%d", p.OutH, p.OutW)
+	}
+	if p.Full() {
+		t.Fatal("padded geometry cannot be full")
+	}
+	// Corner pixel (0,0): only the bottom-right 2x2 of the 3x3 window is
+	// in bounds.
+	off, kk := p.At(0)
+	wantOff := []int{0, 1, 5, 6}
+	wantKK := []int{4, 5, 7, 8}
+	if len(off) != 4 {
+		t.Fatalf("corner has %d slots", len(off))
+	}
+	for i := range off {
+		if off[i] != wantOff[i] || kk[i] != wantKK[i] {
+			t.Fatalf("corner slot %d: off=%d kk=%d want %d/%d", i, off[i], kk[i], wantOff[i], wantKK[i])
+		}
+	}
+	// A central pixel sees the full window.
+	mid := 1*p.OutW + 2
+	off, kk = p.At(mid)
+	if len(off) != 9 || kk[0] != 0 || kk[8] != 8 {
+		t.Fatalf("central window truncated: %v %v", off, kk)
+	}
+
+	if q := Positions(6, 6, 3, 1, 0); !q.Full() {
+		t.Fatal("unpadded geometry must be full")
+	}
+	if Positions(4, 5, 3, 1, 1) != p {
+		t.Fatal("Positions must cache")
+	}
+}
+
+// naiveIm2col is the textbook gather the fast path must match.
+func naiveIm2col(src []float32, inC, h, w, k, stride, pad int) []float32 {
+	oh, ow := OutSize(h, k, stride, pad), OutSize(w, k, stride, pad)
+	out := make([]float32, oh*ow*inC*k*k)
+	pix := 0
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for ic := 0; ic < inC; ic++ {
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						iy, ix := oy*stride+ky-pad, ox*stride+kx-pad
+						if iy < 0 || iy >= h || ix < 0 || ix >= w {
+							continue
+						}
+						out[(pix*inC+ic)*k*k+ky*k+kx] = src[(ic*h+iy)*w+ix]
+					}
+				}
+			}
+			pix++
+		}
+	}
+	return out
+}
+
+func TestIm2colMatchesNaive(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(3))
+	for _, tc := range []struct{ inC, h, w, k, stride, pad int }{
+		{1, 5, 5, 3, 1, 1},
+		{3, 8, 6, 3, 2, 1},
+		{2, 7, 7, 5, 1, 2},
+		{4, 6, 6, 1, 1, 0},
+		{2, 9, 9, 3, 3, 0},
+	} {
+		src := make([]float32, tc.inC*tc.h*tc.w)
+		for i := range src {
+			src[i] = float32(rng.NormFloat64())
+		}
+		p := Positions(tc.h, tc.w, tc.k, tc.stride, tc.pad)
+		// Dirty buffer: reuse must still produce exact zeros at padding.
+		dirty := make([]float32, p.NumPix()*tc.inC*tc.k*tc.k)
+		for i := range dirty {
+			dirty[i] = 999
+		}
+		got := p.Im2col(dirty, src, tc.inC)
+		want := naiveIm2col(src, tc.inC, tc.h, tc.w, tc.k, tc.stride, tc.pad)
+		if len(got) != len(want) {
+			t.Fatalf("%+v: size %d vs %d", tc, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%+v: col[%d] = %v want %v", tc, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestConvForwardGroupedOrder(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(5))
+	outC, npix, group, groups := 3, 150, 9, 4 // npix > pixTile exercises blocking
+	rowLen := group * groups
+	w := make([]float32, outC*rowLen)
+	cols := make([]float32, npix*rowLen)
+	bias := make([]float32, outC)
+	for i := range w {
+		w[i] = float32(rng.NormFloat64())
+	}
+	for i := range cols {
+		cols[i] = float32(rng.NormFloat64())
+	}
+	for i := range bias {
+		bias[i] = float32(rng.NormFloat64())
+	}
+	out := make([]float32, outC*npix)
+	ConvForward(out, w, cols, outC, npix, rowLen, group, bias)
+	for oc := 0; oc < outC; oc++ {
+		for j := 0; j < npix; j++ {
+			// Reference order: accumulator starts at the bias, one partial
+			// per group, each summed from zero in k-order.
+			s := bias[oc]
+			for g := 0; g < groups; g++ {
+				var p float32
+				for i := 0; i < group; i++ {
+					p += w[oc*rowLen+g*group+i] * cols[j*rowLen+g*group+i]
+				}
+				s += p
+			}
+			if math.Float32bits(out[oc*npix+j]) != math.Float32bits(s) {
+				t.Fatalf("out[%d,%d] = %v want %v", oc, j, out[oc*npix+j], s)
+			}
+		}
+	}
+}
+
+func TestConvForwardFlatIsGroupOne(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(6))
+	k := 37
+	a := make([]float32, k)
+	b := make([]float32, k)
+	for i := range a {
+		a[i] = float32(rng.NormFloat64())
+		b[i] = float32(rng.NormFloat64())
+	}
+	out := make([]float32, 1)
+	ConvForward(out, a, b, 1, 1, k, 1, []float32{0.25})
+	s := float32(0.25)
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	if math.Float32bits(out[0]) != math.Float32bits(s) {
+		t.Fatalf("flat accumulation %v want %v", out[0], s)
+	}
+}
+
+func TestDepthwiseForward(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(7))
+	c, npix, k2 := 3, 70, 9
+	w := make([]float32, c*k2)
+	cols := make([]float32, npix*c*k2)
+	bias := make([]float32, c)
+	for i := range w {
+		w[i] = float32(rng.NormFloat64())
+	}
+	for i := range cols {
+		cols[i] = float32(rng.NormFloat64())
+	}
+	out := make([]float32, c*npix)
+	DepthwiseForward(out, w, cols, c, npix, k2, bias)
+	for oc := 0; oc < c; oc++ {
+		for j := 0; j < npix; j++ {
+			var p float32
+			for i := 0; i < k2; i++ {
+				p += w[oc*k2+i] * cols[j*c*k2+oc*k2+i]
+			}
+			s := bias[oc] + p
+			if math.Float32bits(out[oc*npix+j]) != math.Float32bits(s) {
+				t.Fatalf("out[%d,%d] = %v want %v", oc, j, out[oc*npix+j], s)
+			}
+		}
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	t.Parallel()
+	dst := []float32{1, 2, 3}
+	Axpy(dst, 2, []float32{10, 20, 30})
+	if dst[0] != 21 || dst[1] != 42 || dst[2] != 63 {
+		t.Fatalf("axpy %v", dst)
+	}
+}

@@ -1,0 +1,179 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// convCase is one odd-shape configuration of the naive-vs-GEMM
+// equivalence suite: padding, strides, 1x1 and 5x5 kernels, depthwise,
+// non-square inputs.
+type convCase struct {
+	name              string
+	inC, outC, k      int
+	stride, pad, h, w int
+	depthwise         bool
+}
+
+func convCases() []convCase {
+	return []convCase{
+		{"3x3-same", 3, 5, 3, 1, 1, 9, 9, false},
+		{"3x3-stride2", 2, 4, 3, 2, 1, 11, 7, false},
+		{"5x5-pad2", 3, 2, 5, 1, 2, 8, 10, false},
+		{"5x5-stride3-pad1", 2, 3, 5, 3, 1, 13, 13, false},
+		{"1x1-pointwise", 7, 3, 1, 1, 0, 6, 5, false},
+		{"1x1-stride2", 4, 6, 1, 2, 0, 7, 9, false},
+		{"k-eq-h-nopad", 3, 4, 4, 1, 0, 4, 6, false},
+		{"depthwise-3x3", 5, 5, 3, 1, 1, 8, 8, true},
+		{"depthwise-stride2", 3, 3, 3, 2, 1, 9, 11, true},
+		{"depthwise-5x5-pad2", 4, 4, 5, 1, 2, 7, 7, true},
+	}
+}
+
+func buildConv(tc convCase, seed int64) (*Conv2D, *tensor.T) {
+	rng := rand.New(rand.NewSource(seed))
+	c := NewConv2D("c", tc.inC, tc.outC, tc.k, tc.stride, tc.pad, tc.depthwise, rng)
+	for i := range c.Bias.W.Data {
+		c.Bias.W.Data[i] = float32(rng.NormFloat64())
+	}
+	x := tensor.New(tc.inC, tc.h, tc.w)
+	for i := range x.Data {
+		// Mix exact zeros in (post-ReLU activations are full of them) so
+		// the equivalence covers the zero-gradient skip paths.
+		if rng.Intn(5) == 0 {
+			x.Data[i] = 0
+		} else {
+			x.Data[i] = float32(rng.NormFloat64())
+		}
+	}
+	return c, x
+}
+
+func assertBitsEqual(t *testing.T, what string, got, want []float32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("%s[%d]: %v (bits %08x) vs %v (bits %08x)",
+				what, i, got[i], math.Float32bits(got[i]), want[i], math.Float32bits(want[i]))
+		}
+	}
+}
+
+// TestConvGEMMForwardBitIdentical pins the compute-plane contract: the
+// im2col/GEMM forward reproduces the naive reference bit-for-bit on
+// every layer shape, including padded, strided, pointwise and depthwise
+// kernels.
+func TestConvGEMMForwardBitIdentical(t *testing.T) {
+	t.Parallel()
+	for i, tc := range convCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			c, x := buildConv(tc, int64(100+i))
+			want := c.ForwardNaive(x)
+			got := c.Forward(x)
+			if !got.SameShape(want) {
+				t.Fatalf("shape %v vs %v", got.Shape, want.Shape)
+			}
+			assertBitsEqual(t, "out", got.Data, want.Data)
+		})
+	}
+}
+
+// TestConvGEMMBackwardBitIdentical verifies the full gradient contract:
+// weight, bias and input gradients of the lowered Backward are
+// bit-identical to BackwardNaive, including accumulation on top of
+// already-nonzero gradient buffers (mini-batch accumulation) and
+// zero-valued upstream gradients (the ReLU mask).
+func TestConvGEMMBackwardBitIdentical(t *testing.T) {
+	t.Parallel()
+	for i, tc := range convCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			cNaive, x := buildConv(tc, int64(200+i))
+			cGemm, _ := buildConv(tc, int64(200+i)) // identical weights (same seed)
+			assertBitsEqual(t, "setup-weights", cGemm.Wt.W.Data, cNaive.Wt.W.Data)
+
+			rng := rand.New(rand.NewSource(int64(300 + i)))
+			outNaive := cNaive.ForwardNaive(x)
+			if out := cGemm.Forward(x); !out.SameShape(outNaive) {
+				t.Fatalf("shape %v vs %v", out.Shape, outNaive.Shape)
+			}
+			grad := tensor.New(outNaive.Shape...)
+			for j := range grad.Data {
+				if rng.Intn(4) == 0 {
+					grad.Data[j] = 0 // exercise the g==0 skip
+				} else {
+					grad.Data[j] = float32(rng.NormFloat64())
+				}
+			}
+			// Pre-seed the gradient accumulators identically to cover the
+			// accumulate-across-examples path.
+			for pi, p := range cNaive.Params() {
+				for j := range p.Grad.Data {
+					v := float32(rng.NormFloat64())
+					p.Grad.Data[j] = v
+					cGemm.Params()[pi].Grad.Data[j] = v
+				}
+			}
+			dxNaive := cNaive.BackwardNaive(grad)
+			dxGemm := cGemm.Backward(grad.Clone())
+			assertBitsEqual(t, "dx", dxGemm.Data, dxNaive.Data)
+			assertBitsEqual(t, "dW", cGemm.Wt.Grad.Data, cNaive.Wt.Grad.Data)
+			assertBitsEqual(t, "dBias", cGemm.Bias.Grad.Data, cNaive.Bias.Grad.Data)
+		})
+	}
+}
+
+// TestDenseGEMMBitIdentical pins the Dense lowering against an inline
+// transcription of the reference row-by-row loops.
+func TestDenseGEMMBitIdentical(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(42))
+	for _, shape := range [][2]int{{7, 3}, {64, 10}, {1, 1}, {33, 17}} {
+		in, out := shape[0], shape[1]
+		t.Run(fmt.Sprintf("%dx%d", in, out), func(t *testing.T) {
+			d := NewDense("d", in, out, rng)
+			for i := range d.Bias.W.Data {
+				d.Bias.W.Data[i] = float32(rng.NormFloat64())
+			}
+			x := tensor.New(in)
+			for i := range x.Data {
+				x.Data[i] = float32(rng.NormFloat64())
+			}
+			want := make([]float32, out)
+			for o := 0; o < out; o++ {
+				s := d.Bias.W.Data[o]
+				row := d.Wt.W.Data[o*in : (o+1)*in]
+				for i, v := range x.Data {
+					s += row[i] * v
+				}
+				want[o] = s
+			}
+			got := d.Forward(x)
+			assertBitsEqual(t, "dense", got.Data, want)
+		})
+	}
+}
+
+// TestBackwardAfterForwardNaive covers the scratch-rebuild path: the
+// lowered Backward must produce correct gradients even when the patch
+// matrix was never gathered because the forward pass ran naive.
+func TestBackwardAfterForwardNaive(t *testing.T) {
+	t.Parallel()
+	tc := convCases()[0]
+	cNaive, x := buildConv(tc, 1)
+	cGemm, _ := buildConv(tc, 1)
+	grad := tensor.New(tc.outC, cNaive.OutSize(tc.h), cNaive.OutSize(tc.w))
+	grad.Fill(0.5)
+	cNaive.ForwardNaive(x)
+	cGemm.ForwardNaive(x) // no im2col happened
+	dxNaive := cNaive.BackwardNaive(grad)
+	dxGemm := cGemm.Backward(grad)
+	assertBitsEqual(t, "dx", dxGemm.Data, dxNaive.Data)
+	assertBitsEqual(t, "dW", cGemm.Wt.Grad.Data, cNaive.Wt.Grad.Data)
+}

@@ -14,6 +14,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/matmul"
 	"repro/internal/tensor"
 )
 
@@ -46,6 +47,13 @@ type Layer interface {
 // Conv2D is a 2-D convolution over CHW tensors with square kernels,
 // stride and symmetric zero padding. Depthwise convolutions (groups equal
 // to channels, as in MobileNet/ShuffleNet) are selected with Depthwise.
+//
+// Forward and Backward run on the im2col/GEMM compute plane
+// (internal/matmul): the input is gathered once into a patch matrix that
+// the forward GEMM, the weight-gradient GEMM and the input-gradient
+// scatter all share. The lowering keeps the reference summation order,
+// so outputs and gradients are bit-identical to ForwardNaive /
+// BackwardNaive (asserted by the equivalence tests).
 type Conv2D struct {
 	InC, OutC, K, Stride, Pad int
 	Depthwise                 bool
@@ -54,6 +62,16 @@ type Conv2D struct {
 	Bias *Param // [OutC]
 
 	x *tensor.T // saved input
+
+	// im2col scratch, owned by this layer instance: pos is the (shared,
+	// immutable) patch geometry of the current input size, cols the patch
+	// matrix of the saved input, reused across Forward calls and consumed
+	// by Backward. Layer instances are single-goroutine by contract;
+	// data-parallel training clones per-worker replicas (see
+	// TrainParallel) so scratch is never shared.
+	pos   *matmul.Pos
+	cols  []float32
+	colsX *tensor.T // input the patch matrix was gathered from
 }
 
 // NewConv2D constructs a convolution with He-normal initialized weights.
@@ -87,8 +105,34 @@ func (c *Conv2D) Params() []*Param { return []*Param{c.Wt, c.Bias} }
 // OutSize returns the spatial output size for input size h.
 func (c *Conv2D) OutSize(h int) int { return (h+2*c.Pad-c.K)/c.Stride + 1 }
 
-// Forward implements Layer.
+// Forward implements Layer via the im2col/GEMM lowering: the input is
+// gathered once into a patch matrix (reused by Backward), then one
+// blocked GEMM produces all output channels. Bit-identical to
+// ForwardNaive — the GEMM accumulates from the bias with one partial sum
+// per input channel, the reference order.
 func (c *Conv2D) Forward(x *tensor.T) *tensor.T {
+	c.x = x
+	h, w := x.Shape[1], x.Shape[2]
+	if c.pos == nil || c.pos.H != h || c.pos.W != w {
+		c.pos = matmul.Positions(h, w, c.K, c.Stride, c.Pad)
+	}
+	c.cols = c.pos.Im2col(c.cols, x.Data, c.InC)
+	c.colsX = x
+	npix := c.pos.NumPix()
+	out := tensor.New(c.OutC, c.pos.OutH, c.pos.OutW)
+	k2 := c.K * c.K
+	if c.Depthwise {
+		matmul.DepthwiseForward(out.Data, c.Wt.W.Data, c.cols, c.InC, npix, k2, c.Bias.W.Data)
+	} else {
+		matmul.ConvForward(out.Data, c.Wt.W.Data, c.cols, c.OutC, npix, c.InC*k2, k2, c.Bias.W.Data)
+	}
+	return out
+}
+
+// ForwardNaive is the reference per-output-pixel implementation the GEMM
+// path is verified against (equivalence tests and the naive leg of
+// BenchmarkConvForward). It is the seed implementation, kept verbatim.
+func (c *Conv2D) ForwardNaive(x *tensor.T) *tensor.T {
 	c.x = x
 	h, w := x.Shape[1], x.Shape[2]
 	oh, ow := c.OutSize(h), c.OutSize(w)
@@ -132,8 +176,73 @@ func (c *Conv2D) corrOne(x *tensor.T, oc, wc, oy, ox, ic int) float32 {
 	return sum
 }
 
-// Backward implements Layer.
+// ensureCols (re)gathers the patch matrix of the saved input. Forward
+// already did this for the common path; the rebuild covers Backward
+// after ForwardNaive, which saves x without lowering it.
+func (c *Conv2D) ensureCols() {
+	if c.colsX == c.x && c.pos != nil {
+		return
+	}
+	h, w := c.x.Shape[1], c.x.Shape[2]
+	c.pos = matmul.Positions(h, w, c.K, c.Stride, c.Pad)
+	c.cols = c.pos.Im2col(c.cols, c.x.Data, c.InC)
+	c.colsX = c.x
+}
+
+// Backward implements Layer on the shared patch matrix: the bias and
+// weight gradients accumulate as a GEMM against the Forward im2col (one
+// axpy per nonzero (channel, pixel) gradient, applied in pixel order),
+// and the input gradient scatters through the same position lists in the
+// reference (oc, pixel, ic, ky, kx) order. Per-element accumulation
+// order — and therefore every gradient bit — matches BackwardNaive.
 func (c *Conv2D) Backward(grad *tensor.T) *tensor.T {
+	c.ensureCols()
+	x := c.x
+	h, w := x.Shape[1], x.Shape[2]
+	hw := h * w
+	npix := grad.Shape[1] * grad.Shape[2]
+	k2 := c.K * c.K
+	rowLen := c.Wt.W.Shape[1] * k2 // InC*K*K, or K*K when depthwise
+	colLen := c.InC * k2
+	dx := tensor.New(x.Shape...)
+	for oc := 0; oc < c.OutC; oc++ {
+		grow := grad.Data[oc*npix : (oc+1)*npix]
+		wrow := c.Wt.W.Data[oc*rowLen : (oc+1)*rowLen]
+		wgrow := c.Wt.Grad.Data[oc*rowLen : (oc+1)*rowLen]
+		bg := c.Bias.Grad.Data[oc]
+		for pix, g := range grow {
+			if g == 0 {
+				continue
+			}
+			bg += g
+			colrow := c.cols[pix*colLen : (pix+1)*colLen]
+			offs, kks := c.pos.At(pix)
+			if c.Depthwise {
+				matmul.Axpy(wgrow, g, colrow[oc*k2:(oc+1)*k2])
+				dst := dx.Data[oc*hw : (oc+1)*hw]
+				for i, o := range offs {
+					dst[o] += g * wrow[kks[i]]
+				}
+				continue
+			}
+			matmul.Axpy(wgrow, g, colrow)
+			for ic := 0; ic < c.InC; ic++ {
+				dst := dx.Data[ic*hw : (ic+1)*hw]
+				wseg := wrow[ic*k2:]
+				for i, o := range offs {
+					dst[o] += g * wseg[kks[i]]
+				}
+			}
+		}
+		c.Bias.Grad.Data[oc] = bg
+	}
+	return dx
+}
+
+// BackwardNaive is the reference gradient implementation Backward is
+// verified against (the seed implementation, kept verbatim). It reads
+// only the input saved by Forward/ForwardNaive.
+func (c *Conv2D) BackwardNaive(grad *tensor.T) *tensor.T {
 	x := c.x
 	h, w := x.Shape[1], x.Shape[2]
 	oh, ow := grad.Shape[1], grad.Shape[2]
@@ -168,8 +277,8 @@ func (c *Conv2D) Backward(grad *tensor.T) *tensor.T {
 							if ix < 0 || ix >= w {
 								continue
 							}
-							c.Wt.Grad.Data[((oc*c.Wt.W.Shape[1]+wc)*c.K+ky)*c.K+kx] += g * x.At(ic, iy, ix)
-							dx.Data[(ic*h+iy)*w+ix] += g * c.Wt.W.At(oc, wc, ky, kx)
+							c.Wt.Grad.Data[c.Wt.Grad.Idx4(oc, wc, ky, kx)] += g * x.AtFlat(x.Idx3(ic, iy, ix))
+							dx.Data[dx.Idx3(ic, iy, ix)] += g * c.Wt.W.AtFlat(c.Wt.W.Idx4(oc, wc, ky, kx))
 						}
 					}
 				}
@@ -342,18 +451,13 @@ func (d *Dense) Name() string { return "dense" }
 // Params implements Layer.
 func (d *Dense) Params() []*Param { return []*Param{d.Wt, d.Bias} }
 
-// Forward implements Layer.
+// Forward implements Layer as the one-column GEMM out = W*x + b with
+// flat k-order accumulation from the bias — bit-identical to the
+// reference row-by-row loops.
 func (d *Dense) Forward(x *tensor.T) *tensor.T {
 	d.x = x
 	out := tensor.New(d.Out)
-	for o := 0; o < d.Out; o++ {
-		s := d.Bias.W.Data[o]
-		row := d.Wt.W.Data[o*d.In : (o+1)*d.In]
-		for i, v := range x.Data {
-			s += row[i] * v
-		}
-		out.Data[o] = s
-	}
+	matmul.ConvForward(out.Data, d.Wt.W.Data, x.Data, d.Out, 1, d.In, 1, d.Bias.W.Data)
 	return out
 }
 

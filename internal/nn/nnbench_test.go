@@ -1,0 +1,32 @@
+package nn_test
+
+// Standard-benchmark wrappers over the shared compute-plane bench bodies
+// (internal/nnbench): `go test -bench BenchmarkConvForward ./internal/nn`
+// compares the naive and GEMM legs on the fixed trajectory shape, and
+// cmd/benchnn runs the same bodies to emit BENCH_nn.json.
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/nnbench"
+)
+
+func BenchmarkConvForward(b *testing.B) {
+	b.Run("naive", nnbench.ConvForwardNaive)
+	b.Run("gemm", nnbench.ConvForwardGEMM)
+}
+
+func BenchmarkConvBackward(b *testing.B) {
+	b.Run("gemm", nnbench.ConvBackwardGEMM)
+}
+
+func BenchmarkDenseForward(b *testing.B) {
+	nnbench.DenseForward(b)
+}
+
+func BenchmarkTrainStep(b *testing.B) {
+	b.Run("workers=1", nnbench.TrainStep(1))
+	b.Run("workers=4", nnbench.TrainStep(4))
+	b.Run("workers=all", nnbench.TrainStep(runtime.GOMAXPROCS(0)))
+}

@@ -1,0 +1,158 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// TrainShardSize is the number of examples of one gradient shard in
+// TrainParallel. Like quant.EvalShardSize it is a fixed property of the
+// computation, not of the machine: the shard partition of every
+// minibatch — and with it the gradient all-reduce order — is identical
+// on every host and at every worker count, which is what makes
+// data-parallel training bit-identical to its workers=1 walk.
+const TrainShardSize = 4
+
+// workerCloneable is implemented by layers that can produce a
+// data-parallel training replica of themselves.
+type workerCloneable interface {
+	cloneForWorker() Layer
+}
+
+// cloneForWorker returns a replica Param sharing this parameter's weight
+// tensor (read-only during gradient computation; the optimizer steps
+// only the master) with a private gradient accumulator.
+func (p *Param) cloneForWorker() *Param {
+	return &Param{Name: p.Name, W: p.W, Grad: tensor.New(p.W.Shape...)}
+}
+
+func (c *Conv2D) cloneForWorker() Layer {
+	return &Conv2D{
+		InC: c.InC, OutC: c.OutC, K: c.K, Stride: c.Stride, Pad: c.Pad,
+		Depthwise: c.Depthwise,
+		Wt:        c.Wt.cloneForWorker(),
+		Bias:      c.Bias.cloneForWorker(),
+	}
+}
+
+func (d *Dense) cloneForWorker() Layer {
+	return &Dense{
+		In: d.In, Out: d.Out,
+		Wt:   d.Wt.cloneForWorker(),
+		Bias: d.Bias.cloneForWorker(),
+	}
+}
+
+func (r *ReLU) cloneForWorker() Layer          { return &ReLU{} }
+func (m *MaxPool2) cloneForWorker() Layer      { return &MaxPool2{} }
+func (g *GlobalAvgPool) cloneForWorker() Layer { return &GlobalAvgPool{} }
+func (f *Flatten) cloneForWorker() Layer       { return &Flatten{} }
+
+// cloneForWorker builds a training replica of the network: weights are
+// shared with the master (workers only read them; the barrier before
+// SGD.Step guarantees no reader is live while the master writes),
+// gradients and per-layer forward state are private.
+func (n *Network) cloneForWorker() (*Network, error) {
+	c := &Network{Layers: make([]Layer, len(n.Layers))}
+	for i, l := range n.Layers {
+		wc, ok := l.(workerCloneable)
+		if !ok {
+			return nil, fmt.Errorf("nn: layer %d (%T) does not support data-parallel training", i, l)
+		}
+		c.Layers[i] = wc.cloneForWorker()
+	}
+	return c, nil
+}
+
+// TrainParallel runs epochs of mini-batch SGD like Train, fanning each
+// minibatch's gradient computation across data-parallel workers: the
+// batch is partitioned into fixed TrainShardSize example shards, each
+// shard's forward/backward runs on a private network replica (shared
+// weights, private gradients), and the shard gradients all-reduce into
+// the master in shard-index order before the optimizer step.
+//
+// The shard partition, per-shard accumulation order and reduce order
+// depend only on (examples, batch) — never on workers or goroutine
+// scheduling — so the trained weights and the returned result are
+// bit-identical for every worker count (workers <= 0 selects
+// GOMAXPROCS). The serial reference of that contract is workers=1; it
+// differs from Train only in gradient summation order (per-shard partial
+// sums instead of one flat walk), which reassociates float rounding,
+// so the two trainers converge equivalently but not bit-identically.
+// Deterministic given rng.
+func (n *Network) TrainParallel(examples []Example, epochs, batch int, opt SGD, rng *rand.Rand, workers int) (TrainResult, error) {
+	if batch < 1 {
+		batch = 1
+	}
+	if len(examples) == 0 {
+		return TrainResult{}, nil
+	}
+	maxShards := (min(batch, len(examples)) + TrainShardSize - 1) / TrainShardSize
+	reps := make([]*Network, maxShards)
+	repParams := make([][]*Param, maxShards)
+	for s := range reps {
+		rep, err := n.cloneForWorker()
+		if err != nil {
+			return TrainResult{}, err
+		}
+		reps[s] = rep
+		repParams[s] = rep.Params()
+	}
+	masterParams := n.Params()
+	shardLoss := make([]float64, maxShards)
+	shardHits := make([]int, maxShards)
+
+	idx := make([]int, len(examples))
+	for i := range idx {
+		idx[i] = i
+	}
+	var res TrainResult
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var lossSum float64
+		correct := 0
+		for b := 0; b < len(idx); b += batch {
+			end := min(b+batch, len(idx))
+			spans := parallel.Spans(end-b, TrainShardSize)
+			if err := parallel.ForEach(workers, len(spans), func(s int) error {
+				rep := reps[s]
+				for _, p := range repParams[s] {
+					p.Grad.Zero()
+				}
+				var loss float64
+				hits := 0
+				for _, i := range idx[b+spans[s].Lo : b+spans[s].Hi] {
+					ex := examples[i]
+					logits := rep.Forward(ex.X)
+					if logits.ArgMax() == ex.Label {
+						hits++
+					}
+					l, grad := LossAndGrad(logits, ex.Label)
+					loss += l
+					rep.Backward(grad)
+				}
+				shardLoss[s], shardHits[s] = loss, hits
+				return nil
+			}); err != nil {
+				return TrainResult{}, err
+			}
+			// Index-ordered all-reduce: shard partials merge into the
+			// master in shard order, element order within each tensor —
+			// the same walk at every worker count.
+			for s := range spans {
+				for pi, p := range masterParams {
+					p.Grad.AXPY(1, repParams[s][pi].Grad)
+				}
+				lossSum += shardLoss[s]
+				correct += shardHits[s]
+			}
+			opt.Step(masterParams, end-b)
+		}
+		res.FinalLoss = lossSum / float64(len(idx))
+		res.TrainAccuracy = float64(correct) / float64(len(idx))
+	}
+	return res, nil
+}

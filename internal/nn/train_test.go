@@ -1,0 +1,110 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func trainExamples(n int, rng *rand.Rand) []Example {
+	ex := make([]Example, n)
+	for i := range ex {
+		x := tensor.New(1, 8, 8)
+		for j := range x.Data {
+			x.Data[j] = float32(rng.NormFloat64() * 0.5)
+		}
+		ex[i] = Example{X: x, Label: rng.Intn(3)}
+	}
+	return ex
+}
+
+func trainNet(seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	return &Network{Layers: []Layer{
+		NewConv2D("c1", 1, 4, 3, 1, 1, false, rng),
+		&ReLU{},
+		&MaxPool2{},
+		NewConv2D("dw", 4, 4, 3, 1, 1, true, rng),
+		&ReLU{},
+		&GlobalAvgPool{},
+		NewDense("fc", 4, 3, rng),
+	}}
+}
+
+// TestTrainParallelWorkerInvariance pins the data-parallel training
+// contract: for any worker count the trained weights, momentum state and
+// returned loss/accuracy are bit-identical to the workers=1 walk of the
+// same sharded all-reduce. Run under -race this also proves replica
+// isolation (shared read-only weights, private gradients).
+func TestTrainParallelWorkerInvariance(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(9))
+	examples := trainExamples(37, rng) // odd count: exercises a ragged final batch
+	opt := SGD{LR: 0.05, Momentum: 0.9, Decay: 1e-4}
+
+	ref := trainNet(5)
+	refRes, err := ref.TrainParallel(examples, 3, 10, opt, rand.New(rand.NewSource(1)), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 0} {
+		net := trainNet(5)
+		res, err := net.TrainParallel(examples, 3, 10, opt, rand.New(rand.NewSource(1)), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != refRes {
+			t.Fatalf("workers=%d result %+v diverged from serial %+v", workers, res, refRes)
+		}
+		refParams, gotParams := ref.Params(), net.Params()
+		for pi, p := range refParams {
+			for j := range p.W.Data {
+				if math.Float32bits(p.W.Data[j]) != math.Float32bits(gotParams[pi].W.Data[j]) {
+					t.Fatalf("workers=%d param %s[%d]: %v vs serial %v",
+						workers, p.Name, j, gotParams[pi].W.Data[j], p.W.Data[j])
+				}
+			}
+		}
+	}
+}
+
+// TestTrainParallelLearns sanity-checks that the sharded trainer still
+// optimizes: it must fit the same XOR-like task the serial trainer does.
+func TestTrainParallelLearns(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(7))
+	net := &Network{Layers: []Layer{
+		NewDense("h", 2, 8, rng),
+		&ReLU{},
+		NewDense("o", 8, 2, rng),
+	}}
+	var ex []Example
+	for _, c := range [][3]float32{{0, 0, 0}, {0, 1, 1}, {1, 0, 1}, {1, 1, 0}} {
+		ex = append(ex, Example{X: tensor.FromSlice([]float32{c[0], c[1]}, 2), Label: int(c[2])})
+	}
+	res, err := net.TrainParallel(ex, 400, 4, SGD{LR: 0.1, Momentum: 0.9}, rng, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrainAccuracy < 1.0 {
+		t.Fatalf("failed to fit XOR: acc=%.2f loss=%.3f", res.TrainAccuracy, res.FinalLoss)
+	}
+}
+
+// TestTrainMatchesSerialReference guards the legacy contract: Train is
+// untouched by the compute-plane rewrite, so a short run must still
+// optimize and report sane aggregates.
+func TestTrainParallelEmptyAndTinyBatches(t *testing.T) {
+	t.Parallel()
+	net := trainNet(3)
+	if res, err := net.TrainParallel(nil, 2, 8, SGD{LR: 0.1}, rand.New(rand.NewSource(1)), 4); err != nil || res != (TrainResult{}) {
+		t.Fatalf("empty training should be a no-op, got %+v err %v", res, err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	ex := trainExamples(3, rng)
+	if _, err := net.TrainParallel(ex, 1, 0, SGD{LR: 0.01}, rng, 2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+// Package nnbench defines the compute-plane benchmark bodies shared by
+// the `go test -bench` suites (internal/nn, internal/quant wrap them as
+// standard benchmarks) and cmd/benchnn, which runs them through
+// testing.Benchmark to emit BENCH_nn.json — the machine-readable
+// trajectory future PRs diff for regressions — and to gate CI on the
+// GEMM-vs-naive conv speedup.
+//
+// The shapes are fixed contracts: changing one invalidates the ns/op
+// trajectory, so treat them like golden values.
+package nnbench
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// Conv benchmark shape: a mid-stack layer of the accuracy-study CNNs
+// scaled up enough that the gather dominates (8->16 channels, 3x3,
+// stride 1, pad 1 over 32x32).
+const (
+	convInC, convOutC, convK = 8, 16, 3
+	convH, convW             = 32, 32
+)
+
+func benchConv() (*nn.Conv2D, *tensor.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := nn.NewConv2D("bench", convInC, convOutC, convK, 1, 1, false, rng)
+	x := tensor.New(convInC, convH, convW)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	return c, x
+}
+
+// ConvForwardNaive times the reference per-output-pixel convolution (the
+// seed implementation).
+func ConvForwardNaive(b *testing.B) {
+	c, x := benchConv()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ForwardNaive(x)
+	}
+}
+
+// ConvForwardGEMM times the im2col/GEMM convolution on the identical
+// shape; outputs are bit-identical to the naive path.
+func ConvForwardGEMM(b *testing.B) {
+	c, x := benchConv()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Forward(x)
+	}
+}
+
+// ConvBackwardGEMM times the lowered gradient path (weight, bias and
+// input gradients) after one forward pass.
+func ConvBackwardGEMM(b *testing.B) {
+	c, x := benchConv()
+	out := c.Forward(x)
+	grad := tensor.New(out.Shape...)
+	rng := rand.New(rand.NewSource(2))
+	for i := range grad.Data {
+		grad.Data[i] = float32(rng.NormFloat64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Backward(grad)
+	}
+}
+
+// DenseForward times the one-column GEMM fully-connected layer.
+func DenseForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	d := nn.NewDense("bench", 512, 128, rng)
+	x := tensor.New(512)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Forward(x)
+	}
+}
+
+func benchQuant(b *testing.B) (*quant.Network, *tensor.T) {
+	b.Helper()
+	net := nn.BuildSmallCNN(8, 8, 1)
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.New(1, 16, 16)
+	for i := range x.Data {
+		x.Data[i] = float32(math.Abs(rng.NormFloat64()))
+	}
+	qn, err := quant.Quantize(net, 8, []nn.Example{{X: x, Label: 0}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return qn, x
+}
+
+// QuantForwardNaive times the reference quantized inference gather.
+func QuantForwardNaive(b *testing.B) {
+	qn, x := benchQuant(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qn.ForwardNaive(x, quant.ExactEngine{})
+	}
+}
+
+// QuantForward times the lowered quantized inference (shared integer
+// patch extraction, reused scratch).
+func QuantForward(b *testing.B) {
+	qn, x := benchQuant(b)
+	s := quant.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qn.ForwardScratch(x, quant.ExactEngine{}, s)
+	}
+}
+
+// TrainStep returns a benchmark timing one epoch of mini-batch SGD over
+// a fixed 64-example workload with the given data-parallel worker count
+// (results are bit-identical across worker counts; only wall time
+// moves).
+func TrainStep(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		rng := rand.New(rand.NewSource(5))
+		examples := make([]nn.Example, 64)
+		for i := range examples {
+			x := tensor.New(1, 16, 16)
+			for j := range x.Data {
+				x.Data[j] = float32(rng.NormFloat64())
+			}
+			examples[i] = nn.Example{X: x, Label: rng.Intn(8)}
+		}
+		net := nn.BuildSmallCNN(8, 8, 6)
+		opt := nn.SGD{LR: 0.05, Momentum: 0.9}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := net.TrainParallel(examples, 1, 16, opt, rand.New(rand.NewSource(7)), workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

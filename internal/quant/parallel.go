@@ -44,10 +44,13 @@ const EvalShardSize = 16
 
 // evaluateBlock pushes examples through engine serially, returning the
 // top-1 and top-k hit counts. Both the serial Evaluate and each parallel
-// shard run through this one code path.
+// shard run through this one code path. The scratch buffers are created
+// here — one per block, next to the engine they serve — so a stateful
+// engine and its scratch share the same single-goroutine ownership.
 func (q *Network) evaluateBlock(examples []nn.Example, k int, engine DotEngine) (c1, ck int) {
+	scratch := NewScratch()
 	for _, ex := range examples {
-		logits := q.Forward(ex.X, engine)
+		logits := q.ForwardScratch(ex.X, engine, scratch)
 		if logits.ArgMax() == ex.Label {
 			c1++
 		}

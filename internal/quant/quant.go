@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/matmul"
 	"repro/internal/nn"
 	"repro/internal/tensor"
 )
@@ -181,8 +182,9 @@ func quantizeSigned(w []float32, scale float32, qmax int) []int {
 
 // quantizeActs converts activations to unsigned integers in [0, qmax];
 // negative values clamp to zero (activations are post-ReLU by contract).
-func quantizeActs(x []float32, scale float32, qmax int) []int {
-	out := make([]int, len(x))
+// dst is reused when its capacity suffices.
+func quantizeActs(dst []int, x []float32, scale float32, qmax int) []int {
+	dst = growInts(dst, len(x))
 	for i, v := range x {
 		q := int(math.Round(float64(v / scale)))
 		if q < 0 {
@@ -191,21 +193,55 @@ func quantizeActs(x []float32, scale float32, qmax int) []int {
 		if q > qmax {
 			q = qmax
 		}
-		out[i] = q
+		dst[i] = q
 	}
-	return out
+	return dst
 }
 
+// growInts resizes buf to n elements, reallocating only when capacity is
+// short. Contents are unspecified.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// Scratch holds the reusable integer buffers of one quantized inference
+// stream: the quantized activations, the gathered per-pixel operand
+// vectors (DIV) and the weight-gather buffer (DKV). The SCONNA engine is
+// stateful, so scratch follows the same ownership rule: one Scratch per
+// DotEngine, never shared across goroutines. evaluateBlock allocates one
+// per shard, which is what keeps EvaluateParallel -race clean.
+type Scratch struct {
+	qx  []int
+	div []int // all pixels' gathered activations, flat
+	ds  []int // per-pixel start offsets into div (npix+1)
+	dkv []int
+}
+
+// NewScratch returns an empty scratch; buffers grow on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
 // Forward runs quantized inference on x through engine and returns float
-// logits.
+// logits, with a private one-shot scratch. For repeated inference (batch
+// evaluation) use ForwardScratch with a reused Scratch to amortize the
+// buffer allocations.
 func (q *Network) Forward(x *tensor.T, engine DotEngine) *tensor.T {
+	return q.ForwardScratch(x, engine, NewScratch())
+}
+
+// ForwardScratch is Forward with caller-owned scratch buffers. The
+// scratch must be private to the engine's goroutine, like the engine
+// itself.
+func (q *Network) ForwardScratch(x *tensor.T, engine DotEngine, s *Scratch) *tensor.T {
 	qmax := int(1)<<uint(q.Bits) - 1
 	for _, l := range q.layers {
 		switch {
 		case l.conv != nil:
-			x = l.conv.forward(x, engine, qmax)
+			x = l.conv.forward(x, engine, qmax, s)
 		case l.dense != nil:
-			x = l.dense.forward(x, engine, qmax)
+			x = l.dense.forward(x, engine, qmax, s)
 		case l.relu:
 			x = x.Clone()
 			for i, v := range x.Data {
@@ -226,11 +262,148 @@ func (q *Network) Forward(x *tensor.T, engine DotEngine) *tensor.T {
 	return x
 }
 
-func (c *QConv2D) forward(x *tensor.T, engine DotEngine, qmax int) *tensor.T {
+// ForwardNaive runs quantized inference through the reference
+// per-output-pixel gather loops (the seed implementation, kept
+// verbatim). The lowered path must reproduce it exactly — same operand
+// vectors, same engine call order — so it anchors the equivalence and
+// call-sequence tests and the naive leg of BenchmarkQuantForward.
+func (q *Network) ForwardNaive(x *tensor.T, engine DotEngine) *tensor.T {
+	qmax := int(1)<<uint(q.Bits) - 1
+	for _, l := range q.layers {
+		switch {
+		case l.conv != nil:
+			x = l.conv.forwardNaive(x, engine, qmax)
+		case l.dense != nil:
+			x = l.dense.forwardNaive(x, engine, qmax)
+		case l.relu:
+			x = x.Clone()
+			for i, v := range x.Data {
+				if v < 0 {
+					x.Data[i] = 0
+				}
+			}
+		case l.pool:
+			x = (&nn.MaxPool2{}).Forward(x)
+		case l.gap:
+			x = (&nn.GlobalAvgPool{}).Forward(x)
+		case l.flat:
+			x = x.Reshape(x.Len())
+		}
+	}
+	return x
+}
+
+// forward runs the lowered quantized convolution: the input is quantized
+// once, each output pixel's in-bounds activation vector (DIV) is
+// gathered once through the shared patch geometry (instead of once per
+// output channel, as the naive loops do), and the weight vectors (DKV)
+// gather through the same position lists.
+//
+// The lowering preserves the engine-facing contract exactly: operand
+// vectors hold the same values in the same order (zero-padded positions
+// compressed out, channels outermost), and Dot is called in the same
+// output-channel-major order — so a stateful engine (the SCONNA VDPC
+// advances its ADC noise stream per dot product) sees an identical call
+// sequence and produces bit-identical results (asserted by the
+// call-sequence equivalence test).
+func (c *QConv2D) forward(x *tensor.T, engine DotEngine, qmax int, s *Scratch) *tensor.T {
+	h, w := x.Shape[1], x.Shape[2]
+	hw := h * w
+	pos := matmul.Positions(h, w, c.K, c.Stride, c.Pad)
+	oh, ow := pos.OutH, pos.OutW
+	npix := oh * ow
+	k2 := c.K * c.K
+	s.qx = quantizeActs(s.qx, x.Data, c.InScale, qmax)
+	out := tensor.New(c.OutC, oh, ow)
+
+	if c.Depthwise {
+		// One channel per output channel: gather DIV/DKV per (oc, pixel)
+		// through the position lists (no bounds checks, weight row
+		// contiguous).
+		for oc := 0; oc < c.OutC; oc++ {
+			kbase := oc * k2
+			qc := s.qx[oc*hw : (oc+1)*hw]
+			orow := out.Data[oc*npix:]
+			for pix := 0; pix < npix; pix++ {
+				offs, kks := pos.At(pix)
+				n := len(offs)
+				s.div = growInts(s.div, n)
+				s.dkv = growInts(s.dkv, n)
+				for i, o := range offs {
+					s.div[i] = qc[o]
+					s.dkv[i] = c.W[kbase+kks[i]]
+				}
+				acc := engine.Dot(s.div, s.dkv)
+				orow[pix] = float32(acc)*c.InScale*c.WScale + c.Bias[oc]
+			}
+		}
+		return out
+	}
+
+	ksz := c.InC * k2
+	// Gather every pixel's DIV vector once, reused across all output
+	// channels — the integer im2col.
+	s.ds = growInts(s.ds, npix+1)
+	need := 0
+	for pix := 0; pix < npix; pix++ {
+		s.ds[pix] = need
+		lo, _ := pos.At(pix)
+		need += len(lo) * c.InC
+	}
+	s.ds[npix] = need
+	s.div = growInts(s.div, need)
+	for pix := 0; pix < npix; pix++ {
+		offs, _ := pos.At(pix)
+		p := s.ds[pix]
+		for ic := 0; ic < c.InC; ic++ {
+			qc := s.qx[ic*hw:]
+			for _, o := range offs {
+				s.div[p] = qc[o]
+				p++
+			}
+		}
+	}
+	s.dkv = growInts(s.dkv, ksz)
+	for oc := 0; oc < c.OutC; oc++ {
+		kbase := oc * ksz
+		orow := out.Data[oc*npix:]
+		if pos.Full() {
+			// No truncated windows anywhere: every pixel's DKV is the
+			// full contiguous weight row — gather it once per channel.
+			dkv := s.dkv[:ksz]
+			copy(dkv, c.W[kbase:kbase+ksz])
+			for pix := 0; pix < npix; pix++ {
+				acc := engine.Dot(s.div[s.ds[pix]:s.ds[pix+1]], dkv)
+				orow[pix] = float32(acc)*c.InScale*c.WScale + c.Bias[oc]
+			}
+			continue
+		}
+		for pix := 0; pix < npix; pix++ {
+			_, kks := pos.At(pix)
+			n := len(kks) * c.InC
+			dkv := s.dkv[:n]
+			p := 0
+			for ic := 0; ic < c.InC; ic++ {
+				wseg := c.W[kbase+ic*k2:]
+				for _, k := range kks {
+					dkv[p] = wseg[k]
+					p++
+				}
+			}
+			acc := engine.Dot(s.div[s.ds[pix]:s.ds[pix+1]], dkv)
+			orow[pix] = float32(acc)*c.InScale*c.WScale + c.Bias[oc]
+		}
+	}
+	return out
+}
+
+// forwardNaive is the seed implementation of the quantized convolution,
+// kept verbatim as the lowering's reference.
+func (c *QConv2D) forwardNaive(x *tensor.T, engine DotEngine, qmax int) *tensor.T {
 	h, w := x.Shape[1], x.Shape[2]
 	oh := (h+2*c.Pad-c.K)/c.Stride + 1
 	ow := (w+2*c.Pad-c.K)/c.Stride + 1
-	qx := quantizeActs(x.Data, c.InScale, qmax)
+	qx := quantizeActs(nil, x.Data, c.InScale, qmax)
 	out := tensor.New(c.OutC, oh, ow)
 	wc := c.InC
 	if c.Depthwise {
@@ -272,8 +445,20 @@ func (c *QConv2D) forward(x *tensor.T, engine DotEngine, qmax int) *tensor.T {
 	return out
 }
 
-func (d *QDense) forward(x *tensor.T, engine DotEngine, qmax int) *tensor.T {
-	qx := quantizeActs(x.Data, d.InScale, qmax)
+func (d *QDense) forward(x *tensor.T, engine DotEngine, qmax int, s *Scratch) *tensor.T {
+	s.qx = quantizeActs(s.qx, x.Data, d.InScale, qmax)
+	out := tensor.New(d.Out)
+	s.dkv = growInts(s.dkv, d.In)
+	for o := 0; o < d.Out; o++ {
+		copy(s.dkv, d.W[o*d.In:(o+1)*d.In])
+		acc := engine.Dot(s.qx, s.dkv)
+		out.Data[o] = float32(acc)*d.InScale*d.WScale + d.Bias[o]
+	}
+	return out
+}
+
+func (d *QDense) forwardNaive(x *tensor.T, engine DotEngine, qmax int) *tensor.T {
+	qx := quantizeActs(nil, x.Data, d.InScale, qmax)
 	out := tensor.New(d.Out)
 	dkv := make([]int, d.In)
 	for o := 0; o < d.Out; o++ {

@@ -73,7 +73,7 @@ func TestQuantizeSignedClamps(t *testing.T) {
 
 func TestQuantizeActsClampsNonNegative(t *testing.T) {
 	x := []float32{-1, 0, 0.5, 2}
-	q := quantizeActs(x, 1.0/255, 255)
+	q := quantizeActs(nil, x, 1.0/255, 255)
 	if q[0] != 0 || q[1] != 0 || (q[2] != 127 && q[2] != 128) || q[3] != 255 {
 		t.Fatalf("q=%v", q)
 	}

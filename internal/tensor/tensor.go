@@ -52,6 +52,25 @@ func (t *T) At(idx ...int) float32 { return t.Data[t.offset(idx)] }
 // Set stores v at the given multi-index.
 func (t *T) Set(v float32, idx ...int) { t.Data[t.offset(idx)] = v }
 
+// Idx3 returns the flat offset of (i, j, k) in a rank-3 tensor without
+// rank or range validation — the hot-loop counterpart of At, for callers
+// that iterate shapes they already validated. Out-of-range indices read
+// adjacent elements (or panic at the Data access), exactly like raw
+// slice arithmetic.
+func (t *T) Idx3(i, j, k int) int { return (i*t.Shape[1]+j)*t.Shape[2] + k }
+
+// Idx4 is Idx3 for rank-4 tensors.
+func (t *T) Idx4(i, j, k, l int) int {
+	return ((i*t.Shape[1]+j)*t.Shape[2]+k)*t.Shape[3] + l
+}
+
+// AtFlat returns the element at flat offset i (as produced by Idx3/Idx4
+// or Strides arithmetic).
+func (t *T) AtFlat(i int) float32 { return t.Data[i] }
+
+// SetFlat stores v at flat offset i.
+func (t *T) SetFlat(i int, v float32) { t.Data[i] = v }
+
 func (t *T) offset(idx []int) int {
 	if len(idx) != len(t.Shape) {
 		panic(fmt.Sprintf("tensor: index rank %d vs shape %v", len(idx), t.Shape))

@@ -20,6 +20,34 @@ func TestNewAndIndexing(t *testing.T) {
 	}
 }
 
+// TestUncheckedIndexHelpers pins the hot-loop indexing surface against
+// the checked accessors: Idx3/Idx4 must agree with At's offset
+// computation everywhere.
+func TestUncheckedIndexHelpers(t *testing.T) {
+	x := New(2, 3, 4)
+	for i := range x.Data {
+		x.Data[i] = float32(i)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 4; k++ {
+				if got, want := x.AtFlat(x.Idx3(i, j, k)), x.At(i, j, k); got != want {
+					t.Fatalf("Idx3(%d,%d,%d)=%v want %v", i, j, k, got, want)
+				}
+			}
+		}
+	}
+	x.SetFlat(x.Idx3(1, 2, 3), 99)
+	if x.At(1, 2, 3) != 99 {
+		t.Fatal("SetFlat round-trip failed")
+	}
+	y := New(2, 2, 3, 3)
+	y.Set(5, 1, 0, 2, 1)
+	if y.AtFlat(y.Idx4(1, 0, 2, 1)) != 5 {
+		t.Fatal("Idx4 disagrees with At")
+	}
+}
+
 func TestIndexValidation(t *testing.T) {
 	x := New(2, 2)
 	for _, bad := range [][]int{{2, 0}, {0, -1}, {0}, {0, 0, 0}} {
