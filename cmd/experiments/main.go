@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments -exp all|table1|table2|fig6c|fig7a|fig7b|fig9|table5|ablations [-quick] [-workers N] [-train-workers N] [-out DIR] [-cache-dir DIR]
+//	experiments -exp all|table1|table2|fig6c|fig7a|fig7b|fig9|table5|ablations [-quick] [-workers N] [-train-workers N] [-out DIR] [-cache-dir DIR] [-cache-max-bytes N] [-cache-max-age D]
 //
 // -quick shrinks the Table V training runs for smoke tests; -workers
 // bounds the concurrency of the design-space sweeps and the Table V
@@ -15,7 +15,9 @@
 // persists design-space results in a content-addressed store so
 // repeated runs recompute only changed cells (cached results are
 // bit-identical, so stdout never depends on the cache state; traffic
-// stats print to stderr).
+// stats print to stderr). Long-lived stores stay bounded with
+// -cache-max-bytes / -cache-max-age, which garbage-collect the disk
+// store at open (evicted entries recompute on demand, never go stale).
 package main
 
 import (
@@ -45,15 +47,25 @@ func main() {
 		"data-parallel gradient workers per Table V training run (0 = legacy serial trainer, -1 = all cores)")
 	out := flag.String("out", "", "directory to write CSV outputs")
 	cacheDir := flag.String("cache-dir", "", "persist design-space results in this content-addressed store")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 0,
+		"garbage-collect the disk store down to this many bytes at open (0 = unbounded)")
+	cacheMaxAge := flag.Duration("cache-max-age", 0,
+		"evict disk-store entries older than this at open (0 = no age bound)")
 	flag.Parse()
 	pool := *workers
 
-	arun, err := sconna.NewAccelRunner(sconna.AccelRunnerOptions{Workers: pool, CacheDir: *cacheDir})
+	arun, err := sconna.NewAccelRunner(sconna.AccelRunnerOptions{
+		Workers: pool, CacheDir: *cacheDir,
+		CacheMaxBytes: *cacheMaxBytes, CacheMaxAge: *cacheMaxAge,
+	})
 	if err != nil {
 		fatal(err)
 	}
 	srun, err := sconna.NewScalabilityRunner(sconna.DefaultScalabilityConfig(),
-		sconna.ScalabilityRunnerOptions{Workers: pool, CacheDir: *cacheDir})
+		sconna.ScalabilityRunnerOptions{
+			Workers: pool, CacheDir: *cacheDir,
+			CacheMaxBytes: *cacheMaxBytes, CacheMaxAge: *cacheMaxAge,
+		})
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,376 @@
+// Command sconnaserve is the long-lived SCONNA inference service: it
+// trains (or loads) a CNN on the procedural dataset, quantizes it, and
+// serves classify traffic over HTTP through the micro-batching engine
+// pool of internal/serve.
+//
+// Usage:
+//
+//	sconnaserve [-addr :8080] [-engine sconna|exact] [-deterministic]
+//	            [-pool N] [-max-batch N] [-max-wait D] [-queue N]
+//	            [-width N] [-train N] [-epochs N] [-seed N]
+//	            [-weights FILE] [-save-weights FILE]
+//	            [-bits B] [-vdpe-size N] [-adc-seed N]
+//	            [-selftest] [-requests N] [-bench-out FILE]
+//	            [-min-qps Q] [-min-speedup X]
+//
+// The server answers POST /v1/classify (single, batch, base64 and raw
+// binary bodies), GET /healthz and GET /stats, and drains gracefully on
+// SIGINT/SIGTERM: admissions stop, queued batches finish, then the
+// process exits 0.
+//
+// -deterministic pins each request's engine to its arrival index, so a
+// recorded trace replays bit-identically at any pool size; the default
+// throughput mode reuses pooled engines per batch.
+//
+// -selftest runs the full stack against itself in-process — an HTTP
+// traffic smoke, a deterministic replay check and the load-generator
+// throughput bench — writes the bench trajectory to -bench-out
+// (BENCH_serve.json) and fails if throughput drops under the -min-qps /
+// -min-speedup floors. CI runs it on every change.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	engineName := flag.String("engine", "sconna", "dot-product engine: sconna|exact")
+	deterministic := flag.Bool("deterministic", false,
+		"pin request->engine assignment by arrival index (replayed traces are bit-identical)")
+	pool := flag.Int("pool", 0, "engine-pool size (0 = all cores)")
+	maxBatch := flag.Int("max-batch", 32, "micro-batch size cap")
+	maxWait := flag.Duration("max-wait", 0, "how long a partial batch waits to fill (0 = fire immediately)")
+	queue := flag.Int("queue", 0, "request-queue bound (0 = 4x max-batch); beyond it requests get 429")
+
+	width := flag.Int("width", 4, "served CNN width (nn.BuildSmallCNN)")
+	trainN := flag.Int("train", 192, "training examples for the in-process trained model")
+	epochs := flag.Int("epochs", 4, "training epochs")
+	seed := flag.Int64("seed", 11, "model/dataset seed")
+	weights := flag.String("weights", "", "load weights from this file instead of training")
+	saveWeights := flag.String("save-weights", "", "write the served model's weights to this file")
+
+	bits := flag.Int("bits", 8, "operand precision")
+	vdpeSize := flag.Int("vdpe-size", 64, "functional core VDPE size N")
+	adcSeed := flag.Int64("adc-seed", 2023, "base ADC noise seed")
+
+	selftest := flag.Bool("selftest", false, "serve in-process, drive traffic through the API, bench and exit")
+	requests := flag.Int("requests", 100, "selftest traffic-smoke request count")
+	benchOut := flag.String("bench-out", "BENCH_serve.json", "selftest bench trajectory output")
+	minQPS := flag.Float64("min-qps", 0, "selftest floor on batched-mode QPS (0 disables)")
+	minSpeedup := flag.Float64("min-speedup", 0, "selftest floor on batched-vs-serial speedup (0 disables)")
+	flag.Parse()
+
+	qn, err := buildModel(*width, *trainN, *epochs, *seed, *bits, *weights, *saveWeights)
+	if err != nil {
+		fatal(err)
+	}
+	factory, err := buildFactory(*engineName, *bits, *vdpeSize, *adcSeed)
+	if err != nil {
+		fatal(err)
+	}
+	opts := serve.Options{
+		MaxBatch:      *maxBatch,
+		MaxWait:       *maxWait,
+		QueueDepth:    *queue,
+		PoolSize:      *pool,
+		Deterministic: *deterministic,
+		InputShape:    []int{1, 16, 16},
+		ClassNames:    dataset.ClassNames[:],
+	}
+
+	if *selftest {
+		if err := runSelftest(qn, factory, opts, *requests, *benchOut, *minQPS, *minSpeedup); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	s, err := serve.New(qn, factory, opts)
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	ro := s.Options()
+	fmt.Fprintf(os.Stderr,
+		"sconnaserve: serving on %s (engine=%s pool=%d max-batch=%d queue=%d deterministic=%v params=%d)\n",
+		ln.Addr(), *engineName, ro.PoolSize, ro.MaxBatch, ro.QueueDepth, ro.Deterministic, qn.NumWeights())
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "sconnaserve: %v — draining\n", got)
+	case err := <-errc:
+		fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fatal(fmt.Errorf("http shutdown: %w", err))
+	}
+	if err := s.Drain(ctx); err != nil {
+		fatal(fmt.Errorf("drain: %w", err))
+	}
+	st := s.Stats()
+	fmt.Fprintf(os.Stderr, "sconnaserve: drained clean (served=%d batches=%d rejected=%d p50=%v p99=%v)\n",
+		st.Served, st.Batches, st.Rejected, st.LatencyP50, st.LatencyP99)
+}
+
+// buildModel trains (or loads) the served CNN and quantizes it.
+func buildModel(width, trainN, epochs int, seed int64, bits int, weights, saveWeights string) (*quant.Network, error) {
+	net := nn.BuildSmallCNN(width, dataset.NumClasses, seed)
+	dcfg := dataset.DefaultConfig()
+	dcfg.Seed = seed
+	examples := dataset.Generate(dcfg, trainN)
+	if weights != "" {
+		if err := net.LoadFile(weights); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "sconnaserve: loaded weights from %s\n", weights)
+	} else {
+		res := net.Train(examples, epochs, 16, nn.SGD{LR: 0.05, Momentum: 0.9}, rand.New(rand.NewSource(seed)))
+		fmt.Fprintf(os.Stderr, "sconnaserve: trained width-%d CNN on %d examples (%d epochs, train acc %.0f%%)\n",
+			width, trainN, epochs, 100*res.TrainAccuracy)
+	}
+	if saveWeights != "" {
+		if err := net.SaveFile(saveWeights); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "sconnaserve: wrote weights to %s\n", saveWeights)
+	}
+	calib := examples
+	if len(calib) > 48 {
+		calib = calib[:48]
+	}
+	return quant.Quantize(net, bits, calib)
+}
+
+// buildFactory selects the dot-product substrate.
+func buildFactory(name string, bits, vdpeSize int, adcSeed int64) (quant.EngineFactory, error) {
+	switch strings.ToLower(name) {
+	case "exact":
+		return quant.SharedEngine(quant.ExactEngine{}), nil
+	case "sconna":
+		ccfg := core.DefaultConfig()
+		ccfg.Bits = bits
+		ccfg.N = vdpeSize
+		ccfg.M = 1
+		ccfg.ADCSeed = adcSeed
+		return quant.SconnaEngineFactory(ccfg), nil
+	}
+	return nil, fmt.Errorf("unknown engine %q", name)
+}
+
+// runSelftest drives the whole stack against itself: traffic smoke,
+// deterministic replay check, throughput bench with floors.
+func runSelftest(qn *quant.Network, factory quant.EngineFactory, opts serve.Options, requests int, benchOut string, minQPS, minSpeedup float64) error {
+	inputs := selftestInputs(64)
+
+	if err := trafficSmoke(qn, factory, opts, inputs, requests); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sconnaserve: selftest traffic smoke ok (%d requests, all 2xx, drained clean)\n", requests)
+
+	if err := replaySmoke(qn, factory, opts, inputs); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "sconnaserve: selftest deterministic replay ok (bit-identical across pool sizes)")
+
+	s, err := serve.New(qn, factory, opts)
+	if err != nil {
+		return err
+	}
+	defer drain(s)
+	rep, err := serve.BenchThroughput(s, inputs, serve.BenchOptions{
+		SerialRequests:  512,
+		BatchedRequests: 2048,
+		Clients:         4,
+		Batch:           32,
+		Raw:             true,
+	})
+	if err != nil {
+		return err
+	}
+	if rep.Serial.Errors+rep.Batched.Errors > 0 || rep.Serial.Rejected+rep.Batched.Rejected > 0 {
+		return fmt.Errorf("bench saw failures: serial %+v batched %+v", rep.Serial, rep.Batched)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(benchOut, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sconnaserve: selftest bench — serial %.0f QPS, batched %.0f QPS (%.2fx), wrote %s\n",
+		rep.Serial.QPS, rep.Batched.QPS, rep.Speedup, benchOut)
+	if minQPS > 0 && rep.Batched.QPS < minQPS {
+		return fmt.Errorf("batched throughput %.0f QPS under the %.0f floor", rep.Batched.QPS, minQPS)
+	}
+	if minSpeedup > 0 && rep.Speedup < minSpeedup {
+		return fmt.Errorf("batched speedup %.2fx under the %.2fx floor", rep.Speedup, minSpeedup)
+	}
+	return nil
+}
+
+// trafficSmoke serves real HTTP traffic: single and batched classify
+// posts, health and stats probes; every response must be 2xx and the
+// server must drain clean.
+func trafficSmoke(qn *quant.Network, factory quant.EngineFactory, opts serve.Options, inputs [][]float32, requests int) error {
+	s, err := serve.New(qn, factory, opts)
+	if err != nil {
+		return err
+	}
+	defer drain(s)
+	hs, base, err := serve.ListenLocal(s)
+	if err != nil {
+		return err
+	}
+	defer hs.Close()
+
+	singles := requests / 2
+	rep, err := serve.Drive(base, inputs, serve.LoadOptions{Requests: singles, Clients: 2, Batch: 1})
+	if err != nil {
+		return err
+	}
+	if rep.Responses != singles || rep.Errors > 0 || rep.Rejected > 0 {
+		return fmt.Errorf("single-request smoke: %+v", rep)
+	}
+	rep, err = serve.Drive(base, inputs, serve.LoadOptions{Requests: requests - singles, Clients: 2, Batch: 8, Logits: true})
+	if err != nil {
+		return err
+	}
+	if rep.Responses != requests-singles || rep.Errors > 0 || rep.Rejected > 0 {
+		return fmt.Errorf("batched smoke: %+v", rep)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/stats")
+	if err != nil {
+		return err
+	}
+	var st serve.Stats
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if st.Served != uint64(requests) {
+		return fmt.Errorf("stats served %d, want %d", st.Served, requests)
+	}
+	return nil
+}
+
+// replaySmoke pins the deterministic-mode contract over real HTTP: the
+// same trace served by fresh servers at pool sizes 1 and 3 must produce
+// byte-identical response bodies.
+func replaySmoke(qn *quant.Network, factory quant.EngineFactory, opts serve.Options, inputs [][]float32) error {
+	trace := inputs[:8]
+	run := func(pool, maxBatch int) ([]string, error) {
+		o := opts
+		o.Deterministic = true
+		o.PoolSize = pool
+		o.MaxBatch = maxBatch
+		o.QueueDepth = 64
+		s, err := serve.New(qn, factory, o)
+		if err != nil {
+			return nil, err
+		}
+		defer drain(s)
+		hs, base, err := serve.ListenLocal(s)
+		if err != nil {
+			return nil, err
+		}
+		defer hs.Close()
+		var bodies []string
+		for _, in := range trace {
+			payload, err := json.Marshal(map[string]any{"input": in, "logits": true})
+			if err != nil {
+				return nil, err
+			}
+			resp, err := http.Post(base+"/v1/classify", "application/json", bytes.NewReader(payload))
+			if err != nil {
+				return nil, err
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return nil, err
+			}
+			if resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("replay request: %d %s", resp.StatusCode, body)
+			}
+			bodies = append(bodies, string(body))
+		}
+		return bodies, nil
+	}
+	first, err := run(1, 1)
+	if err != nil {
+		return err
+	}
+	again, err := run(3, 8)
+	if err != nil {
+		return err
+	}
+	for i := range first {
+		if first[i] != again[i] {
+			return fmt.Errorf("replay drifted at request %d:\n%s\nvs\n%s", i, first[i], again[i])
+		}
+	}
+	return nil
+}
+
+func drain(s *serve.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_ = s.Drain(ctx)
+}
+
+// selftestInputs renders dataset images as flat pixel arrays.
+func selftestInputs(n int) [][]float32 {
+	cfg := dataset.DefaultConfig()
+	cfg.Seed = 7
+	examples := dataset.Generate(cfg, n)
+	out := make([][]float32, n)
+	for i, ex := range examples {
+		out[i] = ex.X.Data
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sconnaserve:", err)
+	os.Exit(1)
+}

@@ -6,13 +6,16 @@
 //
 // Usage:
 //
-//	sconnsim -model resnet50 -accel sconna [-layers] [-all] [-workers N] [-cache-dir DIR]
+//	sconnsim -model resnet50 -accel sconna [-layers] [-all] [-workers N] [-cache-dir DIR] [-cache-max-bytes N] [-cache-max-age D]
 //
 // Every simulation flows through the cache-aware evaluation runner: -all
 // fans the three accelerators across the worker pool (-workers, 0 = all
 // cores; the output is identical at every worker count), and -cache-dir
 // persists results in a content-addressed store shared with cmd/experiments
 // so repeated invocations recompute only changed configurations.
+// -cache-max-bytes / -cache-max-age bound long-lived stores: the disk
+// store is garbage-collected at open and evicted entries recompute on
+// demand.
 package main
 
 import (
@@ -33,6 +36,10 @@ func main() {
 	all := flag.Bool("all", false, "run every accelerator on the model")
 	workers := flag.Int("workers", 0, "worker pool size for -all sweeps (0 = all cores)")
 	cacheDir := flag.String("cache-dir", "", "persist simulation results in this content-addressed store")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 0,
+		"garbage-collect the disk store down to this many bytes at open (0 = unbounded)")
+	cacheMaxAge := flag.Duration("cache-max-age", 0,
+		"evict disk-store entries older than this at open (0 = no age bound)")
 	flag.Parse()
 
 	model, err := pickModel(*modelName)
@@ -51,8 +58,10 @@ func main() {
 	}
 
 	runner, err := sconna.NewAccelRunner(sconna.AccelRunnerOptions{
-		Workers:  *workers,
-		CacheDir: *cacheDir,
+		Workers:       *workers,
+		CacheDir:      *cacheDir,
+		CacheMaxBytes: *cacheMaxBytes,
+		CacheMaxAge:   *cacheMaxAge,
 	})
 	if err != nil {
 		fail(err)

@@ -137,6 +137,52 @@
 // (BENCH_nn.json) and gates CI on the GEMM-vs-naive convolution
 // speedup.
 //
+// # Serving plane
+//
+// internal/serve (fronted by cmd/sconnaserve) turns the one-shot
+// quantized evaluation machinery into a long-lived inference service:
+//
+//   - Engine pool lifecycle: a Pool owns N factory-built engines
+//     (engine i = factory(i), so a pool realizes the same noise streams
+//     on every start), each paired with a private quant.BatchScratch.
+//     Engines are checked out per micro-batch and returned after it —
+//     the serving-time form of the engine-per-shard ownership rule: a
+//     stateful SCONNA engine and its scratch belong to exactly one
+//     goroutine between Get and Put.
+//
+//   - Batching semantics: classify requests enter a bounded queue
+//     (admissions are atomic per group and ordered — arrival order, seq
+//     assignment and queue order agree); the dispatcher takes one
+//     request, greedily drains whatever else is pending and optionally
+//     waits up to MaxWait for the batch to fill, then a worker runs the
+//     batch through quant.(*Network).ForwardBatch on a pooled engine.
+//     One batched pass gathers each layer's weight vectors once per
+//     micro-batch instead of once per example — the serving-side payoff
+//     of the PR 3 compute plane. A full queue rejects instead of
+//     buffering (ErrOverloaded, HTTP 429 with Retry-After); requests
+//     whose context ends while queued are skipped, not computed.
+//
+//   - Determinism contract: in throughput mode (default) a batch runs
+//     on one pooled engine, so a stateful engine's noise stream depends
+//     on how traffic happened to batch — fast, but not replay-stable.
+//     Deterministic mode derives each request's engine from its arrival
+//     index (factory(seq)); ForwardBatch preserves the serial
+//     (layer, output-channel, pixel) call order per example, so every
+//     response is a pure function of (network, input, seq) —
+//     bit-identical when a recorded trace replays, at any pool size and
+//     any batching (pinned by replay tests at both the Result and the
+//     HTTP-byte level).
+//
+//   - Operations: POST /v1/classify accepts single, batched, base64 and
+//     raw binary (octet-stream float32) bodies; GET /healthz flips to
+//     503 once draining; GET /stats reports queue depth, a batch-size
+//     histogram, p50/p99 latency and engine-pool utilization. Shutdown
+//     drains gracefully: admissions stop, the backlog finishes, workers
+//     exit. cmd/sconnaserve -selftest drives the whole stack against
+//     itself (traffic smoke, replay check, load-generator bench) and
+//     emits BENCH_serve.json, whose headline is the batched-over-serial
+//     QPS ratio.
+//
 // This package re-exports the stable public surface; see README.md for a
 // tour and EXPERIMENTS.md for paper-vs-measured results of every table
 // and figure.

@@ -2,6 +2,7 @@ package accel
 
 import (
 	"path/filepath"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/models"
@@ -19,6 +20,14 @@ type RunnerOptions struct {
 	// CacheDir/accel so later runs (CI, notebooks, param studies) warm-
 	// start. Empty keeps the cache in-memory only.
 	CacheDir string
+	// CacheMaxBytes bounds the on-disk store: opening the runner
+	// garbage-collects least-recently-written entries down to the bound
+	// (<= 0 leaves the store unbounded). Safe at any time — evicted
+	// content-addressed entries recompute on next demand.
+	CacheMaxBytes int64
+	// CacheMaxAge evicts on-disk entries older than this at open
+	// (0 disables the age bound).
+	CacheMaxAge time.Duration
 }
 
 // Runner is the evaluation engine of the performance plane: every
@@ -40,7 +49,12 @@ func NewRunner(opts RunnerOptions) (*Runner, error) {
 		// Namespace the store: scalability.Runner shares the same root.
 		dir = filepath.Join(dir, "accel")
 	}
-	c, err := cache.New[Result](cache.Options{Entries: opts.CacheEntries, Dir: dir})
+	c, err := cache.New[Result](cache.Options{
+		Entries:  opts.CacheEntries,
+		Dir:      dir,
+		MaxBytes: opts.CacheMaxBytes,
+		MaxAge:   opts.CacheMaxAge,
+	})
 	if err != nil {
 		return nil, err
 	}

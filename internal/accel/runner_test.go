@@ -3,6 +3,7 @@ package accel
 import (
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/models"
 )
@@ -122,6 +123,41 @@ func TestRunnerDiskRoundTrip(t *testing.T) {
 	s := r2.Stats()
 	if s.Misses != 0 || s.DiskHits != int64(len(jobs)) {
 		t.Fatalf("warm stats = %+v, want 0 misses / %d disk hits", s, len(jobs))
+	}
+}
+
+// The GC bounds flow through RunnerOptions: reopening a persisted store
+// under a tight age bound garbage-collects it, and evicted entries
+// recompute to bit-identical results on the next sweep.
+func TestRunnerCacheGCBounds(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	jobs := sweepJobs()
+	r1 := newTestRunner(t, RunnerOptions{CacheDir: dir})
+	cold, err := r1.SimulateAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := newTestRunner(t, RunnerOptions{CacheDir: dir, CacheMaxAge: time.Nanosecond})
+	if s := r2.Stats(); s.GCRemoved != int64(len(jobs)) || s.GCBytes <= 0 {
+		t.Fatalf("age-bounded open removed %d entries (%d bytes), want %d", s.GCRemoved, s.GCBytes, len(jobs))
+	}
+	recomputed, err := r2.SimulateAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recomputed, cold) {
+		t.Fatal("post-GC recomputation diverged")
+	}
+	if s := r2.Stats(); s.DiskHits != 0 || s.Misses != int64(len(jobs)) {
+		t.Fatalf("post-GC stats = %+v, want all misses", s)
+	}
+
+	// A generous size bound keeps the (re-persisted) store intact.
+	r3 := newTestRunner(t, RunnerOptions{CacheDir: dir, CacheMaxBytes: 1 << 30})
+	if s := r3.Stats(); s.GCRemoved != 0 {
+		t.Fatalf("size-bounded open evicted %d entries under a generous bound", s.GCRemoved)
 	}
 }
 

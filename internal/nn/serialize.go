@@ -4,6 +4,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 )
 
 // snapshot is the gob wire format: named parameter tensors with shapes.
@@ -30,6 +32,40 @@ func (n *Network) Save(w io.Writer) error {
 		})
 	}
 	return gob.NewEncoder(w).Encode(s)
+}
+
+// SaveFile writes the parameter snapshot to path via a temp-file +
+// rename in the same directory, so a crash mid-write never leaves a
+// truncated weights file behind (the disk-cache convention).
+func (n *Network) SaveFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".weights-*")
+	if err != nil {
+		return fmt.Errorf("nn: saving weights: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := n.Save(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("nn: saving weights: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("nn: saving weights: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("nn: saving weights: %w", err)
+	}
+	return nil
+}
+
+// LoadFile restores parameters saved by SaveFile (or Save) from path
+// into this identically constructed network.
+func (n *Network) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("nn: loading weights: %w", err)
+	}
+	defer f.Close()
+	return n.Load(f)
 }
 
 // Load restores parameters saved by Save into this network. Parameter

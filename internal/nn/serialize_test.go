@@ -32,6 +32,32 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSaveLoadFileRoundTrip(t *testing.T) {
+	src := BuildSmallCNN(3, 8, 42)
+	path := t.TempDir() + "/weights.gob"
+	if err := src.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	dst := BuildSmallCNN(3, 8, 7)
+	if err := dst.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(1, 16, 16)
+	rng := rand.New(rand.NewSource(2))
+	for i := range x.Data {
+		x.Data[i] = float32(rng.Float64())
+	}
+	a, b := src.Forward(x), dst.Forward(x)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("logit %d differs after file round trip", i)
+		}
+	}
+	if err := dst.LoadFile(path + ".missing"); err == nil {
+		t.Fatal("missing weights file not reported")
+	}
+}
+
 func TestLoadRejectsMismatchedArchitecture(t *testing.T) {
 	src := BuildSmallCNN(4, 8, 1)
 	var buf bytes.Buffer

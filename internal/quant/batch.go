@@ -1,0 +1,271 @@
+package quant
+
+import (
+	"fmt"
+
+	"repro/internal/matmul"
+	"repro/internal/tensor"
+)
+
+// BatchScratch holds the reusable buffers of a batched inference stream:
+// one Scratch per example slot (quantized activations and DIV gathers are
+// per-example state) plus a shared weight-gather buffer, which is where
+// the batch amortization lives — each layer's DKV vectors are gathered
+// once per micro-batch instead of once per example.
+//
+// Ownership follows the same rule as Scratch: one BatchScratch per
+// serving goroutine, never shared. The serving plane pairs one with each
+// pooled engine.
+type BatchScratch struct {
+	per []*Scratch
+	dkv []int
+	xs  []*tensor.T
+}
+
+// NewBatchScratch returns an empty batch scratch; buffers grow on first
+// use and are retained across calls.
+func NewBatchScratch() *BatchScratch { return &BatchScratch{} }
+
+// slots returns n per-example scratches, growing the pool as needed.
+func (s *BatchScratch) slots(n int) []*Scratch {
+	for len(s.per) < n {
+		s.per = append(s.per, NewScratch())
+	}
+	return s.per[:n]
+}
+
+// ForwardBatch runs quantized inference over a micro-batch of examples,
+// which must all share one input shape. It returns one fresh logits
+// tensor per example.
+//
+// engines selects the dot-product substrate: a single engine serves the
+// whole batch (throughput serving — a stateful engine then realizes one
+// noise stream across the interleaved batch, deterministic in the batch
+// composition but not equal to serving the examples one by one), or one
+// engine per example (len(engines) == len(xs), deterministic serving).
+// In the per-example form each engine observes exactly the call sequence
+// ForwardScratch would issue for its example — same operand vectors,
+// same (layer, output-channel, pixel) order — so the logits are
+// bit-identical to running that example alone through its engine
+// (pinned by the batch equivalence tests).
+//
+// Compared with per-example ForwardScratch calls, one batched pass
+// gathers each layer's weight vectors (DKV) once per micro-batch instead
+// of once per example, which is the PR 3 follow-on amortization that the
+// serving plane's micro-batcher exploits.
+func (q *Network) ForwardBatch(xs []*tensor.T, engines []DotEngine, s *BatchScratch) []*tensor.T {
+	if len(xs) == 0 {
+		return nil
+	}
+	if len(engines) != 1 && len(engines) != len(xs) {
+		panic(fmt.Sprintf("quant: ForwardBatch needs 1 or %d engines, got %d", len(xs), len(engines)))
+	}
+	for _, x := range xs[1:] {
+		if !sameShape(x.Shape, xs[0].Shape) {
+			panic(fmt.Sprintf("quant: ForwardBatch input shapes differ: %v vs %v", x.Shape, xs[0].Shape))
+		}
+	}
+	if s == nil {
+		s = NewBatchScratch()
+	}
+	eng := func(e int) DotEngine {
+		if len(engines) == 1 {
+			return engines[0]
+		}
+		return engines[e]
+	}
+	qmax := int(1)<<uint(q.Bits) - 1
+	per := s.slots(len(xs))
+	if cap(s.xs) < len(xs) {
+		s.xs = make([]*tensor.T, len(xs))
+	}
+	cur := s.xs[:len(xs)]
+	copy(cur, xs)
+	owned := false // whether cur holds our tensors (not the caller's inputs)
+	for _, l := range q.layers {
+		switch {
+		case l.conv != nil:
+			l.conv.forwardBatch(cur, eng, qmax, per, s)
+			owned = true
+		case l.dense != nil:
+			l.dense.forwardBatch(cur, eng, qmax, per, s)
+			owned = true
+		case l.relu:
+			for e, x := range cur {
+				if !owned {
+					x = x.Clone()
+					cur[e] = x
+				}
+				reluInPlace(x)
+			}
+			owned = true
+		case l.pool:
+			for e, x := range cur {
+				cur[e] = poolHalf(x)
+			}
+			owned = true
+		case l.gap:
+			for e, x := range cur {
+				cur[e] = gapPool(x)
+			}
+			owned = true
+		case l.flat:
+			for e, x := range cur {
+				cur[e] = x.Reshape(x.Len()) // aliases: ownership carries
+			}
+		}
+	}
+	out := make([]*tensor.T, len(cur))
+	copy(out, cur)
+	for i := range cur {
+		cur[i] = nil // don't pin the returned logits to the scratch
+	}
+	return out
+}
+
+func sameShape(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// forwardBatch is the batched counterpart of forward. The loop nests are
+// arranged so that (a) every DKV gather is shared across the batch and
+// (b) for each example the engine-facing call order is exactly the
+// serial one — (output channel, pixel) lexicographic — which is what
+// keeps per-example engines bit-identical to ForwardScratch.
+func (c *QConv2D) forwardBatch(xs []*tensor.T, eng func(int) DotEngine, qmax int, per []*Scratch, bs *BatchScratch) {
+	h, w := xs[0].Shape[1], xs[0].Shape[2]
+	hw := h * w
+	pos := matmul.Positions(h, w, c.K, c.Stride, c.Pad)
+	oh, ow := pos.OutH, pos.OutW
+	npix := oh * ow
+	k2 := c.K * c.K
+
+	outs := make([]*tensor.T, len(xs))
+	for e := range xs {
+		per[e].qx = quantizeActs(per[e].qx, xs[e].Data, c.InScale, qmax)
+		outs[e] = tensor.New(c.OutC, oh, ow)
+	}
+
+	if c.Depthwise {
+		// DKV depends only on (oc, pixel); gather it once per batch and
+		// reuse across examples. Pixel outer of example keeps the
+		// per-example call order at (oc, pix).
+		for oc := 0; oc < c.OutC; oc++ {
+			kbase := oc * k2
+			for pix := 0; pix < npix; pix++ {
+				offs, kks := pos.At(pix)
+				n := len(offs)
+				bs.dkv = growInts(bs.dkv, n)
+				for i, k := range kks {
+					bs.dkv[i] = c.W[kbase+k]
+				}
+				for e := range xs {
+					s := per[e]
+					qc := s.qx[oc*hw : (oc+1)*hw]
+					s.div = growInts(s.div, n)
+					for i, o := range offs {
+						s.div[i] = qc[o]
+					}
+					acc := eng(e).Dot(s.div, bs.dkv)
+					outs[e].Data[oc*npix+pix] = float32(acc)*c.InScale*c.WScale + c.Bias[oc]
+				}
+			}
+		}
+		copy(xs, outs)
+		return
+	}
+
+	ksz := c.InC * k2
+	// Per-example integer im2col: every pixel's DIV vector gathered once,
+	// exactly as the serial lowering does.
+	for e := range xs {
+		s := per[e]
+		s.ds = growInts(s.ds, npix+1)
+		need := 0
+		for pix := 0; pix < npix; pix++ {
+			s.ds[pix] = need
+			lo, _ := pos.At(pix)
+			need += len(lo) * c.InC
+		}
+		s.ds[npix] = need
+		s.div = growInts(s.div, need)
+		for pix := 0; pix < npix; pix++ {
+			offs, _ := pos.At(pix)
+			p := s.ds[pix]
+			for ic := 0; ic < c.InC; ic++ {
+				qc := s.qx[ic*hw:]
+				for _, o := range offs {
+					s.div[p] = qc[o]
+					p++
+				}
+			}
+		}
+	}
+	for oc := 0; oc < c.OutC; oc++ {
+		kbase := oc * ksz
+		if pos.Full() {
+			// One contiguous weight row serves every (example, pixel) of
+			// this output channel.
+			bs.dkv = growInts(bs.dkv, ksz)
+			dkv := bs.dkv[:ksz]
+			copy(dkv, c.W[kbase:kbase+ksz])
+			for e := range xs {
+				s := per[e]
+				orow := outs[e].Data[oc*npix:]
+				for pix := 0; pix < npix; pix++ {
+					acc := eng(e).Dot(s.div[s.ds[pix]:s.ds[pix+1]], dkv)
+					orow[pix] = float32(acc)*c.InScale*c.WScale + c.Bias[oc]
+				}
+			}
+			continue
+		}
+		for pix := 0; pix < npix; pix++ {
+			_, kks := pos.At(pix)
+			n := len(kks) * c.InC
+			bs.dkv = growInts(bs.dkv, n)
+			dkv := bs.dkv[:n]
+			p := 0
+			for ic := 0; ic < c.InC; ic++ {
+				wseg := c.W[kbase+ic*k2:]
+				for _, k := range kks {
+					dkv[p] = wseg[k]
+					p++
+				}
+			}
+			for e := range xs {
+				s := per[e]
+				acc := eng(e).Dot(s.div[s.ds[pix]:s.ds[pix+1]], dkv)
+				outs[e].Data[oc*npix+pix] = float32(acc)*c.InScale*c.WScale + c.Bias[oc]
+			}
+		}
+	}
+	copy(xs, outs)
+}
+
+// forwardBatch gathers each output row's weight vector once per batch;
+// per-example call order stays (output) ascending, the serial order.
+func (d *QDense) forwardBatch(xs []*tensor.T, eng func(int) DotEngine, qmax int, per []*Scratch, bs *BatchScratch) {
+	outs := make([]*tensor.T, len(xs))
+	for e := range xs {
+		per[e].qx = quantizeActs(per[e].qx, xs[e].Data, d.InScale, qmax)
+		outs[e] = tensor.New(d.Out)
+	}
+	bs.dkv = growInts(bs.dkv, d.In)
+	dkv := bs.dkv[:d.In]
+	for o := 0; o < d.Out; o++ {
+		copy(dkv, d.W[o*d.In:(o+1)*d.In])
+		for e := range xs {
+			acc := eng(e).Dot(per[e].qx, dkv)
+			outs[e].Data[o] = float32(acc)*d.InScale*d.WScale + d.Bias[o]
+		}
+	}
+	copy(xs, outs)
+}

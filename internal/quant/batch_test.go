@@ -1,0 +1,145 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// batchInputs draws n positive-valued inputs of the given shape.
+func batchInputs(n int, seed int64, shape ...int) []*tensor.T {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]*tensor.T, n)
+	for i := range xs {
+		x := tensor.New(shape...)
+		for j := range x.Data {
+			x.Data[j] = float32(math.Abs(rng.NormFloat64()))
+		}
+		xs[i] = x
+	}
+	return xs
+}
+
+// quantNets builds one standard and one depthwise quantized network so
+// every batch test covers both conv paths (shared-patch and depthwise
+// gathers) plus padding-truncated windows.
+func quantNets(t *testing.T) []*Network {
+	t.Helper()
+	var qns []*Network
+	calib := []nn.Example{{X: batchInputs(1, 3, 1, 16, 16)[0], Label: 0}}
+	for _, build := range []*nn.Network{
+		nn.BuildSmallCNN(4, 8, 1),
+		nn.BuildDepthwiseCNN(4, 8, 2),
+	} {
+		qn, err := Quantize(build, 8, calib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qns = append(qns, qn)
+	}
+	return qns
+}
+
+// A shared stateless engine: the batched forward must reproduce the
+// serial per-example forward bit-for-bit (same operand vectors, exact
+// integer arithmetic is order-free).
+func TestForwardBatchMatchesSerialExact(t *testing.T) {
+	for _, qn := range quantNets(t) {
+		xs := batchInputs(5, 7, 1, 16, 16)
+		s := NewBatchScratch()
+		got := qn.ForwardBatch(xs, []DotEngine{ExactEngine{}}, s)
+		for i, x := range xs {
+			want := qn.Forward(x, ExactEngine{})
+			assertBitIdentical(t, got[i], want)
+		}
+		// Scratch reuse across calls (and across batch sizes) must not
+		// leak state between batches.
+		got2 := qn.ForwardBatch(xs[:3], []DotEngine{ExactEngine{}}, s)
+		for i := range got2 {
+			assertBitIdentical(t, got2[i], got[i])
+		}
+	}
+}
+
+// Per-example stateful engines: each engine must observe exactly the
+// serial call sequence for its example, so batched logits are
+// bit-identical to running every example alone through an identically
+// seeded engine — the contract deterministic serving relies on.
+func TestForwardBatchPerExampleEnginesMatchSerial(t *testing.T) {
+	ccfg := core.DefaultConfig()
+	ccfg.N = 32
+	ccfg.M = 1
+	ccfg.Bits = 8
+	for _, qn := range quantNets(t) {
+		xs := batchInputs(4, 9, 1, 16, 16)
+		factory := SconnaEngineFactory(ccfg)
+		engines := make([]DotEngine, len(xs))
+		for i := range engines {
+			e, err := factory(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			engines[i] = e
+		}
+		got := qn.ForwardBatch(xs, engines, NewBatchScratch())
+		for i, x := range xs {
+			fresh, err := factory(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := qn.ForwardScratch(x, fresh, NewScratch())
+			assertBitIdentical(t, got[i], want)
+		}
+	}
+}
+
+// The call-order contract holds for every batch size, including the
+// single-example batch the micro-batcher degenerates to under light
+// load.
+func TestForwardBatchSizeOne(t *testing.T) {
+	qn := quantNets(t)[0]
+	x := batchInputs(1, 13, 1, 16, 16)
+	got := qn.ForwardBatch(x, []DotEngine{ExactEngine{}}, nil)
+	assertBitIdentical(t, got[0], qn.Forward(x[0], ExactEngine{}))
+}
+
+func TestForwardBatchValidates(t *testing.T) {
+	qn := quantNets(t)[0]
+	xs := batchInputs(2, 17, 1, 16, 16)
+	if got := qn.ForwardBatch(nil, []DotEngine{ExactEngine{}}, nil); got != nil {
+		t.Fatalf("empty batch returned %v", got)
+	}
+	mustPanic(t, "engine count", func() {
+		qn.ForwardBatch(xs, nil, nil)
+	})
+	mustPanic(t, "shape mismatch", func() {
+		bad := []*tensor.T{xs[0], tensor.New(1, 8, 8)}
+		qn.ForwardBatch(bad, []DotEngine{ExactEngine{}}, nil)
+	})
+}
+
+func assertBitIdentical(t *testing.T, got, want *tensor.T) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("length %d vs %d", got.Len(), want.Len())
+	}
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("logit %d: %v != %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", what)
+		}
+	}()
+	f()
+}

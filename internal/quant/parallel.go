@@ -73,11 +73,16 @@ func (q *Network) evaluateBlock(examples []nn.Example, k int, engine DotEngine) 
 // bounded worker pool with one factory-built engine per shard. Hit counts
 // merge by integer summation, so the result is bit-identical to running
 // the shards serially in order (workers=1) for any worker count; workers
-// <= 0 selects GOMAXPROCS.
+// <= 0 selects GOMAXPROCS, the convention every runner in the tree
+// shares (accel.Runner, scalability.Runner, nn.TrainParallel).
 func (q *Network) EvaluateParallel(examples []nn.Example, k int, factory EngineFactory, workers int) (top1, topk float64, err error) {
 	if len(examples) == 0 {
 		return 0, 0, nil
 	}
+	// Resolve here rather than leaning on ForEach's default, so the
+	// GOMAXPROCS convention is this function's contract (pinned by the
+	// worker-default table test), not an implementation detail below it.
+	workers = parallel.Workers(workers)
 	spans := parallel.Spans(len(examples), EvalShardSize)
 	c1s := make([]int, len(spans))
 	cks := make([]int, len(spans))

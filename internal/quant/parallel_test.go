@@ -2,6 +2,7 @@ package quant
 
 import (
 	"errors"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -35,6 +36,38 @@ func TestEvaluateParallelMatchesSerialExact(t *testing.T) {
 			t.Fatalf("workers=%d parallel (%.6f, %.6f) != serial (%.6f, %.6f)",
 				workers, got1, got5, wantTop1, wantTop5)
 		}
+	}
+}
+
+// The worker-default contract: workers <= 0 selects GOMAXPROCS (the
+// accel.Runner convention), and because the shard partition is fixed,
+// every requested count — defaulted, clamped or explicit — returns the
+// bit-identical result of the serial walk.
+func TestEvaluateParallelWorkerDefaultTable(t *testing.T) {
+	qn, test := quantizedFixture(t)
+	want1, want5 := qn.Evaluate(test, 5, ExactEngine{})
+	cases := []struct {
+		name    string
+		workers int
+	}{
+		{"negative selects GOMAXPROCS", -3},
+		{"zero selects GOMAXPROCS", 0},
+		{"serial", 1},
+		{"small pool", 2},
+		{"GOMAXPROCS explicitly", runtime.GOMAXPROCS(0)},
+		{"more workers than shards", 10 * runtime.GOMAXPROCS(0)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got1, got5, err := qn.EvaluateParallel(test, 5, SharedEngine(ExactEngine{}), c.workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got1 != want1 || got5 != want5 {
+				t.Fatalf("workers=%d: (%.6f, %.6f) != serial (%.6f, %.6f)",
+					c.workers, got1, got5, want1, want5)
+			}
+		})
 	}
 }
 

@@ -234,32 +234,95 @@ func (q *Network) Forward(x *tensor.T, engine DotEngine) *tensor.T {
 // ForwardScratch is Forward with caller-owned scratch buffers. The
 // scratch must be private to the engine's goroutine, like the engine
 // itself.
+//
+// The engine-free layers run through inference-only kernels (poolHalf,
+// gapPool, in-place ReLU on internally produced tensors) rather than the
+// stateful nn training layers: the values are bit-identical — same
+// comparisons, same accumulation order — but nothing caches backprop
+// state and the serving hot path sheds the per-call clones and argmax
+// allocations (pinned against ForwardNaive, which keeps the nn layers,
+// by the equivalence tests).
 func (q *Network) ForwardScratch(x *tensor.T, engine DotEngine, s *Scratch) *tensor.T {
 	qmax := int(1)<<uint(q.Bits) - 1
+	owned := false // whether x is ours to mutate (not the caller's input)
 	for _, l := range q.layers {
 		switch {
 		case l.conv != nil:
 			x = l.conv.forward(x, engine, qmax, s)
+			owned = true
 		case l.dense != nil:
 			x = l.dense.forward(x, engine, qmax, s)
+			owned = true
 		case l.relu:
-			x = x.Clone()
-			for i, v := range x.Data {
-				if v < 0 {
-					x.Data[i] = 0
-				}
+			if !owned {
+				x = x.Clone()
+				owned = true
 			}
+			reluInPlace(x)
 		case l.pool:
-			// Fresh instance per call: nn.MaxPool2 caches backprop state
-			// in-place, which would race across concurrent evaluations.
-			x = (&nn.MaxPool2{}).Forward(x)
+			x = poolHalf(x)
+			owned = true
 		case l.gap:
-			x = (&nn.GlobalAvgPool{}).Forward(x)
+			x = gapPool(x)
+			owned = true
 		case l.flat:
-			x = x.Reshape(x.Len())
+			x = x.Reshape(x.Len()) // aliases: ownership carries over
 		}
 	}
 	return x
+}
+
+func reluInPlace(x *tensor.T) {
+	for i, v := range x.Data {
+		if v < 0 {
+			x.Data[i] = 0
+		}
+	}
+}
+
+// poolHalf is the 2x2 stride-2 max pool of nn.MaxPool2 restricted to
+// inference: same comparisons on the same values (bit-identical output),
+// direct indexing, no argmax state.
+func poolHalf(x *tensor.T) *tensor.T {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh, ow := h/2, w/2
+	out := tensor.New(c, oh, ow)
+	for ch := 0; ch < c; ch++ {
+		for oy := 0; oy < oh; oy++ {
+			r0 := x.Data[(ch*h+oy*2)*w:]
+			r1 := x.Data[(ch*h+oy*2+1)*w:]
+			orow := out.Data[(ch*oh+oy)*ow:]
+			for ox := 0; ox < ow; ox++ {
+				bv := r0[ox*2]
+				if v := r0[ox*2+1]; v > bv {
+					bv = v
+				}
+				if v := r1[ox*2]; v > bv {
+					bv = v
+				}
+				if v := r1[ox*2+1]; v > bv {
+					bv = v
+				}
+				orow[ox] = bv
+			}
+		}
+	}
+	return out
+}
+
+// gapPool is nn.GlobalAvgPool restricted to inference: identical
+// accumulation order, so the float result is bit-identical.
+func gapPool(x *tensor.T) *tensor.T {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	out := tensor.New(c)
+	for ch := 0; ch < c; ch++ {
+		var s float32
+		for _, v := range x.Data[ch*h*w : (ch+1)*h*w] {
+			s += v
+		}
+		out.Data[ch] = s / float32(h*w)
+	}
+	return out
 }
 
 // ForwardNaive runs quantized inference through the reference

@@ -2,6 +2,7 @@ package scalability
 
 import (
 	"path/filepath"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/parallel"
@@ -18,6 +19,13 @@ type RunnerOptions struct {
 	// CacheDir/scalability so later runs warm-start. Empty keeps the
 	// cache in-memory only.
 	CacheDir string
+	// CacheMaxBytes bounds the on-disk store: opening the runner
+	// garbage-collects least-recently-written entries down to the bound
+	// (<= 0 leaves the store unbounded).
+	CacheMaxBytes int64
+	// CacheMaxAge evicts on-disk entries older than this at open
+	// (0 disables the age bound).
+	CacheMaxAge time.Duration
 }
 
 // Runner is the cache-aware evaluation engine of the scalability plane.
@@ -42,7 +50,12 @@ func NewRunner(cfg Config, opts RunnerOptions) (*Runner, error) {
 		// Namespace the store: accel.Runner shares the same root.
 		dir = filepath.Join(dir, "scalability")
 	}
-	c, err := cache.New[int](cache.Options{Entries: opts.CacheEntries, Dir: dir})
+	c, err := cache.New[int](cache.Options{
+		Entries:  opts.CacheEntries,
+		Dir:      dir,
+		MaxBytes: opts.CacheMaxBytes,
+		MaxAge:   opts.CacheMaxAge,
+	})
 	if err != nil {
 		return nil, err
 	}

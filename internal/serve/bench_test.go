@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/quant"
+)
+
+// benchServer builds one leg of the smoke serving stack in throughput
+// mode: the smoke network behind an engine pool built from factory. The
+// exact-integer engine is the amortization-floor configuration (serving
+// overheads dominate, so the micro-batching win is fully visible); the
+// SCONNA functional engine shows the compute-bound end, where the
+// stream simulation caps how much batching can recover.
+func benchServer(tb testing.TB, factory quant.EngineFactory) *Server {
+	tb.Helper()
+	s, err := New(testNet(tb), factory, Options{
+		InputShape: testShape,
+		MaxBatch:   32,
+		QueueDepth: 512,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Drain(ctx)
+	})
+	return s
+}
+
+func benchInputs(tb testing.TB, n int) [][]float32 {
+	tb.Helper()
+	xs := testInputs(n, 101)
+	flat := make([][]float32, n)
+	for i, x := range xs {
+		flat[i] = x.Data
+	}
+	return flat
+}
+
+// The acceptance floor of the serving plane: micro-batched concurrent
+// serving must sustain at least 4x the QPS of single-request-serial
+// serving (one closed-loop client, one input per POST) on the smoke
+// network. The win is amortization — per-request HTTP and dispatch
+// overhead divided across the batch, DKV gathers shared batch-wide,
+// pooled engines reused — so it holds even on a single core. The floor
+// is measured on the exact-integer serving configuration with the raw
+// wire format, where serving overheads (rather than the functional
+// stream simulation) are what the caller pays per request.
+func TestThroughputSpeedupFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput measurement is a full-tier test")
+	}
+	const floor = 4.0
+	var rep BenchReport
+	var err error
+	for attempt := 0; attempt < 2; attempt++ {
+		rep, err = BenchThroughput(benchServer(t, quant.SharedEngine(quant.ExactEngine{})), benchInputs(t, 64), BenchOptions{
+			SerialRequests:  512,
+			BatchedRequests: 2048,
+			Clients:         4,
+			Batch:           32,
+			Raw:             true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Serial.Errors+rep.Batched.Errors > 0 || rep.Serial.Rejected+rep.Batched.Rejected > 0 {
+			t.Fatalf("load generation saw failures: serial %+v batched %+v", rep.Serial, rep.Batched)
+		}
+		if rep.Speedup >= floor {
+			break
+		}
+	}
+	t.Logf("serial %.0f QPS, batched %.0f QPS, speedup %.2fx", rep.Serial.QPS, rep.Batched.QPS, rep.Speedup)
+	if rep.Speedup < floor {
+		t.Fatalf("throughput mode %.2fx over single-request-serial, floor %.1fx", rep.Speedup, floor)
+	}
+}
+
+// The compute-bound end of the same measurement: serving the SCONNA
+// functional engine must still gain from micro-batching (the stream
+// simulation dominates, so the ratio is smaller — recorded, not floored
+// at 4x).
+func TestThroughputSpeedupSconnaEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput measurement is a full-tier test")
+	}
+	rep, err := BenchThroughput(benchServer(t, quant.SconnaEngineFactory(testCoreConfig())), benchInputs(t, 64), BenchOptions{
+		SerialRequests:  128,
+		BatchedRequests: 512,
+		Clients:         4,
+		Batch:           32,
+		Raw:             true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sconna engine: serial %.0f QPS, batched %.0f QPS, speedup %.2fx",
+		rep.Serial.QPS, rep.Batched.QPS, rep.Speedup)
+	if rep.Speedup < 1.1 {
+		t.Fatalf("micro-batching gained nothing on the SCONNA engine: %.2fx", rep.Speedup)
+	}
+}
+
+// BenchmarkServeSerialHTTP measures single-request-serial serving: one
+// closed-loop client, one input per POST.
+func BenchmarkServeSerialHTTP(b *testing.B) {
+	benchDrive(b, LoadOptions{Clients: 1, Batch: 1, Raw: true})
+}
+
+// BenchmarkServeBatchedHTTP measures throughput-mode serving: four
+// concurrent clients posting 32-input batches into the micro-batcher.
+func BenchmarkServeBatchedHTTP(b *testing.B) {
+	benchDrive(b, LoadOptions{Clients: 4, Batch: 32, Raw: true})
+}
+
+func benchDrive(b *testing.B, opts LoadOptions) {
+	s := benchServer(b, quant.SharedEngine(quant.ExactEngine{}))
+	inputs := benchInputs(b, 64)
+	hs, base, err := ListenLocal(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer hs.Close()
+	opts.Requests = b.N
+	b.ResetTimer()
+	rep, err := Drive(base, inputs, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if rep.Errors > 0 || rep.Rejected > 0 {
+		b.Fatalf("load generation saw failures: %+v", rep)
+	}
+	b.ReportMetric(rep.QPS, "qps")
+}

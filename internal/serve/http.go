@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+
+	"repro/internal/tensor"
+)
+
+// classifyRequest is the POST /v1/classify body: exactly one of the
+// input forms must be set. Input/Inputs carry flat pixel arrays in the
+// server's InputShape layout (CHW); InputB64/InputsB64 carry the same
+// tensors as base64 of little-endian float32s (InputsB64 concatenates
+// whole examples, so the batch size is implied by the length) — the
+// compact form high-throughput callers use to keep JSON float parsing
+// off the hot path. Logits asks for raw logits in the response.
+type classifyRequest struct {
+	Input     []float32   `json:"input,omitempty"`
+	Inputs    [][]float32 `json:"inputs,omitempty"`
+	InputB64  string      `json:"input_b64,omitempty"`
+	InputsB64 string      `json:"inputs_b64,omitempty"`
+	Logits    bool        `json:"logits,omitempty"`
+}
+
+// batchResponse wraps batch results in input order.
+type batchResponse struct {
+	Results []Result `json:"results"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/classify — classify one input or a batch
+//	GET  /healthz     — liveness (503 once draining)
+//	GET  /stats       — Stats snapshot as JSON
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/classify", s.handleClassify)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if r.Header.Get("Content-Type") == rawContentType {
+		s.handleClassifyRaw(w, r)
+		return
+	}
+	var req classifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	xs, single, err := s.decodeInputs(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if single {
+		res, err := s.Submit(r.Context(), xs[0])
+		if err != nil {
+			writeSubmitError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, trimLogits(res, req.Logits))
+		return
+	}
+	if len(xs) > cap(s.queue) {
+		writeError(w, http.StatusBadRequest, "batch larger than the server queue")
+		return
+	}
+	results, err := s.SubmitBatch(r.Context(), xs)
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	for i := range results {
+		results[i] = trimLogits(results[i], req.Logits)
+	}
+	writeJSON(w, http.StatusOK, batchResponse{Results: results})
+}
+
+// rawContentType selects the binary wire format: the POST body is the
+// concatenated little-endian float32 tensors themselves (batch size
+// implied by the length), nothing is JSON-scanned on the input path, and
+// the response is always a batchResponse. ?logits=1 asks for logits.
+// This is the format the load generator's throughput clients use.
+const rawContentType = "application/octet-stream"
+
+func (s *Server) handleClassifyRaw(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	n := s.inputLen()
+	if len(raw) == 0 || len(raw)%(4*n) != 0 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("raw body is %d bytes, want a positive multiple of %d (one %v float32 tensor)",
+				len(raw), 4*n, s.opts.InputShape))
+		return
+	}
+	data := make([]float32, len(raw)/4)
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	xs := make([]*tensor.T, len(data)/n)
+	for i := range xs {
+		if xs[i], err = s.inputTensor(data[i*n : (i+1)*n : (i+1)*n]); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	if len(xs) > cap(s.queue) {
+		writeError(w, http.StatusBadRequest, "batch larger than the server queue")
+		return
+	}
+	results, err := s.SubmitBatch(r.Context(), xs)
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	keepLogits := r.URL.Query().Get("logits") != ""
+	for i := range results {
+		results[i] = trimLogits(results[i], keepLogits)
+	}
+	writeJSON(w, http.StatusOK, batchResponse{Results: results})
+}
+
+// decodeInputs normalizes the four request forms into input tensors,
+// enforcing that exactly one form is present.
+func (s *Server) decodeInputs(req classifyRequest) (xs []*tensor.T, single bool, err error) {
+	forms := 0
+	for _, set := range []bool{req.Input != nil, req.Inputs != nil, req.InputB64 != "", req.InputsB64 != ""} {
+		if set {
+			forms++
+		}
+	}
+	if forms != 1 {
+		return nil, false, errors.New(`set exactly one of "input", "inputs", "input_b64", "inputs_b64"`)
+	}
+	switch {
+	case req.Input != nil:
+		x, err := s.inputTensor(req.Input)
+		if err != nil {
+			return nil, false, err
+		}
+		return []*tensor.T{x}, true, nil
+	case req.Inputs != nil:
+		if len(req.Inputs) == 0 {
+			return nil, false, errors.New(`serve: "inputs" carries no examples`)
+		}
+		xs = make([]*tensor.T, len(req.Inputs))
+		for i, in := range req.Inputs {
+			if xs[i], err = s.inputTensor(in); err != nil {
+				return nil, false, err
+			}
+		}
+		return xs, false, nil
+	case req.InputB64 != "":
+		data, err := decodeB64Floats(req.InputB64)
+		if err != nil {
+			return nil, false, err
+		}
+		x, err := s.inputTensor(data)
+		if err != nil {
+			return nil, false, err
+		}
+		return []*tensor.T{x}, true, nil
+	default:
+		data, err := decodeB64Floats(req.InputsB64)
+		if err != nil {
+			return nil, false, err
+		}
+		n := s.inputLen()
+		if len(data) == 0 || len(data)%n != 0 {
+			return nil, false, fmt.Errorf("serve: inputs_b64 carries %d floats, want a positive multiple of %d", len(data), n)
+		}
+		xs = make([]*tensor.T, len(data)/n)
+		for i := range xs {
+			if xs[i], err = s.inputTensor(data[i*n : (i+1)*n : (i+1)*n]); err != nil {
+				return nil, false, err
+			}
+		}
+		return xs, false, nil
+	}
+}
+
+// decodeB64Floats decodes base64 little-endian float32s.
+func decodeB64Floats(s string) ([]float32, error) {
+	raw, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("serve: invalid base64 input: %w", err)
+	}
+	if len(raw)%4 != 0 {
+		return nil, fmt.Errorf("serve: base64 input is %d bytes, want a multiple of 4", len(raw))
+	}
+	out := make([]float32, len(raw)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return out, nil
+}
+
+// inputTensor validates a flat pixel array against the configured shape.
+func (s *Server) inputTensor(data []float32) (*tensor.T, error) {
+	x := &tensor.T{Shape: s.opts.InputShape, Data: data}
+	if err := s.checkInput(x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// trimLogits drops the logits payload unless the caller asked for it;
+// classification responses stay small on the hot path.
+func trimLogits(res Result, keep bool) Result {
+	if !keep {
+		res.Logits = nil
+	}
+	return res
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// writeSubmitError maps batcher errors onto status codes: backpressure
+// is the explicit 429 contract, drain is 503, a caller-gone context is
+// 499-style (the nginx convention; net/http has no name for it).
+func writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		writeError(w, 499, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// Encoding these small value types cannot fail; a broken connection
+	// surfaces in the client, not here.
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,290 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// LoadOptions shapes one load-generation run against the HTTP API.
+type LoadOptions struct {
+	// Requests is the total number of classify calls to issue.
+	Requests int
+	// Clients is the number of concurrent closed-loop clients
+	// (<= 0 selects 1).
+	Clients int
+	// Batch is how many inputs each POST carries (<= 0 selects 1; 1
+	// issues single-input bodies).
+	Batch int
+	// Logits asks the server to echo raw logits back.
+	Logits bool
+	// Raw posts the binary wire format (octet-stream float32 tensors)
+	// instead of JSON float arrays.
+	Raw bool
+}
+
+// LoadReport is one load-generation outcome.
+type LoadReport struct {
+	Requests  int           `json:"requests"`
+	Responses int           `json:"responses"`
+	Rejected  int           `json:"rejected_429"`
+	Errors    int           `json:"errors"`
+	Elapsed   time.Duration `json:"elapsed_ns"`
+	QPS       float64       `json:"qps"`
+	Clients   int           `json:"clients"`
+	Batch     int           `json:"batch"`
+	Raw       bool          `json:"raw_wire"`
+}
+
+// Drive issues opts.Requests classify calls against the API rooted at
+// baseURL, cycling over the given flat inputs, with opts.Clients
+// concurrent closed-loop clients each posting opts.Batch inputs per
+// request. Responses counts classify results that came back 2xx with a
+// well-formed body; 429 backpressure rejections and other failures are
+// tallied separately. The returned error covers only setup problems —
+// per-request failures are data, not errors.
+func Drive(baseURL string, inputs [][]float32, opts LoadOptions) (LoadReport, error) {
+	if len(inputs) == 0 {
+		return LoadReport{}, fmt.Errorf("serve: no inputs to drive with")
+	}
+	if opts.Requests <= 0 {
+		return LoadReport{}, fmt.Errorf("serve: Requests must be positive")
+	}
+	if opts.Clients <= 0 {
+		opts.Clients = 1
+	}
+	if opts.Batch <= 0 {
+		opts.Batch = 1
+	}
+	url := baseURL + "/v1/classify"
+	client := &http.Client{}
+	var raws [][]byte
+	if opts.Raw {
+		raws = make([][]byte, len(inputs))
+		for i, in := range inputs {
+			raw := make([]byte, 4*len(in))
+			for j, v := range in {
+				binary.LittleEndian.PutUint32(raw[4*j:], math.Float32bits(v))
+			}
+			raws[i] = raw
+		}
+	}
+	per := (opts.Requests + opts.Clients - 1) / opts.Clients
+	spans := parallel.Spans(opts.Requests, per)
+
+	var responses, rejected, failures atomic.Int64
+	start := time.Now()
+	err := parallel.ForEach(len(spans), len(spans), func(c int) error {
+		span := spans[c]
+		for lo := span.Lo; lo < span.Hi; lo += opts.Batch {
+			hi := lo + opts.Batch
+			if hi > span.Hi {
+				hi = span.Hi
+			}
+			n := hi - lo
+			var body []byte
+			var e error
+			contentType := "application/json"
+			single := n == 1 && opts.Batch == 1 && !opts.Raw
+			switch {
+			case opts.Raw:
+				contentType = rawContentType
+				concat := make([]byte, 0, n*len(raws[0]))
+				for i := 0; i < n; i++ {
+					concat = append(concat, raws[(lo+i)%len(inputs)]...)
+				}
+				body = concat
+			case single:
+				body, e = json.Marshal(classifyRequest{Input: inputs[lo%len(inputs)], Logits: opts.Logits})
+			default:
+				batch := make([][]float32, n)
+				for i := 0; i < n; i++ {
+					batch[i] = inputs[(lo+i)%len(inputs)]
+				}
+				body, e = json.Marshal(classifyRequest{Inputs: batch, Logits: opts.Logits})
+			}
+			if e != nil {
+				failures.Add(int64(n))
+				continue
+			}
+			postURL := url
+			if opts.Raw && opts.Logits {
+				postURL += "?logits=1"
+			}
+			resp, e := client.Post(postURL, contentType, bytes.NewReader(body))
+			if e != nil {
+				failures.Add(int64(n))
+				continue
+			}
+			switch {
+			case resp.StatusCode == http.StatusTooManyRequests:
+				rejected.Add(int64(n))
+				resp.Body.Close()
+			case resp.StatusCode != http.StatusOK:
+				failures.Add(int64(n))
+				resp.Body.Close()
+			default:
+				got, e := decodeResults(resp, n, single)
+				if e != nil {
+					failures.Add(int64(n))
+					continue
+				}
+				responses.Add(int64(got))
+			}
+		}
+		return nil
+	})
+	elapsed := time.Since(start)
+	if err != nil { // unreachable: clients report failures via counters
+		return LoadReport{}, err
+	}
+	rep := LoadReport{
+		Requests:  opts.Requests,
+		Responses: int(responses.Load()),
+		Rejected:  int(rejected.Load()),
+		Errors:    int(failures.Load()),
+		Elapsed:   elapsed,
+		Clients:   opts.Clients,
+		Batch:     opts.Batch,
+		Raw:       opts.Raw,
+	}
+	if elapsed > 0 {
+		rep.QPS = float64(rep.Responses) / elapsed.Seconds()
+	}
+	return rep, nil
+}
+
+// decodeResults parses a classify response carrying n results.
+func decodeResults(resp *http.Response, n int, single bool) (int, error) {
+	defer resp.Body.Close()
+	if single {
+		var r Result
+		if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	}
+	var b batchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&b); err != nil {
+		return 0, err
+	}
+	if len(b.Results) != n {
+		return 0, fmt.Errorf("serve: %d results for %d inputs", len(b.Results), n)
+	}
+	return n, nil
+}
+
+// BenchOptions sizes a throughput bench run.
+type BenchOptions struct {
+	// SerialRequests sizes the single-request-serial baseline leg
+	// (<= 0 selects 256).
+	SerialRequests int
+	// BatchedRequests sizes the throughput leg (<= 0 selects 1024).
+	BatchedRequests int
+	// Clients and Batch shape the throughput leg (<= 0 selects 4 and
+	// 32).
+	Clients int
+	Batch   int
+	// Raw drives the throughput leg with the binary wire format (the
+	// serial baseline always posts naive JSON single-input bodies — the
+	// integration a one-shot caller actually writes).
+	Raw bool
+}
+
+// BenchReport is the BENCH_serve.json wire format. Schema-tagged like
+// the other trajectory files; consumers key on the tag.
+type BenchReport struct {
+	Schema     string     `json:"schema"`
+	GoMaxProcs int        `json:"go_max_procs"`
+	Serial     LoadReport `json:"serial"`
+	Batched    LoadReport `json:"batched"`
+	// Speedup is batched QPS over single-request-serial QPS — the
+	// headline number the serving plane exists to move.
+	Speedup float64 `json:"batched_speedup_vs_serial"`
+	Stats   Stats   `json:"server_stats"`
+}
+
+// ListenLocal serves s's API on an ephemeral loopback listener,
+// returning the http.Server (Close stops it) and the base URL. The
+// bench, the sconnaserve selftest and in-process walkthroughs share it.
+func ListenLocal(s *Server) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	return hs, "http://" + ln.Addr().String(), nil
+}
+
+// BenchThroughput measures the server's sustained classify throughput
+// two ways over a real loopback HTTP listener: a single closed-loop
+// client posting naive JSON single-input bodies one at a time (the
+// single-request-serial baseline — the integration a one-shot caller of
+// the evaluation plane actually writes), then concurrent throughput
+// clients with batched bodies (binary wire format when opts.Raw) feeding
+// the micro-batcher. The ratio is the serving plane's amortization win:
+// per-request HTTP, JSON and dispatch overhead divided across a
+// micro-batch, weight-vector gathers shared batch-wide, engines reused
+// from the pool. Both legs' configurations are recorded in the report.
+//
+// The caller keeps ownership of s (it is not drained).
+func BenchThroughput(s *Server, inputs [][]float32, opts BenchOptions) (BenchReport, error) {
+	if opts.SerialRequests <= 0 {
+		opts.SerialRequests = 256
+	}
+	if opts.BatchedRequests <= 0 {
+		opts.BatchedRequests = 1024
+	}
+	if opts.Clients <= 0 {
+		opts.Clients = 4
+	}
+	if opts.Batch <= 0 {
+		opts.Batch = 32
+	}
+	hs, base, err := ListenLocal(s)
+	if err != nil {
+		return BenchReport{}, err
+	}
+	defer hs.Close()
+
+	// Warm the path (JIT-free Go still pays first-touch allocations,
+	// connection setup and position-cache builds).
+	if _, err := Drive(base, inputs, LoadOptions{Requests: 2 * opts.Batch, Clients: 2, Batch: opts.Batch, Raw: opts.Raw}); err != nil {
+		return BenchReport{}, err
+	}
+	if _, err := Drive(base, inputs, LoadOptions{Requests: 16, Clients: 1, Batch: 1}); err != nil {
+		return BenchReport{}, err
+	}
+
+	serial, err := Drive(base, inputs, LoadOptions{Requests: opts.SerialRequests, Clients: 1, Batch: 1})
+	if err != nil {
+		return BenchReport{}, err
+	}
+	batched, err := Drive(base, inputs, LoadOptions{
+		Requests: opts.BatchedRequests, Clients: opts.Clients, Batch: opts.Batch, Raw: opts.Raw,
+	})
+	if err != nil {
+		return BenchReport{}, err
+	}
+	rep := BenchReport{
+		Schema:     "repro/bench_serve@v1",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Serial:     serial,
+		Batched:    batched,
+		Stats:      s.Stats(),
+	}
+	if serial.QPS > 0 {
+		rep.Speedup = batched.QPS / serial.QPS
+	}
+	return rep, nil
+}

@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/quant"
+)
+
+func TestPoolBuildsEnginesBySlot(t *testing.T) {
+	var built []int
+	p, err := NewPool(3, func(i int) (quant.DotEngine, error) {
+		built = append(built, i)
+		return quant.ExactEngine{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(built) != "[0 1 2]" {
+		t.Fatalf("factory called with %v", built)
+	}
+	if p.Size() != 3 || p.InUse() != 0 {
+		t.Fatalf("size %d busy %d", p.Size(), p.InUse())
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		e, err := p.Get(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Scratch == nil {
+			t.Fatal("engine missing scratch")
+		}
+		seen[e.ID] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("IDs %v", seen)
+	}
+}
+
+func TestPoolRejectsBadInputs(t *testing.T) {
+	if _, err := NewPool(0, quant.SharedEngine(quant.ExactEngine{})); err == nil {
+		t.Fatal("zero-size pool accepted")
+	}
+	wantErr := errors.New("boom")
+	if _, err := NewPool(2, func(i int) (quant.DotEngine, error) {
+		if i == 1 {
+			return nil, wantErr
+		}
+		return quant.ExactEngine{}, nil
+	}); !errors.Is(err, wantErr) {
+		t.Fatalf("factory error not surfaced: %v", err)
+	}
+}
+
+// Exhaustion: with every engine checked out, Get must block until the
+// context ends (pool starvation is backpressure, not a panic) and
+// recover as soon as one returns.
+func TestPoolExhaustionAndContextCancellation(t *testing.T) {
+	p, err := NewPool(2, quant.SharedEngine(quant.ExactEngine{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := p.Get(context.Background())
+	b, _ := p.Get(context.Background())
+	if p.InUse() != 2 {
+		t.Fatalf("busy %d", p.InUse())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := p.Get(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("exhausted Get: %v", err)
+	}
+	p.Put(a)
+	c, err := p.Get(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Fatal("freed engine not reissued")
+	}
+	p.Put(b)
+	p.Put(c)
+	if p.InUse() != 0 {
+		t.Fatalf("busy %d after returns", p.InUse())
+	}
+}
+
+// Checkout/return under concurrent load (-race): ownership hands off
+// cleanly, utilization never exceeds the pool size, and the same engine
+// is never held twice.
+func TestPoolConcurrentCheckout(t *testing.T) {
+	const size, workers, rounds = 3, 8, 200
+	p, err := NewPool(size, quant.SharedEngine(quant.ExactEngine{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	held := map[int]bool{}
+	var wg sync.WaitGroup
+	fail := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				e, err := p.Get(context.Background())
+				if err != nil {
+					fail <- err.Error()
+					return
+				}
+				mu.Lock()
+				if held[e.ID] {
+					mu.Unlock()
+					fail <- fmt.Sprintf("engine %d double-issued", e.ID)
+					return
+				}
+				held[e.ID] = true
+				mu.Unlock()
+				if n := p.InUse(); n > size {
+					fail <- fmt.Sprintf("utilization %d > size %d", n, size)
+					return
+				}
+				// Exercise the engine like a batch runner would: -race
+				// flags any ownership leak on a stateful engine.
+				e.Dot.Dot([]int{1, 2}, []int{3, 4})
+				mu.Lock()
+				held[e.ID] = false
+				mu.Unlock()
+				p.Put(e)
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+	if p.InUse() != 0 {
+		t.Fatalf("busy %d after all returns", p.InUse())
+	}
+}
+
+func TestPoolPutMisuse(t *testing.T) {
+	p, err := NewPool(1, quant.SharedEngine(quant.ExactEngine{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanicServe(t, "nil Put", func() { p.Put(nil) })
+	e, _ := p.Get(context.Background())
+	p.Put(e)
+	mustPanicServe(t, "double Put", func() { p.Put(e) })
+}
+
+func mustPanicServe(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", what)
+		}
+	}()
+	f()
+}

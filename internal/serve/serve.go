@@ -1,0 +1,488 @@
+// Package serve is the serving plane of the reproduction: a long-lived,
+// micro-batching inference service over the quantized compute plane
+// (internal/quant), turning the one-shot Table V evaluation machinery
+// into a system that sustains classify traffic.
+//
+// Three pieces cooperate:
+//
+//   - An engine Pool owns N factory-built SCONNA engines, each paired
+//     with private scratch buffers, checked out per micro-batch — the
+//     serving-time form of the engine-per-shard ownership rule that
+//     keeps stateful VDPCs single-goroutine.
+//
+//   - A micro-batcher coalesces individual classify requests from a
+//     bounded queue into batches (up to MaxBatch, waiting at most
+//     MaxWait), runs them through quant.(*Network).ForwardBatch on a
+//     pooled engine, and fans results back to per-request futures. A
+//     full queue rejects new work (ErrOverloaded — HTTP 429) instead of
+//     buffering unboundedly.
+//
+//   - An HTTP JSON API (POST /v1/classify, GET /healthz, GET /stats)
+//     fronts the batcher, with graceful drain on shutdown.
+//
+// Two serving modes trade replay stability against throughput. In the
+// default throughput mode every batch runs on one pooled engine, so a
+// stateful engine's noise stream depends on how traffic happened to
+// batch. Deterministic mode instead derives one fresh engine per request
+// from its arrival index (factory(seq)), making every response a pure
+// function of (network, input, seq) — bit-identical when a recorded
+// trace is replayed, at any pool size and any batching (pinned by the
+// replay tests).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// ErrOverloaded reports a full request queue: the caller should back off
+// and retry (the HTTP layer maps it to 429).
+var ErrOverloaded = errors.New("serve: request queue full")
+
+// ErrDraining reports a server that has begun graceful shutdown and no
+// longer accepts work (HTTP 503).
+var ErrDraining = errors.New("serve: draining")
+
+// Options configures a Server.
+type Options struct {
+	// MaxBatch bounds how many requests one micro-batch carries
+	// (<= 0 selects 32).
+	MaxBatch int
+	// MaxWait bounds how long the batcher waits for a partial batch to
+	// fill once at least one request is pending. 0 never waits: the
+	// batcher greedily drains whatever is queued and fires immediately,
+	// which under concurrent closed-loop load still forms full batches
+	// (arrivals pile up while the previous batch computes) and costs
+	// lone requests no added latency.
+	MaxWait time.Duration
+	// QueueDepth bounds the pending-request queue; admission beyond it
+	// fails with ErrOverloaded (<= 0 selects 4*MaxBatch).
+	QueueDepth int
+	// PoolSize is the engine-pool size (<= 0 selects GOMAXPROCS).
+	PoolSize int
+	// Deterministic selects replay-stable serving: request seq drives a
+	// fresh factory(seq) engine instead of a pooled stream (see the
+	// package comment for the trade-off).
+	Deterministic bool
+	// InputShape is the tensor shape every classify input must carry
+	// (nil selects 1x16x16, the procedural dataset's shape).
+	InputShape []int
+	// ClassNames optionally labels the logits indices in results.
+	ClassNames []string
+}
+
+// Result is one classify outcome.
+type Result struct {
+	// Seq is the request's arrival index — in deterministic mode also
+	// the seed index of the engine that served it.
+	Seq uint64 `json:"seq"`
+	// Class is the argmax logit index, named by ClassName when the
+	// server was configured with class names.
+	Class     int    `json:"class"`
+	ClassName string `json:"class_name,omitempty"`
+	// Logits holds the raw logits (omitted on the wire unless asked).
+	Logits []float32 `json:"logits,omitempty"`
+	// Engine identifies the arithmetic stream: the pool slot in
+	// throughput mode, the seq-derived engine index in deterministic
+	// mode (so responses stay replay-stable at any pool size).
+	Engine int `json:"engine"`
+}
+
+// request is one queued classify call; done is its future — shared by
+// the admission group and buffered for the whole group, so the batch
+// runner never blocks on an abandoned caller. idx is the request's
+// position within its group (groups may split across micro-batches, so
+// outcomes carry it back).
+type request struct {
+	seq  uint64
+	idx  int
+	x    *tensor.T
+	ctx  context.Context
+	enq  time.Time
+	done chan outcome
+}
+
+type outcome struct {
+	idx int
+	res Result
+	err error
+}
+
+// Server is the micro-batching inference service.
+type Server struct {
+	qn      *quant.Network
+	factory quant.EngineFactory
+	opts    Options
+	pool    *Pool
+	queue   chan *request
+	batches chan []*request
+
+	// enqMu serializes admissions so arrival order, seq assignment and
+	// queue order agree — the property deterministic replay relies on.
+	enqMu   sync.Mutex
+	nextSeq uint64
+
+	// mu guards closed: admissions hold it shared, Drain exclusively,
+	// so the queue never sees a send after close.
+	mu     sync.RWMutex
+	closed bool
+	wg     sync.WaitGroup
+
+	accepted  atomic.Uint64
+	rejected  atomic.Uint64
+	draining  atomic.Uint64
+	served    atomic.Uint64
+	cancelled atomic.Uint64
+	failed    atomic.Uint64
+	nbatches  atomic.Uint64
+	batchMu   sync.Mutex
+	batchHist []uint64
+	lat       histogram
+}
+
+// New builds and starts a Server over the quantized network. factory
+// seeds both the engine pool (engine i = factory(i)) and, in
+// deterministic mode, the per-request engines (factory(seq)).
+func New(qn *quant.Network, factory quant.EngineFactory, opts Options) (*Server, error) {
+	if qn == nil {
+		return nil, errors.New("serve: nil network")
+	}
+	if factory == nil {
+		return nil, errors.New("serve: nil engine factory")
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 32
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 4 * opts.MaxBatch
+	}
+	opts.PoolSize = parallel.Workers(opts.PoolSize)
+	if opts.InputShape == nil {
+		opts.InputShape = []int{1, 16, 16}
+	}
+	pool, err := NewPool(opts.PoolSize, factory)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		qn:        qn,
+		factory:   factory,
+		opts:      opts,
+		pool:      pool,
+		queue:     make(chan *request, opts.QueueDepth),
+		batches:   make(chan []*request, opts.PoolSize),
+		batchHist: make([]uint64, opts.MaxBatch),
+	}
+	s.wg.Add(1 + opts.PoolSize)
+	go s.dispatch()
+	for i := 0; i < opts.PoolSize; i++ {
+		go s.runWorker()
+	}
+	return s, nil
+}
+
+// Options returns the server's resolved configuration.
+func (s *Server) Options() Options { return s.opts }
+
+// inputLen is the flat element count every input must carry.
+func (s *Server) inputLen() int {
+	n := 1
+	for _, d := range s.opts.InputShape {
+		n *= d
+	}
+	return n
+}
+
+func (s *Server) checkInput(x *tensor.T) error {
+	if x == nil {
+		return errors.New("serve: nil input")
+	}
+	// Validate the full shape, not just the element count: ForwardBatch
+	// indexes ranks directly, so a wrong-rank tensor from a Go caller
+	// must be rejected at admission, never inside a worker.
+	if len(x.Shape) != len(s.opts.InputShape) {
+		return fmt.Errorf("serve: input shape %v, want %v", x.Shape, s.opts.InputShape)
+	}
+	for i, d := range s.opts.InputShape {
+		if x.Shape[i] != d {
+			return fmt.Errorf("serve: input shape %v, want %v", x.Shape, s.opts.InputShape)
+		}
+	}
+	if x.Len() != s.inputLen() {
+		return fmt.Errorf("serve: input has %d elements, want %d (shape %v)",
+			x.Len(), s.inputLen(), s.opts.InputShape)
+	}
+	return nil
+}
+
+// enqueue admits a group of inputs atomically: all of them enter the
+// queue in consecutive seq order, or none do (ErrOverloaded). ctx is
+// attached to each request so the batch runner can skip work whose
+// caller has gone away.
+func (s *Server) enqueue(ctx context.Context, xs []*tensor.T) ([]*request, error) {
+	for _, x := range xs {
+		if err := s.checkInput(x); err != nil {
+			return nil, err
+		}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		s.draining.Add(uint64(len(xs)))
+		return nil, ErrDraining
+	}
+	s.enqMu.Lock()
+	defer s.enqMu.Unlock()
+	if cap(s.queue)-len(s.queue) < len(xs) {
+		s.rejected.Add(uint64(len(xs)))
+		return nil, ErrOverloaded
+	}
+	now := time.Now()
+	done := make(chan outcome, len(xs))
+	backing := make([]request, len(xs))
+	reqs := make([]*request, len(xs))
+	for i, x := range xs {
+		r := &backing[i]
+		*r = request{seq: s.nextSeq, idx: i, x: x, ctx: ctx, enq: now, done: done}
+		s.nextSeq++
+		// Cannot block: capacity was checked under enqMu and only
+		// admissions add to the queue.
+		s.queue <- r
+		reqs[i] = r
+	}
+	s.accepted.Add(uint64(len(xs)))
+	return reqs, nil
+}
+
+// Submit classifies one input, blocking until its micro-batch completes
+// or ctx ends. A full queue fails fast with ErrOverloaded.
+func (s *Server) Submit(ctx context.Context, x *tensor.T) (Result, error) {
+	reqs, err := s.enqueue(ctx, []*tensor.T{x})
+	if err != nil {
+		return Result{}, err
+	}
+	select {
+	case o := <-reqs[0].done:
+		return o.res, o.err
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// SubmitBatch classifies a group of inputs admitted atomically in
+// consecutive arrival order, returning results in input order.
+func (s *Server) SubmitBatch(ctx context.Context, xs []*tensor.T) ([]Result, error) {
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	reqs, err := s.enqueue(ctx, xs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(reqs))
+	done := reqs[0].done // shared by the whole admission group
+	for range reqs {
+		select {
+		case o := <-done:
+			if o.err != nil {
+				return nil, o.err
+			}
+			out[o.idx] = o.res
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return out, nil
+}
+
+// dispatch coalesces queued requests into micro-batches: take one
+// (blocking), greedily drain whatever else is pending, then optionally
+// wait up to MaxWait for the batch to fill. Closing the queue (Drain)
+// flushes the assembly and stops the workers after the backlog runs dry.
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	defer close(s.batches)
+	for {
+		r, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch := make([]*request, 1, s.opts.MaxBatch)
+		batch[0] = r
+		closed := false
+	greedy:
+		for len(batch) < s.opts.MaxBatch {
+			select {
+			case r2, ok := <-s.queue:
+				if !ok {
+					closed = true
+					break greedy
+				}
+				batch = append(batch, r2)
+			default:
+				break greedy
+			}
+		}
+		if !closed && len(batch) < s.opts.MaxBatch && s.opts.MaxWait > 0 {
+			timer := time.NewTimer(s.opts.MaxWait)
+		wait:
+			for len(batch) < s.opts.MaxBatch {
+				select {
+				case r2, ok := <-s.queue:
+					if !ok {
+						closed = true
+						break wait
+					}
+					batch = append(batch, r2)
+				case <-timer.C:
+					break wait
+				}
+			}
+			timer.Stop()
+		}
+		s.batches <- batch
+		if closed {
+			return
+		}
+	}
+}
+
+func (s *Server) runWorker() {
+	defer s.wg.Done()
+	for batch := range s.batches {
+		s.runBatch(batch)
+	}
+}
+
+// runBatch checks an engine out, skips requests whose context already
+// ended, runs the survivors through one batched forward and resolves
+// their futures.
+func (s *Server) runBatch(batch []*request) {
+	eng, err := s.pool.Get(context.Background())
+	if err != nil { // unreachable: Background never ends
+		panic(err)
+	}
+	defer s.pool.Put(eng)
+
+	exec := make([]*request, 0, len(batch))
+	for _, r := range batch {
+		if r.ctx != nil && r.ctx.Err() != nil {
+			r.done <- outcome{idx: r.idx, err: r.ctx.Err()}
+			s.cancelled.Add(1)
+			continue
+		}
+		exec = append(exec, r)
+	}
+	if len(exec) == 0 {
+		return
+	}
+
+	xs := make([]*tensor.T, len(exec))
+	for i, r := range exec {
+		xs[i] = r.x
+	}
+	engines := []quant.DotEngine{eng.Dot}
+	if s.opts.Deterministic {
+		engines = make([]quant.DotEngine, len(exec))
+		for i, r := range exec {
+			e, err := s.factory(int(r.seq))
+			if err != nil {
+				for _, rr := range exec {
+					rr.done <- outcome{idx: rr.idx, err: fmt.Errorf("serve: building engine for seq %d: %w", r.seq, err)}
+				}
+				s.failed.Add(uint64(len(exec)))
+				return
+			}
+			engines[i] = e
+		}
+	}
+
+	outs := s.qn.ForwardBatch(xs, engines, eng.Scratch)
+	now := time.Now()
+	for i, r := range exec {
+		logits := outs[i]
+		res := Result{
+			Seq:    r.seq,
+			Class:  logits.ArgMax(),
+			Logits: logits.Data,
+			Engine: eng.ID,
+		}
+		if s.opts.Deterministic {
+			// The pool slot is a scheduling artifact; the seq-derived
+			// engine is the arithmetic identity replay must preserve.
+			res.Engine = int(r.seq)
+		}
+		if res.Class < len(s.opts.ClassNames) {
+			res.ClassName = s.opts.ClassNames[res.Class]
+		}
+		r.done <- outcome{idx: r.idx, res: res}
+		s.lat.observe(now.Sub(r.enq))
+	}
+	s.served.Add(uint64(len(exec)))
+	s.nbatches.Add(1)
+	s.batchMu.Lock()
+	s.batchHist[len(exec)-1]++
+	s.batchMu.Unlock()
+}
+
+// Drain stops admissions, waits for the queued backlog to finish (or ctx
+// to end) and stops the batcher and workers. It is idempotent; Submit
+// during or after a drain fails with ErrDraining.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether graceful shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closed
+}
+
+// Stats snapshots the traffic counters.
+func (s *Server) Stats() Stats {
+	s.batchMu.Lock()
+	hist := append([]uint64(nil), s.batchHist...)
+	s.batchMu.Unlock()
+	return Stats{
+		Accepted:      s.accepted.Load(),
+		Rejected:      s.rejected.Load(),
+		Draining:      s.draining.Load(),
+		Served:        s.served.Load(),
+		Cancelled:     s.cancelled.Load(),
+		Failed:        s.failed.Load(),
+		Batches:       s.nbatches.Load(),
+		BatchSizes:    hist,
+		QueueDepth:    len(s.queue),
+		QueueCap:      cap(s.queue),
+		EnginesBusy:   s.pool.InUse(),
+		PoolSize:      s.pool.Size(),
+		LatencyP50:    s.lat.quantile(0.50),
+		LatencyP99:    s.lat.quantile(0.99),
+		Deterministic: s.opts.Deterministic,
+	}
+}

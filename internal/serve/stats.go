@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// Stats is a snapshot of the server's traffic counters, exposed by
+// (*Server).Stats and the GET /stats endpoint.
+type Stats struct {
+	// Accepted counts requests admitted to the queue; Rejected counts
+	// backpressure rejections (queue full) and Draining counts requests
+	// refused after Drain began. Served counts delivered results and
+	// Cancelled requests whose context ended before their batch ran.
+	Accepted  uint64 `json:"accepted"`
+	Rejected  uint64 `json:"rejected"`
+	Draining  uint64 `json:"draining_rejected"`
+	Served    uint64 `json:"served"`
+	Cancelled uint64 `json:"cancelled"`
+	Failed    uint64 `json:"failed"`
+	// Batches counts executed micro-batches; BatchSizes[i] is how many
+	// of them carried i+1 requests (the batch-size histogram).
+	Batches    uint64   `json:"batches"`
+	BatchSizes []uint64 `json:"batch_sizes"`
+	// QueueDepth and QueueCap describe the request queue right now;
+	// EnginesBusy/PoolSize describe engine-pool utilization.
+	QueueDepth  int `json:"queue_depth"`
+	QueueCap    int `json:"queue_cap"`
+	EnginesBusy int `json:"engines_busy"`
+	PoolSize    int `json:"pool_size"`
+	// LatencyP50/LatencyP99 are submit-to-result quantiles (upper bucket
+	// bounds of a log2-microsecond histogram).
+	LatencyP50 time.Duration `json:"latency_p50_ns"`
+	LatencyP99 time.Duration `json:"latency_p99_ns"`
+	// Deterministic reports the serving mode.
+	Deterministic bool `json:"deterministic"`
+}
+
+// latBuckets is the log2-microsecond latency histogram size: bucket i
+// holds observations in [2^(i-1), 2^i) microseconds, the last bucket is
+// open-ended (~1.2 hours), which comfortably brackets both microsecond
+// dispatch overheads and multi-second cold batches.
+const latBuckets = 33
+
+// histogram is a fixed-bucket log2 latency histogram. One mutex guards
+// it; observations are a handful of stores, so contention stays
+// negligible next to a forward pass.
+type histogram struct {
+	mu      sync.Mutex
+	buckets [latBuckets]uint64
+	count   uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	b := bits.Len64(uint64(us))
+	if b >= latBuckets {
+		b = latBuckets - 1
+	}
+	h.mu.Lock()
+	h.buckets[b]++
+	h.count++
+	h.mu.Unlock()
+}
+
+// quantile returns the upper bound of the bucket containing the q-th
+// (0..1) observation (nearest-rank: ceil(q*count)-1, zero-based), or 0
+// when the histogram is empty.
+func (h *histogram) quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q*float64(h.count))) - 1
+	if rank >= h.count { // q >= 1 (or float overshoot): the max observation
+		rank = h.count - 1
+	}
+	var seen uint64
+	for b, n := range h.buckets {
+		seen += n
+		if seen > rank {
+			return time.Duration(uint64(1)<<uint(b)) * time.Microsecond
+		}
+	}
+	return time.Duration(uint64(1)<<uint(latBuckets)) * time.Microsecond
+}

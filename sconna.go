@@ -6,10 +6,13 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/models"
+	"repro/internal/nn"
 	"repro/internal/parallel"
 	"repro/internal/pca"
 	"repro/internal/photonics"
+	"repro/internal/quant"
 	"repro/internal/scalability"
+	"repro/internal/serve"
 )
 
 // Version identifies this reproduction release.
@@ -198,6 +201,53 @@ type (
 // study, accuracy.QuickOptions for a reduced run).
 func RunTableV(opts AccuracyOptions) ([]AccuracyRow, error) {
 	return accuracy.Run(accuracy.DefaultSpecs(), opts)
+}
+
+// Quantized compute plane and serving plane.
+type (
+	// QuantNetwork is an integer-quantized network executable on any
+	// DotEngine.
+	QuantNetwork = quant.Network
+	// DotEngine is the pluggable integer dot-product substrate.
+	DotEngine = quant.DotEngine
+	// EngineFactory builds one engine per shard/pool slot/request seq.
+	EngineFactory = quant.EngineFactory
+	// ExactDotEngine is the exact-integer reference engine.
+	ExactDotEngine = quant.ExactEngine
+	// InferenceServer is the long-lived micro-batching serving plane.
+	InferenceServer = serve.Server
+	// ServeOptions configures an InferenceServer.
+	ServeOptions = serve.Options
+	// ServeResult is one classify outcome.
+	ServeResult = serve.Result
+	// ServeStats snapshots serving traffic counters.
+	ServeStats = serve.Stats
+)
+
+// QuantizeNetwork post-training-quantizes a trained float network to the
+// given operand precision, calibrating activation scales over the
+// calibration examples.
+func QuantizeNetwork(src *nn.Network, bits int, calibration []nn.Example) (*QuantNetwork, error) {
+	return quant.Quantize(src, bits, calibration)
+}
+
+// SconnaDotEngineFactory returns an EngineFactory building one SCONNA
+// functional engine per slot, with slot-derived ADC seeds — the engine
+// the serving plane pools (and, in deterministic mode, derives per
+// request).
+func SconnaDotEngineFactory(cfg CoreConfig) EngineFactory {
+	return quant.SconnaEngineFactory(cfg)
+}
+
+// SharedDotEngine adapts a stateless engine into a factory handing every
+// slot the same instance.
+func SharedDotEngine(e DotEngine) EngineFactory { return quant.SharedEngine(e) }
+
+// NewInferenceServer starts the micro-batching serving plane over a
+// quantized network: a bounded request queue, an engine pool checked out
+// per micro-batch, and an HTTP JSON API (Handler) with graceful Drain.
+func NewInferenceServer(qn *QuantNetwork, factory EngineFactory, opts ServeOptions) (*InferenceServer, error) {
+	return serve.New(qn, factory, opts)
 }
 
 // DefaultAccuracyOptions returns the full Table V study configuration.
