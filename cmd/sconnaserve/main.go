@@ -1,30 +1,43 @@
-// Command sconnaserve is the long-lived SCONNA inference service: it
-// trains (or loads) a CNN on the procedural dataset, quantizes it, and
-// serves classify traffic over HTTP through the micro-batching engine
-// pool of internal/serve.
+// Command sconnaserve is the long-lived SCONNA inference service: a
+// model registry of named, versioned quantized CNNs, each behind its
+// own micro-batching engine pool, served over one HTTP surface.
 //
 // Usage:
 //
 //	sconnaserve [-addr :8080] [-engine sconna|exact] [-deterministic]
 //	            [-pool N] [-max-batch N] [-max-wait D] [-queue N]
+//	            [-model name=artifact.qnn ...]
 //	            [-width N] [-train N] [-epochs N] [-seed N]
 //	            [-weights FILE] [-save-weights FILE]
+//	            [-save-quant FILE] [-quantize-only]
 //	            [-bits B] [-vdpe-size N] [-adc-seed N]
 //	            [-selftest] [-requests N] [-bench-out FILE]
 //	            [-min-qps Q] [-min-speedup X]
 //
-// The server answers POST /v1/classify (single, batch, base64 and raw
-// binary bodies), GET /healthz and GET /stats, and drains gracefully on
-// SIGINT/SIGTERM: admissions stop, queued batches finish, then the
-// process exits 0.
+// With repeatable -model flags the server loads pre-quantized model
+// artifacts (written by -save-quant, or quant.SaveFile) and registers
+// each under its name — no training or quantization at boot; the first
+// -model is the default. Without -model it trains (or loads float
+// weights for) one CNN, quantizes it and registers it as "default",
+// exactly the PR 4 behavior.
 //
-// -deterministic pins each request's engine to its arrival index, so a
-// recorded trace replays bit-identically at any pool size; the default
-// throughput mode reuses pooled engines per batch.
+// The HTTP surface routes by model name — POST
+// /v1/models/{name}/classify, GET /v1/models (name/version/stats
+// listing), GET /v1/models/{name}/stats — while POST /v1/classify stays
+// a byte-compatible alias for the default model. GET /healthz and GET
+// /stats (per-model sections) round it out. SIGINT/SIGTERM drains every
+// model gracefully: admissions stop, queued batches finish, the process
+// exits 0.
+//
+// -deterministic pins each request's engine to its per-model arrival
+// index, so a recorded trace replays bit-identically at any pool size,
+// independently for every registered model.
 //
 // -selftest runs the full stack against itself in-process — an HTTP
-// traffic smoke, a deterministic replay check and the load-generator
-// throughput bench — writes the bench trajectory to -bench-out
+// traffic smoke over the legacy, per-model and mixed routing paths, a
+// deterministic replay check (legacy and per-model), a quant-artifact
+// round trip, and the load-generator bench including the multi-model
+// routing leg — writes the bench trajectory to -bench-out
 // (BENCH_serve.json) and fails if throughput drops under the -min-qps /
 // -min-speedup floors. CI runs it on every change.
 package main
@@ -41,6 +54,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -50,26 +64,58 @@ import (
 	"repro/internal/nn"
 	"repro/internal/quant"
 	"repro/internal/serve"
+	"repro/internal/tensor"
 )
+
+// modelSpec is one -model flag: a registry name and an artifact path.
+type modelSpec struct {
+	name, path string
+}
+
+// modelFlags collects repeated -model name=path flags in order.
+type modelFlags []modelSpec
+
+func (m *modelFlags) String() string {
+	parts := make([]string, len(*m))
+	for i, s := range *m {
+		parts[i] = s.name + "=" + s.path
+	}
+	return strings.Join(parts, ",")
+}
+
+func (m *modelFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*m = append(*m, modelSpec{name: name, path: path})
+	return nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	engineName := flag.String("engine", "sconna", "dot-product engine: sconna|exact")
 	deterministic := flag.Bool("deterministic", false,
-		"pin request->engine assignment by arrival index (replayed traces are bit-identical)")
-	pool := flag.Int("pool", 0, "engine-pool size (0 = all cores)")
+		"pin request->engine assignment by per-model arrival index (replayed traces are bit-identical)")
+	pool := flag.Int("pool", 0, "per-model engine-pool size (0 = all cores)")
 	maxBatch := flag.Int("max-batch", 32, "micro-batch size cap")
 	maxWait := flag.Duration("max-wait", 0, "how long a partial batch waits to fill (0 = fire immediately)")
 	queue := flag.Int("queue", 0, "request-queue bound (0 = 4x max-batch); beyond it requests get 429")
+
+	var models modelFlags
+	flag.Var(&models, "model",
+		"register a pre-quantized model artifact as name=path (repeatable; first is the default model)")
 
 	width := flag.Int("width", 4, "served CNN width (nn.BuildSmallCNN)")
 	trainN := flag.Int("train", 192, "training examples for the in-process trained model")
 	epochs := flag.Int("epochs", 4, "training epochs")
 	seed := flag.Int64("seed", 11, "model/dataset seed")
-	weights := flag.String("weights", "", "load weights from this file instead of training")
-	saveWeights := flag.String("save-weights", "", "write the served model's weights to this file")
+	weights := flag.String("weights", "", "load float weights from this file instead of training")
+	saveWeights := flag.String("save-weights", "", "write the served model's float weights to this file")
+	saveQuant := flag.String("save-quant", "", "write the built model's quantized artifact to this file")
+	quantizeOnly := flag.Bool("quantize-only", false, "build and -save-quant the artifact, then exit without serving")
 
-	bits := flag.Int("bits", 8, "operand precision")
+	bits := flag.Int("bits", 8, "operand precision for the in-process built model")
 	vdpeSize := flag.Int("vdpe-size", 64, "functional core VDPE size N")
 	adcSeed := flag.Int64("adc-seed", 2023, "base ADC noise seed")
 
@@ -80,14 +126,20 @@ func main() {
 	minSpeedup := flag.Float64("min-speedup", 0, "selftest floor on batched-vs-serial speedup (0 disables)")
 	flag.Parse()
 
-	qn, err := buildModel(*width, *trainN, *epochs, *seed, *bits, *weights, *saveWeights)
-	if err != nil {
-		fatal(err)
+	if len(models) > 0 {
+		for flagName, set := range map[string]bool{
+			"weights": *weights != "", "save-weights": *saveWeights != "",
+			"save-quant": *saveQuant != "", "quantize-only": *quantizeOnly, "selftest": *selftest,
+		} {
+			if set {
+				fatal(fmt.Errorf("-%s applies to the in-process built model and cannot combine with -model", flagName))
+			}
+		}
 	}
-	factory, err := buildFactory(*engineName, *bits, *vdpeSize, *adcSeed)
-	if err != nil {
-		fatal(err)
+	if *quantizeOnly && *saveQuant == "" {
+		fatal(fmt.Errorf("-quantize-only needs -save-quant FILE"))
 	}
+
 	opts := serve.Options{
 		MaxBatch:      *maxBatch,
 		MaxWait:       *maxWait,
@@ -98,26 +150,90 @@ func main() {
 		ClassNames:    dataset.ClassNames[:],
 	}
 
-	if *selftest {
-		if err := runSelftest(qn, factory, opts, *requests, *benchOut, *minQPS, *minSpeedup); err != nil {
+	// Assemble the model set: loaded artifacts, or the in-process built
+	// (trained or float-weight-loaded, then quantized) default.
+	var entries []struct {
+		name string
+		qn   *quant.Network
+	}
+	if len(models) > 0 {
+		for _, spec := range models {
+			qn, err := quant.LoadFile(spec.path)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "sconnaserve: loaded %s as %q (version %s, %d-bit, %d weights)\n",
+				spec.path, spec.name, qn.Digest().Short(), qn.Bits, qn.NumWeights())
+			entries = append(entries, struct {
+				name string
+				qn   *quant.Network
+			}{spec.name, qn})
+		}
+	} else {
+		net, examples, err := buildFloatModel(*width, *trainN, *epochs, *seed, *weights, *saveWeights)
+		if err != nil {
 			fatal(err)
 		}
-		return
+		qn, err := quantizeModel(net, *bits, examples)
+		if err != nil {
+			fatal(err)
+		}
+		if *saveQuant != "" {
+			if err := qn.SaveFile(*saveQuant); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "sconnaserve: wrote quantized artifact %s (version %s)\n",
+				*saveQuant, qn.Digest().Short())
+			if *quantizeOnly {
+				return
+			}
+		}
+		if *selftest {
+			// The selftest needs a second, genuinely different model for
+			// the routing legs: the same float net quantized at another
+			// precision — a different version of the same network.
+			altBits := *bits - 2
+			if altBits < 2 {
+				altBits = *bits + 2
+			}
+			alt, err := quantizeModel(net, altBits, examples)
+			if err != nil {
+				fatal(err)
+			}
+			if err := runSelftest(qn, alt, *engineName, *vdpeSize, *adcSeed, opts,
+				*requests, *benchOut, *minQPS, *minSpeedup); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		entries = append(entries, struct {
+			name string
+			qn   *quant.Network
+		}{serve.DefaultModelName, qn})
 	}
 
-	s, err := serve.New(qn, factory, opts)
-	if err != nil {
-		fatal(err)
+	reg := serve.NewRegistry()
+	for _, e := range entries {
+		factory, err := buildFactory(*engineName, e.qn.Bits, *vdpeSize, *adcSeed)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := reg.Register(e.name, e.qn, factory, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sconnaserve: registered %q version %s (%d params)\n",
+			m.Name(), m.Version()[:12], e.qn.NumWeights())
 	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
 	}
-	hs := &http.Server{Handler: s.Handler()}
-	ro := s.Options()
+	hs := &http.Server{Handler: reg.Handler()}
 	fmt.Fprintf(os.Stderr,
-		"sconnaserve: serving on %s (engine=%s pool=%d max-batch=%d queue=%d deterministic=%v params=%d)\n",
-		ln.Addr(), *engineName, ro.PoolSize, ro.MaxBatch, ro.QueueDepth, ro.Deterministic, qn.NumWeights())
+		"sconnaserve: serving %d model(s) %v on %s (engine=%s max-batch=%d deterministic=%v)\n",
+		reg.Len(), reg.Names(), ln.Addr(), *engineName, *maxBatch, *deterministic)
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -134,23 +250,27 @@ func main() {
 	if err := hs.Shutdown(ctx); err != nil {
 		fatal(fmt.Errorf("http shutdown: %w", err))
 	}
-	if err := s.Drain(ctx); err != nil {
+	final := reg.Stats()
+	if err := reg.DrainAll(ctx); err != nil {
 		fatal(fmt.Errorf("drain: %w", err))
 	}
-	st := s.Stats()
-	fmt.Fprintf(os.Stderr, "sconnaserve: drained clean (served=%d batches=%d rejected=%d p50=%v p99=%v)\n",
-		st.Served, st.Batches, st.Rejected, st.LatencyP50, st.LatencyP99)
+	for _, m := range final.Models {
+		fmt.Fprintf(os.Stderr, "sconnaserve: model %q served=%d batches=%d rejected=%d p50=%v p99=%v\n",
+			m.Name, m.Stats.Served, m.Stats.Batches, m.Stats.Rejected, m.Stats.LatencyP50, m.Stats.LatencyP99)
+	}
+	fmt.Fprintln(os.Stderr, "sconnaserve: drained clean")
 }
 
-// buildModel trains (or loads) the served CNN and quantizes it.
-func buildModel(width, trainN, epochs int, seed int64, bits int, weights, saveWeights string) (*quant.Network, error) {
+// buildFloatModel trains (or loads) the served CNN and returns it with
+// the calibration examples.
+func buildFloatModel(width, trainN, epochs int, seed int64, weights, saveWeights string) (*nn.Network, []nn.Example, error) {
 	net := nn.BuildSmallCNN(width, dataset.NumClasses, seed)
 	dcfg := dataset.DefaultConfig()
 	dcfg.Seed = seed
 	examples := dataset.Generate(dcfg, trainN)
 	if weights != "" {
 		if err := net.LoadFile(weights); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		fmt.Fprintf(os.Stderr, "sconnaserve: loaded weights from %s\n", weights)
 	} else {
@@ -160,10 +280,18 @@ func buildModel(width, trainN, epochs int, seed int64, bits int, weights, saveWe
 	}
 	if saveWeights != "" {
 		if err := net.SaveFile(saveWeights); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		fmt.Fprintf(os.Stderr, "sconnaserve: wrote weights to %s\n", saveWeights)
 	}
+	return net, examples, nil
+}
+
+// quantizeModel quantizes the float network at the given precision,
+// calibrating over (at most) the first 48 examples — the same
+// calibration window at every precision, so versions differ only in
+// bits.
+func quantizeModel(net *nn.Network, bits int, examples []nn.Example) (*quant.Network, error) {
 	calib := examples
 	if len(calib) > 48 {
 		calib = calib[:48]
@@ -171,7 +299,8 @@ func buildModel(width, trainN, epochs int, seed int64, bits int, weights, saveWe
 	return quant.Quantize(net, bits, calib)
 }
 
-// buildFactory selects the dot-product substrate.
+// buildFactory selects the dot-product substrate at the model's operand
+// precision.
 func buildFactory(name string, bits, vdpeSize int, adcSeed int64) (quant.EngineFactory, error) {
 	switch strings.ToLower(name) {
 	case "exact":
@@ -187,38 +316,74 @@ func buildFactory(name string, bits, vdpeSize int, adcSeed int64) (quant.EngineF
 	return nil, fmt.Errorf("unknown engine %q", name)
 }
 
-// runSelftest drives the whole stack against itself: traffic smoke,
-// deterministic replay check, throughput bench with floors.
-func runSelftest(qn *quant.Network, factory quant.EngineFactory, opts serve.Options, requests int, benchOut string, minQPS, minSpeedup float64) error {
+// selftestRegistry registers qn as the default model and alt as "alt".
+func selftestRegistry(qn, alt *quant.Network, engineName string, vdpeSize int, adcSeed int64, opts serve.Options) (*serve.Registry, error) {
+	reg := serve.NewRegistry()
+	for _, e := range []struct {
+		name string
+		qn   *quant.Network
+	}{{serve.DefaultModelName, qn}, {"alt", alt}} {
+		factory, err := buildFactory(engineName, e.qn.Bits, vdpeSize, adcSeed)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := reg.Register(e.name, e.qn, factory, opts); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
+}
+
+// selftestMix is the multi-model routing mix every selftest leg shares.
+var selftestMix = []serve.ModelShare{
+	{Name: serve.DefaultModelName, Weight: 2},
+	{Name: "alt", Weight: 1},
+}
+
+// runSelftest drives the whole stack against itself: routing traffic
+// smoke, deterministic replay checks (legacy and per-model), a
+// quant-artifact round trip, and the throughput bench with floors.
+func runSelftest(qn, alt *quant.Network, engineName string, vdpeSize int, adcSeed int64,
+	opts serve.Options, requests int, benchOut string, minQPS, minSpeedup float64) error {
 	inputs := selftestInputs(64)
 
-	if err := trafficSmoke(qn, factory, opts, inputs, requests); err != nil {
+	if err := artifactSmoke(qn, engineName, vdpeSize, adcSeed); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "sconnaserve: selftest traffic smoke ok (%d requests, all 2xx, drained clean)\n", requests)
+	fmt.Fprintln(os.Stderr, "sconnaserve: selftest artifact round trip ok (save -> load, digest stable, bit-identical logits)")
 
-	if err := replaySmoke(qn, factory, opts, inputs); err != nil {
+	if err := trafficSmoke(qn, alt, engineName, vdpeSize, adcSeed, opts, inputs, requests); err != nil {
 		return err
 	}
-	fmt.Fprintln(os.Stderr, "sconnaserve: selftest deterministic replay ok (bit-identical across pool sizes)")
+	fmt.Fprintf(os.Stderr, "sconnaserve: selftest traffic smoke ok (%d legacy + %d mixed requests, all routed, drained clean)\n",
+		requests, requests)
 
-	s, err := serve.New(qn, factory, opts)
+	if err := replaySmoke(qn, alt, engineName, vdpeSize, adcSeed, opts, inputs); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "sconnaserve: selftest deterministic replay ok (legacy and per-model, bit-identical across pool sizes)")
+
+	reg, err := selftestRegistry(qn, alt, engineName, vdpeSize, adcSeed, opts)
 	if err != nil {
 		return err
 	}
-	defer drain(s)
-	rep, err := serve.BenchThroughput(s, inputs, serve.BenchOptions{
+	defer drainRegistry(reg)
+	rep, err := serve.BenchRegistryThroughput(reg, inputs, serve.BenchOptions{
 		SerialRequests:  512,
 		BatchedRequests: 2048,
+		MixRequests:     2048,
 		Clients:         4,
 		Batch:           32,
 		Raw:             true,
+		Mix:             selftestMix,
 	})
 	if err != nil {
 		return err
 	}
-	if rep.Serial.Errors+rep.Batched.Errors > 0 || rep.Serial.Rejected+rep.Batched.Rejected > 0 {
-		return fmt.Errorf("bench saw failures: serial %+v batched %+v", rep.Serial, rep.Batched)
+	for _, leg := range []serve.LoadReport{rep.Serial, rep.Batched, *rep.MultiModel} {
+		if leg.Errors > 0 || leg.Rejected > 0 {
+			return fmt.Errorf("bench saw failures: %+v", leg)
+		}
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -227,10 +392,14 @@ func runSelftest(qn *quant.Network, factory quant.EngineFactory, opts serve.Opti
 	if err := os.WriteFile(benchOut, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "sconnaserve: selftest bench — serial %.0f QPS, batched %.0f QPS (%.2fx), wrote %s\n",
-		rep.Serial.QPS, rep.Batched.QPS, rep.Speedup, benchOut)
+	fmt.Fprintf(os.Stderr,
+		"sconnaserve: selftest bench — serial %.0f QPS, batched %.0f QPS (%.2fx), multi-model %.0f QPS %v, wrote %s\n",
+		rep.Serial.QPS, rep.Batched.QPS, rep.Speedup, rep.MultiModel.QPS, rep.MultiModel.ByModel, benchOut)
 	if minQPS > 0 && rep.Batched.QPS < minQPS {
 		return fmt.Errorf("batched throughput %.0f QPS under the %.0f floor", rep.Batched.QPS, minQPS)
+	}
+	if minQPS > 0 && rep.MultiModel.QPS < minQPS {
+		return fmt.Errorf("multi-model throughput %.0f QPS under the %.0f floor", rep.MultiModel.QPS, minQPS)
 	}
 	if minSpeedup > 0 && rep.Speedup < minSpeedup {
 		return fmt.Errorf("batched speedup %.2fx under the %.2fx floor", rep.Speedup, minSpeedup)
@@ -238,16 +407,65 @@ func runSelftest(qn *quant.Network, factory quant.EngineFactory, opts serve.Opti
 	return nil
 }
 
-// trafficSmoke serves real HTTP traffic: single and batched classify
-// posts, health and stats probes; every response must be 2xx and the
-// server must drain clean.
-func trafficSmoke(qn *quant.Network, factory quant.EngineFactory, opts serve.Options, inputs [][]float32, requests int) error {
-	s, err := serve.New(qn, factory, opts)
+// artifactSmoke round-trips the served model through the quantized
+// artifact format: save, load, and require the same version digest and
+// bit-identical logits through identically seeded engines.
+func artifactSmoke(qn *quant.Network, engineName string, vdpeSize int, adcSeed int64) error {
+	dir, err := os.MkdirTemp("", "sconnaserve-artifact-")
 	if err != nil {
 		return err
 	}
-	defer drain(s)
-	hs, base, err := serve.ListenLocal(s)
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "model.qnn")
+	if err := qn.SaveFile(path); err != nil {
+		return err
+	}
+	loaded, err := quant.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	if loaded.Digest() != qn.Digest() {
+		return fmt.Errorf("artifact round trip moved the digest: %s vs %s",
+			loaded.Digest().Short(), qn.Digest().Short())
+	}
+	factory, err := buildFactory(engineName, qn.Bits, vdpeSize, adcSeed)
+	if err != nil {
+		return err
+	}
+	for i, in := range selftestInputs(4) {
+		x := inputTensor(in)
+		e1, err := factory(i)
+		if err != nil {
+			return err
+		}
+		e2, err := factory(i)
+		if err != nil {
+			return err
+		}
+		want := qn.Forward(x, e1)
+		got := loaded.Forward(inputTensor(in), e2)
+		for j := range want.Data {
+			if got.Data[j] != want.Data[j] {
+				return fmt.Errorf("artifact round trip: input %d logit %d drifted: %v != %v",
+					i, j, got.Data[j], want.Data[j])
+			}
+		}
+	}
+	return nil
+}
+
+// trafficSmoke serves real HTTP traffic across every routing path:
+// single and batched classify posts on the legacy alias, a weighted
+// multi-model mix, per-model and registry stats, a 404 probe, and
+// health; the registry must account for every request and drain clean.
+func trafficSmoke(qn, alt *quant.Network, engineName string, vdpeSize int, adcSeed int64,
+	opts serve.Options, inputs [][]float32, requests int) error {
+	reg, err := selftestRegistry(qn, alt, engineName, vdpeSize, adcSeed, opts)
+	if err != nil {
+		return err
+	}
+	defer drainRegistry(reg)
+	hs, base, err := serve.ListenLocal(reg.Handler())
 	if err != nil {
 		return err
 	}
@@ -268,8 +486,31 @@ func trafficSmoke(qn *quant.Network, factory quant.EngineFactory, opts serve.Opt
 	if rep.Responses != requests-singles || rep.Errors > 0 || rep.Rejected > 0 {
 		return fmt.Errorf("batched smoke: %+v", rep)
 	}
+	mixed, err := serve.Drive(base, inputs, serve.LoadOptions{
+		Requests: requests, Clients: 2, Batch: 4, Mix: selftestMix, MixSeed: 7,
+	})
+	if err != nil {
+		return err
+	}
+	if mixed.Responses != requests || mixed.Errors > 0 || mixed.Rejected > 0 {
+		return fmt.Errorf("mixed smoke: %+v", mixed)
+	}
+	if mixed.ByModel[serve.DefaultModelName] == 0 || mixed.ByModel["alt"] == 0 {
+		return fmt.Errorf("mixed smoke starved a model: %+v", mixed.ByModel)
+	}
 
-	resp, err := http.Get(base + "/healthz")
+	// Unknown models are 404, never 5xx.
+	resp, err := http.Post(base+"/v1/models/no-such-model/classify", "application/json",
+		bytes.NewReader([]byte(`{"input":[]}`)))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		return fmt.Errorf("unknown model: %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/healthz")
 	if err != nil {
 		return err
 	}
@@ -277,39 +518,49 @@ func trafficSmoke(qn *quant.Network, factory quant.EngineFactory, opts serve.Opt
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("healthz: %d", resp.StatusCode)
 	}
-	resp, err = http.Get(base + "/stats")
+
+	resp, err = http.Get(base + "/v1/models")
 	if err != nil {
 		return err
 	}
-	var st serve.Stats
+	var st serve.RegistryStats
 	err = json.NewDecoder(resp.Body).Decode(&st)
 	resp.Body.Close()
 	if err != nil {
 		return err
 	}
-	if st.Served != uint64(requests) {
-		return fmt.Errorf("stats served %d, want %d", st.Served, requests)
+	if len(st.Models) != 2 || st.DefaultModel != serve.DefaultModelName {
+		return fmt.Errorf("model listing: %+v", st)
+	}
+	total := uint64(0)
+	for _, m := range st.Models {
+		total += m.Stats.Served
+	}
+	if want := uint64(requests + mixed.Responses); total != want {
+		return fmt.Errorf("registry served %d requests, want %d", total, want)
 	}
 	return nil
 }
 
-// replaySmoke pins the deterministic-mode contract over real HTTP: the
-// same trace served by fresh servers at pool sizes 1 and 3 must produce
-// byte-identical response bodies.
-func replaySmoke(qn *quant.Network, factory quant.EngineFactory, opts serve.Options, inputs [][]float32) error {
+// replaySmoke pins the deterministic-mode contract over real HTTP for
+// both routing paths: the same trace served by fresh registries at pool
+// sizes 1 and 3 must produce byte-identical response bodies, on the
+// legacy alias and on a named model's route.
+func replaySmoke(qn, alt *quant.Network, engineName string, vdpeSize int, adcSeed int64,
+	opts serve.Options, inputs [][]float32) error {
 	trace := inputs[:8]
-	run := func(pool, maxBatch int) ([]string, error) {
+	run := func(pool, maxBatch int, path string) ([]string, error) {
 		o := opts
 		o.Deterministic = true
 		o.PoolSize = pool
 		o.MaxBatch = maxBatch
 		o.QueueDepth = 64
-		s, err := serve.New(qn, factory, o)
+		reg, err := selftestRegistry(qn, alt, engineName, vdpeSize, adcSeed, o)
 		if err != nil {
 			return nil, err
 		}
-		defer drain(s)
-		hs, base, err := serve.ListenLocal(s)
+		defer drainRegistry(reg)
+		hs, base, err := serve.ListenLocal(reg.Handler())
 		if err != nil {
 			return nil, err
 		}
@@ -320,7 +571,7 @@ func replaySmoke(qn *quant.Network, factory quant.EngineFactory, opts serve.Opti
 			if err != nil {
 				return nil, err
 			}
-			resp, err := http.Post(base+"/v1/classify", "application/json", bytes.NewReader(payload))
+			resp, err := http.Post(base+path, "application/json", bytes.NewReader(payload))
 			if err != nil {
 				return nil, err
 			}
@@ -336,26 +587,28 @@ func replaySmoke(qn *quant.Network, factory quant.EngineFactory, opts serve.Opti
 		}
 		return bodies, nil
 	}
-	first, err := run(1, 1)
-	if err != nil {
-		return err
-	}
-	again, err := run(3, 8)
-	if err != nil {
-		return err
-	}
-	for i := range first {
-		if first[i] != again[i] {
-			return fmt.Errorf("replay drifted at request %d:\n%s\nvs\n%s", i, first[i], again[i])
+	for _, path := range []string{"/v1/classify", "/v1/models/alt/classify"} {
+		first, err := run(1, 1, path)
+		if err != nil {
+			return err
+		}
+		again, err := run(3, 8, path)
+		if err != nil {
+			return err
+		}
+		for i := range first {
+			if first[i] != again[i] {
+				return fmt.Errorf("%s replay drifted at request %d:\n%s\nvs\n%s", path, i, first[i], again[i])
+			}
 		}
 	}
 	return nil
 }
 
-func drain(s *serve.Server) {
+func drainRegistry(reg *serve.Registry) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	_ = s.Drain(ctx)
+	_ = reg.DrainAll(ctx)
 }
 
 // selftestInputs renders dataset images as flat pixel arrays.
@@ -368,6 +621,11 @@ func selftestInputs(n int) [][]float32 {
 		out[i] = ex.X.Data
 	}
 	return out
+}
+
+// inputTensor wraps a flat pixel array in the served input shape.
+func inputTensor(data []float32) *tensor.T {
+	return &tensor.T{Shape: []int{1, 16, 16}, Data: append([]float32(nil), data...)}
 }
 
 func fatal(err error) {

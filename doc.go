@@ -179,9 +179,45 @@
 //     histogram, p50/p99 latency and engine-pool utilization. Shutdown
 //     drains gracefully: admissions stop, the backlog finishes, workers
 //     exit. cmd/sconnaserve -selftest drives the whole stack against
-//     itself (traffic smoke, replay check, load-generator bench) and
-//     emits BENCH_serve.json, whose headline is the batched-over-serial
-//     QPS ratio.
+//     itself (traffic smoke, replay checks, artifact round trip,
+//     load-generator bench incl. the multi-model routing leg) and emits
+//     BENCH_serve.json, whose headline is the batched-over-serial QPS
+//     ratio.
+//
+// # Model registry
+//
+// SCONNA is evaluated across six integer-quantized CNNs time-sharing
+// one accelerator, so the serving plane is multi-model: serve.Registry
+// holds named, versioned quantized models, each behind its own engine
+// pool, micro-batcher and stats, routed by name over one HTTP surface.
+//
+//   - Versioning: a model's version ID is the content digest of its
+//     quantized network (quant.(*Network).Digest — schema-tagged,
+//     golden-tested in internal/digest like the cache keys): every
+//     value inference reads, so equal versions mean byte-identical
+//     classification and a weight change is a version change.
+//
+//   - Artifacts: quant.(*Network).Save/SaveFile write a self-describing
+//     gob artifact (layer kinds, dimensions, integer weights, scales;
+//     atomic temp-file + rename) that quant.Load/LoadFile reconstruct
+//     exactly — digests stable, logits bit-identical — so a server
+//     boots from pre-quantized artifacts (sconnaserve -model name=path,
+//     repeatable; -save-quant writes one) without retraining or
+//     requantizing.
+//
+//   - Routing: POST /v1/models/{name}/classify reaches the named model
+//     (404 for unknown names); GET /v1/models lists name, version and
+//     per-model stats (as does GET /stats); the legacy POST /v1/classify
+//     stays a byte-compatible alias for the default (first-registered)
+//     model, pinned by the alias replay test.
+//
+//   - Lifecycle: Register and Unregister are safe under live traffic —
+//     an unregistered model drains gracefully (admitted work finishes,
+//     then its route 404s) while the rest serve uninterrupted; DrainAll
+//     stops everything. The deterministic-replay contract holds
+//     independently per model: each request's engine derives from its
+//     model's own arrival seq, so interleaved multi-model traffic
+//     replays bit-identically at any pool size.
 //
 // This package re-exports the stable public surface; see README.md for a
 // tour and EXPERIMENTS.md for paper-vs-measured results of every table

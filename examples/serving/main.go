@@ -1,7 +1,9 @@
-// Serving walkthrough: stand the micro-batching SCONNA inference
-// service up in-process, classify a batch over the HTTP API, then watch
-// the two serving modes differ — pooled-engine throughput mode versus
-// the deterministic mode whose responses replay bit-identically.
+// Serving walkthrough: stand the multi-model SCONNA inference service
+// up in-process. One trained CNN is quantized at two precisions and
+// registered as two named, versioned models behind one HTTP surface;
+// traffic routes by name (plus the legacy default alias), a model is
+// hot-swapped out under traffic, and the deterministic mode's
+// per-model replays stay bit-identical across pool sizes.
 package main
 
 import (
@@ -12,8 +14,9 @@ import (
 	"io"
 	"log"
 	"math/rand"
-	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/core"
@@ -25,102 +28,154 @@ import (
 )
 
 func main() {
-	// 1. A small trained, quantized model: the serving plane fronts the
-	// same compute plane the Table V study evaluates.
+	// 1. One trained float CNN, quantized at two operand precisions:
+	// two genuinely different quantized models (different weights,
+	// different versions) sharing a lineage — the cheapest way to a
+	// heterogeneous model fleet.
 	dcfg := dataset.DefaultConfig()
 	dcfg.Seed = 5
 	examples := dataset.Generate(dcfg, 160)
 	model := nn.BuildSmallCNN(4, dataset.NumClasses, 5)
 	model.Train(examples[:120], 4, 16, nn.SGD{LR: 0.05, Momentum: 0.9}, rand.New(rand.NewSource(5)))
-	qn, err := quant.Quantize(model, 8, examples[:32])
+	hi, err := quant.Quantize(model, 8, examples[:32])
+	if err != nil {
+		log.Fatal(err)
+	}
+	lo, err := quant.Quantize(model, 4, examples[:32])
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 2. The engine factory: one stateful SCONNA functional engine per
-	// pool slot (and, in deterministic mode, per request seq).
-	ccfg := core.DefaultConfig()
-	ccfg.Bits = 8
-	ccfg.N = 64
-	ccfg.M = 1
-	factory := quant.SconnaEngineFactory(ccfg)
+	// 2. The quantized artifact: how models reach a production server.
+	// sconnaserve -save-quant writes this file; -model name=path loads
+	// it — no retraining or requantization at boot. The content digest
+	// is the model's version ID, stable across the round trip.
+	dir, err := os.MkdirTemp("", "sconna-serving-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "hi8.qnn")
+	if err := hi.SaveFile(path); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := quant.LoadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("artifact round trip: version %s -> %s (stable=%v)\n\n",
+		hi.Digest().Short(), loaded.Digest().Short(), hi.Digest() == loaded.Digest())
 
-	// 3. Throughput mode: micro-batches run on pooled engines.
-	s, err := serve.New(qn, factory, serve.Options{
+	// 3. The registry: every model gets its own engine pool,
+	// micro-batcher and stats; the first registered is the default the
+	// legacy /v1/classify alias routes to.
+	// Each model's engine factory runs at that model's operand
+	// precision (as sconnaserve does per -model).
+	factoryAt := func(bits int) quant.EngineFactory {
+		ccfg := core.DefaultConfig()
+		ccfg.Bits = bits
+		ccfg.N = 64
+		ccfg.M = 1
+		return quant.SconnaEngineFactory(ccfg)
+	}
+	factory := factoryAt(8)
+	opts := serve.Options{
 		MaxBatch:   16,
 		PoolSize:   2,
 		InputShape: []int{1, 16, 16},
 		ClassNames: dataset.ClassNames[:],
-	})
+	}
+	reg := serve.NewRegistry()
+	if _, err := reg.Register("hi8", loaded, factory, opts); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := reg.Register("lo4", lo, factoryAt(4), opts); err != nil {
+		log.Fatal(err)
+	}
+	hs, base, err := serve.ListenLocal(reg.Handler())
 	if err != nil {
 		log.Fatal(err)
 	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
-	hs := &http.Server{Handler: s.Handler()}
-	go hs.Serve(ln)
-	base := "http://" + ln.Addr().String()
-	fmt.Printf("serving on %s\n\n", base)
+	fmt.Printf("serving models %v on %s\n\n", reg.Names(), base)
 
-	// Classify a batch through the JSON API, exactly as a client would.
-	batch := make([][]float32, 6)
+	// Classify the same inputs through both named routes and the legacy
+	// alias, exactly as clients would.
+	batch := make([][]float32, 4)
 	for i := range batch {
 		batch[i] = examples[120+i].X.Data
 	}
 	payload, _ := json.Marshal(map[string]any{"inputs": batch})
-	resp, err := http.Post(base+"/v1/classify", "application/json", bytes.NewReader(payload))
+	for _, path := range []string{"/v1/models/hi8/classify", "/v1/models/lo4/classify", "/v1/classify"} {
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(payload))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var out struct{ Results []serve.Result }
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		fmt.Printf("POST %s:\n", path)
+		for i, r := range out.Results {
+			fmt.Printf("  input %d: seq=%d class=%q (label %q)\n",
+				i, r.Seq, r.ClassName, dataset.ClassNames[examples[120+i].Label])
+		}
+	}
+
+	// The listing names every model with its content-addressed version
+	// and private traffic counters.
+	resp, err := http.Get(base + "/v1/models")
 	if err != nil {
 		log.Fatal(err)
 	}
-	var out struct{ Results []serve.Result }
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		log.Fatal(err)
-	}
+	listing, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	fmt.Println("batched classification (throughput mode):")
-	for i, r := range out.Results {
-		fmt.Printf("  input %d: seq=%d class=%q engine=%d (label %q)\n",
-			i, r.Seq, r.ClassName, r.Engine, dataset.ClassNames[examples[120+i].Label])
-	}
+	fmt.Printf("\nGET /v1/models: %s\n", listing)
 
-	resp, err = http.Get(base + "/stats")
-	if err != nil {
-		log.Fatal(err)
-	}
-	stats, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	fmt.Printf("\n/stats: %s\n", stats)
-
-	hs.Close()
+	// 4. Hot unregister under a live listener: lo4 drains gracefully and
+	// its route 404s while hi8 keeps serving.
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := s.Drain(ctx); err != nil {
+	if err := reg.Unregister(ctx, "lo4"); err != nil {
+		log.Fatal(err)
+	}
+	code := func(path string) int {
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(payload))
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	fmt.Printf("\nafter unregistering lo4: lo4 -> %d, hi8 -> %d\n",
+		code("/v1/models/lo4/classify"), code("/v1/models/hi8/classify"))
+	hs.Close()
+	if err := reg.DrainAll(ctx); err != nil {
 		log.Fatal(err)
 	}
 
-	// 4. Deterministic mode: the same trace served twice — and at
-	// different pool sizes — produces bit-identical logits, because each
-	// request's engine is derived from its arrival index.
+	// 5. Deterministic mode, per model: each request's engine derives
+	// from its per-model arrival index, so the same trace replays
+	// bit-identically at any pool size — independently for every model.
 	trace := make([]*tensor.T, 3)
 	for i := range trace {
 		trace[i] = examples[120+i].X
 	}
 	replay := func(pool int) []serve.Result {
-		ds, err := serve.New(qn, factory, serve.Options{
-			Deterministic: true,
-			PoolSize:      pool,
-			MaxBatch:      8,
-			QueueDepth:    32,
-			InputShape:    []int{1, 16, 16},
-			ClassNames:    dataset.ClassNames[:],
-		})
+		o := opts
+		o.Deterministic = true
+		o.PoolSize = pool
+		o.QueueDepth = 32
+		dreg := serve.NewRegistry()
+		if _, err := dreg.Register("hi8", hi, factory, o); err != nil {
+			log.Fatal(err)
+		}
+		defer dreg.DrainAll(ctx)
+		m, err := dreg.Get("hi8")
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer ds.Drain(ctx)
-		results, err := ds.SubmitBatch(context.Background(), trace)
+		results, err := m.Server().SubmitBatch(context.Background(), trace)
 		if err != nil {
 			log.Fatal(err)
 		}

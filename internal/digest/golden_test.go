@@ -12,6 +12,8 @@ import (
 
 	"repro/internal/accel"
 	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/quant"
 	"repro/internal/scalability"
 )
 
@@ -49,6 +51,42 @@ func TestGoldenModelDigests(t *testing.T) {
 	for _, c := range cases {
 		if got := c.m.Digest().String(); got != c.want {
 			t.Errorf("%s digest moved:\n got %s\nwant %s", c.m.Name, got, c.want)
+		}
+	}
+}
+
+// goldenQuantNet builds the pinned quantized network: a seeded random
+// init quantized with no calibration examples, so the construction path
+// involves no accumulation chains — every stored value comes from a
+// single float op, deterministic across platforms.
+func goldenQuantNet(t *testing.T, width, bits int, seed int64) *quant.Network {
+	t.Helper()
+	qn, err := quant.Quantize(nn.BuildSmallCNN(width, 4, seed), bits, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qn
+}
+
+// The quantized-network digest is the serving registry's model version
+// ID: a moved golden means every deployed version identifier silently
+// changes (and clients pinning versions stop matching). Same contract
+// as the cache keys — a legitimate move requires a quant schema-tag
+// bump plus an update here.
+func TestGoldenQuantNetworkDigest(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name        string
+		width, bits int
+		seed        int64
+		want        string
+	}{
+		{"w2b6s21", 2, 6, 21, "3a0f37c63957f9b551a5107fc058a116ed9f86d828533544d9e5f9cd6ff87317"},
+		{"w4b8s11", 4, 8, 11, "00e0ab52dd6816ca6212d9a26ac051dbea386206545e8f17115acee7dc0ff146"},
+	}
+	for _, c := range cases {
+		if got := goldenQuantNet(t, c.width, c.bits, c.seed).Digest().String(); got != c.want {
+			t.Errorf("%s quant network digest moved:\n got %s\nwant %s", c.name, got, c.want)
 		}
 	}
 }

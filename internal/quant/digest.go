@@ -1,0 +1,56 @@
+package quant
+
+import "repro/internal/digest"
+
+// netSchema tags the quantized-network digest encoding. The digest is
+// the model's version ID in the serving registry — two models share a
+// version exactly when every value inference reads is identical — so
+// this is a compatibility contract like the cache-key digests: bump the
+// tag whenever a field inference reads is added, removed, reordered or
+// reinterpreted (see internal/digest).
+const netSchema = "repro/quant.Network@v1"
+
+// Digest returns the canonical content digest of the quantized model:
+// operand precision, layer kinds in order, and for each parameterized
+// layer its full geometry, integer weights, biases and scales. Because
+// quantized inference is a pure function of these values (plus the
+// engine), equal digests mean byte-identical classification; the digest
+// survives Save/Load round trips (pinned by the serialization tests)
+// and a golden vector in internal/digest pins it across releases.
+func (q *Network) Digest() digest.Digest {
+	h := digest.New()
+	h.Str(netSchema)
+	h.Int(q.Bits)
+	h.Int(len(q.layers))
+	for _, l := range q.layers {
+		h.Str(l.kind())
+		switch {
+		case l.conv != nil:
+			c := l.conv
+			h.Int(c.InC).Int(c.OutC).Int(c.K).Int(c.Stride).Int(c.Pad)
+			h.Bool(c.Depthwise)
+			hashParams(h, c.W, c.Bias, c.WScale, c.InScale)
+		case l.dense != nil:
+			d := l.dense
+			h.Int(d.In).Int(d.Out)
+			hashParams(h, d.W, d.Bias, d.WScale, d.InScale)
+		}
+	}
+	return h.Sum()
+}
+
+// hashParams writes a layer's parameter payload: length-framed integer
+// weights and float biases, then the two scales. float32 values widen
+// to float64 exactly, so the bit pattern the hash sees is injective in
+// the stored value.
+func hashParams(h *digest.Hasher, w []int, bias []float32, wScale, inScale float32) {
+	h.Int(len(w))
+	for _, v := range w {
+		h.Int(v)
+	}
+	h.Int(len(bias))
+	for _, v := range bias {
+		h.F64(float64(v))
+	}
+	h.F64(float64(wScale)).F64(float64(inScale))
+}

@@ -122,7 +122,7 @@ func BenchmarkServeBatchedHTTP(b *testing.B) {
 func benchDrive(b *testing.B, opts LoadOptions) {
 	s := benchServer(b, quant.SharedEngine(quant.ExactEngine{}))
 	inputs := benchInputs(b, 64)
-	hs, base, err := ListenLocal(s)
+	hs, base, err := ListenLocal(s.Handler())
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -9,11 +9,20 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/parallel"
 )
+
+// ModelShare weights one model in a multi-model traffic mix: requests
+// route to POST /v1/models/{Name}/classify in proportion Weight /
+// sum(weights). An empty Name targets the legacy default alias.
+type ModelShare struct {
+	Name   string `json:"name"`
+	Weight int    `json:"weight"`
+}
 
 // LoadOptions shapes one load-generation run against the HTTP API.
 type LoadOptions struct {
@@ -30,6 +39,18 @@ type LoadOptions struct {
 	// Raw posts the binary wire format (octet-stream float32 tensors)
 	// instead of JSON float arrays.
 	Raw bool
+	// Model routes every request to the named model
+	// (/v1/models/{Model}/classify); empty targets the legacy default
+	// alias. Ignored when Mix is set.
+	Model string
+	// Mix spreads traffic across models by weight. Each POST picks its
+	// model from a deterministic hash of (MixSeed, request index), so
+	// the same run configuration always realizes the same model
+	// sequence — independent of client count and scheduling.
+	Mix []ModelShare
+	// MixSeed perturbs the mix hash; two seeds realize two different
+	// (but each deterministic) model sequences.
+	MixSeed uint64
 }
 
 // LoadReport is one load-generation outcome.
@@ -43,6 +64,47 @@ type LoadReport struct {
 	Clients   int           `json:"clients"`
 	Batch     int           `json:"batch"`
 	Raw       bool          `json:"raw_wire"`
+	// ByModel counts classify results per routed model for mixed runs
+	// (key "" is the legacy default alias).
+	ByModel map[string]int `json:"by_model,omitempty"`
+}
+
+// mix64 is the splitmix64 finalizer: a fixed, well-diffusing 64-bit
+// hash (every input bit moves every output bit), so reducing it modulo
+// a small weight total stays unbiased even over consecutive indices —
+// which byte-oriented hashes like FNV do not guarantee.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// pickShare selects the mix entry for one request index: a hash of
+// (seed, index) reduced into the cumulative weights. Pure function of
+// its arguments — the routing sequence is a property of the run
+// configuration, not of scheduling.
+func pickShare(mix []ModelShare, seed uint64, idx int) string {
+	total := 0
+	for _, s := range mix {
+		if s.Weight > 0 {
+			total += s.Weight
+		}
+	}
+	if total == 0 {
+		return ""
+	}
+	v := int(mix64(mix64(seed) ^ uint64(idx)) % uint64(total))
+	for _, s := range mix {
+		if s.Weight <= 0 {
+			continue
+		}
+		if v < s.Weight {
+			return s.Name
+		}
+		v -= s.Weight
+	}
+	return mix[len(mix)-1].Name // unreachable: v < total by construction
 }
 
 // Drive issues opts.Requests classify calls against the API rooted at
@@ -65,7 +127,7 @@ func Drive(baseURL string, inputs [][]float32, opts LoadOptions) (LoadReport, er
 	if opts.Batch <= 0 {
 		opts.Batch = 1
 	}
-	url := baseURL + "/v1/classify"
+	url := baseURL + modelPath(opts.Model)
 	client := &http.Client{}
 	var raws [][]byte
 	if opts.Raw {
@@ -79,9 +141,21 @@ func Drive(baseURL string, inputs [][]float32, opts LoadOptions) (LoadReport, er
 		}
 	}
 	per := (opts.Requests + opts.Clients - 1) / opts.Clients
+	if len(opts.Mix) > 0 {
+		// Align client spans to the POST group size so every group
+		// starts at a multiple of Batch: the set of pickShare indices —
+		// and with it the realized model sequence — is then identical at
+		// every client count, which is what the Mix determinism contract
+		// promises. (Unmixed runs keep the historical even split.)
+		if rem := per % opts.Batch; rem != 0 {
+			per += opts.Batch - rem
+		}
+	}
 	spans := parallel.Spans(opts.Requests, per)
 
 	var responses, rejected, failures atomic.Int64
+	var modelMu sync.Mutex
+	byModel := make(map[string]int)
 	start := time.Now()
 	err := parallel.ForEach(len(spans), len(spans), func(c int) error {
 		span := spans[c]
@@ -91,6 +165,17 @@ func Drive(baseURL string, inputs [][]float32, opts LoadOptions) (LoadReport, er
 				hi = span.Hi
 			}
 			n := hi - lo
+			postPath := url
+			model := opts.Model
+			if len(opts.Mix) > 0 {
+				// One model per POST, picked by the group's first global
+				// request index. Spans partition [0, Requests) on
+				// Batch-aligned boundaries (see above), so every group
+				// start is a multiple of Batch and the routing sequence
+				// is identical at any client count.
+				model = pickShare(opts.Mix, opts.MixSeed, lo)
+				postPath = baseURL + modelPath(model)
+			}
 			var body []byte
 			var e error
 			contentType := "application/json"
@@ -116,7 +201,7 @@ func Drive(baseURL string, inputs [][]float32, opts LoadOptions) (LoadReport, er
 				failures.Add(int64(n))
 				continue
 			}
-			postURL := url
+			postURL := postPath
 			if opts.Raw && opts.Logits {
 				postURL += "?logits=1"
 			}
@@ -139,6 +224,11 @@ func Drive(baseURL string, inputs [][]float32, opts LoadOptions) (LoadReport, er
 					continue
 				}
 				responses.Add(int64(got))
+				if len(opts.Mix) > 0 {
+					modelMu.Lock()
+					byModel[model] += got
+					modelMu.Unlock()
+				}
 			}
 		}
 		return nil
@@ -156,6 +246,9 @@ func Drive(baseURL string, inputs [][]float32, opts LoadOptions) (LoadReport, er
 		Clients:   opts.Clients,
 		Batch:     opts.Batch,
 		Raw:       opts.Raw,
+	}
+	if len(opts.Mix) > 0 {
+		rep.ByModel = byModel
 	}
 	if elapsed > 0 {
 		rep.QPS = float64(rep.Responses) / elapsed.Seconds()
@@ -198,30 +291,50 @@ type BenchOptions struct {
 	// serial baseline always posts naive JSON single-input bodies — the
 	// integration a one-shot caller actually writes).
 	Raw bool
+	// Mix adds a multi-model routing leg (registry benches only):
+	// MixRequests classify calls spread across the weighted models via
+	// per-request-hash selection, exercising the per-name routing path
+	// and every model's private pool at once.
+	Mix []ModelShare
+	// MixRequests sizes the multi-model leg (<= 0 selects
+	// BatchedRequests).
+	MixRequests int
 }
 
 // BenchReport is the BENCH_serve.json wire format. Schema-tagged like
-// the other trajectory files; consumers key on the tag.
+// the other trajectory files; consumers key on the tag (@v2 added the
+// multi-model routing leg and the registry stats document).
 type BenchReport struct {
 	Schema     string     `json:"schema"`
 	GoMaxProcs int        `json:"go_max_procs"`
 	Serial     LoadReport `json:"serial"`
 	Batched    LoadReport `json:"batched"`
+	// MultiModel is the registry routing leg: batched traffic spread
+	// across every registered model by deterministic per-request hash
+	// (absent for single-model benches).
+	MultiModel *LoadReport `json:"multi_model,omitempty"`
 	// Speedup is batched QPS over single-request-serial QPS — the
 	// headline number the serving plane exists to move.
 	Speedup float64 `json:"batched_speedup_vs_serial"`
 	Stats   Stats   `json:"server_stats"`
+	// Registry carries the per-model stats sections when the bench ran
+	// against a model registry.
+	Registry *RegistryStats `json:"registry_stats,omitempty"`
 }
 
-// ListenLocal serves s's API on an ephemeral loopback listener,
-// returning the http.Server (Close stops it) and the base URL. The
-// bench, the sconnaserve selftest and in-process walkthroughs share it.
-func ListenLocal(s *Server) (*http.Server, string, error) {
+// benchSchema tags BENCH_serve.json; see BenchReport.
+const benchSchema = "repro/bench_serve@v2"
+
+// ListenLocal serves an HTTP API (a single-model Server's Handler or a
+// Registry's) on an ephemeral loopback listener, returning the
+// http.Server (Close stops it) and the base URL. The bench, the
+// sconnaserve selftest and in-process walkthroughs share it.
+func ListenLocal(h http.Handler) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, "", err
 	}
-	hs := &http.Server{Handler: s.Handler()}
+	hs := &http.Server{Handler: h}
 	go hs.Serve(ln)
 	return hs, "http://" + ln.Addr().String(), nil
 }
@@ -239,6 +352,39 @@ func ListenLocal(s *Server) (*http.Server, string, error) {
 //
 // The caller keeps ownership of s (it is not drained).
 func BenchThroughput(s *Server, inputs [][]float32, opts BenchOptions) (BenchReport, error) {
+	rep, err := benchHandler(s.Handler(), inputs, opts)
+	if err != nil {
+		return BenchReport{}, err
+	}
+	rep.Stats = s.Stats()
+	return rep, nil
+}
+
+// BenchRegistryThroughput is BenchThroughput against a model registry:
+// the serial and batched legs drive the legacy default alias (the same
+// wire traffic as the single-model bench, so the headline QPS numbers
+// stay comparable across releases), and when opts.Mix is set a third
+// leg spreads batched traffic across the named models through the
+// per-name routing surface. The report carries the default model's
+// Stats plus the registry's per-model sections.
+func BenchRegistryThroughput(reg *Registry, inputs [][]float32, opts BenchOptions) (BenchReport, error) {
+	def, err := reg.Default()
+	if err != nil {
+		return BenchReport{}, err
+	}
+	rep, err := benchHandler(reg.Handler(), inputs, opts)
+	if err != nil {
+		return BenchReport{}, err
+	}
+	rep.Stats = def.Server().Stats()
+	rs := reg.Stats()
+	rep.Registry = &rs
+	return rep, nil
+}
+
+// benchHandler runs the serial/batched (and optional multi-model) legs
+// against any classify API handler. Stats are left to the caller.
+func benchHandler(h http.Handler, inputs [][]float32, opts BenchOptions) (BenchReport, error) {
 	if opts.SerialRequests <= 0 {
 		opts.SerialRequests = 256
 	}
@@ -251,7 +397,10 @@ func BenchThroughput(s *Server, inputs [][]float32, opts BenchOptions) (BenchRep
 	if opts.Batch <= 0 {
 		opts.Batch = 32
 	}
-	hs, base, err := ListenLocal(s)
+	if opts.MixRequests <= 0 {
+		opts.MixRequests = opts.BatchedRequests
+	}
+	hs, base, err := ListenLocal(h)
 	if err != nil {
 		return BenchReport{}, err
 	}
@@ -277,11 +426,20 @@ func BenchThroughput(s *Server, inputs [][]float32, opts BenchOptions) (BenchRep
 		return BenchReport{}, err
 	}
 	rep := BenchReport{
-		Schema:     "repro/bench_serve@v1",
+		Schema:     benchSchema,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Serial:     serial,
 		Batched:    batched,
-		Stats:      s.Stats(),
+	}
+	if len(opts.Mix) > 0 {
+		mixed, err := Drive(base, inputs, LoadOptions{
+			Requests: opts.MixRequests, Clients: opts.Clients, Batch: opts.Batch, Raw: opts.Raw,
+			Mix: opts.Mix,
+		})
+		if err != nil {
+			return BenchReport{}, err
+		}
+		rep.MultiModel = &mixed
 	}
 	if serial.QPS > 0 {
 		rep.Speedup = batched.QPS / serial.QPS

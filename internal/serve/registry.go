@@ -1,0 +1,436 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/quant"
+)
+
+// DefaultModelName is the model the legacy single-model endpoints
+// (POST /v1/classify, GET /stats) alias when the registry was built
+// without an explicit default: the first model registered.
+const DefaultModelName = "default"
+
+// ErrUnknownModel reports a routing miss: no model is registered under
+// the requested name (HTTP 404).
+var ErrUnknownModel = errors.New("serve: unknown model")
+
+// ErrRegistryClosed reports a registry that has begun DrainAll and no
+// longer accepts registrations or traffic (HTTP 503).
+var ErrRegistryClosed = errors.New("serve: registry draining")
+
+// Model is one registry entry: a named, versioned quantized model and
+// the private serving stack (engine pool, micro-batcher, stats) that
+// fronts it. Versions are content-addressed — the digest of the
+// quantized network — so two registries serving the same artifact
+// report the same version, and a weight change is a version change.
+type Model struct {
+	name    string
+	version string
+	srv     *Server
+}
+
+// Name returns the model's registered name (the routing key).
+func (m *Model) Name() string { return m.name }
+
+// Version returns the model's content-addressed version ID: the full
+// hex digest of the quantized network (quant.(*Network).Digest).
+func (m *Model) Version() string { return m.version }
+
+// Server returns the model's private serving stack. Submit/SubmitBatch
+// on it are the Go-level classify API for this model; its seq counter,
+// engine pool and stats are independent of every other model's, which
+// is what makes the deterministic-replay contract hold per model.
+func (m *Model) Server() *Server { return m.srv }
+
+// Registry is the multi-model serving plane: named, versioned quantized
+// models, each behind its own engine pool and micro-batcher, routed by
+// name over one HTTP surface. Register and Unregister are safe under
+// live traffic — lookups take a read lock, an unregistered model drains
+// gracefully (its queued work finishes) while the rest keep serving.
+type Registry struct {
+	mu      sync.RWMutex
+	models  map[string]*Model
+	defName string // first registered, unless SetDefault moved it
+	closed  bool
+}
+
+// NewRegistry returns an empty registry; models arrive via Register.
+func NewRegistry() *Registry {
+	return &Registry{models: make(map[string]*Model)}
+}
+
+// validModelName bounds the routing namespace: path-safe, non-empty,
+// and short enough to log. The name is a URL path segment, so anything
+// that would need escaping is rejected at registration, not at request
+// time.
+func validModelName(name string) error {
+	if name == "" {
+		return errors.New("serve: empty model name")
+	}
+	if len(name) > 128 {
+		return fmt.Errorf("serve: model name %q longer than 128 bytes", name[:32]+"...")
+	}
+	if name == "." || name == ".." {
+		// ServeMux path-cleans these out of /v1/models/{name}/classify,
+		// so the model would be registered yet unreachable by its route.
+		return fmt.Errorf("serve: model name %q is not routable", name)
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("serve: model name %q contains %q (allowed: letters, digits, - _ .)", name, r)
+		}
+	}
+	return nil
+}
+
+// Register builds a Server over qn (exactly as New would) and adds it
+// under name. The first model registered becomes the default — the one
+// the legacy /v1/classify alias routes to. The version is the content
+// digest of qn. Registering a name that is already present fails:
+// replacing a live model is an Unregister (drain) then a Register, so
+// in-flight traffic is never silently re-routed mid-request.
+func (r *Registry) Register(name string, qn *quant.Network, factory quant.EngineFactory, opts Options) (*Model, error) {
+	if err := validModelName(name); err != nil {
+		return nil, err
+	}
+	if qn == nil {
+		return nil, errors.New("serve: nil network")
+	}
+	version := qn.Digest().String()
+
+	// Reserve the name before building the server: a duplicate must not
+	// cost an engine-pool build, and two concurrent Registers of one
+	// name must not both win.
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrRegistryClosed
+	}
+	if _, dup := r.models[name]; dup {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("serve: model %q already registered", name)
+	}
+	placeholder := &Model{name: name, version: version}
+	r.models[name] = placeholder
+	if r.defName == "" {
+		r.defName = name
+	}
+	r.mu.Unlock()
+
+	srv, err := New(qn, factory, opts)
+	if err != nil {
+		r.mu.Lock()
+		if r.models[name] == placeholder {
+			delete(r.models, name)
+		}
+		if r.defName == name {
+			r.defName = ""
+		}
+		r.mu.Unlock()
+		return nil, err
+	}
+	r.mu.Lock()
+	// The reservation may have been revoked while the server was
+	// building (a concurrent DrainAll or Unregister): the fresh server
+	// must not leak — it has never seen traffic, so draining it is
+	// immediate — and the caller must learn the registration did not
+	// take.
+	if r.closed || r.models[name] != placeholder {
+		closed := r.closed
+		r.mu.Unlock()
+		_ = srv.Drain(context.Background())
+		if closed {
+			return nil, ErrRegistryClosed
+		}
+		return nil, fmt.Errorf("serve: model %q unregistered during registration", name)
+	}
+	placeholder.srv = srv
+	r.mu.Unlock()
+	return placeholder, nil
+}
+
+// Unregister removes the named model from routing and drains its
+// server: requests already admitted finish, new lookups 404. The rest
+// of the registry serves uninterrupted throughout. ctx bounds the
+// drain.
+func (r *Registry) Unregister(ctx context.Context, name string) error {
+	r.mu.Lock()
+	m, ok := r.models[name]
+	if ok {
+		delete(r.models, name)
+	}
+	// Removing the default clears defName: the legacy alias 404s
+	// immediately (never silently re-routes to an already-registered
+	// different model), while a later Register — or SetDefault — can
+	// claim the default slot again.
+	if ok && r.defName == name {
+		r.defName = ""
+	}
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	if m.srv == nil {
+		// The model is mid-Register: revoking the reservation is enough —
+		// Register sees it gone, drains the server it just built and
+		// reports the registration lost.
+		return nil
+	}
+	return m.srv.Drain(ctx)
+}
+
+// Get returns the named model, or ErrUnknownModel. A model mid-Register
+// (name reserved, server still building) is not yet visible to traffic.
+func (r *Registry) Get(name string) (*Model, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.models[name]
+	if !ok || m.srv == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	return m, nil
+}
+
+// Default returns the model the legacy single-model endpoints alias.
+func (r *Registry) Default() (*Model, error) {
+	r.mu.RLock()
+	name := r.defName
+	r.mu.RUnlock()
+	if name == "" {
+		return nil, fmt.Errorf("%w: no default model", ErrUnknownModel)
+	}
+	return r.Get(name)
+}
+
+// SetDefault redirects the legacy alias to the named model.
+func (r *Registry) SetDefault(name string) error {
+	if _, err := r.Get(name); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.defName = name
+	r.mu.Unlock()
+	return nil
+}
+
+// Names returns the registered model names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.models))
+	for name, m := range r.models {
+		if m.srv != nil {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of registered (traffic-visible) models.
+func (r *Registry) Len() int { return len(r.Names()) }
+
+// ModelInfo is one entry of the GET /v1/models listing (and the
+// per-model section of the registry's /stats document).
+type ModelInfo struct {
+	Name    string `json:"name"`
+	Version string `json:"version"`
+	// Default marks the model the legacy /v1/classify alias routes to.
+	Default bool `json:"default,omitempty"`
+	// Stats is the model's private traffic snapshot.
+	Stats Stats `json:"stats"`
+}
+
+// RegistryStats is the registry-wide stats document: one section per
+// model, sorted by name.
+type RegistryStats struct {
+	// DefaultModel names the legacy-alias target ("" once it has been
+	// unregistered).
+	DefaultModel string      `json:"default_model"`
+	Models       []ModelInfo `json:"models"`
+	Draining     bool        `json:"draining"`
+}
+
+// Stats snapshots every registered model's traffic counters.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.RLock()
+	defName := r.defName
+	closed := r.closed
+	models := make([]*Model, 0, len(r.models))
+	for _, m := range r.models {
+		if m.srv != nil {
+			models = append(models, m)
+		}
+	}
+	r.mu.RUnlock()
+	sort.Slice(models, func(i, j int) bool { return models[i].name < models[j].name })
+	out := RegistryStats{DefaultModel: defName, Draining: closed, Models: make([]ModelInfo, len(models))}
+	seen := false
+	for i, m := range models {
+		out.Models[i] = ModelInfo{Name: m.name, Version: m.version, Default: m.name == defName, Stats: m.srv.Stats()}
+		seen = seen || m.name == defName
+	}
+	if !seen {
+		out.DefaultModel = ""
+	}
+	return out
+}
+
+// DrainAll stops the whole registry: registrations and admissions end,
+// every model's backlog finishes (bounded by ctx), then the models are
+// removed. Idempotent; per-model drain errors aggregate in name order.
+func (r *Registry) DrainAll(ctx context.Context) error {
+	r.mu.Lock()
+	r.closed = true
+	models := make([]*Model, 0, len(r.models))
+	for _, m := range r.models {
+		models = append(models, m)
+	}
+	r.models = make(map[string]*Model)
+	r.mu.Unlock()
+	sort.Slice(models, func(i, j int) bool { return models[i].name < models[j].name })
+	var errs []error
+	for _, m := range models {
+		if m.srv == nil {
+			continue
+		}
+		if err := m.srv.Drain(ctx); err != nil {
+			errs = append(errs, fmt.Errorf("model %q: %w", m.name, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Draining reports whether DrainAll has begun.
+func (r *Registry) Draining() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.closed
+}
+
+// Handler returns the registry's HTTP surface:
+//
+//	POST /v1/models/{name}/classify — classify against the named model
+//	GET  /v1/models/{name}/stats    — that model's Stats snapshot
+//	GET  /v1/models                 — name/version/stats listing
+//	POST /v1/classify               — legacy alias for the default model
+//	                                  (byte-compatible with the
+//	                                  single-model server's responses)
+//	GET  /healthz                   — liveness (503 once draining)
+//	GET  /stats                     — RegistryStats (per-model sections)
+//
+// Unknown model names are 404s with a JSON error body; every other
+// status contract (400/429/503/499) is the single-model server's,
+// because routing hands the request body untouched to that model's
+// handler.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	// Method checks live inside the handlers (not in mux patterns) so
+	// wrong-method errors keep the single-model server's JSON bodies —
+	// the legacy alias must stay byte-compatible even on error paths.
+	mux.HandleFunc("/v1/models/{name}/classify", r.handleModelClassify)
+	mux.HandleFunc("/v1/models/{name}/stats", r.handleModelStats)
+	mux.HandleFunc("/v1/models", r.handleList)
+	mux.HandleFunc("/v1/classify", r.handleDefaultClassify)
+	mux.HandleFunc("/healthz", r.handleHealthz)
+	mux.HandleFunc("/stats", r.handleRegistryStats)
+	return mux
+}
+
+// lookup resolves a routed model or writes the 404/503.
+func (r *Registry) lookup(w http.ResponseWriter, name string) (*Model, bool) {
+	if r.Draining() {
+		writeError(w, http.StatusServiceUnavailable, ErrRegistryClosed.Error())
+		return nil, false
+	}
+	m, err := r.Get(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return nil, false
+	}
+	return m, true
+}
+
+func (r *Registry) handleModelClassify(w http.ResponseWriter, req *http.Request) {
+	m, ok := r.lookup(w, req.PathValue("name"))
+	if !ok {
+		return
+	}
+	m.srv.handleClassify(w, req)
+}
+
+func (r *Registry) handleModelStats(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	// Stats stay readable while draining: the snapshot is how an
+	// operator watches a drain finish.
+	m, err := r.Get(req.PathValue("name"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, m.srv.Stats())
+}
+
+func (r *Registry) handleList(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, r.Stats())
+}
+
+// handleDefaultClassify is the legacy single-model endpoint: requests
+// route to the default model's handler untouched, so responses are
+// byte-identical to a single-model Server fronting that network
+// (pinned by the registry alias test).
+func (r *Registry) handleDefaultClassify(w http.ResponseWriter, req *http.Request) {
+	if r.Draining() {
+		writeError(w, http.StatusServiceUnavailable, ErrRegistryClosed.Error())
+		return
+	}
+	m, err := r.Default()
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	m.srv.handleClassify(w, req)
+}
+
+func (r *Registry) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if r.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (r *Registry) handleRegistryStats(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, r.Stats())
+}
+
+// modelPath returns the classify path for a named model, or the legacy
+// alias for name "" — the one routing convention the load generator and
+// walkthroughs share.
+func modelPath(name string) string {
+	if name == "" {
+		return "/v1/classify"
+	}
+	return "/v1/models/" + strings.TrimSpace(name) + "/classify"
+}

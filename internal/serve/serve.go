@@ -20,6 +20,14 @@
 //   - An HTTP JSON API (POST /v1/classify, GET /healthz, GET /stats)
 //     fronts the batcher, with graceful drain on shutdown.
 //
+// A Server hosts exactly one quantized network. Multi-model serving —
+// the paper-faithful scenario of six CNNs time-sharing one accelerator —
+// is the Registry: named, versioned models (version = content digest of
+// the quantized network), one private Server per model, routed by name
+// (POST /v1/models/{name}/classify) with the legacy /v1/classify kept as
+// a byte-compatible alias for the default model, and hot
+// Register/Unregister with per-model graceful drain.
+//
 // Two serving modes trade replay stability against throughput. In the
 // default throughput mode every batch runs on one pooled engine, so a
 // stateful engine's noise stream depends on how traffic happened to

@@ -1,6 +1,8 @@
 package sconna
 
 import (
+	"io"
+
 	"repro/internal/accel"
 	"repro/internal/accuracy"
 	"repro/internal/cache"
@@ -214,7 +216,8 @@ type (
 	EngineFactory = quant.EngineFactory
 	// ExactDotEngine is the exact-integer reference engine.
 	ExactDotEngine = quant.ExactEngine
-	// InferenceServer is the long-lived micro-batching serving plane.
+	// InferenceServer is the long-lived micro-batching serving plane
+	// for one model; a ModelRegistry runs one per registered model.
 	InferenceServer = serve.Server
 	// ServeOptions configures an InferenceServer.
 	ServeOptions = serve.Options
@@ -222,7 +225,24 @@ type (
 	ServeResult = serve.Result
 	// ServeStats snapshots serving traffic counters.
 	ServeStats = serve.Stats
+	// ModelRegistry is the multi-model serving plane: named, versioned
+	// quantized models, each behind a private engine pool and
+	// micro-batcher, routed by name over one HTTP surface.
+	ModelRegistry = serve.Registry
+	// RegisteredModel is one registry entry (name, content-addressed
+	// version, private server).
+	RegisteredModel = serve.Model
+	// ModelInfo is one GET /v1/models listing entry.
+	ModelInfo = serve.ModelInfo
+	// RegistryStats is the registry-wide stats document.
+	RegistryStats = serve.RegistryStats
+	// ModelShare weights one model in a load-generator traffic mix.
+	ModelShare = serve.ModelShare
 )
+
+// DefaultModelName is the registry name the legacy single-model
+// endpoints alias by convention.
+const DefaultModelName = serve.DefaultModelName
 
 // QuantizeNetwork post-training-quantizes a trained float network to the
 // given operand precision, calibrating activation scales over the
@@ -244,11 +264,33 @@ func SconnaDotEngineFactory(cfg CoreConfig) EngineFactory {
 func SharedDotEngine(e DotEngine) EngineFactory { return quant.SharedEngine(e) }
 
 // NewInferenceServer starts the micro-batching serving plane over a
-// quantized network: a bounded request queue, an engine pool checked out
-// per micro-batch, and an HTTP JSON API (Handler) with graceful Drain.
+// single quantized network: a bounded request queue, an engine pool
+// checked out per micro-batch, and an HTTP JSON API (Handler) with
+// graceful Drain. It is the thin single-model form of the serving
+// plane; multi-model deployments register each network in a
+// ModelRegistry instead, which runs one of these servers per model.
 func NewInferenceServer(qn *QuantNetwork, factory EngineFactory, opts ServeOptions) (*InferenceServer, error) {
 	return serve.New(qn, factory, opts)
 }
+
+// NewModelRegistry returns an empty model registry. Register each named
+// quantized model (its content digest becomes the version ID), then
+// serve Handler(): POST /v1/models/{name}/classify routes by name,
+// POST /v1/classify stays a byte-compatible alias for the default
+// (first-registered) model, GET /v1/models lists name/version/stats.
+// Register and Unregister are safe under live traffic; DrainAll stops
+// everything gracefully.
+func NewModelRegistry() *ModelRegistry { return serve.NewRegistry() }
+
+// LoadQuantNetwork reconstructs a quantized model artifact written by
+// (*QuantNetwork).Save — the self-describing format sconnaserve's
+// -model flags load, carrying the full quantized architecture so no
+// retraining or requantization happens at boot.
+func LoadQuantNetwork(r io.Reader) (*QuantNetwork, error) { return quant.Load(r) }
+
+// LoadQuantNetworkFile reconstructs a quantized model artifact written
+// by (*QuantNetwork).SaveFile.
+func LoadQuantNetworkFile(path string) (*QuantNetwork, error) { return quant.LoadFile(path) }
 
 // DefaultAccuracyOptions returns the full Table V study configuration.
 func DefaultAccuracyOptions() AccuracyOptions { return accuracy.DefaultOptions() }

@@ -1,8 +1,13 @@
 package sconna
 
 import (
+	"bytes"
+	"context"
 	"math"
 	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
 )
 
 func TestVersionSet(t *testing.T) {
@@ -110,6 +115,51 @@ func TestFacadeRunFig9(t *testing.T) {
 		if data.GmeanFPS[base] <= 1 {
 			t.Fatalf("SCONNA should beat %s on FPS gmean", base)
 		}
+	}
+}
+
+func TestFacadeModelRegistry(t *testing.T) {
+	src := nn.BuildSmallCNN(2, 4, 9)
+	qn, err := QuantizeNetwork(src, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Artifact round trip through the facade loader.
+	var buf bytes.Buffer
+	if err := qn.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadQuantNetwork(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Digest() != qn.Digest() {
+		t.Fatal("facade artifact round trip moved the digest")
+	}
+
+	reg := NewModelRegistry()
+	defer reg.DrainAll(context.Background())
+	shape := []int{1, 16, 16}
+	m, err := reg.Register(DefaultModelName, loaded, SharedDotEngine(ExactDotEngine{}), ServeOptions{InputShape: shape})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version() != qn.Digest().String() {
+		t.Fatal("registry version is not the quantized network digest")
+	}
+	x := tensor.New(shape...)
+	for i := range x.Data {
+		x.Data[i] = float32(i%7) / 7
+	}
+	res, err := m.Server().Submit(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := qn.Forward(x, ExactDotEngine{}).ArgMax(); res.Class != want {
+		t.Fatalf("registry classified %d, want %d", res.Class, want)
+	}
+	if def, err := reg.Default(); err != nil || def.Name() != DefaultModelName {
+		t.Fatalf("default = %v, %v", def, err)
 	}
 }
 
