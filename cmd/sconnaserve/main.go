@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	sconnaserve [-addr :8080] [-engine sconna|exact] [-deterministic]
+//	sconnaserve [-addr :8080] [-engine sconna|sconna-packed|exact] [-deterministic]
 //	            [-pool N] [-max-batch N] [-max-wait D] [-queue N]
 //	            [-model name=artifact.qnn ...]
 //	            [-width N] [-train N] [-epochs N] [-seed N]
@@ -63,6 +63,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/nn"
 	"repro/internal/quant"
+	"repro/internal/sckernel"
 	"repro/internal/serve"
 	"repro/internal/tensor"
 )
@@ -94,7 +95,7 @@ func (m *modelFlags) Set(v string) error {
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	engineName := flag.String("engine", "sconna", "dot-product engine: sconna|exact")
+	engineName := flag.String("engine", "sconna", "dot-product engine: sconna|sconna-packed|exact")
 	deterministic := flag.Bool("deterministic", false,
 		"pin request->engine assignment by per-model arrival index (replayed traces are bit-identical)")
 	pool := flag.Int("pool", 0, "per-model engine-pool size (0 = all cores)")
@@ -312,6 +313,16 @@ func buildFactory(name string, bits, vdpeSize int, adcSeed int64) (quant.EngineF
 		ccfg.M = 1
 		ccfg.ADCSeed = adcSeed
 		return quant.SconnaEngineFactory(ccfg), nil
+	case "sconna-packed":
+		// Same functional configuration and shard-seed derivation as
+		// "sconna", computed on the word-packed kernel plane: responses
+		// are bit-identical, dot products run on fused AND+popcount.
+		ccfg := core.DefaultConfig()
+		ccfg.Bits = bits
+		ccfg.N = vdpeSize
+		ccfg.M = 1
+		ccfg.ADCSeed = adcSeed
+		return sckernel.EngineFactory(ccfg), nil
 	}
 	return nil, fmt.Errorf("unknown engine %q", name)
 }

@@ -137,6 +137,52 @@
 // (BENCH_nn.json) and gates CI on the GEMM-vs-naive convolution
 // speedup.
 //
+// # SC kernel plane
+//
+// internal/sckernel is the word-packed form of the stochastic-computing
+// functional plane: the same VDPE/VDPC semantics as internal/core, but
+// computed over []uint64 words instead of per-lane bitstream walks.
+//
+//   - Packed LUT image: one Plane per (stream bits, generator pair)
+//     packs every OSM LUT stream into word matrices once and shares it
+//     (PlaneFor caches planes for the default generators). Weight
+//     streams additionally carry a prefix-popcount table, so an
+//     AND+popcount against a unary input stream reduces to one table
+//     read plus one masked popcount — and for the default
+//     Bresenham-coded weights the plane proves at build time that
+//     prefix counts equal ib*wb>>B exactly, collapsing the whole
+//     per-lane kernel to a multiply and a shift (the analytic tier; a
+//     generator-generic fused AND+popcount word walk remains as the
+//     fallback, 64 stream bits per instruction).
+//
+//   - Equivalence contract: core.VDPE.Dot / sc.OSMLUT.MulInts stay the
+//     bitwise-pinned scalar reference, the same pattern as
+//     ForwardNaive/GEMM. The packed engine reproduces the scalar
+//     chunked psum reduction exactly — same chunk seams as
+//     core.VDPC.DotLarge, same VDPE round-robin, same ADC noise draw
+//     order from the same seeds — so Dot results are bit-identical, not
+//     just statistically close (pinned by an exhaustive operand sweep
+//     over every (input, weight, sign) at each precision, by
+//     chunk-seam-length cases, and by cross-engine property tests on
+//     full network forwards under -race).
+//
+//   - Serving integration: sckernel.Engine implements quant.DotEngine
+//     with a batched slab API (PackDKV once per weight vector,
+//     DotBatch over micro-batch slabs), and sckernel.EngineFactory
+//     drops into serve pools (sconnaserve -engine sconna-packed) with
+//     the same shard-seed derivation as the scalar factory, so
+//     deterministic replay stays bit-identical at any pool size.
+//
+//   - Fuzz tier: internal/bitstream carries native Go fuzz targets
+//     (round-trip parsing, AndPopCount vs a naive oracle, tail-mask
+//     invariants) with checked-in seed corpora; CI runs a short fuzz
+//     smoke on every change.
+//
+// cmd/benchsc emits the SC-kernel trajectory (BENCH_sc.json) and gates
+// CI on the packed-vs-scalar dot speedup — ≥10x at the stream-scaling
+// shape (12-bit streams, where packed O(1) words per lane meets the
+// scalar O(2^B/64) stream walk) and ≥3x at the 8-bit paper point.
+//
 // # Serving plane
 //
 // internal/serve (fronted by cmd/sconnaserve) turns the one-shot

@@ -1,0 +1,168 @@
+package bitstream
+
+import (
+	"strings"
+	"testing"
+)
+
+// cleanRunes strips the separators FromString ignores, returning the
+// significant runes.
+func cleanRunes(s string) []rune {
+	var out []rune
+	for _, r := range s {
+		if r != ' ' && r != '_' {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FuzzFromString: parsing accepts exactly the strings of '0'/'1' runes
+// (with ' '/'_' separators), the parsed vector mirrors the significant
+// runes bit for bit, and String() round-trips losslessly.
+func FuzzFromString(f *testing.F) {
+	for _, seed := range []string{
+		"", "0", "1", "01", "0101 1010", "1_0_1", "  __  ",
+		"11111111 00000000 1", "x", "012", "0101019", "héllo",
+		strings.Repeat("10", 100),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		clean := cleanRunes(s)
+		v, err := FromString(s)
+		wantErr := false
+		for _, r := range clean {
+			if r != '0' && r != '1' {
+				wantErr = true
+				break
+			}
+		}
+		if wantErr {
+			if err == nil {
+				t.Fatalf("FromString(%q) accepted an invalid rune", s)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("FromString(%q): %v", s, err)
+		}
+		if v.Len() != len(clean) {
+			t.Fatalf("FromString(%q).Len() = %d, want %d", s, v.Len(), len(clean))
+		}
+		ones := 0
+		for i, r := range clean {
+			if v.Get(i) != (r == '1') {
+				t.Fatalf("FromString(%q): bit %d = %v, want %v", s, i, v.Get(i), r == '1')
+			}
+			if r == '1' {
+				ones++
+			}
+		}
+		if v.PopCount() != ones {
+			t.Fatalf("FromString(%q).PopCount() = %d, want %d", s, v.PopCount(), ones)
+		}
+		// Round trip through the renderer (which inserts display
+		// spaces FromString strips back out).
+		rt, err := FromString(v.String())
+		if err != nil {
+			t.Fatalf("round-trip parse of %q: %v", v.String(), err)
+		}
+		if !rt.Equal(v) {
+			t.Fatalf("FromString(String()) != original for %q", s)
+		}
+		checkTail(t, v)
+	})
+}
+
+// boolsFrom derives a deterministic bool slice of the given length from
+// fuzz bytes (bit j of data drives bit j of the stream, cycling).
+func boolsFrom(data []byte, length int) []bool {
+	out := make([]bool, length)
+	if len(data) == 0 {
+		return out
+	}
+	for j := range out {
+		out[j] = data[(j/8)%len(data)]>>(uint(j)&7)&1 == 1
+	}
+	return out
+}
+
+// FuzzAndPopCount: the fused word kernel against a naive bool-slice
+// oracle, at fuzz-chosen lengths crossing word boundaries.
+func FuzzAndPopCount(f *testing.F) {
+	f.Add([]byte{0x00}, []byte{0xff}, uint16(64))
+	f.Add([]byte{0xaa, 0x55}, []byte{0x0f, 0xf0}, uint16(63))
+	f.Add([]byte{0xff, 0xff, 0xff}, []byte{0xff}, uint16(65))
+	f.Add([]byte{0x13, 0x37}, []byte{0xde, 0xad}, uint16(129))
+	f.Add([]byte{}, []byte{}, uint16(0))
+	f.Fuzz(func(t *testing.T, a, b []byte, n uint16) {
+		length := int(n) % 1024
+		xb, yb := boolsFrom(a, length), boolsFrom(b, length)
+		x, y := FromBools(xb), FromBools(yb)
+		want := 0
+		for j := 0; j < length; j++ {
+			if xb[j] && yb[j] {
+				want++
+			}
+		}
+		if got := AndPopCount(x, y); got != want {
+			t.Fatalf("AndPopCount = %d, oracle = %d (len %d)", got, want, length)
+		}
+		// The materialized product stream agrees with the fused count.
+		prod := New(length).And(x, y)
+		if prod.PopCount() != want {
+			t.Fatalf("And().PopCount() = %d, oracle = %d", prod.PopCount(), want)
+		}
+		checkTail(t, prod)
+	})
+}
+
+// FuzzTailMask: bits beyond Len must stay zero through Not and Xor —
+// the invariant AndPopCount and PopCount rely on to count only live
+// stream bits.
+func FuzzTailMask(f *testing.F) {
+	f.Add([]byte{0xff}, uint16(1))
+	f.Add([]byte{0xff, 0xff}, uint16(63))
+	f.Add([]byte{0x00}, uint16(64))
+	f.Add([]byte{0xa5, 0x5a, 0xff}, uint16(100))
+	f.Fuzz(func(t *testing.T, a []byte, n uint16) {
+		length := int(n) % 1024
+		xb := boolsFrom(a, length)
+		x := FromBools(xb)
+		inv := New(length).Not(x)
+		checkTail(t, inv)
+		if got, want := inv.PopCount(), length-x.PopCount(); got != want {
+			t.Fatalf("Not().PopCount() = %d, want %d (tail bits leaked)", got, want)
+		}
+		back := New(length).Not(inv)
+		if !back.Equal(x) {
+			t.Fatalf("Not(Not(x)) != x at length %d", length)
+		}
+		xz := New(length).Xor(x, x)
+		checkTail(t, xz)
+		if xz.PopCount() != 0 {
+			t.Fatalf("Xor(x,x).PopCount() = %d, want 0", xz.PopCount())
+		}
+		xi := New(length).Xor(x, inv)
+		checkTail(t, xi)
+		if xi.PopCount() != length {
+			t.Fatalf("Xor(x,~x).PopCount() = %d, want %d", xi.PopCount(), length)
+		}
+	})
+}
+
+// checkTail asserts no bits are set at or beyond Len in the packed
+// words.
+func checkTail(t *testing.T, v *Vector) {
+	t.Helper()
+	words := v.Words()
+	if want := (v.Len() + 63) / 64; len(words) != want {
+		t.Fatalf("len(Words()) = %d, want %d", len(words), want)
+	}
+	if rem := uint(v.Len()) & 63; rem != 0 {
+		if tail := words[len(words)-1] >> rem; tail != 0 {
+			t.Fatalf("tail bits set beyond Len %d: %#x", v.Len(), tail)
+		}
+	}
+}

@@ -2,8 +2,6 @@ package core
 
 import (
 	"fmt"
-
-	"repro/internal/bitstream"
 )
 
 // Fault injection: Section II-D cites high error tolerance as a core
@@ -127,5 +125,3 @@ func (v *VDPE) BinaryWorstCaseBitError() int {
 	}
 	return msb
 }
-
-var _ = bitstream.AndPopCount // device-plane dependency kept explicit

@@ -1,0 +1,160 @@
+package quant_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/sckernel"
+	"repro/internal/tensor"
+)
+
+// crossEngine is a recording DotEngine that routes every Dot call of a
+// quantized forward pass through the scalar ideal-ADC SCONNA engine and
+// the packed ideal-ADC kernel engine in lockstep, asserting on every
+// single call the properties the ideal path guarantees:
+//
+//   - scalar and packed agree bitwise;
+//   - both equal the analytic stream oracle sum_i sign_i *
+//     floor(div_i*|dkv_i|/L) * L, which the Bresenham prefix property
+//     implies for unary×Bresenham stream pairs;
+//   - the result is a multiple of L = 2^B (every lane contributes whole
+//     streams of product units);
+//   - the stochastic rounding deficit versus plain integer arithmetic is
+//     bounded per lane: |exact − ideal| ≤ lanes*(L−1).
+//
+// This closes the previously untested ideal-ADC path across DotLarge
+// chunking: the config's small N forces multi-chunk decomposition on
+// every convolution dot.
+type crossEngine struct {
+	t       *testing.T
+	scalar  quant.DotEngine
+	packed  *sckernel.Engine
+	bits    int
+	calls   int
+	chunked int // calls that decomposed into more than one psum chunk
+}
+
+func (c *crossEngine) Name() string { return "cross-check" }
+
+func (c *crossEngine) Dot(div, dkv []int) int {
+	c.t.Helper()
+	c.calls++
+	if c.packed.Chunks(len(div)) > 1 {
+		c.chunked++
+	}
+	scale := 1 << uint(c.bits)
+	s := c.scalar.Dot(div, dkv)
+	p := c.packed.Dot(div, dkv)
+	if s != p {
+		c.t.Fatalf("call %d: scalar-ideal %d != packed-ideal %d (len %d)", c.calls, s, p, len(div))
+	}
+	ideal, exact := 0, 0
+	for i := range div {
+		w, sign := dkv[i], 1
+		if w < 0 {
+			w, sign = -w, -1
+		}
+		ideal += sign * (div[i] * w / scale) * scale
+		exact += div[i] * dkv[i]
+	}
+	if s != ideal {
+		c.t.Fatalf("call %d: ideal-ADC dot %d != analytic floor oracle %d", c.calls, s, ideal)
+	}
+	if s%scale != 0 {
+		c.t.Fatalf("call %d: ideal-ADC dot %d not a multiple of L=%d", c.calls, s, scale)
+	}
+	if bound := len(div) * (scale - 1); exact-s > bound || s-exact > bound {
+		c.t.Fatalf("call %d: |exact %d - ideal %d| exceeds lane bound %d", c.calls, exact, s, bound)
+	}
+	return s
+}
+
+func crossCfg(bits int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Bits = bits
+	cfg.N = 5 // far below the layer vector lengths: every conv dot chunks
+	cfg.M = 2
+	cfg.ADCSeed = 31
+	cfg.IdealADC = true
+	return cfg
+}
+
+func newCrossEngine(t *testing.T, bits int) *crossEngine {
+	t.Helper()
+	cfg := crossCfg(bits)
+	scalar, err := quant.NewSconnaEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := sckernel.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &crossEngine{t: t, scalar: scalar, packed: packed, bits: bits}
+}
+
+// TestIdealADCCrossEngineOnNetworks drives full quantized forward passes
+// (random networks, random inputs) through the lockstep checker.
+func TestIdealADCCrossEngineOnNetworks(t *testing.T) {
+	for _, bits := range []int{3, 6, 8} {
+		ce := newCrossEngine(t, bits)
+		qn, err := quant.Quantize(nn.BuildSmallCNN(2, 4, int64(40+bits)), bits, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(bits)))
+		for trial := 0; trial < 3; trial++ {
+			x := tensor.New(1, 8, 8)
+			for i := range x.Data {
+				x.Data[i] = rng.Float32()
+			}
+			qn.Forward(x, ce)
+		}
+		if ce.calls == 0 {
+			t.Fatalf("B=%d: forward pass made no Dot calls", bits)
+		}
+		if ce.chunked == 0 {
+			t.Fatalf("B=%d: no Dot call exercised DotLarge chunking (N=%d too large?)",
+				bits, crossCfg(bits).N)
+		}
+	}
+}
+
+// TestIdealADCCrossEngineDirect hits the checker with crafted operand
+// vectors: chunk-seam lengths, and the |dkv|=L corner where the floor
+// oracle collapses to plain integer arithmetic, making ideal-ADC EXACTLY
+// equal to ExactEngine.
+func TestIdealADCCrossEngineDirect(t *testing.T) {
+	for _, bits := range []int{2, 5, 8} {
+		ce := newCrossEngine(t, bits)
+		scale := 1 << uint(bits)
+		n := crossCfg(bits).N
+		rng := rand.New(rand.NewSource(int64(7 * bits)))
+		for _, length := range []int{0, 1, n - 1, n, n + 1, 3*n + 7} {
+			div := make([]int, length)
+			dkv := make([]int, length)
+			for i := range div {
+				div[i] = rng.Intn(scale + 1)
+				dkv[i] = rng.Intn(2*scale+1) - scale
+			}
+			ce.Dot(div, dkv)
+
+			// Full-magnitude weights: div*L/L*L == div*L, so the ideal
+			// stream dot equals the exact integer dot with zero deficit.
+			exact := quant.ExactEngine{}
+			for i := range dkv {
+				if rng.Intn(2) == 0 {
+					dkv[i] = scale
+				} else {
+					dkv[i] = -scale
+				}
+			}
+			if got, want := ce.Dot(div, dkv), exact.Dot(div, dkv); got != want {
+				t.Fatalf("B=%d len %d: ideal dot %d != exact %d with |dkv|=L", bits, length, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package sckernel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/photonics"
+	"repro/internal/quant"
+)
+
+// Engine is the word-packed SC serving engine: a quant.DotEngine that
+// computes exactly what quant.SconnaEngine computes — same chunk seams
+// as core.VDPC.DotLarge, same per-chunk PCA capacity check, same
+// ADC-noise draw order from identically seeded per-VDPE RNGs — through
+// the packed Plane kernels instead of the per-lane scalar walk.
+//
+// Like the scalar engine it replaces, an Engine is stateful (its ADC
+// RNGs advance two draws per psum chunk) and must be owned by exactly
+// one goroutine; the serving plane's pool and the evaluation shards
+// already enforce that ownership. The Plane behind it is immutable and
+// shared freely.
+type Engine struct {
+	cfg     core.Config
+	plane   *Plane
+	rngs    []*rand.Rand
+	sigma   float64
+	maxOnes int
+
+	// packs is the DotBatch weight-pack scratch: one packed DKV per psum
+	// chunk, rebuilt per call, retained across calls so a pooled engine
+	// allocates nothing on the serving hot path.
+	packs []PackedDKV
+}
+
+// New builds a packed engine for the functional configuration cfg,
+// enforcing the same operating-point contract as core.NewVDPE (precision
+// bounds, positive geometry, DWDM grid capacity) so that any config the
+// scalar engine accepts — and only those — builds a packed engine.
+func New(cfg core.Config) (*Engine, error) {
+	if cfg.Bits < 1 || cfg.Bits > 12 {
+		return nil, fmt.Errorf("sckernel: unsupported precision B=%d", cfg.Bits)
+	}
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("sckernel: VDPE size N=%d must be positive", cfg.N)
+	}
+	if cfg.M < 1 {
+		return nil, fmt.Errorf("sckernel: VDPC size M=%d must be positive", cfg.M)
+	}
+	probe := photonics.NewMRR(cfg.BaseWavelengthNM, cfg.FWHMNM)
+	if maxN := probe.ChannelCount(cfg.ChannelSpacingNM); cfg.N > maxN {
+		return nil, fmt.Errorf("sckernel: N=%d exceeds FSR-limited channel count %d", cfg.N, maxN)
+	}
+	e := &Engine{
+		cfg:     cfg,
+		plane:   PlaneFor(cfg.Bits),
+		maxOnes: cfg.N * (1 << uint(cfg.Bits)),
+	}
+	// The converter model is copied from core.NewVDPE verbatim: the MAPE
+	// realized as zero-mean Gaussian relative noise with
+	// E|eps| = sigma*sqrt(2/pi), one RNG per mirrored VDPE seeded
+	// ADCSeed + 2*i — the draw streams Est equivalence is pinned to.
+	mape := cfg.ADCMAPEPct
+	if mape == 0 && !cfg.IdealADC {
+		mape = 1.3
+	}
+	e.sigma = mape / 100 * math.Sqrt(math.Pi/2)
+	e.rngs = make([]*rand.Rand, cfg.M)
+	for i := range e.rngs {
+		e.rngs[i] = rand.New(rand.NewSource(cfg.ADCSeed + int64(2*i)))
+	}
+	return e, nil
+}
+
+// Name implements quant.DotEngine.
+func (e *Engine) Name() string {
+	if e.cfg.IdealADC {
+		return "sconna-packed-ideal-adc"
+	}
+	return "sconna-packed"
+}
+
+// Dot implements quant.DotEngine with the packed kernels. Operand
+// contract violations are programming errors in the quantizer, matching
+// quant.SconnaEngine.Dot's panic semantics.
+func (e *Engine) Dot(div, dkv []int) int {
+	est, _, _, err := e.DotLarge(div, dkv)
+	if err != nil {
+		panic(fmt.Sprintf("sckernel: packed dot failed: %v", err))
+	}
+	return est
+}
+
+// DotLarge mirrors core.VDPC.DotLarge on the packed plane: the vectors
+// decompose into ceil(S/N) psum chunks, chunk c runs on mirrored VDPE
+// c mod M (whose RNG supplies that chunk's two ADC draws), and the
+// partial estimates reduce digitally. Returned values are bit-identical
+// to the scalar core, chunk for chunk.
+func (e *Engine) DotLarge(div, dkv []int) (est, exact, chunks int, err error) {
+	if len(div) != len(dkv) {
+		return 0, 0, 0, fmt.Errorf("sckernel: vector length mismatch %d vs %d", len(div), len(dkv))
+	}
+	n := e.cfg.N
+	scale := 1 << uint(e.cfg.Bits)
+	for off := 0; off < len(div); off += n {
+		end := off + n
+		if end > len(div) {
+			end = len(div)
+		}
+		pos, neg, derr := e.plane.DotCounts(div[off:end], dkv[off:end])
+		if derr != nil {
+			return 0, 0, 0, derr
+		}
+		cest, cexact, cerr := e.convert(pos, neg, chunks, scale)
+		if cerr != nil {
+			return 0, 0, 0, cerr
+		}
+		est += cest
+		exact += cexact
+		chunks++
+	}
+	return est, exact, chunks, nil
+}
+
+// convert applies the PCA capacity check and the ADC conversion to one
+// chunk's accumulator counts — the post-kernel half of core.VDPE.Dot,
+// floating-point op for floating-point op.
+func (e *Engine) convert(pos, neg, chunk, scale int) (est, exact int, err error) {
+	if pos > e.maxOnes || neg > e.maxOnes {
+		return 0, 0, fmt.Errorf("sckernel: accumulation %d/%d exceeds PCA capacity %d", pos, neg, e.maxOnes)
+	}
+	exact = (pos - neg) * scale
+	if e.cfg.IdealADC {
+		return exact, exact, nil
+	}
+	rng := e.rngs[chunk%len(e.rngs)]
+	ep := float64(pos) * (1 + rng.NormFloat64()*e.sigma)
+	en := float64(neg) * (1 + rng.NormFloat64()*e.sigma)
+	return int(math.Round(ep-en)) * scale, exact, nil
+}
+
+// Chunks returns how many psum chunks a vector of length s decomposes
+// into, matching quant.(*SconnaEngine).Chunks.
+func (e *Engine) Chunks(s int) int {
+	n := e.cfg.N
+	return (s + n - 1) / n
+}
+
+// Slab is a flat micro-batch of operand vectors: vector i occupies
+// Data[Off[i]:Off[i+1]]. It is the layer-shaped operand form the
+// quantized lowering already gathers (quant.Scratch's div/ds pair), so a
+// batched layer hands its whole pixel slab to the engine in one call.
+type Slab struct {
+	Data []int
+	Off  []int
+}
+
+// MakeSlab builds a Slab from discrete vectors (test and example
+// convenience; hot paths fill Data/Off directly).
+func MakeSlab(vecs ...[]int) Slab {
+	s := Slab{Off: make([]int, 1, len(vecs)+1)}
+	for _, v := range vecs {
+		s.Data = append(s.Data, v...)
+		s.Off = append(s.Off, len(s.Data))
+	}
+	return s
+}
+
+// Len returns the number of vectors in the slab.
+func (s Slab) Len() int {
+	if len(s.Off) == 0 {
+		return 0
+	}
+	return len(s.Off) - 1
+}
+
+// At returns vector i.
+func (s Slab) At(i int) []int { return s.Data[s.Off[i]:s.Off[i+1]] }
+
+// DotBatch runs one shared signed weight vector against every DIV in
+// the slab, writing the estimates to out (whose length must equal the
+// slab's). The weight vector is packed once per call — magnitudes
+// validated, signs lifted into a packed mask, one PackedDKV per psum
+// chunk — and reused across the whole slab, which is the batched-layer
+// amortization: the serving plane applies one conv weight row to every
+// output pixel of a micro-batch.
+//
+// Call order is slab order, so the engine's ADC-noise stream advances
+// exactly as it would under sequential Dot calls — DotBatch is
+// bit-identical to that loop (pinned by the batch equivalence test) and
+// exists purely to shed the per-call weight re-validation.
+func (e *Engine) DotBatch(divs Slab, dkv []int, out []int) error {
+	nvec := divs.Len()
+	if len(out) != nvec {
+		return fmt.Errorf("sckernel: out length %d, want %d", len(out), nvec)
+	}
+	n := e.cfg.N
+	scale := 1 << uint(e.cfg.Bits)
+	nchunks := e.Chunks(len(dkv))
+	for len(e.packs) < nchunks {
+		e.packs = append(e.packs, PackedDKV{})
+	}
+	for c := 0; c < nchunks; c++ {
+		end := (c + 1) * n
+		if end > len(dkv) {
+			end = len(dkv)
+		}
+		if err := e.plane.PackDKV(&e.packs[c], dkv[c*n:end]); err != nil {
+			return err
+		}
+	}
+	for v := 0; v < nvec; v++ {
+		div := divs.At(v)
+		if len(div) != len(dkv) {
+			return fmt.Errorf("sckernel: slab vector %d length %d, want %d", v, len(div), len(dkv))
+		}
+		est := 0
+		for c := 0; c < nchunks; c++ {
+			end := (c + 1) * n
+			if end > len(div) {
+				end = len(div)
+			}
+			pos, neg, derr := e.plane.DotPacked(div[c*n:end], &e.packs[c])
+			if derr != nil {
+				return derr
+			}
+			cest, _, cerr := e.convert(pos, neg, c, scale)
+			if cerr != nil {
+				return cerr
+			}
+			est += cest
+		}
+		out[v] = est
+	}
+	return nil
+}
+
+// EngineFactory returns a quant.EngineFactory building one packed
+// engine per shard, with the shard-seed derivation copied from
+// quant.SconnaEngineFactory — so swapping the scalar factory for this
+// one changes the arithmetic substrate and nothing else: evaluation
+// shards and deterministic-serving requests realize the identical ADC
+// noise streams, and every result stays bit-identical to the scalar
+// plane (pinned by the serving equivalence tests).
+func EngineFactory(cfg core.Config) quant.EngineFactory {
+	return func(shard int) (quant.DotEngine, error) {
+		scfg := cfg
+		scfg.ADCSeed = cfg.ADCSeed + int64(shard)*1000003
+		return New(scfg)
+	}
+}

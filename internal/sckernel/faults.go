@@ -1,0 +1,112 @@
+package sckernel
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// FaultMask is the packed form of core's lane faults: two lane bitmasks,
+// one for OSM lanes stuck dark (product stream forced to all zeros) and
+// one for lanes stuck lit (forced to all ones). It is the kernel-plane
+// counterpart of core.FaultyVDPE, pinned bitwise against it by the fault
+// equivalence tests.
+type FaultMask struct {
+	dark, lit []uint64
+	n         int
+}
+
+// NewFaultMask returns an empty mask over n lanes.
+func NewFaultMask(n int) *FaultMask {
+	if n < 0 {
+		panic(fmt.Sprintf("sckernel: negative fault mask size %d", n))
+	}
+	nw := (n + 63) / 64
+	return &FaultMask{dark: make([]uint64, nw), lit: make([]uint64, nw), n: n}
+}
+
+// StuckDark pins lane to all-zeros output. A lane may hold only one
+// fault; the most recent call wins, matching core.InjectFaults's
+// last-write-wins map semantics.
+func (m *FaultMask) StuckDark(lane int) *FaultMask {
+	m.check(lane)
+	m.dark[lane>>6] |= 1 << (uint(lane) & 63)
+	m.lit[lane>>6] &^= 1 << (uint(lane) & 63)
+	return m
+}
+
+// StuckLit pins lane to all-ones output.
+func (m *FaultMask) StuckLit(lane int) *FaultMask {
+	m.check(lane)
+	m.lit[lane>>6] |= 1 << (uint(lane) & 63)
+	m.dark[lane>>6] &^= 1 << (uint(lane) & 63)
+	return m
+}
+
+func (m *FaultMask) check(lane int) {
+	if lane < 0 || lane >= m.n {
+		panic(fmt.Sprintf("sckernel: fault lane %d out of range [0,%d)", lane, m.n))
+	}
+}
+
+// Count returns how many lanes carry a fault.
+func (m *FaultMask) Count() int {
+	c := 0
+	for i := range m.dark {
+		c += bits.OnesCount64(m.dark[i]) + bits.OnesCount64(m.lit[i])
+	}
+	return c
+}
+
+// DotCountsFaulty is DotCounts with the fault mask applied: a stuck-dark
+// lane contributes zero ones, a stuck-lit lane contributes a full stream
+// of 2^Bits ones to its sign's accumulator — exactly the substitution
+// core.FaultyVDPE.Dot performs after validating the lane's operands.
+func (p *Plane) DotCountsFaulty(div, dkv []int, m *FaultMask) (pos, neg int, err error) {
+	if len(div) != len(dkv) {
+		return 0, 0, fmt.Errorf("sckernel: DIV/DKV length mismatch %d vs %d", len(div), len(dkv))
+	}
+	if len(div) > m.n {
+		return 0, 0, fmt.Errorf("sckernel: vector size %d exceeds fault mask size %d", len(div), m.n)
+	}
+	l, w := p.L, p.W
+	ww, wpfx := p.ww, p.wpfx
+	for i, ib := range div {
+		wb := dkv[i]
+		negw := wb < 0
+		if negw {
+			wb = -wb
+		}
+		// Operands are validated before the fault substitutes the count,
+		// exactly as the scalar FaultyVDPE does.
+		if uint(ib) > uint(l) || uint(wb) > uint(l) {
+			return 0, 0, p.rangeErr(i, div[i], dkv[i])
+		}
+		var c int
+		bit := uint(i) & 63
+		switch {
+		case m.dark[i>>6]>>bit&1 == 1:
+			c = 0
+		case m.lit[i>>6]>>bit&1 == 1:
+			c = l
+		case !p.unaryInput:
+			iw := p.iw[ib*w : ib*w+w]
+			wwRow := ww[wb*w : wb*w+w : wb*w+w]
+			for j, word := range iw {
+				c += bits.OnesCount64(word & wwRow[j])
+			}
+		default:
+			if q := ib >> 6; q == w {
+				c = int(wpfx[wb*(w+1)+w])
+			} else {
+				c = int(wpfx[wb*(w+1)+q]) +
+					bits.OnesCount64(ww[wb*w+q]&(1<<(uint(ib)&63)-1))
+			}
+		}
+		if negw {
+			neg += c
+		} else {
+			pos += c
+		}
+	}
+	return pos, neg, nil
+}
