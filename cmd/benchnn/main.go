@@ -7,11 +7,14 @@
 // Usage:
 //
 //	benchnn [-out BENCH_nn.json] [-check] [-min-speedup 1.0]
+//	        [-sparsity 0.9] [-min-sparse-speedup 0]
 //
 // With -check the command exits nonzero when the GEMM convolution
 // forward is slower than min-speedup times the naive reference on the
 // fixed smoke shape — the CI regression gate for the im2col/GEMM
-// lowering.
+// lowering — or, when -min-sparse-speedup is set, when the
+// zero-skipping quantized forward at -sparsity input sparsity is slower
+// than that multiple of the dense reference on the identical input.
 package main
 
 import (
@@ -41,12 +44,20 @@ type report struct {
 	GoMaxProcs  int     `json:"go_max_procs"`
 	Benchmarks  []entry `json:"benchmarks"`
 	ConvSpeedup float64 `json:"conv_gemm_speedup_vs_naive"`
+	// Sparsity is the input zero fraction of the sparse legs;
+	// SparseSpeedup is the dense-reference-vs-zero-skipping quantized
+	// forward ratio on that identical input.
+	Sparsity      float64 `json:"sparsity"`
+	SparseSpeedup float64 `json:"quant_sparse_speedup_vs_dense"`
 }
 
 func main() {
 	out := flag.String("out", "BENCH_nn.json", "trajectory output path")
 	check := flag.Bool("check", false, "fail when the GEMM conv forward is slower than -min-speedup x naive")
 	minSpeedup := flag.Float64("min-speedup", 1.0, "minimum acceptable GEMM-vs-naive conv forward speedup")
+	sparsity := flag.Float64("sparsity", 0.9, "input zero fraction for the sparse benchmark legs")
+	minSparseSpeedup := flag.Float64("min-sparse-speedup", 0,
+		"with -check, minimum acceptable sparse-vs-dense quantized forward speedup at -sparsity (0 disables)")
 	flag.Parse()
 
 	benches := []struct {
@@ -59,11 +70,14 @@ func main() {
 		{"dense_forward", nnbench.DenseForward},
 		{"quant_forward_naive", nnbench.QuantForwardNaive},
 		{"quant_forward", nnbench.QuantForward},
+		{"conv_forward_sparse", nnbench.ConvForwardSparse(*sparsity)},
+		{"quant_forward_sparse_dense_ref", nnbench.QuantForwardSparseDenseRef(*sparsity)},
+		{"quant_forward_sparse", nnbench.QuantForwardSparse(*sparsity)},
 		{"train_step_1w", nnbench.TrainStep(1)},
 		{"train_step_allw", nnbench.TrainStep(runtime.GOMAXPROCS(0))},
 	}
 
-	rep := report{Schema: "repro/bench_nn@v1", GoMaxProcs: runtime.GOMAXPROCS(0)}
+	rep := report{Schema: "repro/bench_nn@v2", GoMaxProcs: runtime.GOMAXPROCS(0), Sparsity: *sparsity}
 	perOp := map[string]float64{}
 	for _, bench := range benches {
 		r := testing.Benchmark(bench.fn)
@@ -80,6 +94,9 @@ func main() {
 	}
 	rep.ConvSpeedup = perOp["conv_forward_naive"] / perOp["conv_forward_gemm"]
 	fmt.Fprintf(os.Stderr, "conv forward GEMM speedup vs naive: %.1fx\n", rep.ConvSpeedup)
+	rep.SparseSpeedup = perOp["quant_forward_sparse_dense_ref"] / perOp["quant_forward_sparse"]
+	fmt.Fprintf(os.Stderr, "quant forward sparse speedup vs dense at %.0f%% sparsity: %.1fx\n",
+		100**sparsity, rep.SparseSpeedup)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -92,6 +109,10 @@ func main() {
 
 	if *check && rep.ConvSpeedup < *minSpeedup {
 		fatal(fmt.Errorf("GEMM conv forward speedup %.2fx below the %.2fx gate", rep.ConvSpeedup, *minSpeedup))
+	}
+	if *check && *minSparseSpeedup > 0 && rep.SparseSpeedup < *minSparseSpeedup {
+		fatal(fmt.Errorf("sparse quant forward speedup %.2fx below the %.2fx gate at %.0f%% sparsity",
+			rep.SparseSpeedup, *minSparseSpeedup, 100**sparsity))
 	}
 }
 

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments -exp all|table1|table2|fig6c|fig7a|fig7b|fig9|table5|ablations [-quick] [-workers N] [-train-workers N] [-out DIR] [-cache-dir DIR] [-cache-max-bytes N] [-cache-max-age D]
+//	experiments -exp all|table1|table2|fig6c|fig7a|fig7b|fig9|table5|energy|ablations [-quick] [-workers N] [-train-workers N] [-out DIR] [-cache-dir DIR] [-cache-max-bytes N] [-cache-max-age D]
 //
 // -quick shrinks the Table V training runs for smoke tests; -workers
 // bounds the concurrency of the design-space sweeps and the Table V
@@ -34,13 +34,18 @@ import (
 	"repro/internal/accuracy"
 	"repro/internal/bitstream"
 	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/opcount"
 	"repro/internal/photonics"
+	"repro/internal/quant"
 	"repro/internal/report"
 	"repro/internal/sc"
+	"repro/internal/serve"
+	"repro/internal/tensor"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: all|table1|table2|fig6c|fig7a|fig7b|fig9|table5|ablations")
+	exp := flag.String("exp", "all", "experiment id: all|table1|table2|fig6c|fig7a|fig7b|fig9|table5|energy|ablations")
 	quick := flag.Bool("quick", false, "reduced-size Table V study")
 	workers := flag.Int("workers", 0, "worker pool size for sweeps and the Table V study (0 = all cores)")
 	trainWorkers := flag.Int("train-workers", 0,
@@ -66,6 +71,12 @@ func main() {
 			Workers: pool, CacheDir: *cacheDir,
 			CacheMaxBytes: *cacheMaxBytes, CacheMaxAge: *cacheMaxAge,
 		})
+	if err != nil {
+		fatal(err)
+	}
+	erun, err := opcount.NewRunner(opcount.RunnerOptions{
+		CacheDir: *cacheDir, CacheMaxBytes: *cacheMaxBytes, CacheMaxAge: *cacheMaxAge,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -101,6 +112,7 @@ func main() {
 	if *exp == "all" || *exp == "table5" {
 		run("table5", func() *report.Table { return tableV(*quick, pool, *trainWorkers) })
 	}
+	run("energy", func() *report.Table { return energyTable(erun, *quick) })
 	if *exp == "ablations" {
 		*exp = "all" // expand the group: run() filters by name
 	}
@@ -114,6 +126,7 @@ func main() {
 	if *cacheDir != "" {
 		reportCache("accel", arun.Stats())
 		reportCache("scalability", srun.Stats())
+		reportCache("energy", erun.Stats())
 	}
 }
 
@@ -353,6 +366,60 @@ func ablationBatch(arun *sconna.AccelRunner) *report.Table {
 			fps[b] = results[bi*len(batches)+i].FPS
 		}
 		t.AddRow(base.Name, fps[1], fps[8], fps[32], fps[32]/fps[1])
+	}
+	return t
+}
+
+// energySparsities is the fixed sweep of the energy experiment: the row
+// set never depends on -quick (only the per-cell input count does), so
+// the table shape is a golden contract.
+var energySparsities = []float64{0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}
+
+// energyTable sweeps input sparsity over the golden quantized CNN and
+// prices the op-accounting profiles under the electronic (Horowitz
+// ISSCC'14) and SCONNA energy models: per-inference dense vs executed
+// op totals, the zero-skipped fraction, and microjoules per inference.
+// Cells are content-addressed by (network digest, sparsity, seed, n) —
+// a warm cache recomputes nothing and the table is byte-identical.
+func energyTable(erun *opcount.Runner, quick bool) *report.Table {
+	const seed = 2023
+	n := 32
+	if quick {
+		n = 8
+	}
+	net := nn.BuildSmallCNN(8, 8, 1)
+	calib := &tensor.T{Shape: []int{1, 16, 16}, Data: serve.SparseInputs(1, 256, 0, 1)[0]}
+	qn, err := quant.Quantize(net, 8, []nn.Example{{X: calib, Label: 0}})
+	if err != nil {
+		fatal(err)
+	}
+	t := report.NewTable("Energy — op/energy accounting vs input sparsity (width-8 CNN, 8-bit, exact engine)",
+		"sparsity", "dense Mops/inf", "exec Mops/inf", "skipped %",
+		"elec dense uJ/inf", "elec uJ/inf", "sconna uJ/inf")
+	for _, sp := range energySparsities {
+		key := opcount.JobDigest(qn.Digest(), sp, seed, n)
+		prof, err := erun.Profile(key, func() (opcount.Profile, error) {
+			rec := qn.OpRecorder()
+			s := quant.NewScratch()
+			s.Ops = rec
+			for _, raw := range serve.SparseInputs(n, 256, sp, seed) {
+				qn.ForwardScratch(&tensor.T{Shape: []int{1, 16, 16}, Data: raw}, quant.ExactEngine{}, s)
+			}
+			rec.AddInferences(uint64(n))
+			return rec.Snapshot(), nil
+		})
+		if err != nil {
+			fatal(err)
+		}
+		dense, exec := prof.Dense(), prof.Exec()
+		ninf := float64(prof.Inferences)
+		t.AddRow(sp,
+			float64(dense.Total())/ninf/1e6,
+			float64(exec.Total())/ninf/1e6,
+			100*prof.SkippedFrac(),
+			opcount.Electronic().UJ(dense)/ninf,
+			opcount.Electronic().UJ(exec)/ninf,
+			opcount.Sconna().UJ(exec)/ninf)
 	}
 	return t
 }

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	sconnaserve [-addr :8080] [-engine sconna|sconna-packed|exact] [-deterministic]
-//	            [-pool N] [-max-batch N] [-max-wait D] [-queue N]
+//	            [-op-stats] [-pool N] [-max-batch N] [-max-wait D] [-queue N]
 //	            [-model name=artifact.qnn ...]
 //	            [-width N] [-train N] [-epochs N] [-seed N]
 //	            [-weights FILE] [-save-weights FILE]
@@ -32,6 +32,12 @@
 // -deterministic pins each request's engine to its per-model arrival
 // index, so a recorded trace replays bit-identically at any pool size,
 // independently for every registered model.
+//
+// -op-stats turns on the op/energy accounting plane: every model's
+// stats gain an "ops" section with dense-vs-executed arithmetic and
+// memory-traffic totals, the zero-skipped fraction, and per-inference
+// energy under the electronic and SCONNA cost models. Off by default —
+// the recorder is never allocated and the hot path does no counting.
 //
 // -selftest runs the full stack against itself in-process — an HTTP
 // traffic smoke over the legacy, per-model and mixed routing paths, a
@@ -98,6 +104,8 @@ func main() {
 	engineName := flag.String("engine", "sconna", "dot-product engine: sconna|sconna-packed|exact")
 	deterministic := flag.Bool("deterministic", false,
 		"pin request->engine assignment by per-model arrival index (replayed traces are bit-identical)")
+	opStats := flag.Bool("op-stats", false,
+		"count per-model arithmetic/memory ops and energy, reported under /stats (off = zero cost)")
 	pool := flag.Int("pool", 0, "per-model engine-pool size (0 = all cores)")
 	maxBatch := flag.Int("max-batch", 32, "micro-batch size cap")
 	maxWait := flag.Duration("max-wait", 0, "how long a partial batch waits to fill (0 = fire immediately)")
@@ -147,6 +155,7 @@ func main() {
 		QueueDepth:    *queue,
 		PoolSize:      *pool,
 		Deterministic: *deterministic,
+		OpAccounting:  *opStats,
 		InputShape:    []int{1, 16, 16},
 		ClassNames:    dataset.ClassNames[:],
 	}

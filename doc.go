@@ -137,6 +137,58 @@
 // (BENCH_nn.json) and gates CI on the GEMM-vs-naive convolution
 // speedup.
 //
+// # Sparsity path and op/energy accounting
+//
+// Integer-quantized activations are frequently zero (ReLU outputs,
+// padded borders, naturally sparse inputs), and a zero DIV lane
+// contributes nothing to an integer dot product — so the compute plane
+// carries a sparsity-exploiting lowering next to the dense one:
+//
+//   - Compacted gather: when a layer's quantized input is sparse enough
+//     (zero fraction >= matmul.SparseThreshold), the im2col gather
+//     compacts each pixel's operand vector to its nonzero lanes
+//     (matmul.Im2colSparse for the float plane, quant's gatherSparse in
+//     integer space — values, within-row weight slots and per-channel
+//     segment bounds), and the forward runs shorter dot products in the
+//     unchanged (output channel, pixel) order, eliding all-zero calls
+//     entirely. Per-layer work drops to O(nonzeros) instead of
+//     O(dense lanes).
+//
+//   - ZeroSkipper determinism contract: engines opt into the sparse
+//     path by implementing quant.ZeroSkipper with SkipsZeros() == true,
+//     which asserts three clauses — (1) Dot is a pure function of the
+//     nonzero-DIV lanes, (2) an all-zero call returns 0 and may be
+//     elided, (3) Dot consumes no hidden state (no RNG advance).
+//     quant.ExactEngine satisfies all three trivially; the packed
+//     sckernel tier satisfies them exactly when its ADC is ideal
+//     (lane-local floor arithmetic, seam-independent ideal conversion,
+//     capacity check monotone in lanes) and opts in only then. Noisy
+//     engines draw ADC noise per Dot call, so the lowering preserves
+//     the dense per-(layer, output-channel, pixel) call sequence for
+//     them unconditionally — sparsity never shifts a noise stream.
+//     Equivalence tests pin both sides: sparse == dense bitwise for
+//     every opting-in engine (across pad/stride/1x1/5x5/depthwise
+//     shapes, sparsities {0, 0.5, 0.9, 1.0}, serial, batched and
+//     parallel evaluation under -race), and a recording engine sees the
+//     byte-identical dense call sequence.
+//
+//   - Op/energy accounting: internal/opcount counts the work both ways
+//     — the ops a dense lowering would execute and the ops actually
+//     executed after zero skipping (multiplies, adds, reads, writes per
+//     layer, via an atomic Recorder that layers attach to
+//     quant.Scratch/BatchScratch; nil recorder = no counting on the hot
+//     path) — and prices profiles under Horowitz-parameterized energy
+//     models (the 45nm electronic baseline and a SCONNA model derived
+//     from the accel plane's power/throughput point). Profiles are pure
+//     functions of (network digest, input sparsity, generator seed,
+//     example count), so a cache-aware opcount.Runner memoizes them
+//     content-addressed like every other runner. The sparsity-swept
+//     energy tables come out of cmd/experiments -exp energy
+//     (byte-identical across runs, warm cache recomputes nothing);
+//     cmd/benchnn adds a sparse-vs-dense leg at -sparsity and gates CI
+//     on the speedup; serving exposes per-model accounting under
+//     /stats via serve.Options.OpAccounting (off = zero cost).
+//
 // # SC kernel plane
 //
 // internal/sckernel is the word-packed form of the stochastic-computing

@@ -1,0 +1,147 @@
+package matmul
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sparseSrc fills a CHW input with N(0,1) values, zeroing each element
+// independently with probability sparsity.
+func sparseSrc(rng *rand.Rand, n int, sparsity float64) []float32 {
+	src := make([]float32, n)
+	for i := range src {
+		if rng.Float64() >= sparsity {
+			src[i] = float32(rng.NormFloat64())
+		}
+	}
+	return src
+}
+
+// convShapes is the equivalence-tier shape matrix: padding, stride,
+// 1x1 and 5x5 kernels, non-square inputs, and a depthwise case.
+var convShapes = []struct {
+	name                 string
+	h, w, k, stride, pad int
+	inC, outC            int
+	depthwise            bool
+}{
+	{"pad3x3", 8, 8, 3, 1, 1, 3, 4, false},
+	{"stride2pad1", 9, 11, 3, 2, 1, 2, 3, false},
+	{"1x1", 6, 6, 1, 1, 0, 4, 5, false},
+	{"5x5pad2", 7, 7, 5, 1, 2, 2, 3, false},
+	{"nonsquare-nopad", 5, 12, 3, 1, 0, 3, 2, false},
+	{"depthwise3x3", 8, 8, 3, 1, 1, 4, 4, true},
+}
+
+var tierSparsities = []float64{0, 0.5, 0.9, 1.0}
+
+// TestIm2colSparseMatchesDense: densifying the compacted structure
+// reproduces the dense patch matrix exactly, and every surviving entry
+// is nonzero.
+func TestIm2colSparseMatchesDense(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(11))
+	for _, sh := range convShapes {
+		for _, sp := range tierSparsities {
+			p := Positions(sh.h, sh.w, sh.k, sh.stride, sh.pad)
+			src := sparseSrc(rng, sh.inC*sh.h*sh.w, sp)
+			dense := p.Im2col(nil, src, sh.inC)
+			sc := p.Im2colSparse(nil, src, sh.inC)
+			for _, v := range sc.Vals {
+				if v == 0 {
+					t.Fatalf("%s sp=%.1f: zero survived compaction", sh.name, sp)
+				}
+			}
+			k2 := sh.k * sh.k
+			got := make([]float32, len(dense))
+			for pix := 0; pix < p.NumPix(); pix++ {
+				for ic := 0; ic < sh.inC; ic++ {
+					s := pix*sh.inC + ic
+					for e := sc.Seg[s]; e < sc.Seg[s+1]; e++ {
+						got[pix*sh.inC*k2+ic*k2+sc.Kk[e]] = sc.Vals[e]
+					}
+				}
+			}
+			for i := range dense {
+				if dense[i] != got[i] {
+					t.Fatalf("%s sp=%.1f: densified mismatch at %d: %v vs %v",
+						sh.name, sp, i, dense[i], got[i])
+				}
+			}
+		}
+	}
+}
+
+// TestConvForwardSparseBitIdentical: the compacted kernels reproduce the
+// dense GEMM bit for bit over the full shape x sparsity tier, including
+// reused (dirty) scratch structures.
+func TestConvForwardSparseBitIdentical(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(23))
+	var scratch SparseCols // reused across cases: stale contents must not leak
+	for _, sh := range convShapes {
+		sh := sh
+		t.Run(sh.name, func(t *testing.T) {
+			p := Positions(sh.h, sh.w, sh.k, sh.stride, sh.pad)
+			npix := p.NumPix()
+			k2 := sh.k * sh.k
+			wc := sh.inC
+			if sh.depthwise {
+				wc = 1
+			}
+			w := make([]float32, sh.outC*wc*k2)
+			for i := range w {
+				w[i] = float32(rng.NormFloat64())
+			}
+			bias := make([]float32, sh.outC)
+			for i := range bias {
+				bias[i] = float32(rng.NormFloat64())
+			}
+			for _, sp := range tierSparsities {
+				src := sparseSrc(rng, sh.inC*sh.h*sh.w, sp)
+				cols := p.Im2col(nil, src, sh.inC)
+				want := make([]float32, sh.outC*npix)
+				got := make([]float32, sh.outC*npix)
+				sc := p.Im2colSparse(&scratch, src, sh.inC)
+				if sh.depthwise {
+					DepthwiseForward(want, w, cols, sh.inC, npix, k2, bias)
+					DepthwiseForwardSparse(got, w, sc, sh.inC, npix, k2, bias)
+				} else {
+					ConvForward(want, w, cols, sh.outC, npix, sh.inC*k2, k2, bias)
+					ConvForwardSparse(got, w, sc, sh.outC, npix, k2, bias)
+				}
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("sp=%.1f out[%d]: dense %v sparse %v", sp, i, want[i], got[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConvForwardSparseNegZeroBias: a -0 bias over an all-zero input is
+// the signed-zero corner the `+ 0` normalization exists for — both
+// kernels must produce +0, not -0.
+func TestConvForwardSparseNegZeroBias(t *testing.T) {
+	t.Parallel()
+	p := Positions(4, 4, 3, 1, 1)
+	npix := p.NumPix()
+	negZero := float32(math.Copysign(0, -1))
+	w := make([]float32, 1*1*9)
+	bias := []float32{negZero}
+	src := make([]float32, 16) // all zero
+	cols := p.Im2col(nil, src, 1)
+	sc := p.Im2colSparse(nil, src, 1)
+	want := make([]float32, npix)
+	got := make([]float32, npix)
+	ConvForward(want, w, cols, 1, npix, 9, 9, bias)
+	ConvForwardSparse(got, w, sc, 1, npix, 9, bias)
+	for i := range want {
+		if fmt.Sprint(want[i]) != fmt.Sprint(got[i]) {
+			t.Fatalf("out[%d]: dense %v sparse %v", i, want[i], got[i])
+		}
+	}
+}

@@ -72,6 +72,7 @@ type Conv2D struct {
 	pos   *matmul.Pos
 	cols  []float32
 	colsX *tensor.T // input the patch matrix was gathered from
+	scols *matmul.SparseCols
 }
 
 // NewConv2D constructs a convolution with He-normal initialized weights.
@@ -110,17 +111,34 @@ func (c *Conv2D) OutSize(h int) int { return (h+2*c.Pad-c.K)/c.Stride + 1 }
 // blocked GEMM produces all output channels. Bit-identical to
 // ForwardNaive — the GEMM accumulates from the bias with one partial sum
 // per input channel, the reference order.
+//
+// Inputs whose zero fraction reaches matmul.SparseThreshold instead run
+// the column-compacted kernels, which are bit-identical to the dense
+// GEMM by the signed-zero argument on matmul.ConvForwardSparse — so the
+// gate is a pure performance decision, invisible in the output. The
+// sparse path leaves no dense patch matrix behind; Backward's
+// ensureCols regathers it on demand.
 func (c *Conv2D) Forward(x *tensor.T) *tensor.T {
 	c.x = x
 	h, w := x.Shape[1], x.Shape[2]
 	if c.pos == nil || c.pos.H != h || c.pos.W != w {
 		c.pos = matmul.Positions(h, w, c.K, c.Stride, c.Pad)
 	}
-	c.cols = c.pos.Im2col(c.cols, x.Data, c.InC)
-	c.colsX = x
 	npix := c.pos.NumPix()
 	out := tensor.New(c.OutC, c.pos.OutH, c.pos.OutW)
 	k2 := c.K * c.K
+	if x.Sparsity() >= matmul.SparseThreshold {
+		c.scols = c.pos.Im2colSparse(c.scols, x.Data, c.InC)
+		c.colsX = nil // dense patch matrix not gathered for this input
+		if c.Depthwise {
+			matmul.DepthwiseForwardSparse(out.Data, c.Wt.W.Data, c.scols, c.InC, npix, k2, c.Bias.W.Data)
+		} else {
+			matmul.ConvForwardSparse(out.Data, c.Wt.W.Data, c.scols, c.OutC, npix, k2, c.Bias.W.Data)
+		}
+		return out
+	}
+	c.cols = c.pos.Im2col(c.cols, x.Data, c.InC)
+	c.colsX = x
 	if c.Depthwise {
 		matmul.DepthwiseForward(out.Data, c.Wt.W.Data, c.cols, c.InC, npix, k2, c.Bias.W.Data)
 	} else {

@@ -21,6 +21,16 @@ func BenchmarkConvBackward(b *testing.B) {
 	b.Run("gemm", nnbench.ConvBackwardGEMM)
 }
 
+func BenchmarkConvForwardSparse(b *testing.B) {
+	b.Run("sp=0.5", nnbench.ConvForwardSparse(0.5))
+	b.Run("sp=0.9", nnbench.ConvForwardSparse(0.9))
+}
+
+func BenchmarkQuantForwardSparse(b *testing.B) {
+	b.Run("dense-ref", nnbench.QuantForwardSparseDenseRef(0.9))
+	b.Run("sparse", nnbench.QuantForwardSparse(0.9))
+}
+
 func BenchmarkDenseForward(b *testing.B) {
 	nnbench.DenseForward(b)
 }

@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/matmul"
+	"repro/internal/tensor"
+)
+
+// sparseConvInput fills an input with N(0,1) values, zeroing each
+// element independently with probability sparsity.
+func sparseConvInput(rng *rand.Rand, sparsity float64, inC, h, w int) *tensor.T {
+	x := tensor.New(inC, h, w)
+	for i := range x.Data {
+		if rng.Float64() >= sparsity {
+			x.Data[i] = float32(rng.NormFloat64())
+		}
+	}
+	return x
+}
+
+// TestConvSparseForwardBitIdentical pins the float sparse gate: across
+// the odd-shape suite and input sparsities {0, 0.5, 0.9, 1.0} — some
+// below the threshold (dense path), some above (compacted path) —
+// Forward stays bit-identical to the naive reference.
+func TestConvSparseForwardBitIdentical(t *testing.T) {
+	t.Parallel()
+	for i, tc := range convCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			c, _ := buildConv(tc, int64(400+i))
+			rng := rand.New(rand.NewSource(int64(500 + i)))
+			for _, sp := range []float64{0, 0.5, 0.9, 1.0} {
+				x := sparseConvInput(rng, sp, tc.inC, tc.h, tc.w)
+				want := c.ForwardNaive(x)
+				got := c.Forward(x)
+				if !got.SameShape(want) {
+					t.Fatalf("sp=%.1f: shape %v vs %v", sp, got.Shape, want.Shape)
+				}
+				assertBitsEqual(t, "out", got.Data, want.Data)
+			}
+		})
+	}
+}
+
+// TestConvSparseGateEngages pins that the gate actually routes: a
+// 90%-sparse input must take the compacted path (colsX left nil), a
+// dense input must not.
+func TestConvSparseGateEngages(t *testing.T) {
+	t.Parallel()
+	tc := convCases()[0]
+	c, _ := buildConv(tc, 3)
+	rng := rand.New(rand.NewSource(4))
+
+	xs := sparseConvInput(rng, 0.9, tc.inC, tc.h, tc.w)
+	if xs.Sparsity() < matmul.SparseThreshold {
+		t.Fatalf("fixture not sparse enough: %v", xs.Sparsity())
+	}
+	c.Forward(xs)
+	if c.colsX != nil {
+		t.Fatal("sparse input gathered a dense patch matrix: gate did not fire")
+	}
+	if c.scols == nil || c.scols.NNZ() == 0 {
+		t.Fatal("sparse input left no compacted structure")
+	}
+
+	xd := sparseConvInput(rng, 0, tc.inC, tc.h, tc.w)
+	c.Forward(xd)
+	if c.colsX != xd {
+		t.Fatal("dense input did not take the dense path")
+	}
+}
+
+// TestConvBackwardAfterSparseForward covers training through the sparse
+// gate: Backward after a sparse-gated Forward must regather the dense
+// patch matrix on demand and produce gradients bit-identical to the
+// naive reference.
+func TestConvBackwardAfterSparseForward(t *testing.T) {
+	t.Parallel()
+	for i, tc := range convCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cNaive, _ := buildConv(tc, int64(600+i))
+			cSparse, _ := buildConv(tc, int64(600+i)) // identical weights
+			rng := rand.New(rand.NewSource(int64(700 + i)))
+			x := sparseConvInput(rng, 0.9, tc.inC, tc.h, tc.w)
+			if x.Sparsity() < matmul.SparseThreshold {
+				t.Fatalf("fixture not sparse enough: %v", x.Sparsity())
+			}
+			cNaive.ForwardNaive(x)
+			cSparse.Forward(x) // compacted path: no dense patch matrix
+			grad := tensor.New(tc.outC, cNaive.OutSize(tc.h), cNaive.OutSize(tc.w))
+			for j := range grad.Data {
+				grad.Data[j] = float32(rng.NormFloat64())
+			}
+			dxNaive := cNaive.BackwardNaive(grad)
+			dxSparse := cSparse.Backward(grad.Clone())
+			assertBitsEqual(t, "dx", dxSparse.Data, dxNaive.Data)
+			assertBitsEqual(t, "dW", cSparse.Wt.Grad.Data, cNaive.Wt.Grad.Data)
+			assertBitsEqual(t, "dBias", cSparse.Bias.Grad.Data, cNaive.Bias.Grad.Data)
+		})
+	}
+}

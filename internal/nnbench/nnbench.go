@@ -128,6 +128,100 @@ func QuantForward(b *testing.B) {
 	}
 }
 
+// sparseBenchInput draws a sparsity-controlled input: each element is
+// zero with probability sparsity, otherwise in [0.5, 1] — comfortably
+// above the quantization step, so the quantized zero fraction tracks the
+// float sparsity.
+func sparseBenchInput(seed int64, sparsity float64, shape ...int) *tensor.T {
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.New(shape...)
+	for i := range x.Data {
+		if rng.Float64() >= sparsity {
+			x.Data[i] = 0.5 + 0.5*rng.Float32()
+		}
+	}
+	return x
+}
+
+// ConvForwardSparse returns a benchmark timing the float convolution
+// forward on the golden conv shape at the given input sparsity: above
+// the gate threshold the column-compacted path runs, below it the dense
+// GEMM — the sweep measures the crossover.
+func ConvForwardSparse(sparsity float64) func(*testing.B) {
+	return func(b *testing.B) {
+		c, _ := benchConv()
+		x := sparseBenchInput(8, sparsity, convInC, convH, convW)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Forward(x)
+		}
+	}
+}
+
+// denseOnlyExact computes exact integer dot products without
+// implementing quant.ZeroSkipper, so it pins the dense lowering: the
+// dense reference leg of the sparsity sweep runs identical arithmetic
+// with zero skipping off.
+type denseOnlyExact struct{}
+
+func (denseOnlyExact) Name() string           { return "exact-dense" }
+func (denseOnlyExact) Dot(div, dkv []int) int { return quant.ExactEngine{}.Dot(div, dkv) }
+
+// benchQuantSparse builds a single quantized convolution on the golden
+// conv shape — the layer whose input sparsity the sweep controls
+// directly, so the ratio measures the sparse lowering itself rather
+// than a full network's mostly-dense downstream layers. Calibration
+// uses a dense input, so quantization parameters are identical across
+// sparsities.
+func benchQuantSparse(b *testing.B, sparsity float64) (*quant.Network, *tensor.T) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	net := &nn.Network{Layers: []nn.Layer{
+		nn.NewConv2D("bench", convInC, convOutC, convK, 1, 1, false, rng),
+	}}
+	calib := tensor.New(convInC, convH, convW)
+	for i := range calib.Data {
+		calib.Data[i] = float32(math.Abs(rng.NormFloat64()))
+	}
+	qn, err := quant.Quantize(net, 8, []nn.Example{{X: calib, Label: 0}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return qn, sparseBenchInput(9, sparsity, convInC, convH, convW)
+}
+
+// QuantForwardSparse returns a benchmark timing the quantized conv
+// forward at the given input sparsity through a zero-skipping engine
+// (the sparse path engages wherever the gate fires).
+func QuantForwardSparse(sparsity float64) func(*testing.B) {
+	return func(b *testing.B) {
+		qn, x := benchQuantSparse(b, sparsity)
+		s := quant.NewScratch()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			qn.ForwardScratch(x, quant.ExactEngine{}, s)
+		}
+	}
+}
+
+// QuantForwardSparseDenseRef returns the dense reference for the sweep:
+// the identical sparse input through a non-ZeroSkipper engine, so every
+// layer takes the dense lowering. SparseSpeedup in BENCH_nn.json is this
+// leg's ns/op over QuantForwardSparse's.
+func QuantForwardSparseDenseRef(sparsity float64) func(*testing.B) {
+	return func(b *testing.B) {
+		qn, x := benchQuantSparse(b, sparsity)
+		s := quant.NewScratch()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			qn.ForwardScratch(x, denseOnlyExact{}, s)
+		}
+	}
+}
+
 // TrainStep returns a benchmark timing one epoch of mini-batch SGD over
 // a fixed 64-example workload with the given data-parallel worker count
 // (results are bit-identical across worker counts; only wall time

@@ -1,0 +1,45 @@
+package opcount
+
+// EnergyModel prices the four op classes in picojoules per operation —
+// the Horowitz-style per-op accounting of the to-spike-or-not exemplars
+// (one add/mult/memory energy each, multiplied by counted ops).
+type EnergyModel struct {
+	Name  string  `json:"name"`
+	MulPJ float64 `json:"mul_pj"`
+	AddPJ float64 `json:"add_pj"`
+	RdPJ  float64 `json:"rd_pj"`
+	WrPJ  float64 `json:"wr_pj"`
+}
+
+// PJ returns the energy of the counted ops under this model, in pJ.
+func (m EnergyModel) PJ(c Counts) float64 {
+	return m.MulPJ*float64(c.Mul) + m.AddPJ*float64(c.Add) +
+		m.RdPJ*float64(c.Rd) + m.WrPJ*float64(c.Wr)
+}
+
+// UJ returns the same energy in microjoules.
+func (m EnergyModel) UJ(c Counts) float64 { return m.PJ(c) * 1e-6 }
+
+// Electronic is the electronic per-op baseline: Horowitz ISSCC'14 45 nm
+// numbers at 8-bit operand width, as used by the to-spike-or-not
+// exemplars — 0.2 pJ per int8 multiply, 0.03 pJ per int8 add, 2.5 pJ
+// per memory access (read or write).
+func Electronic() EnergyModel {
+	return EnergyModel{Name: "electronic-8b", MulPJ: 0.2, AddPJ: 0.03, RdPJ: 2.5, WrPJ: 2.5}
+}
+
+// Sconna prices the same counts at the SCONNA operating point, derived
+// from this repo's performance plane (internal/accel, Table IV power
+// model at the 8-bit batch-1 point): sustained laser + compute power
+// (105.6 W + 747.3 W) amortized over the peak MAC rate of the 1024-VDPE
+// organization (176 lanes per VDPE every 8.53 ns op ≈ 2.11e13 MAC/s)
+// gives 40.4 pJ per optical multiply; accumulation happens in the
+// analog PCA domain inside that same op (0 pJ per add); the peripheral
+// power share (eDRAM/IO/NoC, 0.46 W) amortizes to ~0.02 pJ per operand
+// access. SCONNA is a throughput-first design: it spends more energy
+// per op than the electronic baseline but issues orders of magnitude
+// more of them per second — which is exactly what the energy-vs-
+// sparsity table makes visible.
+func Sconna() EnergyModel {
+	return EnergyModel{Name: "sconna-8b", MulPJ: 40.4, AddPJ: 0, RdPJ: 0.022, WrPJ: 0.022}
+}

@@ -1,0 +1,148 @@
+// Package opcount is the op/energy accounting plane of the quantized
+// compute path: per-layer operation counters (multiplies, adds, memory
+// reads/writes) recorded during inference, both as the dense-equivalent
+// workload and as what actually executed after sparsity skipping, priced
+// by Horowitz-style per-op energy models.
+//
+// The counting convention follows the to-spike-or-not exemplars
+// (SNIPPETS.md §1–2): a dot product of length L costs L multiplies,
+// L adds and 2L memory reads (one weight, one activation per element);
+// each output element costs one dequantization multiply, one bias add
+// and one write; quantizing an activation tensor costs one multiply,
+// one read and one write per element; ReLU and pooling comparisons
+// count as adds. The convention is part of the trajectory contract —
+// change it and every recorded energy table moves.
+//
+// A Recorder is attached to a quant Scratch/BatchScratch (nil detaches
+// it: the hot path pays one branch per layer). Counters are atomic, so
+// one Recorder can aggregate across a serving pool's engines; Snapshot
+// returns a consistent-enough Profile for monitoring (counters are read
+// individually, like every other stats counter in the serving plane).
+package opcount
+
+import "sync/atomic"
+
+// Counts tallies the four op classes of the accounting convention.
+type Counts struct {
+	Mul uint64 `json:"mul"`
+	Add uint64 `json:"add"`
+	Rd  uint64 `json:"rd"`
+	Wr  uint64 `json:"wr"`
+}
+
+// Plus returns c + o elementwise.
+func (c Counts) Plus(o Counts) Counts {
+	return Counts{Mul: c.Mul + o.Mul, Add: c.Add + o.Add, Rd: c.Rd + o.Rd, Wr: c.Wr + o.Wr}
+}
+
+// Total returns the summed op count across all classes.
+func (c Counts) Total() uint64 { return c.Mul + c.Add + c.Rd + c.Wr }
+
+// LayerCounts is one layer's accounting row: the dense-equivalent
+// workload and what actually executed (equal unless the sparse path
+// skipped work).
+type LayerCounts struct {
+	Name  string `json:"name"`
+	Dense Counts `json:"dense"`
+	Exec  Counts `json:"exec"`
+}
+
+// Profile is a snapshot of recorded counts: per-layer rows plus how
+// many inferences they accumulate over.
+type Profile struct {
+	Inferences uint64        `json:"inferences"`
+	Layers     []LayerCounts `json:"layers"`
+}
+
+// Dense returns the summed dense-equivalent counts.
+func (p Profile) Dense() Counts {
+	var t Counts
+	for _, l := range p.Layers {
+		t = t.Plus(l.Dense)
+	}
+	return t
+}
+
+// Exec returns the summed executed counts.
+func (p Profile) Exec() Counts {
+	var t Counts
+	for _, l := range p.Layers {
+		t = t.Plus(l.Exec)
+	}
+	return t
+}
+
+// SkippedFrac returns the fraction of dense-equivalent ops the sparse
+// path skipped (0 when nothing was recorded).
+func (p Profile) SkippedFrac() float64 {
+	d := p.Dense().Total()
+	if d == 0 {
+		return 0
+	}
+	return 1 - float64(p.Exec().Total())/float64(d)
+}
+
+// Recorder accumulates per-layer counts with atomic counters, so one
+// Recorder can be shared by every engine of a serving pool. Layer slots
+// are fixed at construction; recording into an out-of-range slot panics
+// (a wiring bug, like a wrong-length batch).
+type Recorder struct {
+	names      []string
+	dense      []atomicCounts
+	exec       []atomicCounts
+	inferences atomic.Uint64
+}
+
+type atomicCounts struct {
+	mul, add, rd, wr atomic.Uint64
+}
+
+func (a *atomicCounts) add4(c Counts) {
+	if c.Mul != 0 {
+		a.mul.Add(c.Mul)
+	}
+	if c.Add != 0 {
+		a.add.Add(c.Add)
+	}
+	if c.Rd != 0 {
+		a.rd.Add(c.Rd)
+	}
+	if c.Wr != 0 {
+		a.wr.Add(c.Wr)
+	}
+}
+
+func (a *atomicCounts) load() Counts {
+	return Counts{Mul: a.mul.Load(), Add: a.add.Load(), Rd: a.rd.Load(), Wr: a.wr.Load()}
+}
+
+// NewRecorder builds a Recorder with one slot per layer name.
+func NewRecorder(layerNames []string) *Recorder {
+	return &Recorder{
+		names: append([]string(nil), layerNames...),
+		dense: make([]atomicCounts, len(layerNames)),
+		exec:  make([]atomicCounts, len(layerNames)),
+	}
+}
+
+// Record adds one layer execution's dense-equivalent and executed
+// counts to slot layer.
+func (r *Recorder) Record(layer int, dense, exec Counts) {
+	r.dense[layer].add4(dense)
+	r.exec[layer].add4(exec)
+}
+
+// AddInferences bumps the inference counter by n.
+func (r *Recorder) AddInferences(n uint64) { r.inferences.Add(n) }
+
+// Snapshot returns the accumulated Profile.
+func (r *Recorder) Snapshot() Profile {
+	p := Profile{
+		Inferences: r.inferences.Load(),
+		Layers:     make([]LayerCounts, len(r.names)),
+	}
+	for i, name := range r.names {
+		p.Layers[i] = LayerCounts{Name: name, Dense: r.dense[i].load(), Exec: r.exec[i].load()}
+	}
+	return p
+}

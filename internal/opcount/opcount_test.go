@@ -1,0 +1,163 @@
+package opcount
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/digest"
+)
+
+func TestCountsPlusTotal(t *testing.T) {
+	t.Parallel()
+	a := Counts{Mul: 1, Add: 2, Rd: 3, Wr: 4}
+	b := Counts{Mul: 10, Add: 20, Rd: 30, Wr: 40}
+	s := a.Plus(b)
+	if s != (Counts{Mul: 11, Add: 22, Rd: 33, Wr: 44}) {
+		t.Fatalf("Plus: %+v", s)
+	}
+	if got := s.Total(); got != 110 {
+		t.Fatalf("Total: %d", got)
+	}
+}
+
+func TestRecorderSnapshot(t *testing.T) {
+	t.Parallel()
+	r := NewRecorder([]string{"conv1", "dense1"})
+	r.Record(0, Counts{Mul: 100, Add: 100, Rd: 200, Wr: 10}, Counts{Mul: 40, Add: 40, Rd: 80, Wr: 10})
+	r.Record(1, Counts{Mul: 50, Add: 50, Rd: 100, Wr: 5}, Counts{Mul: 50, Add: 50, Rd: 100, Wr: 5})
+	r.AddInferences(3)
+	p := r.Snapshot()
+	if p.Inferences != 3 {
+		t.Fatalf("inferences: %d", p.Inferences)
+	}
+	if len(p.Layers) != 2 || p.Layers[0].Name != "conv1" || p.Layers[1].Name != "dense1" {
+		t.Fatalf("layers: %+v", p.Layers)
+	}
+	if p.Layers[0].Exec.Mul != 40 || p.Layers[1].Dense.Rd != 100 {
+		t.Fatalf("counts: %+v", p.Layers)
+	}
+	dense, exec := p.Dense(), p.Exec()
+	if dense != (Counts{Mul: 150, Add: 150, Rd: 300, Wr: 15}) {
+		t.Fatalf("dense sum: %+v", dense)
+	}
+	if exec != (Counts{Mul: 90, Add: 90, Rd: 180, Wr: 15}) {
+		t.Fatalf("exec sum: %+v", exec)
+	}
+	want := 1 - float64(exec.Total())/float64(dense.Total())
+	if got := p.SkippedFrac(); got != want {
+		t.Fatalf("skipped frac: %v want %v", got, want)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	t.Parallel()
+	r := NewRecorder([]string{"l0"})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Record(0, Counts{Mul: 2, Add: 1}, Counts{Mul: 1})
+				r.AddInferences(1)
+			}
+		}()
+	}
+	wg.Wait()
+	p := r.Snapshot()
+	if p.Inferences != workers*per {
+		t.Fatalf("inferences: %d", p.Inferences)
+	}
+	if p.Layers[0].Dense.Mul != 2*workers*per || p.Layers[0].Exec.Mul != workers*per {
+		t.Fatalf("counts: %+v", p.Layers[0])
+	}
+}
+
+func TestSkippedFracEmpty(t *testing.T) {
+	t.Parallel()
+	if got := (Profile{}).SkippedFrac(); got != 0 {
+		t.Fatalf("empty skipped frac: %v", got)
+	}
+}
+
+func TestEnergyModels(t *testing.T) {
+	t.Parallel()
+	c := Counts{Mul: 10, Add: 20, Rd: 30, Wr: 40}
+	e := Electronic()
+	wantPJ := 0.2*10 + 0.03*20 + 2.5*30 + 2.5*40
+	if got := e.PJ(c); got != wantPJ {
+		t.Fatalf("electronic PJ: %v want %v", got, wantPJ)
+	}
+	if got := e.UJ(c); got != wantPJ*1e-6 {
+		t.Fatalf("electronic UJ: %v", got)
+	}
+	s := Sconna()
+	if s.AddPJ != 0 {
+		t.Fatalf("sconna adds must be free (analog PCA accumulation): %v", s.AddPJ)
+	}
+	if s.PJ(Counts{Add: 1000}) != 0 {
+		t.Fatalf("sconna add-only counts must price to zero")
+	}
+	if e.Name == "" || s.Name == "" {
+		t.Fatal("models must be named")
+	}
+}
+
+func TestJobDigestSensitivity(t *testing.T) {
+	t.Parallel()
+	var net digest.Digest
+	net[0] = 7
+	base := JobDigest(net, 0.9, 42, 16)
+	if base != JobDigest(net, 0.9, 42, 16) {
+		t.Fatal("digest must be deterministic")
+	}
+	var net2 digest.Digest
+	net2[0] = 8
+	for name, other := range map[string]digest.Digest{
+		"net":      JobDigest(net2, 0.9, 42, 16),
+		"sparsity": JobDigest(net, 0.5, 42, 16),
+		"seed":     JobDigest(net, 0.9, 43, 16),
+		"n":        JobDigest(net, 0.9, 42, 17),
+	} {
+		if other == base {
+			t.Fatalf("digest insensitive to %s", name)
+		}
+	}
+}
+
+func TestRunnerCaches(t *testing.T) {
+	t.Parallel()
+	r, err := NewRunner(RunnerOptions{CacheDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var net digest.Digest
+	key := JobDigest(net, 0.9, 1, 4)
+	calls := 0
+	compute := func() (Profile, error) {
+		calls++
+		rec := NewRecorder([]string{"l0"})
+		rec.Record(0, Counts{Mul: 5}, Counts{Mul: 2})
+		rec.AddInferences(4)
+		return rec.Snapshot(), nil
+	}
+	p1, err := r.Profile(key, compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := r.Profile(key, compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	if p1.Layers[0].Dense.Mul != 5 || p2.Layers[0].Dense.Mul != 5 || p2.Inferences != 4 {
+		t.Fatalf("cached profile mismatch: %+v vs %+v", p1, p2)
+	}
+	st := r.Stats()
+	if st.Lookups != 2 || st.Misses != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

@@ -1,0 +1,79 @@
+package opcount
+
+import (
+	"path/filepath"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/digest"
+)
+
+// jobSchema tags the accounting-cell digest encoding. Bump it whenever
+// JobDigest's field set — or the counting convention in this package —
+// changes meaning, like every other cache-key schema in the tree.
+const jobSchema = "repro/opcount.Job@v1"
+
+// JobDigest keys one accounting cell: profiling a fixed quantized
+// network (by content digest) over a deterministic input population
+// (sparsity, generator seed, example count). A profile is a pure
+// function of these values, which is what makes the cells cacheable.
+func JobDigest(netDigest digest.Digest, sparsity float64, seed uint64, n int) digest.Digest {
+	h := digest.New()
+	h.Str(jobSchema)
+	h.Bytes(netDigest[:])
+	h.F64(sparsity)
+	h.U64(seed)
+	h.Int(n)
+	return h.Sum()
+}
+
+// RunnerOptions configures a cache-aware accounting Runner, mirroring
+// the other runners in the tree.
+type RunnerOptions struct {
+	// CacheEntries bounds the in-memory profile LRU (<= 0 selects
+	// cache.DefaultEntries).
+	CacheEntries int
+	// CacheDir, when non-empty, persists profiles on disk under
+	// CacheDir/opcount; empty keeps the cache in-memory only.
+	CacheDir string
+	// CacheMaxBytes / CacheMaxAge bound the on-disk store at open,
+	// exactly as for the accel Runner.
+	CacheMaxBytes int64
+	CacheMaxAge   time.Duration
+}
+
+// Runner memoizes accounting profiles in a content-addressed cache:
+// each cell computes at most once per digest for the life of the store,
+// and hits return exactly what the computation would (profiles are pure
+// data, shared by value).
+type Runner struct {
+	cache *cache.Cache[Profile]
+}
+
+// NewRunner builds a Runner; it fails only when the disk cache
+// directory cannot be created.
+func NewRunner(opts RunnerOptions) (*Runner, error) {
+	dir := opts.CacheDir
+	if dir != "" {
+		dir = filepath.Join(dir, "opcount")
+	}
+	c, err := cache.New[Profile](cache.Options{
+		Entries:  opts.CacheEntries,
+		Dir:      dir,
+		MaxBytes: opts.CacheMaxBytes,
+		MaxAge:   opts.CacheMaxAge,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{cache: c}, nil
+}
+
+// Profile returns the cached profile for key, computing it at most once
+// per content digest.
+func (r *Runner) Profile(key digest.Digest, compute func() (Profile, error)) (Profile, error) {
+	return r.cache.GetOrCompute(key, compute)
+}
+
+// Stats snapshots the profile-cache traffic counters.
+func (r *Runner) Stats() cache.Stats { return r.cache.Stats() }

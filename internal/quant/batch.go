@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/matmul"
+	"repro/internal/opcount"
 	"repro/internal/tensor"
 )
 
@@ -17,9 +18,15 @@ import (
 // serving goroutine, never shared. The serving plane pairs one with each
 // pooled engine.
 type BatchScratch struct {
-	per []*Scratch
-	dkv []int
-	xs  []*tensor.T
+	per    []*Scratch
+	dkv    []int
+	xs     []*tensor.T
+	sparse []bool // per-example sparse-path flags for the current layer
+
+	// Ops, when non-nil, receives per-layer op tallies aggregated over
+	// the whole micro-batch; nil costs one branch per layer. Safe to
+	// share one atomic Recorder across a serving pool's scratches.
+	Ops *opcount.Recorder
 }
 
 // NewBatchScratch returns an empty batch scratch; buffers grow on first
@@ -82,13 +89,13 @@ func (q *Network) ForwardBatch(xs []*tensor.T, engines []DotEngine, s *BatchScra
 	cur := s.xs[:len(xs)]
 	copy(cur, xs)
 	owned := false // whether cur holds our tensors (not the caller's inputs)
-	for _, l := range q.layers {
+	for li, l := range q.layers {
 		switch {
 		case l.conv != nil:
-			l.conv.forwardBatch(cur, eng, qmax, per, s)
+			l.conv.forwardBatch(cur, eng, qmax, per, s, li)
 			owned = true
 		case l.dense != nil:
-			l.dense.forwardBatch(cur, eng, qmax, per, s)
+			l.dense.forwardBatch(cur, eng, qmax, per, s, li)
 			owned = true
 		case l.relu:
 			for e, x := range cur {
@@ -99,16 +106,20 @@ func (q *Network) ForwardBatch(xs []*tensor.T, engines []DotEngine, s *BatchScra
 				reluInPlace(x)
 			}
 			owned = true
+			recordElt(s.Ops, li, reluOps(len(cur)*cur[0].Len()))
 		case l.pool:
 			for e, x := range cur {
 				cur[e] = poolHalf(x)
 			}
 			owned = true
+			recordElt(s.Ops, li, poolOps(len(cur)*cur[0].Len()))
 		case l.gap:
+			hw := cur[0].Shape[1] * cur[0].Shape[2]
 			for e, x := range cur {
 				cur[e] = gapPool(x)
 			}
 			owned = true
+			recordElt(s.Ops, li, gapOps(len(cur)*cur[0].Len(), hw))
 		case l.flat:
 			for e, x := range cur {
 				cur[e] = x.Reshape(x.Len()) // aliases: ownership carries
@@ -140,7 +151,14 @@ func sameShape(a, b []int) bool {
 // (b) for each example the engine-facing call order is exactly the
 // serial one — (output channel, pixel) lexicographic — which is what
 // keeps per-example engines bit-identical to ForwardScratch.
-func (c *QConv2D) forwardBatch(xs []*tensor.T, eng func(int) DotEngine, qmax int, per []*Scratch, bs *BatchScratch) {
+//
+// Sparsity gating is per example: an example whose engine opts in
+// (ZeroSkipper) and whose quantized input clears worthSparse runs the
+// compacted path, gathering its own (shorter) operand vectors, while the
+// other examples keep the shared dense DKV gathers. Each example's
+// (oc, pixel) call order is identical on both paths, so mixed batches
+// stay bit-identical to per-example serial inference.
+func (c *QConv2D) forwardBatch(xs []*tensor.T, eng func(int) DotEngine, qmax int, per []*Scratch, bs *BatchScratch, li int) {
 	h, w := xs[0].Shape[1], xs[0].Shape[2]
 	hw := h * w
 	pos := matmul.Positions(h, w, c.K, c.Stride, c.Pad)
@@ -149,32 +167,62 @@ func (c *QConv2D) forwardBatch(xs []*tensor.T, eng func(int) DotEngine, qmax int
 	k2 := c.K * c.K
 
 	outs := make([]*tensor.T, len(xs))
+	if cap(bs.sparse) < len(xs) {
+		bs.sparse = make([]bool, len(xs))
+	}
+	sp := bs.sparse[:len(xs)]
+	anyDense, nSparse, nnzSparse := false, 0, 0
+	segC := c.InC // compacted segments per pixel (depthwise included)
 	for e := range xs {
 		per[e].qx = quantizeActs(per[e].qx, xs[e].Data, c.InScale, qmax)
 		outs[e] = tensor.New(c.OutC, oh, ow)
+		sp[e] = skipsZeros(eng(e)) && worthSparse(per[e].qx)
+		if sp[e] {
+			gatherSparse(pos, per[e], segC, hw, k2)
+			nSparse++
+			nnzSparse += per[e].sseg[npix*segC]
+		} else {
+			anyDense = true
+		}
+	}
+	if bs.Ops != nil {
+		nin := len(xs[0].Data)
+		if n := len(xs) - nSparse; n > 0 {
+			c.recordOps(bs.Ops, li, uint64(pos.NumOffs()), nin, npix, n, -1)
+		}
+		if nSparse > 0 {
+			c.recordOps(bs.Ops, li, uint64(pos.NumOffs()), nin, npix, nSparse, nnzSparse)
+		}
 	}
 
 	if c.Depthwise {
 		// DKV depends only on (oc, pixel); gather it once per batch and
-		// reuse across examples. Pixel outer of example keeps the
-		// per-example call order at (oc, pix).
+		// reuse across the dense examples. Pixel outer of example keeps
+		// the per-example call order at (oc, pix).
 		for oc := 0; oc < c.OutC; oc++ {
 			kbase := oc * k2
 			for pix := 0; pix < npix; pix++ {
 				offs, kks := pos.At(pix)
 				n := len(offs)
-				bs.dkv = growInts(bs.dkv, n)
-				for i, k := range kks {
-					bs.dkv[i] = c.W[kbase+k]
+				if anyDense {
+					bs.dkv = growInts(bs.dkv, n)
+					for i, k := range kks {
+						bs.dkv[i] = c.W[kbase+k]
+					}
 				}
 				for e := range xs {
 					s := per[e]
-					qc := s.qx[oc*hw : (oc+1)*hw]
-					s.div = growInts(s.div, n)
-					for i, o := range offs {
-						s.div[i] = qc[o]
+					var acc int
+					if sp[e] {
+						acc = c.sparseDotDW(eng(e), s, pix, oc)
+					} else {
+						qc := s.qx[oc*hw : (oc+1)*hw]
+						s.div = growInts(s.div, n)
+						for i, o := range offs {
+							s.div[i] = qc[o]
+						}
+						acc = eng(e).Dot(s.div, bs.dkv[:n])
 					}
-					acc := eng(e).Dot(s.div, bs.dkv)
 					outs[e].Data[oc*npix+pix] = float32(acc)*c.InScale*c.WScale + c.Bias[oc]
 				}
 			}
@@ -184,9 +232,13 @@ func (c *QConv2D) forwardBatch(xs []*tensor.T, eng func(int) DotEngine, qmax int
 	}
 
 	ksz := c.InC * k2
-	// Per-example integer im2col: every pixel's DIV vector gathered once,
-	// exactly as the serial lowering does.
+	// Per-example integer im2col for the dense examples: every pixel's
+	// DIV vector gathered once, exactly as the serial lowering does (the
+	// sparse examples gathered their compacted structure above).
 	for e := range xs {
+		if sp[e] {
+			continue
+		}
 		s := per[e]
 		s.ds = growInts(s.ds, npix+1)
 		need := 0
@@ -212,14 +264,23 @@ func (c *QConv2D) forwardBatch(xs []*tensor.T, eng func(int) DotEngine, qmax int
 	for oc := 0; oc < c.OutC; oc++ {
 		kbase := oc * ksz
 		if pos.Full() {
-			// One contiguous weight row serves every (example, pixel) of
-			// this output channel.
-			bs.dkv = growInts(bs.dkv, ksz)
-			dkv := bs.dkv[:ksz]
-			copy(dkv, c.W[kbase:kbase+ksz])
+			// One contiguous weight row serves every dense (example,
+			// pixel) of this output channel.
+			if anyDense {
+				bs.dkv = growInts(bs.dkv, ksz)
+				copy(bs.dkv[:ksz], c.W[kbase:kbase+ksz])
+			}
 			for e := range xs {
 				s := per[e]
 				orow := outs[e].Data[oc*npix:]
+				if sp[e] {
+					for pix := 0; pix < npix; pix++ {
+						acc := c.sparseDot(eng(e), s, kbase, pix)
+						orow[pix] = float32(acc)*c.InScale*c.WScale + c.Bias[oc]
+					}
+					continue
+				}
+				dkv := bs.dkv[:ksz]
 				for pix := 0; pix < npix; pix++ {
 					acc := eng(e).Dot(s.div[s.ds[pix]:s.ds[pix+1]], dkv)
 					orow[pix] = float32(acc)*c.InScale*c.WScale + c.Bias[oc]
@@ -230,19 +291,25 @@ func (c *QConv2D) forwardBatch(xs []*tensor.T, eng func(int) DotEngine, qmax int
 		for pix := 0; pix < npix; pix++ {
 			_, kks := pos.At(pix)
 			n := len(kks) * c.InC
-			bs.dkv = growInts(bs.dkv, n)
-			dkv := bs.dkv[:n]
-			p := 0
-			for ic := 0; ic < c.InC; ic++ {
-				wseg := c.W[kbase+ic*k2:]
-				for _, k := range kks {
-					dkv[p] = wseg[k]
-					p++
+			if anyDense {
+				bs.dkv = growInts(bs.dkv, n)
+				p := 0
+				for ic := 0; ic < c.InC; ic++ {
+					wseg := c.W[kbase+ic*k2:]
+					for _, k := range kks {
+						bs.dkv[p] = wseg[k]
+						p++
+					}
 				}
 			}
 			for e := range xs {
 				s := per[e]
-				acc := eng(e).Dot(s.div[s.ds[pix]:s.ds[pix+1]], dkv)
+				var acc int
+				if sp[e] {
+					acc = c.sparseDot(eng(e), s, kbase, pix)
+				} else {
+					acc = eng(e).Dot(s.div[s.ds[pix]:s.ds[pix+1]], bs.dkv[:n])
+				}
 				outs[e].Data[oc*npix+pix] = float32(acc)*c.InScale*c.WScale + c.Bias[oc]
 			}
 		}
@@ -252,7 +319,8 @@ func (c *QConv2D) forwardBatch(xs []*tensor.T, eng func(int) DotEngine, qmax int
 
 // forwardBatch gathers each output row's weight vector once per batch;
 // per-example call order stays (output) ascending, the serial order.
-func (d *QDense) forwardBatch(xs []*tensor.T, eng func(int) DotEngine, qmax int, per []*Scratch, bs *BatchScratch) {
+func (d *QDense) forwardBatch(xs []*tensor.T, eng func(int) DotEngine, qmax int, per []*Scratch, bs *BatchScratch, li int) {
+	d.recordOps(bs.Ops, li, len(xs))
 	outs := make([]*tensor.T, len(xs))
 	for e := range xs {
 		per[e].qx = quantizeActs(per[e].qx, xs[e].Data, d.InScale, qmax)

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/matmul"
 	"repro/internal/nn"
+	"repro/internal/opcount"
 	"repro/internal/tensor"
 )
 
@@ -218,6 +219,19 @@ type Scratch struct {
 	div []int // all pixels' gathered activations, flat
 	ds  []int // per-pixel start offsets into div (npix+1)
 	dkv []int
+
+	// Column-compacted gather (sparse path): nonzero quantized
+	// activations, their kernel slots, and per-(pixel, channel) segment
+	// offsets. See gatherSparse.
+	sval []int
+	skk  []int
+	sseg []int
+
+	// Ops, when non-nil, receives per-layer op tallies (dense-equivalent
+	// and executed) from the lowered forward path. The Recorder is
+	// atomic and may be shared across scratches; nil costs one branch
+	// per layer.
+	Ops *opcount.Recorder
 }
 
 // NewScratch returns an empty scratch; buffers grow on first use.
@@ -245,13 +259,13 @@ func (q *Network) Forward(x *tensor.T, engine DotEngine) *tensor.T {
 func (q *Network) ForwardScratch(x *tensor.T, engine DotEngine, s *Scratch) *tensor.T {
 	qmax := int(1)<<uint(q.Bits) - 1
 	owned := false // whether x is ours to mutate (not the caller's input)
-	for _, l := range q.layers {
+	for li, l := range q.layers {
 		switch {
 		case l.conv != nil:
-			x = l.conv.forward(x, engine, qmax, s)
+			x = l.conv.forward(x, engine, qmax, s, li)
 			owned = true
 		case l.dense != nil:
-			x = l.dense.forward(x, engine, qmax, s)
+			x = l.dense.forward(x, engine, qmax, s, li)
 			owned = true
 		case l.relu:
 			if !owned {
@@ -259,12 +273,16 @@ func (q *Network) ForwardScratch(x *tensor.T, engine DotEngine, s *Scratch) *ten
 				owned = true
 			}
 			reluInPlace(x)
+			recordElt(s.Ops, li, reluOps(x.Len()))
 		case l.pool:
 			x = poolHalf(x)
 			owned = true
+			recordElt(s.Ops, li, poolOps(x.Len()))
 		case l.gap:
+			hw := x.Shape[1] * x.Shape[2]
 			x = gapPool(x)
 			owned = true
+			recordElt(s.Ops, li, gapOps(x.Len(), hw))
 		case l.flat:
 			x = x.Reshape(x.Len()) // aliases: ownership carries over
 		}
@@ -369,7 +387,13 @@ func (q *Network) ForwardNaive(x *tensor.T, engine DotEngine) *tensor.T {
 // advances its ADC noise stream per dot product) sees an identical call
 // sequence and produces bit-identical results (asserted by the
 // call-sequence equivalence test).
-func (c *QConv2D) forward(x *tensor.T, engine DotEngine, qmax int, s *Scratch) *tensor.T {
+//
+// When the engine opts in (ZeroSkipper) and the quantized input is
+// sparse enough (worthSparse), the layer instead runs the
+// column-compacted sparse path — bit-exact for such engines by the
+// ZeroSkipper contract, and pinned sparse == dense by the equivalence
+// tier. Engines that do not opt in always see the dense call sequence.
+func (c *QConv2D) forward(x *tensor.T, engine DotEngine, qmax int, s *Scratch, li int) *tensor.T {
 	h, w := x.Shape[1], x.Shape[2]
 	hw := h * w
 	pos := matmul.Positions(h, w, c.K, c.Stride, c.Pad)
@@ -378,6 +402,14 @@ func (c *QConv2D) forward(x *tensor.T, engine DotEngine, qmax int, s *Scratch) *
 	k2 := c.K * c.K
 	s.qx = quantizeActs(s.qx, x.Data, c.InScale, qmax)
 	out := tensor.New(c.OutC, oh, ow)
+
+	if skipsZeros(engine) && worthSparse(s.qx) {
+		gatherSparse(pos, s, c.InC, hw, k2)
+		c.forwardSparse(out.Data, engine, s, npix, k2)
+		c.recordOps(s.Ops, li, uint64(pos.NumOffs()), len(x.Data), npix, 1, s.sseg[npix*c.InC])
+		return out
+	}
+	c.recordOps(s.Ops, li, uint64(pos.NumOffs()), len(x.Data), npix, 1, -1)
 
 	if c.Depthwise {
 		// One channel per output channel: gather DIV/DKV per (oc, pixel)
@@ -508,7 +540,8 @@ func (c *QConv2D) forwardNaive(x *tensor.T, engine DotEngine, qmax int) *tensor.
 	return out
 }
 
-func (d *QDense) forward(x *tensor.T, engine DotEngine, qmax int, s *Scratch) *tensor.T {
+func (d *QDense) forward(x *tensor.T, engine DotEngine, qmax int, s *Scratch, li int) *tensor.T {
+	d.recordOps(s.Ops, li, 1)
 	s.qx = quantizeActs(s.qx, x.Data, d.InScale, qmax)
 	out := tensor.New(d.Out)
 	s.dkv = growInts(s.dkv, d.In)

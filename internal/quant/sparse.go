@@ -1,0 +1,155 @@
+package quant
+
+import (
+	"repro/internal/matmul"
+)
+
+// ZeroSkipper marks engines for which the sparsity-exploiting lowering
+// is provably exact. SkipsZeros() == true is a contract with three
+// clauses: (1) Dot's result is a pure function of the lanes whose DIV
+// value is nonzero — a lane with div[i] == 0 contributes nothing and may
+// be dropped; (2) Dot over empty vectors is 0, so a call whose every
+// lane is zero may be elided entirely; (3) Dot consumes no hidden state
+// (no RNG advance, no call counter), so eliding calls cannot shift any
+// noise stream.
+//
+// ExactEngine satisfies all three trivially (plain integer arithmetic).
+// The packed analytic SCONNA tier satisfies them when its ADC is ideal:
+// lanes are independent (a zero-DIV lane lights no stream bits, so its
+// popcount contribution is exactly zero), the ideal ADC conversion draws
+// no randomness, and the PCA capacity check cannot fire on a subset of
+// lanes if it did not fire on the full set. Noisy engines must NOT
+// implement (or must return false from) SkipsZeros: their ADC noise
+// stream advances per Dot call, so they require the dense per-(layer,
+// output-channel, pixel) call sequence, which the lowering preserves for
+// them unconditionally.
+type ZeroSkipper interface {
+	DotEngine
+	// SkipsZeros reports that dropping zero-DIV lanes (and whole
+	// all-zero calls) is bit-exact for this engine.
+	SkipsZeros() bool
+}
+
+// SkipsZeros implements ZeroSkipper: integer arithmetic drops zero
+// products exactly.
+func (ExactEngine) SkipsZeros() bool { return true }
+
+// skipsZeros gates the sparse path on the engine's capability.
+func skipsZeros(e DotEngine) bool {
+	z, ok := e.(ZeroSkipper)
+	return ok && z.SkipsZeros()
+}
+
+// worthSparse reports whether the quantized activations are sparse
+// enough for the compacted path to win: zero fraction at or above
+// matmul.SparseThreshold. Below it, the per-entry index bookkeeping
+// costs more than the skipped lanes save and the dense gather stays.
+func worthSparse(qx []int) bool {
+	if len(qx) == 0 {
+		return false
+	}
+	z := 0
+	for _, v := range qx {
+		if v == 0 {
+			z++
+		}
+	}
+	return float64(z) >= matmul.SparseThreshold*float64(len(qx))
+}
+
+// gatherSparse builds the column-compacted integer patch structure over
+// s.qx: segment (pix*inC + ic) holds pixel pix's in-bounds nonzero
+// quantized activations from channel ic in (ky, kx) order — the dense
+// DIV enumeration with the zero lanes dropped, so a pixel's full
+// compacted DIV is the contiguous run s.sval[s.sseg[pix*inC] :
+// s.sseg[(pix+1)*inC]]. s.skk holds each entry's within-row weight slot
+// ic*k2 + kk, so a DKV gather is one indexed walk of the run — no
+// per-channel segment bookkeeping on the hot (output channel, pixel)
+// path.
+func gatherSparse(pos *matmul.Pos, s *Scratch, inC, hw, k2 int) {
+	npix := pos.NumPix()
+	nseg := npix*inC + 1
+	s.sseg = growInts(s.sseg, nseg)
+	s.sval = s.sval[:0]
+	s.skk = s.skk[:0]
+	seg := 0
+	s.sseg[0] = 0
+	for pix := 0; pix < npix; pix++ {
+		offs, kks := pos.At(pix)
+		for ic := 0; ic < inC; ic++ {
+			qc := s.qx[ic*hw:]
+			wbase := ic * k2
+			for i, o := range offs {
+				if v := qc[o]; v != 0 {
+					s.sval = append(s.sval, v)
+					s.skk = append(s.skk, wbase+kks[i])
+				}
+			}
+			seg++
+			s.sseg[seg] = len(s.sval)
+		}
+	}
+}
+
+// sparseDot runs one (output channel, pixel) compacted dot product of a
+// non-depthwise conv: the pixel's contiguous compacted DIV run against
+// the DKV gathered through the stored weight-slot index, with the call
+// elided when the run is empty (exact by the ZeroSkipper contract).
+func (c *QConv2D) sparseDot(engine DotEngine, s *Scratch, kbase, pix int) int {
+	lo, hi := s.sseg[pix*c.InC], s.sseg[(pix+1)*c.InC]
+	if lo == hi {
+		return 0
+	}
+	n := hi - lo
+	s.dkv = growInts(s.dkv, n)
+	wrow := c.W[kbase:]
+	for i, k := range s.skk[lo:hi] {
+		s.dkv[i] = wrow[k]
+	}
+	return engine.Dot(s.sval[lo:hi], s.dkv[:n])
+}
+
+// sparseDotDW is sparseDot's depthwise counterpart: channel oc reduces
+// only its own compacted segment. The stored slot ic*k2 + kk with
+// ic == oc is already the absolute index into the depthwise weight
+// tensor (whose row oc starts at oc*k2), so the gather needs no base.
+func (c *QConv2D) sparseDotDW(engine DotEngine, s *Scratch, pix, oc int) int {
+	lo, hi := s.sseg[pix*c.InC+oc], s.sseg[pix*c.InC+oc+1]
+	if lo == hi {
+		return 0
+	}
+	n := hi - lo
+	s.dkv = growInts(s.dkv, n)
+	for i, k := range s.skk[lo:hi] {
+		s.dkv[i] = c.W[k]
+	}
+	return engine.Dot(s.sval[lo:hi], s.dkv[:n])
+}
+
+// forwardSparse runs the quantized convolution over the compacted
+// structure (already gathered into s by gatherSparse): per (output
+// channel, pixel) the engine sees the dense operand vectors with zero
+// DIV lanes dropped, in the dense enumeration order, and all-zero calls
+// elided — exact for any ZeroSkipper engine. The (oc, pixel) iteration
+// order matches the dense lowering.
+func (c *QConv2D) forwardSparse(out []float32, engine DotEngine, s *Scratch, npix, k2 int) {
+	if c.Depthwise {
+		for oc := 0; oc < c.OutC; oc++ {
+			orow := out[oc*npix:]
+			for pix := 0; pix < npix; pix++ {
+				acc := c.sparseDotDW(engine, s, pix, oc)
+				orow[pix] = float32(acc)*c.InScale*c.WScale + c.Bias[oc]
+			}
+		}
+		return
+	}
+	ksz := c.InC * k2
+	for oc := 0; oc < c.OutC; oc++ {
+		kbase := oc * ksz
+		orow := out[oc*npix:]
+		for pix := 0; pix < npix; pix++ {
+			acc := c.sparseDot(engine, s, kbase, pix)
+			orow[pix] = float32(acc)*c.InScale*c.WScale + c.Bias[oc]
+		}
+	}
+}

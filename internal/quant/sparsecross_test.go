@@ -1,0 +1,76 @@
+package quant_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/sckernel"
+	"repro/internal/tensor"
+)
+
+// TestPackedIdealZeroSkipper pins the packed tier's capability claim:
+// only the ideal-ADC configuration opts into the sparse path (a noisy
+// ADC advances its RNG per chunk and needs the dense call sequence).
+func TestPackedIdealZeroSkipper(t *testing.T) {
+	t.Parallel()
+	ideal := crossCfg(8)
+	eIdeal, err := sckernel.New(ideal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zs quant.ZeroSkipper = eIdeal
+	if !zs.SkipsZeros() {
+		t.Fatal("ideal-ADC packed engine must skip zeros")
+	}
+	noisy := ideal
+	noisy.IdealADC = false
+	eNoisy, err := sckernel.New(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eNoisy.SkipsZeros() {
+		t.Fatal("noisy-ADC packed engine must not skip zeros")
+	}
+}
+
+// TestPackedIdealSparseBitIdentical runs the ideal-ADC packed engine —
+// which opts into zero skipping — against the dense naive reference over
+// the sparsity tier: the compacted operand vectors shorten the chunk
+// decomposition, yet every logit must stay bit-identical, which is
+// exactly the ZeroSkipper exactness claim (lane-local floor arithmetic,
+// seam-independent ideal conversion, capacity check monotone in lanes).
+func TestPackedIdealSparseBitIdentical(t *testing.T) {
+	t.Parallel()
+	cfg := crossCfg(8) // N=5: every conv dot chunks, sparse rechunking is real
+	qn, err := quant.Quantize(nn.BuildSmallCNN(2, 4, 57), 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(58))
+	for _, sp := range []float64{0, 0.5, 0.9, 1.0} {
+		x := tensor.New(1, 8, 8)
+		for i := range x.Data {
+			if rng.Float64() >= sp {
+				x.Data[i] = 0.5 + 0.5*rng.Float32()
+			}
+		}
+		eng, err := sckernel.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refEng, err := sckernel.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := qn.ForwardNaive(x, refEng)
+		got := qn.Forward(x, eng)
+		for i := range want.Data {
+			if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+				t.Fatalf("sp=%.1f logit[%d]: sparse %v dense %v", sp, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}

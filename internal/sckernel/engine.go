@@ -81,6 +81,18 @@ func (e *Engine) Name() string {
 	return "sconna-packed"
 }
 
+// SkipsZeros implements quant.ZeroSkipper: with an ideal ADC, dropping
+// zero-DIV lanes is bit-exact. Lanes are independent (a zero activation
+// lights no stream bits, so its pos/neg accumulator contribution is
+// exactly zero), the ideal conversion is (pos-neg)*scale with no RNG
+// draw — so per-chunk partials sum to the same total however the chunk
+// seams fall on the shorter vector — and the PCA capacity check cannot
+// fire on a lane subset when it could not fire on the full set (pos and
+// neg only shrink, and both are bounded by N*2^B = maxOnes regardless).
+// A noisy ADC breaks all of this: its RNG advances two draws per chunk,
+// so the engine then requires the dense call sequence and reports false.
+func (e *Engine) SkipsZeros() bool { return e.cfg.IdealADC }
+
 // Dot implements quant.DotEngine with the packed kernels. Operand
 // contract violations are programming errors in the quantizer, matching
 // quant.SconnaEngine.Dot's panic semantics.

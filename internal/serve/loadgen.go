@@ -80,6 +80,31 @@ func mix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// SparseInputs generates n deterministic inputs of the given size with a
+// controlled zero fraction: element j of input i is zero iff the hashed
+// fraction mix64(mix64(seed+i)^j) / 2^64 falls below sparsity, otherwise
+// a positive value in (0, 1]. Pure function of its arguments — the same
+// (n, size, sparsity, seed) always yields byte-identical inputs, so
+// benchmark legs and cached experiments replay exactly.
+func SparseInputs(n, size int, sparsity float64, seed uint64) [][]float32 {
+	xs := make([][]float32, n)
+	for i := range xs {
+		base := mix64(seed + uint64(i))
+		x := make([]float32, size)
+		for j := range x {
+			h := mix64(base ^ uint64(j))
+			if float64(h)/float64(1<<63)/2 < sparsity {
+				continue
+			}
+			// Positive and bounded away from the quantization step so no
+			// nonzero element rounds to zero after activation quantization.
+			x[j] = 0.5 + 0.5*float32(h>>40)/float32(1<<24)
+		}
+		xs[i] = x
+	}
+	return xs
+}
+
 // pickShare selects the mix entry for one request index: a hash of
 // (seed, index) reduced into the cumulative weights. Pure function of
 // its arguments — the routing sequence is a property of the run
@@ -94,7 +119,7 @@ func pickShare(mix []ModelShare, seed uint64, idx int) string {
 	if total == 0 {
 		return ""
 	}
-	v := int(mix64(mix64(seed) ^ uint64(idx)) % uint64(total))
+	v := int(mix64(mix64(seed)^uint64(idx)) % uint64(total))
 	for _, s := range mix {
 		if s.Weight <= 0 {
 			continue

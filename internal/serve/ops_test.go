@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// TestSparseInputsDeterministicAndControlled pins the load generator: a
+// given (n, size, sparsity, seed) yields byte-identical inputs, the
+// realized zero fraction tracks the request, and nonzeros stay positive.
+func TestSparseInputsDeterministicAndControlled(t *testing.T) {
+	t.Parallel()
+	a := SparseInputs(4, 4096, 0.9, 7)
+	b := SparseInputs(4, 4096, 0.9, 7)
+	zeros, total := 0, 0
+	for i := range a {
+		for j := range a[i] {
+			if math.Float32bits(a[i][j]) != math.Float32bits(b[i][j]) {
+				t.Fatalf("input %d element %d: %v vs %v — not deterministic", i, j, a[i][j], b[i][j])
+			}
+			total++
+			if a[i][j] == 0 {
+				zeros++
+			} else if a[i][j] <= 0 || a[i][j] > 1 {
+				t.Fatalf("nonzero element %v outside (0, 1]", a[i][j])
+			}
+		}
+	}
+	if frac := float64(zeros) / float64(total); frac < 0.85 || frac > 0.95 {
+		t.Fatalf("realized sparsity %.3f, want ~0.9", frac)
+	}
+	c := SparseInputs(1, 4096, 0.9, 8)
+	same := true
+	for j := range c[0] {
+		if math.Float32bits(c[0][j]) != math.Float32bits(a[0][j]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical inputs")
+	}
+	if xs := SparseInputs(2, 16, 1.0, 3); xs[0][0] != 0 || xs[1][15] != 0 {
+		t.Fatal("sparsity 1.0 must yield all-zero inputs")
+	}
+}
+
+// TestServeOpAccounting pins the /stats accounting plane: with
+// Options.OpAccounting the server reports op totals that grow with
+// traffic and show zero-skipping savings on sparse inputs; without it
+// the Ops summary is absent entirely (the zero-cost-when-off contract).
+func TestServeOpAccounting(t *testing.T) {
+	s := newTestServer(t, quant.SharedEngine(quant.ExactEngine{}), exactOpts(func(o *Options) {
+		o.OpAccounting = true
+	}))
+	size := testShape[0] * testShape[1] * testShape[2]
+	for _, raw := range SparseInputs(5, size, 0.95, 11) {
+		x := tensor.New(testShape...)
+		copy(x.Data, raw)
+		if _, err := s.Submit(context.Background(), x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ops := s.Stats().Ops
+	if ops == nil {
+		t.Fatal("OpAccounting on: Stats().Ops is nil")
+	}
+	if ops.Inferences != 5 {
+		t.Fatalf("inferences %d, want 5", ops.Inferences)
+	}
+	if ops.Dense.Total() == 0 || ops.Exec.Total() == 0 {
+		t.Fatalf("empty op totals: dense %+v exec %+v", ops.Dense, ops.Exec)
+	}
+	if ops.Exec.Total() >= ops.Dense.Total() || ops.SkippedFrac <= 0 {
+		t.Fatalf("95%%-sparse traffic skipped nothing: exec %d dense %d skipped %.3f",
+			ops.Exec.Total(), ops.Dense.Total(), ops.SkippedFrac)
+	}
+	if ops.ElectronicDenseUJ <= ops.ElectronicUJ || ops.ElectronicUJ <= 0 || ops.SconnaUJ <= 0 {
+		t.Fatalf("energy summary inconsistent: %+v", ops)
+	}
+
+	off := newTestServer(t, quant.SharedEngine(quant.ExactEngine{}), exactOpts(nil))
+	if _, err := off.Submit(context.Background(), testInputs(1, 31)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if off.Stats().Ops != nil {
+		t.Fatal("OpAccounting off: Stats().Ops must be absent")
+	}
+}

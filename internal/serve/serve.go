@@ -46,6 +46,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/opcount"
 	"repro/internal/parallel"
 	"repro/internal/quant"
 	"repro/internal/tensor"
@@ -85,6 +86,12 @@ type Options struct {
 	InputShape []int
 	// ClassNames optionally labels the logits indices in results.
 	ClassNames []string
+	// OpAccounting attaches an op/energy recorder to the serving hot
+	// path: every batch tallies per-layer dense-equivalent and executed
+	// op counts (atomic counters shared across the pool), summarized in
+	// Stats().Ops. Off by default — when off, the forward paths see a
+	// nil recorder and pay one branch per layer, nothing else.
+	OpAccounting bool
 }
 
 // Result is one classify outcome.
@@ -144,6 +151,10 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 
+	// ops is the op/energy recorder (nil unless Options.OpAccounting);
+	// shared by every pooled engine's scratch — its counters are atomic.
+	ops *opcount.Recorder
+
 	accepted  atomic.Uint64
 	rejected  atomic.Uint64
 	draining  atomic.Uint64
@@ -188,6 +199,9 @@ func New(qn *quant.Network, factory quant.EngineFactory, opts Options) (*Server,
 		queue:     make(chan *request, opts.QueueDepth),
 		batches:   make(chan []*request, opts.PoolSize),
 		batchHist: make([]uint64, opts.MaxBatch),
+	}
+	if opts.OpAccounting {
+		s.ops = qn.OpRecorder()
 	}
 	s.wg.Add(1 + opts.PoolSize)
 	go s.dispatch()
@@ -413,7 +427,13 @@ func (s *Server) runBatch(batch []*request) {
 		}
 	}
 
+	// A nil recorder keeps accounting zero-cost; a live one is atomic
+	// and safe to share across all pooled scratches.
+	eng.Scratch.Ops = s.ops
 	outs := s.qn.ForwardBatch(xs, engines, eng.Scratch)
+	if s.ops != nil {
+		s.ops.AddInferences(uint64(len(exec)))
+	}
 	now := time.Now()
 	for i, r := range exec {
 		logits := outs[i]
@@ -476,7 +496,12 @@ func (s *Server) Stats() Stats {
 	s.batchMu.Lock()
 	hist := append([]uint64(nil), s.batchHist...)
 	s.batchMu.Unlock()
+	var ops *OpStats
+	if s.ops != nil {
+		ops = summarizeOps(s.ops.Snapshot())
+	}
 	return Stats{
+		Ops:           ops,
 		Accepted:      s.accepted.Load(),
 		Rejected:      s.rejected.Load(),
 		Draining:      s.draining.Load(),

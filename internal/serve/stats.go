@@ -5,6 +5,8 @@ import (
 	"math/bits"
 	"sync"
 	"time"
+
+	"repro/internal/opcount"
 )
 
 // Stats is a snapshot of the server's traffic counters, exposed by
@@ -36,6 +38,44 @@ type Stats struct {
 	LatencyP99 time.Duration `json:"latency_p99_ns"`
 	// Deterministic reports the serving mode.
 	Deterministic bool `json:"deterministic"`
+	// Ops is the op/energy accounting summary, present only when the
+	// server was built with Options.OpAccounting.
+	Ops *OpStats `json:"ops,omitempty"`
+}
+
+// OpStats summarizes the server's op/energy accounting plane: arithmetic
+// and memory-traffic totals for the work actually executed (Exec) next
+// to what a dense lowering would have cost (Dense), plus per-inference
+// energy under the repo's electronic and SCONNA models.
+type OpStats struct {
+	Inferences uint64         `json:"inferences"`
+	Dense      opcount.Counts `json:"dense"`
+	Exec       opcount.Counts `json:"exec"`
+	// SkippedFrac is the fraction of dense ops elided by zero skipping.
+	SkippedFrac float64 `json:"skipped_frac"`
+	// Per-inference energy in microjoules: the electronic model priced at
+	// the dense and executed op counts, and the SCONNA model at executed.
+	ElectronicDenseUJ float64 `json:"electronic_dense_uj_per_inf"`
+	ElectronicUJ      float64 `json:"electronic_uj_per_inf"`
+	SconnaUJ          float64 `json:"sconna_uj_per_inf"`
+}
+
+// summarizeOps folds a recorder snapshot into the /stats summary.
+func summarizeOps(p opcount.Profile) *OpStats {
+	dense, exec := p.Dense(), p.Exec()
+	o := &OpStats{
+		Inferences:  p.Inferences,
+		Dense:       dense,
+		Exec:        exec,
+		SkippedFrac: p.SkippedFrac(),
+	}
+	if p.Inferences > 0 {
+		n := float64(p.Inferences)
+		o.ElectronicDenseUJ = opcount.Electronic().UJ(dense) / n
+		o.ElectronicUJ = opcount.Electronic().UJ(exec) / n
+		o.SconnaUJ = opcount.Sconna().UJ(exec) / n
+	}
+	return o
 }
 
 // latBuckets is the log2-microsecond latency histogram size: bucket i

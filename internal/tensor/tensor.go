@@ -143,6 +143,27 @@ func (t *T) MaxAbs() float32 {
 	return m
 }
 
+// Zeros returns the number of zero elements. Both IEEE zeros count
+// (+0 and -0 compare equal to zero), matching what the sparsity-
+// exploiting lowering may skip.
+func (t *T) Zeros() int {
+	n := 0
+	for _, v := range t.Data {
+		if v == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Sparsity returns the fraction of zero elements (0 for empty tensors).
+func (t *T) Sparsity() float64 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return float64(t.Zeros()) / float64(len(t.Data))
+}
+
 // ArgMax returns the index of the largest element.
 func (t *T) ArgMax() int {
 	best := 0

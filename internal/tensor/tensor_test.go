@@ -179,3 +179,25 @@ func TestRandNormalDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestZerosSparsity(t *testing.T) {
+	x := FromSlice([]float32{0, 1.5, -0, 0, -2, 0}, 6)
+	if got := x.Zeros(); got != 4 {
+		t.Fatalf("Zeros = %d, want 4 (both IEEE zeros count)", got)
+	}
+	if got := x.Sparsity(); got != 4.0/6.0 {
+		t.Fatalf("Sparsity = %v", got)
+	}
+	full := New(3, 3)
+	if full.Zeros() != 9 || full.Sparsity() != 1 {
+		t.Fatal("fresh tensor must be fully sparse")
+	}
+	full.Fill(2)
+	if full.Zeros() != 0 || full.Sparsity() != 0 {
+		t.Fatal("filled tensor must be dense")
+	}
+	empty := &T{}
+	if empty.Sparsity() != 0 {
+		t.Fatal("empty tensor sparsity must be 0")
+	}
+}
