@@ -6,6 +6,7 @@
 //
 //	sconnaserve [-addr :8080] [-engine sconna|sconna-packed|exact] [-deterministic]
 //	            [-op-stats] [-pool N] [-max-batch N] [-max-wait D] [-queue N]
+//	            [-request-timeout D] [-max-inflight N] [-breaker]
 //	            [-model name=artifact.qnn ...]
 //	            [-width N] [-train N] [-epochs N] [-seed N]
 //	            [-weights FILE] [-save-weights FILE]
@@ -13,6 +14,7 @@
 //	            [-bits B] [-vdpe-size N] [-adc-seed N]
 //	            [-selftest] [-requests N] [-bench-out FILE]
 //	            [-min-qps Q] [-min-speedup X]
+//	            [-chaos-seed N] [-chaos-only] [-min-goodput F]
 //
 // With repeatable -model flags the server loads pre-quantized model
 // artifacts (written by -save-quant, or quant.SaveFile) and registers
@@ -39,6 +41,16 @@
 // energy under the electronic and SCONNA cost models. Off by default —
 // the recorder is never allocated and the hot path does no counting.
 //
+// The resilience plane is flag-gated: -request-timeout imposes a
+// per-model deadline on queued requests (expiry is a 504, distinct
+// from a caller hanging up), -max-inflight installs a registry-wide
+// admission budget split across models by weight (a saturated model
+// sheds with 429 + Retry-After while the rest keep their engine time),
+// and -breaker puts a circuit breaker on every routed model (5xx trip
+// a rolling window; an open breaker sheds with 503 + Retry-After and
+// recovers through half-open probes, visible as "degraded" in
+// /healthz and per-model breaker state in /stats).
+//
 // -selftest runs the full stack against itself in-process — an HTTP
 // traffic smoke over the legacy, per-model and mixed routing paths, a
 // deterministic replay check (legacy and per-model), a quant-artifact
@@ -46,6 +58,16 @@
 // routing leg — writes the bench trajectory to -bench-out
 // (BENCH_serve.json) and fails if throughput drops under the -min-qps /
 // -min-speedup floors. CI runs it on every change.
+//
+// -chaos-seed N arms the chaos soak: a breaker-guarded model served
+// under seeded engine-level fault injection (build errors, latency
+// spikes, wrong-but-flagged results) plus budgeted HTTP-level 500s,
+// driven to a breaker trip and back to recovery, twice — the
+// fault-phase status sequence must replay identically, which is the
+// determinism contract chaos runs are held to. The same seed also adds
+// the fault-injected goodput leg to the bench (-min-goodput floors the
+// surviving fraction of fault-free QPS). -chaos-only runs just the
+// soak, which is what the CI -race leg does.
 package main
 
 import (
@@ -62,6 +84,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -69,6 +92,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/nn"
 	"repro/internal/quant"
+	"repro/internal/resilience"
 	"repro/internal/sckernel"
 	"repro/internal/serve"
 	"repro/internal/tensor"
@@ -110,6 +134,12 @@ func main() {
 	maxBatch := flag.Int("max-batch", 32, "micro-batch size cap")
 	maxWait := flag.Duration("max-wait", 0, "how long a partial batch waits to fill (0 = fire immediately)")
 	queue := flag.Int("queue", 0, "request-queue bound (0 = 4x max-batch); beyond it requests get 429")
+	requestTimeout := flag.Duration("request-timeout", 0,
+		"per-model server-imposed deadline; requests expiring in the queue get 504 (0 = none)")
+	maxInFlight := flag.Int("max-inflight", 0,
+		"registry-wide in-flight admission budget, split across models by weight (0 = unlimited)")
+	breaker := flag.Bool("breaker", false,
+		"per-model circuit breakers on routed paths: 5xx trip a rolling window, open sheds 503 + Retry-After")
 
 	var models modelFlags
 	flag.Var(&models, "model",
@@ -133,7 +163,16 @@ func main() {
 	benchOut := flag.String("bench-out", "BENCH_serve.json", "selftest bench trajectory output")
 	minQPS := flag.Float64("min-qps", 0, "selftest floor on batched-mode QPS (0 disables)")
 	minSpeedup := flag.Float64("min-speedup", 0, "selftest floor on batched-vs-serial speedup (0 disables)")
+	chaosSeed := flag.Uint64("chaos-seed", 0,
+		"selftest chaos soak + fault-injected bench leg, keyed by this schedule seed (0 = off)")
+	chaosOnly := flag.Bool("chaos-only", false, "run only the chaos soak selftest leg (needs -selftest -chaos-seed)")
+	minGoodput := flag.Float64("min-goodput", 0,
+		"selftest floor on fault-injected goodput as a fraction of fault-free batched QPS (0 disables)")
 	flag.Parse()
+
+	if *chaosOnly && (!*selftest || *chaosSeed == 0) {
+		fatal(fmt.Errorf("-chaos-only needs -selftest and -chaos-seed"))
+	}
 
 	if len(models) > 0 {
 		for flagName, set := range map[string]bool{
@@ -150,14 +189,18 @@ func main() {
 	}
 
 	opts := serve.Options{
-		MaxBatch:      *maxBatch,
-		MaxWait:       *maxWait,
-		QueueDepth:    *queue,
-		PoolSize:      *pool,
-		Deterministic: *deterministic,
-		OpAccounting:  *opStats,
-		InputShape:    []int{1, 16, 16},
-		ClassNames:    dataset.ClassNames[:],
+		MaxBatch:       *maxBatch,
+		MaxWait:        *maxWait,
+		QueueDepth:     *queue,
+		PoolSize:       *pool,
+		Deterministic:  *deterministic,
+		OpAccounting:   *opStats,
+		InputShape:     []int{1, 16, 16},
+		ClassNames:     dataset.ClassNames[:],
+		DefaultTimeout: *requestTimeout,
+	}
+	if *breaker {
+		opts.Breaker = &resilience.BreakerOptions{} // documented defaults
 	}
 
 	// Assemble the model set: loaded artifacts, or the in-process built
@@ -211,7 +254,8 @@ func main() {
 				fatal(err)
 			}
 			if err := runSelftest(qn, alt, *engineName, *vdpeSize, *adcSeed, opts,
-				*requests, *benchOut, *minQPS, *minSpeedup); err != nil {
+				*requests, *benchOut, *minQPS, *minSpeedup,
+				*chaosSeed, *chaosOnly, *minGoodput); err != nil {
 				fatal(err)
 			}
 			return
@@ -234,6 +278,9 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "sconnaserve: registered %q version %s (%d params)\n",
 			m.Name(), m.Version()[:12], e.qn.NumWeights())
+	}
+	if *maxInFlight > 0 {
+		reg.SetMaxInFlight(*maxInFlight)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -362,10 +409,24 @@ var selftestMix = []serve.ModelShare{
 
 // runSelftest drives the whole stack against itself: routing traffic
 // smoke, deterministic replay checks (legacy and per-model), a
-// quant-artifact round trip, and the throughput bench with floors.
+// quant-artifact round trip, the chaos soak when -chaos-seed is set,
+// and the throughput bench with floors.
 func runSelftest(qn, alt *quant.Network, engineName string, vdpeSize int, adcSeed int64,
-	opts serve.Options, requests int, benchOut string, minQPS, minSpeedup float64) error {
+	opts serve.Options, requests int, benchOut string, minQPS, minSpeedup float64,
+	chaosSeed uint64, chaosOnly bool, minGoodput float64) error {
 	inputs := selftestInputs(64)
+
+	if chaosSeed != 0 {
+		if err := chaosSmoke(qn, engineName, vdpeSize, adcSeed, opts, chaosSeed, inputs); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr,
+			"sconnaserve: selftest chaos soak ok (seed %d: breaker tripped and recovered, fault phase replayed identically, retrying clients recovered every budgeted fault)\n",
+			chaosSeed)
+		if chaosOnly {
+			return nil
+		}
+	}
 
 	if err := artifactSmoke(qn, engineName, vdpeSize, adcSeed); err != nil {
 		return err
@@ -388,7 +449,7 @@ func runSelftest(qn, alt *quant.Network, engineName string, vdpeSize int, adcSee
 		return err
 	}
 	defer drainRegistry(reg)
-	rep, err := serve.BenchRegistryThroughput(reg, inputs, serve.BenchOptions{
+	benchOpts := serve.BenchOptions{
 		SerialRequests:  512,
 		BatchedRequests: 2048,
 		MixRequests:     2048,
@@ -396,7 +457,12 @@ func runSelftest(qn, alt *quant.Network, engineName string, vdpeSize int, adcSee
 		Batch:           32,
 		Raw:             true,
 		Mix:             selftestMix,
-	})
+	}
+	if chaosSeed != 0 {
+		benchOpts.FaultRate = 0.1
+		benchOpts.ChaosSeed = chaosSeed
+	}
+	rep, err := serve.BenchRegistryThroughput(reg, inputs, benchOpts)
 	if err != nil {
 		return err
 	}
@@ -415,6 +481,11 @@ func runSelftest(qn, alt *quant.Network, engineName string, vdpeSize int, adcSee
 	fmt.Fprintf(os.Stderr,
 		"sconnaserve: selftest bench — serial %.0f QPS, batched %.0f QPS (%.2fx), multi-model %.0f QPS %v, wrote %s\n",
 		rep.Serial.QPS, rep.Batched.QPS, rep.Speedup, rep.MultiModel.QPS, rep.MultiModel.ByModel, benchOut)
+	if rep.FaultInjected != nil {
+		fmt.Fprintf(os.Stderr,
+			"sconnaserve: selftest goodput under %.0f%% faults — %.0f QPS (%.0f%% of fault-free, %d retries)\n",
+			100*benchOpts.FaultRate, rep.FaultInjected.QPS, 100*rep.GoodputFrac, rep.FaultInjected.Retries)
+	}
 	if minQPS > 0 && rep.Batched.QPS < minQPS {
 		return fmt.Errorf("batched throughput %.0f QPS under the %.0f floor", rep.Batched.QPS, minQPS)
 	}
@@ -423,6 +494,160 @@ func runSelftest(qn, alt *quant.Network, engineName string, vdpeSize int, adcSee
 	}
 	if minSpeedup > 0 && rep.Speedup < minSpeedup {
 		return fmt.Errorf("batched speedup %.2fx under the %.2fx floor", rep.Speedup, minSpeedup)
+	}
+	if minGoodput > 0 {
+		if rep.FaultInjected == nil {
+			return fmt.Errorf("-min-goodput needs -chaos-seed to run the fault-injected leg")
+		}
+		if rep.GoodputFrac < minGoodput {
+			return fmt.Errorf("goodput under faults %.2f of fault-free QPS, under the %.2f floor",
+				rep.GoodputFrac, minGoodput)
+		}
+	}
+	return nil
+}
+
+// chaosSmoke is the resilience soak: a breaker-guarded deterministic
+// model under two-phase engine-level fault injection (build errors,
+// latency spikes, corrupted dots) plus budgeted HTTP-level 500s. Phase
+// one drives sequential traffic until the breaker trips; phase two
+// stops the faults and requires recovery through half-open probes. The
+// whole soak runs twice: the fault-phase status sequence is a pure
+// function of the seed, so the two passes must agree request for
+// request — the determinism contract chaos runs are held to. A final
+// leg re-runs budgeted HTTP chaos against a clean model with the
+// retrying load-generator clients, which must recover every fault.
+func chaosSmoke(qn *quant.Network, engineName string, vdpeSize int, adcSeed int64,
+	opts serve.Options, seed uint64, inputs [][]float32) error {
+	inner, err := buildFactory(engineName, qn.Bits, vdpeSize, adcSeed)
+	if err != nil {
+		return err
+	}
+	o := opts
+	o.Deterministic = true
+	o.PoolSize = 2
+	o.MaxBatch = 4
+	o.QueueDepth = 64
+	o.DefaultTimeout = 5 * time.Second
+	o.Breaker = &resilience.BreakerOptions{
+		Window: 16, FailureThreshold: 0.5, MinSamples: 8,
+		Cooldown: 50 * time.Millisecond, HalfOpenProbes: 3,
+	}
+	chaos := resilience.ChaosOptions{
+		Seed: seed, ErrRate: 0.5, SlowRate: 0.05, WrongRate: 0.1,
+		SlowDelay: time.Millisecond, SkipSeqs: o.PoolSize,
+	}
+	httpChaos := resilience.HTTPChaosOptions{Seed: seed, ErrorRate: 0.1, FaultBudget: 16}
+
+	// One soak pass; the returned status sequence covers the fault phase
+	// (sequential, so deterministic per seed).
+	pass := func() ([]int, serve.RegistryStats, error) {
+		chaotic := resilience.ChaosEngineFactory(inner, chaos)
+		var faulting atomic.Bool
+		faulting.Store(true)
+		factory := func(shard int) (quant.DotEngine, error) {
+			if faulting.Load() {
+				return chaotic(shard)
+			}
+			return inner(shard)
+		}
+		reg := serve.NewRegistry()
+		if _, err := reg.Register(serve.DefaultModelName, qn, factory, o); err != nil {
+			return nil, serve.RegistryStats{}, err
+		}
+		defer drainRegistry(reg)
+		hs, base, err := serve.ListenLocal(resilience.Middleware(reg.Handler(), httpChaos))
+		if err != nil {
+			return nil, serve.RegistryStats{}, err
+		}
+		defer hs.Close()
+
+		post := func(i int) (int, error) {
+			payload, err := json.Marshal(map[string]any{"input": inputs[i%len(inputs)]})
+			if err != nil {
+				return 0, err
+			}
+			resp, err := http.Post(base+"/v1/classify", "application/json", bytes.NewReader(payload))
+			if err != nil {
+				return 0, err
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return resp.StatusCode, nil
+		}
+
+		var seq []int
+		deadline := time.Now().Add(30 * time.Second)
+		for reg.Health() != "degraded" {
+			if time.Now().After(deadline) {
+				return nil, serve.RegistryStats{}, fmt.Errorf("chaos soak: breaker never tripped (codes %v)", seq)
+			}
+			code, err := post(len(seq))
+			if err != nil {
+				return nil, serve.RegistryStats{}, err
+			}
+			seq = append(seq, code)
+		}
+		faulting.Store(false)
+		for reg.Health() != "ok" {
+			if time.Now().After(deadline) {
+				return nil, serve.RegistryStats{}, fmt.Errorf("chaos soak: breaker never recovered")
+			}
+			if _, err := post(0); err != nil {
+				return nil, serve.RegistryStats{}, err
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return seq, reg.Stats(), nil
+	}
+
+	first, st, err := pass()
+	if err != nil {
+		return err
+	}
+	if len(st.Models) != 1 || st.Models[0].Breaker == nil || st.Models[0].Breaker.Trips == 0 {
+		return fmt.Errorf("chaos soak: breaker state missing from stats: %+v", st.Models)
+	}
+	again, _, err := pass()
+	if err != nil {
+		return err
+	}
+	if len(first) != len(again) {
+		return fmt.Errorf("chaos soak not replayable: fault phase took %d then %d requests", len(first), len(again))
+	}
+	for i := range first {
+		if first[i] != again[i] {
+			return fmt.Errorf("chaos soak not replayable: request %d answered %d then %d", i, first[i], again[i])
+		}
+	}
+
+	// Retrying clients against budgeted HTTP chaos on a clean model:
+	// every injected fault must be recovered within the retry budget.
+	reg := serve.NewRegistry()
+	if _, err := reg.Register(serve.DefaultModelName, qn, inner, o); err != nil {
+		return err
+	}
+	defer drainRegistry(reg)
+	hs, base, err := serve.ListenLocal(resilience.Middleware(reg.Handler(),
+		resilience.HTTPChaosOptions{Seed: seed, ErrorRate: 0.3, FaultBudget: 24}))
+	if err != nil {
+		return err
+	}
+	defer hs.Close()
+	rep, err := serve.Drive(base, inputs, serve.LoadOptions{
+		Requests: 64, Clients: 2, Batch: 1,
+		Retry: &resilience.RetryOptions{
+			MaxAttempts: 8, Seed: seed, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if rep.Responses != 64 || rep.Errors > 0 {
+		return fmt.Errorf("retrying clients under chaos: %+v", rep)
+	}
+	if rep.Retries == 0 {
+		return fmt.Errorf("chaos retry leg saw no retries against a 30%% fault rate")
 	}
 	return nil
 }

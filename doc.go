@@ -317,6 +317,50 @@
 //     model's own arrival seq, so interleaved multi-model traffic
 //     replays bit-identically at any pool size.
 //
+// # Resilience plane
+//
+// internal/resilience hardens the serving stack without giving up its
+// determinism contract — every chaos decision is a pure function of a
+// seed, so failures found under fault injection replay byte-for-byte:
+//
+//   - Fault injection: ChaosEngineFactory wraps any engine factory with
+//     a seeded schedule (splitmix64 over the engine seq) of build
+//     errors, latency spikes and wrong-but-flagged dot products;
+//     FaultFor recovers the schedule from (seed, seq) alone, so a
+//     harness can separate injected corruption from honest answers
+//     without trusting the server. Middleware injects flagged HTTP 500s
+//     and stalls the same way (X-Chaos-Injected marks them), with an
+//     optional fault budget for two-phase soak runs that must recover.
+//
+//   - Deadlines: each model applies a DefaultTimeout to requests that
+//     arrive without one; expiry propagates through the queue and the
+//     batcher, so an expired request is dropped before an engine is
+//     checked out (HTTP 504 via ErrDeadline, distinct from a caller
+//     cancel's 499), and survivors stay bit-identical in deterministic
+//     mode because seqs are assigned at admission.
+//
+//   - Retry/backoff: RetryClient retries 429s and 5xx with exponential
+//     backoff and deterministic jitter, honoring Retry-After verbatim;
+//     a 429's Retry-After is derived from the server's observed drain
+//     rate (backlog over served-per-second, clamped to [1, 30]s). The
+//     load generator drives it under chaos (LoadOptions.Retry), and the
+//     bench's fault-injected leg gates goodput: QPS under 10% injected
+//     faults must hold a floor fraction of fault-free QPS.
+//
+//   - Circuit breaking and admission: each registered model may carry a
+//     breaker (closed → open → half-open over a rolling outcome window;
+//     open answers 503 + Retry-After, half-open admits bounded probes)
+//     and a weighted in-flight quota (Registry.SetMaxInFlight splits a
+//     box-wide budget by per-model AdmissionWeight). Health degrades
+//     honestly: /healthz reports ok, degraded (some breaker non-closed,
+//     still HTTP 200 — the box serves what it can) or draining, and
+//     /stats exposes per-model breaker state, trips and in-flight.
+//
+//     sconnaserve -selftest -chaos-seed N runs the chaos soak (breaker
+//     must trip and recover; the fault-phase status sequence must
+//     replay identically; retrying clients must recover every budgeted
+//     fault), and CI pins it under -race.
+//
 // This package re-exports the stable public surface; see README.md for a
 // tour and EXPERIMENTS.md for paper-vs-measured results of every table
 // and figure.

@@ -2,8 +2,9 @@
 // up in-process. One trained CNN is quantized at two precisions and
 // registered as two named, versioned models behind one HTTP surface;
 // traffic routes by name (plus the legacy default alias), a model is
-// hot-swapped out under traffic, and the deterministic mode's
-// per-model replays stay bit-identical across pool sizes.
+// hot-swapped out under traffic, the deterministic mode's per-model
+// replays stay bit-identical across pool sizes, and a seeded chaos run
+// trips a circuit breaker and recovers through a retrying client.
 package main
 
 import (
@@ -17,12 +18,14 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/nn"
 	"repro/internal/quant"
+	"repro/internal/resilience"
 	"repro/internal/serve"
 	"repro/internal/tensor"
 )
@@ -191,4 +194,80 @@ func main() {
 		fmt.Printf("  seq %d: class=%q engine=%d bit-identical=%v\n",
 			a[i].Seq, a[i].ClassName, a[i].Engine, identical)
 	}
+
+	// 6. Chaos run: the resilience plane under seeded fault injection.
+	// The model's engine factory is wrapped in a deterministic fault
+	// schedule (half of all engine builds fail — the same half at the
+	// same seed, with the startup pool exempt via SkipSeqs), and the
+	// model carries a circuit breaker. Driving traffic trips the breaker
+	// (health degrades, callers get 503 + Retry-After); stopping the
+	// faults lets the half-open probes close it again. A retrying client
+	// rides the whole episode out — exactly what
+	// `sconnaserve -selftest -chaos-seed 7` soaks at scale.
+	co := opts
+	co.Deterministic = true
+	co.PoolSize = 2
+	co.QueueDepth = 32
+	co.DefaultTimeout = 5 * time.Second
+	co.Breaker = &resilience.BreakerOptions{
+		Window: 8, FailureThreshold: 0.5, MinSamples: 4,
+		Cooldown: 20 * time.Millisecond, HalfOpenProbes: 2,
+	}
+	chaotic := resilience.ChaosEngineFactory(factory, resilience.ChaosOptions{
+		Seed: 7, ErrRate: 0.5, SkipSeqs: co.PoolSize,
+	})
+	var faulting atomic.Bool
+	faulting.Store(true)
+	gated := func(seq int) (quant.DotEngine, error) {
+		if faulting.Load() {
+			return chaotic(seq)
+		}
+		return factory(seq)
+	}
+	creg := serve.NewRegistry()
+	if _, err := creg.Register("hi8", hi, gated, co); err != nil {
+		log.Fatal(err)
+	}
+	defer creg.DrainAll(ctx)
+	chs, cbase, err := serve.ListenLocal(creg.Handler())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer chs.Close()
+	single, _ := json.Marshal(map[string]any{"input": trace[0].Data})
+	retrier := resilience.RetryClient{
+		HTTP: http.DefaultClient,
+		Opts: resilience.RetryOptions{MaxAttempts: 8, Seed: 7, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond},
+	}
+	posts := 0
+	for creg.Health() != "degraded" {
+		resp, err := http.Post(cbase+"/v1/models/hi8/classify", "application/json", bytes.NewReader(single))
+		if err != nil {
+			log.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		posts++
+	}
+	st := creg.Stats()
+	fmt.Printf("\nchaos run: breaker %s after %d faulted requests (health %q)\n",
+		st.Models[0].Breaker.State, posts, st.Health)
+	faulting.Store(false)
+	resp2, err := retrier.Post(cbase+"/v1/models/hi8/classify", "application/json", single)
+	if err != nil {
+		log.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	for creg.Health() != "ok" {
+		time.Sleep(2 * time.Millisecond)
+		r, err := http.Post(cbase+"/v1/models/hi8/classify", "application/json", bytes.NewReader(single))
+		if err != nil {
+			log.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+	}
+	fmt.Printf("chaos run: faults stopped, retrying client answered %d after %d retries, breaker closed (health %q)\n",
+		resp2.StatusCode, retrier.Retries(), creg.Health())
 }

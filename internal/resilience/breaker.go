@@ -1,0 +1,244 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's three-state machine.
+type BreakerState int
+
+const (
+	// Closed admits everything; outcomes feed the rolling window.
+	Closed BreakerState = iota
+	// Open sheds everything until the cooldown elapses.
+	Open
+	// HalfOpen admits a bounded number of probes whose outcomes decide
+	// between closing and re-opening.
+	HalfOpen
+)
+
+// String names the state in stats documents ("closed", "open",
+// "half-open").
+func (s BreakerState) String() string {
+	switch s {
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// BreakerOptions configures a circuit breaker. The zero value resolves
+// to a 32-outcome window, a 0.5 failure threshold with 8 minimum
+// samples, a 1s cooldown and 3 half-open probes.
+type BreakerOptions struct {
+	// Window is the rolling outcome-window size the failure rate is
+	// computed over.
+	Window int
+	// FailureThreshold trips the breaker when failures/window reaches
+	// it (with at least MinSamples outcomes observed).
+	FailureThreshold float64
+	// MinSamples gates tripping until the window has seen that many
+	// outcomes, so one early failure cannot open a cold breaker.
+	MinSamples int
+	// Cooldown is how long an open breaker sheds before admitting
+	// half-open probes.
+	Cooldown time.Duration
+	// HalfOpenProbes is how many consecutive probe successes close the
+	// breaker again (and how many probes may be in flight at once).
+	HalfOpenProbes int
+}
+
+func (o BreakerOptions) resolve() BreakerOptions {
+	if o.Window <= 0 {
+		o.Window = 32
+	}
+	if o.FailureThreshold <= 0 {
+		o.FailureThreshold = 0.5
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = min(8, o.Window)
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = time.Second
+	}
+	if o.HalfOpenProbes <= 0 {
+		o.HalfOpenProbes = 3
+	}
+	return o
+}
+
+// Breaker is a per-model circuit breaker: Allow gates admission,
+// Record feeds outcomes back. Both are cheap (one mutex, a ring of
+// booleans) next to a forward pass. The zero Breaker is not usable —
+// build with NewBreaker.
+type Breaker struct {
+	mu   sync.Mutex
+	opts BreakerOptions
+	now  func() time.Time // test seam; time.Now in production
+
+	state    BreakerState
+	openedAt time.Time
+
+	// ring is the rolling outcome window (true = failure).
+	ring   []bool
+	idx    int
+	filled int
+	fails  int
+
+	// half-open probe accounting.
+	probesInFlight int
+	probeSuccesses int
+
+	trips    uint64
+	rejected uint64
+}
+
+// NewBreaker builds a breaker in the closed state.
+func NewBreaker(opts BreakerOptions) *Breaker {
+	o := opts.resolve()
+	return &Breaker{opts: o, now: time.Now, ring: make([]bool, o.Window)}
+}
+
+// resetWindow clears the rolling outcome window.
+func (b *Breaker) resetWindow() {
+	for i := range b.ring {
+		b.ring[i] = false
+	}
+	b.idx, b.filled, b.fails = 0, 0, 0
+}
+
+// trip opens the breaker.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.openedAt = b.now()
+	b.trips++
+	b.probesInFlight, b.probeSuccesses = 0, 0
+	b.resetWindow()
+}
+
+// Allow reports whether a request may proceed. When it may not, the
+// returned duration is the suggested Retry-After: the remaining
+// cooldown of an open breaker, or the full cooldown when the half-open
+// probe budget is already in flight. Every true return must be paired
+// with exactly one Record call — the probe accounting depends on it.
+func (b *Breaker) Allow() (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true, 0
+	case Open:
+		remain := b.opts.Cooldown - b.now().Sub(b.openedAt)
+		if remain > 0 {
+			b.rejected++
+			return false, remain
+		}
+		// Cooldown over: admit probes.
+		b.state = HalfOpen
+		b.probesInFlight, b.probeSuccesses = 0, 0
+		fallthrough
+	default: // HalfOpen
+		if b.probesInFlight >= b.opts.HalfOpenProbes {
+			b.rejected++
+			return false, b.opts.Cooldown
+		}
+		b.probesInFlight++
+		return true, 0
+	}
+}
+
+// Record feeds one admitted request's outcome back (success = the
+// request was served, regardless of the classification; failure = a
+// server-side error or timeout). In the closed state it advances the
+// rolling window and may trip; in half-open it settles one probe —
+// any probe failure re-opens, HalfOpenProbes successes close.
+func (b *Breaker) Record(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case HalfOpen:
+		if b.probesInFlight > 0 {
+			b.probesInFlight--
+		}
+		if !success {
+			b.trip()
+			return
+		}
+		b.probeSuccesses++
+		if b.probeSuccesses >= b.opts.HalfOpenProbes {
+			b.state = Closed
+			b.resetWindow()
+		}
+	case Closed:
+		if b.ring[b.idx] {
+			b.fails--
+		}
+		b.ring[b.idx] = !success
+		if !success {
+			b.fails++
+		}
+		b.idx = (b.idx + 1) % len(b.ring)
+		if b.filled < len(b.ring) {
+			b.filled++
+		}
+		if b.filled >= b.opts.MinSamples &&
+			float64(b.fails) >= b.opts.FailureThreshold*float64(b.filled) {
+			b.trip()
+		}
+	default: // Open: a straggler from before the trip; the window was
+		// reset, its outcome no longer has a home.
+	}
+}
+
+// State returns the current state, advancing Open to HalfOpen if the
+// cooldown has elapsed (so observers see the same state an Allow call
+// would).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.now().Sub(b.openedAt) >= b.opts.Cooldown {
+		b.state = HalfOpen
+		b.probesInFlight, b.probeSuccesses = 0, 0
+	}
+	return b.state
+}
+
+// BreakerStats is the /stats-facing snapshot of one breaker.
+type BreakerStats struct {
+	// State is "closed", "open" or "half-open".
+	State string `json:"state"`
+	// Trips counts closed->open (and half-open->open) transitions.
+	Trips uint64 `json:"trips"`
+	// Rejected counts requests shed while open or probe-saturated.
+	Rejected uint64 `json:"rejected"`
+	// WindowFailures/WindowSamples describe the rolling outcome window
+	// feeding the trip decision.
+	WindowFailures int `json:"window_failures"`
+	WindowSamples  int `json:"window_samples"`
+	// CooldownRemainingMS is how much shed time an open breaker has
+	// left (0 otherwise).
+	CooldownRemainingMS int64 `json:"cooldown_remaining_ms,omitempty"`
+}
+
+// Stats snapshots the breaker for the stats plane.
+func (b *Breaker) Stats() BreakerStats {
+	state := b.State() // may advance Open -> HalfOpen
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := BreakerStats{
+		State:          state.String(),
+		Trips:          b.trips,
+		Rejected:       b.rejected,
+		WindowFailures: b.fails,
+		WindowSamples:  b.filled,
+	}
+	if b.state == Open {
+		if remain := b.opts.Cooldown - b.now().Sub(b.openedAt); remain > 0 {
+			st.CooldownRemainingMS = remain.Milliseconds()
+		}
+	}
+	return st
+}

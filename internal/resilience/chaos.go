@@ -1,0 +1,204 @@
+// Package resilience is the robustness plane of the serving stack:
+// deterministic fault injection, a retrying HTTP client, circuit
+// breakers and admission quotas. It sits below internal/serve (which
+// wires breakers and quotas into the model registry and deadlines into
+// the micro-batcher) and beside the load generator (whose clients use
+// the retry policy), and it owes its shape to the same contract every
+// other plane in this tree honors: determinism first.
+//
+// Fault injection is seeded, not random. Every chaos decision — does
+// engine seq fail to build, does it run slow, does it return a
+// wrong-but-flagged result, does HTTP request i get a 500 or a stall —
+// is a pure function of (seed, index) through the splitmix64 finalizer.
+// Two chaos runs at the same seed realize the identical fault schedule,
+// so a failure a soak run surfaces is replayable byte-for-byte, and a
+// test can compute the schedule up front and assert against it.
+//
+// The circuit breaker is a per-model three-state machine (closed →
+// open → half-open) over a rolling outcome window: it trips when the
+// failure fraction crosses a threshold, sheds load for a cooldown
+// (callers get 503 + Retry-After), then admits a bounded number of
+// probes whose outcomes decide between closing and re-opening. The
+// admission quota is the registry-level fairness primitive: a bounded
+// in-flight count per model, sized by weight when models share a box.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/quant"
+)
+
+// ErrInjected marks a chaos-injected engine-build failure. Serving
+// layers treat it like any engine error; tests and soak runs unwrap it
+// to separate injected faults from real ones.
+var ErrInjected = errors.New("resilience: injected fault")
+
+// Fault is one chaos-schedule outcome for an engine index.
+type Fault int
+
+const (
+	// FaultNone leaves the engine untouched.
+	FaultNone Fault = iota
+	// FaultErr makes the factory call fail with ErrInjected.
+	FaultErr
+	// FaultSlow delays the engine's first dot product by SlowDelay —
+	// one latency spike per engine build (per request in deterministic
+	// serving, where every request builds factory(seq)).
+	FaultSlow
+	// FaultWrong perturbs every dot product by a small seeded offset:
+	// the result is wrong, and flagged in the sense that the schedule
+	// pinpoints exactly which seqs were corrupted — FaultFor(seq)
+	// recovers the flag from (seed, seq) alone, so a replay harness can
+	// separate corrupted responses from honest ones without trusting
+	// the server.
+	FaultWrong
+)
+
+// String names the fault kind in schedules and logs.
+func (f Fault) String() string {
+	switch f {
+	case FaultErr:
+		return "err"
+	case FaultSlow:
+		return "slow"
+	case FaultWrong:
+		return "wrong"
+	}
+	return "none"
+}
+
+// ChaosOptions seeds an engine-level fault schedule. Rates are
+// probabilities in [0, 1]; they partition the unit interval in the
+// order err, slow, wrong, so the same seed with a larger ErrRate keeps
+// the slow/wrong assignments of surviving indices stable.
+type ChaosOptions struct {
+	// Seed keys the fault schedule; the same seed always realizes the
+	// same schedule.
+	Seed uint64
+	// ErrRate is the fraction of engine builds that fail (ErrInjected).
+	ErrRate float64
+	// SlowRate is the fraction of engines whose first dot product
+	// stalls for SlowDelay.
+	SlowRate float64
+	// WrongRate is the fraction of engines returning perturbed
+	// (wrong-but-flagged) dot products.
+	WrongRate float64
+	// SlowDelay is the injected latency spike (<= 0 selects 10ms).
+	SlowDelay time.Duration
+	// SkipSeqs exempts engine indices below it from every fault. The
+	// serving stack builds its startup engine pool from the same factory
+	// (factory(0..PoolSize-1)); set SkipSeqs to the pool size so the
+	// server always constructs and chaos lands only on live traffic. The
+	// exemption is part of the schedule — FaultFor answers FaultNone for
+	// exempt indices — so replays and assertions stay consistent.
+	SkipSeqs int
+}
+
+// Mix64 is the splitmix64 finalizer: a fixed, well-diffusing 64-bit
+// hash (every input bit moves every output bit), the one primitive all
+// deterministic schedules in this tree reduce through — the loadgen's
+// traffic mix, the sparse-input generator, and every chaos decision
+// here.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit maps a hash to [0, 1).
+func unit(h uint64) float64 { return float64(h>>11) / float64(1<<53) }
+
+// FaultFor returns the scheduled fault for one engine index: a pure
+// function of (Seed, seq), so the schedule can be computed before,
+// during or after a run — this is what makes injected wrong results
+// "flagged" rather than silent corruption.
+func (o ChaosOptions) FaultFor(seq uint64) Fault {
+	if seq < uint64(o.SkipSeqs) {
+		return FaultNone
+	}
+	u := unit(Mix64(o.Seed ^ Mix64(seq)))
+	switch {
+	case u < o.ErrRate:
+		return FaultErr
+	case u < o.ErrRate+o.SlowRate:
+		return FaultSlow
+	case u < o.ErrRate+o.SlowRate+o.WrongRate:
+		return FaultWrong
+	}
+	return FaultNone
+}
+
+// slowDelay resolves the configured latency spike.
+func (o ChaosOptions) slowDelay() time.Duration {
+	if o.SlowDelay <= 0 {
+		return 10 * time.Millisecond
+	}
+	return o.SlowDelay
+}
+
+// ChaosEngineFactory wraps an engine factory with the seeded fault
+// schedule: build i fails, stalls or corrupts exactly when FaultFor(i)
+// says so. In deterministic serving (engine = factory(request seq))
+// this injects per-request faults; in throughput serving it decides
+// each pool slot's fate once at build time. The wrapped factory is the
+// chaos plane's only engine-level seam — the inner factory, and the
+// network it serves, are untouched.
+func ChaosEngineFactory(inner quant.EngineFactory, o ChaosOptions) quant.EngineFactory {
+	return func(seq int) (quant.DotEngine, error) {
+		fault := o.FaultFor(uint64(seq))
+		if fault == FaultErr {
+			return nil, fmt.Errorf("%w: engine %d scheduled to fail (seed %d)", ErrInjected, seq, o.Seed)
+		}
+		eng, err := inner(seq)
+		if err != nil {
+			return nil, err
+		}
+		switch fault {
+		case FaultSlow:
+			return &slowEngine{inner: eng, delay: o.slowDelay()}, nil
+		case FaultWrong:
+			// The perturbation is seeded off the seq so two runs corrupt
+			// identically; it is small but nonzero (±1..8), enough to move
+			// logits without leaving the engine's integer range.
+			h := Mix64(o.Seed ^ Mix64(uint64(seq)) ^ 0xc0ffee)
+			off := 1 + int(h%8)
+			if h&(1<<32) != 0 {
+				off = -off
+			}
+			return &wrongEngine{inner: eng, offset: off}, nil
+		}
+		return eng, nil
+	}
+}
+
+// slowEngine stalls its first dot product — one injected latency spike
+// per engine build.
+type slowEngine struct {
+	inner quant.DotEngine
+	delay time.Duration
+	fired bool
+}
+
+func (s *slowEngine) Dot(div, dkv []int) int {
+	if !s.fired {
+		s.fired = true
+		time.Sleep(s.delay)
+	}
+	return s.inner.Dot(div, dkv)
+}
+
+func (s *slowEngine) Name() string { return "chaos-slow(" + s.inner.Name() + ")" }
+
+// wrongEngine perturbs every dot product by a fixed seeded offset.
+type wrongEngine struct {
+	inner  quant.DotEngine
+	offset int
+}
+
+func (w *wrongEngine) Dot(div, dkv []int) int { return w.inner.Dot(div, dkv) + w.offset }
+
+func (w *wrongEngine) Name() string { return "chaos-wrong(" + w.inner.Name() + ")" }

@@ -1,0 +1,89 @@
+package resilience
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// ChaosHeader marks chaos-injected HTTP failures, so clients, soak
+// harnesses and log scrapers can separate injected 5xx from real ones.
+const ChaosHeader = "X-Chaos-Injected"
+
+// HTTPChaosOptions seeds a request-level fault schedule for the
+// Middleware. The schedule is keyed by the middleware's own arrival
+// index (an atomic counter), so the set of faulted indices is a pure
+// function of (Seed, rates) — under concurrent clients the mapping of
+// indices to wire requests follows arrival order, which is what a
+// recorded serial trace replays exactly.
+type HTTPChaosOptions struct {
+	// Seed keys the schedule, exactly like ChaosOptions.Seed.
+	Seed uint64
+	// ErrorRate is the fraction of requests answered with an injected
+	// 500 (body flagged, ChaosHeader set) before reaching the handler.
+	ErrorRate float64
+	// StallRate is the fraction of requests delayed by Stall before
+	// being forwarded — injected tail latency, not failure.
+	StallRate float64
+	// Stall is the injected delay (<= 0 selects 20ms).
+	Stall time.Duration
+	// FaultBudget bounds how many faults (errors + stalls) the
+	// middleware injects in total; 0 means unbounded. A bounded budget
+	// turns a chaos run into a two-phase soak — faults early, clean
+	// traffic after — which is how the selftest drives a breaker
+	// through trip, cooldown and half-open recovery deterministically.
+	FaultBudget uint64
+}
+
+// faultFor mirrors ChaosOptions.FaultFor on the HTTP axis.
+func (o HTTPChaosOptions) faultFor(idx uint64) Fault {
+	u := unit(Mix64(o.Seed ^ Mix64(idx^0x5e1f)))
+	switch {
+	case u < o.ErrorRate:
+		return FaultErr
+	case u < o.ErrorRate+o.StallRate:
+		return FaultSlow
+	}
+	return FaultNone
+}
+
+func (o HTTPChaosOptions) stall() time.Duration {
+	if o.Stall <= 0 {
+		return 20 * time.Millisecond
+	}
+	return o.Stall
+}
+
+// Middleware wraps an HTTP handler with the seeded request-fault
+// schedule: scheduled requests are answered 500 (flagged with
+// ChaosHeader) or stalled, everything else passes through untouched.
+// With zero rates the handler is returned as-is — the chaos plane
+// costs nothing when disabled.
+func Middleware(h http.Handler, o HTTPChaosOptions) http.Handler {
+	if o.ErrorRate <= 0 && o.StallRate <= 0 {
+		return h
+	}
+	var idx, spent atomic.Uint64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		i := idx.Add(1) - 1
+		fault := o.faultFor(i)
+		if fault != FaultNone && o.FaultBudget > 0 && spent.Add(1) > o.FaultBudget {
+			fault = FaultNone
+		}
+		switch fault {
+		case FaultErr:
+			w.Header().Set(ChaosHeader, "error")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			_ = json.NewEncoder(w).Encode(map[string]string{
+				"error": "resilience: injected HTTP fault",
+			})
+			return
+		case FaultSlow:
+			w.Header().Set(ChaosHeader, "stall")
+			time.Sleep(o.stall())
+		}
+		h.ServeHTTP(w, r)
+	})
+}

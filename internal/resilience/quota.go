@@ -1,0 +1,52 @@
+package resilience
+
+import "sync/atomic"
+
+// Quota is a bounded in-flight admission counter — the weighted
+// fairness primitive the model registry uses when models share a box:
+// each model's limit is its weight share of the registry-wide
+// in-flight budget, so one hot model cannot starve the rest of engine
+// time. A limit of 0 admits everything (the default, and the
+// byte-compatible legacy behavior).
+type Quota struct {
+	limit    atomic.Int64
+	inflight atomic.Int64
+	rejected atomic.Uint64
+}
+
+// SetLimit replaces the in-flight bound (0 disables). Safe under
+// traffic: requests already admitted keep their slots; the new bound
+// applies to subsequent admissions.
+func (q *Quota) SetLimit(n int) { q.limit.Store(int64(n)) }
+
+// Limit returns the current bound (0 = unlimited).
+func (q *Quota) Limit() int { return int(q.limit.Load()) }
+
+// InFlight returns the currently admitted count.
+func (q *Quota) InFlight() int { return int(q.inflight.Load()) }
+
+// Rejected counts admissions refused at the quota.
+func (q *Quota) Rejected() uint64 { return q.rejected.Load() }
+
+// TryAcquire admits one request if the in-flight count is under the
+// limit. Every true return must be paired with exactly one Release.
+func (q *Quota) TryAcquire() bool {
+	limit := q.limit.Load()
+	if limit <= 0 {
+		q.inflight.Add(1)
+		return true
+	}
+	for {
+		cur := q.inflight.Load()
+		if cur >= limit {
+			q.rejected.Add(1)
+			return false
+		}
+		if q.inflight.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// Release returns one admitted slot.
+func (q *Quota) Release() { q.inflight.Add(-1) }

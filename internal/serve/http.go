@@ -10,6 +10,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"strconv"
 
 	"repro/internal/tensor"
 )
@@ -73,7 +74,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if single {
 		res, err := s.Submit(r.Context(), xs[0])
 		if err != nil {
-			writeSubmitError(w, err)
+			s.writeSubmitError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, trimLogits(res, req.Logits))
@@ -85,7 +86,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 	results, err := s.SubmitBatch(r.Context(), xs)
 	if err != nil {
-		writeSubmitError(w, err)
+		s.writeSubmitError(w, err)
 		return
 	}
 	for i := range results {
@@ -131,7 +132,7 @@ func (s *Server) handleClassifyRaw(w http.ResponseWriter, r *http.Request) {
 	}
 	results, err := s.SubmitBatch(r.Context(), xs)
 	if err != nil {
-		writeSubmitError(w, err)
+		s.writeSubmitError(w, err)
 		return
 	}
 	keepLogits := r.URL.Query().Get("logits") != ""
@@ -247,15 +248,26 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 // writeSubmitError maps batcher errors onto status codes: backpressure
-// is the explicit 429 contract, drain is 503, a caller-gone context is
+// is the explicit 429 contract, drain is 503, a server-imposed
+// deadline (Options.DefaultTimeout) is 504, a caller-gone context is
 // 499-style (the nginx convention; net/http has no name for it).
-func writeSubmitError(w http.ResponseWriter, err error) {
+//
+// The 429 backoff contract: every ErrOverloaded response carries a
+// Retry-After of whole seconds derived from the observed drain rate —
+// current queue backlog divided by recently served requests per
+// second, clamped to [1, 30]. A client that waits the advertised
+// interval (the resilience.RetryClient honors it verbatim) arrives
+// when the backlog it was rejected behind has, at the observed rate,
+// drained; hammering sooner only re-fills the window it was shed from.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, ErrDeadline):
+		writeError(w, http.StatusGatewayTimeout, err.Error())
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		writeError(w, 499, err.Error())
 	default:

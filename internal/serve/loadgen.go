@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/parallel"
+	"repro/internal/resilience"
 )
 
 // ModelShare weights one model in a multi-model traffic mix: requests
@@ -51,6 +52,11 @@ type LoadOptions struct {
 	// MixSeed perturbs the mix hash; two seeds realize two different
 	// (but each deterministic) model sequences.
 	MixSeed uint64
+	// Retry enables the resilient client: transient failures — 429
+	// backpressure, 5xx (including injected chaos faults) — are retried
+	// with exponential backoff and deterministic jitter, honoring the
+	// server's Retry-After. Zero fields select the documented defaults.
+	Retry *resilience.RetryOptions
 }
 
 // LoadReport is one load-generation outcome.
@@ -67,6 +73,9 @@ type LoadReport struct {
 	// ByModel counts classify results per routed model for mixed runs
 	// (key "" is the legacy default alias).
 	ByModel map[string]int `json:"by_model,omitempty"`
+	// Retries counts extra attempts beyond each POST's first (present
+	// only when LoadOptions.Retry enabled the resilient client).
+	Retries int `json:"retries,omitempty"`
 }
 
 // mix64 is the splitmix64 finalizer: a fixed, well-diffusing 64-bit
@@ -154,6 +163,13 @@ func Drive(baseURL string, inputs [][]float32, opts LoadOptions) (LoadReport, er
 	}
 	url := baseURL + modelPath(opts.Model)
 	client := &http.Client{}
+	// One retrier shared by every client goroutine: its counters are
+	// atomic, and sharing keeps the per-call seed sequence global so the
+	// report's retry count is a property of the run, not of scheduling.
+	var retrier *resilience.RetryClient
+	if opts.Retry != nil {
+		retrier = &resilience.RetryClient{HTTP: client, Opts: *opts.Retry}
+	}
 	var raws [][]byte
 	if opts.Raw {
 		raws = make([][]byte, len(inputs))
@@ -230,7 +246,12 @@ func Drive(baseURL string, inputs [][]float32, opts LoadOptions) (LoadReport, er
 			if opts.Raw && opts.Logits {
 				postURL += "?logits=1"
 			}
-			resp, e := client.Post(postURL, contentType, bytes.NewReader(body))
+			var resp *http.Response
+			if retrier != nil {
+				resp, e = retrier.Post(postURL, contentType, body)
+			} else {
+				resp, e = client.Post(postURL, contentType, bytes.NewReader(body))
+			}
 			if e != nil {
 				failures.Add(int64(n))
 				continue
@@ -274,6 +295,9 @@ func Drive(baseURL string, inputs [][]float32, opts LoadOptions) (LoadReport, er
 	}
 	if len(opts.Mix) > 0 {
 		rep.ByModel = byModel
+	}
+	if retrier != nil {
+		rep.Retries = int(retrier.Retries())
 	}
 	if elapsed > 0 {
 		rep.QPS = float64(rep.Responses) / elapsed.Seconds()
@@ -324,6 +348,15 @@ type BenchOptions struct {
 	// MixRequests sizes the multi-model leg (<= 0 selects
 	// BatchedRequests).
 	MixRequests int
+	// FaultRate > 0 adds a fault-injected goodput leg: the batched
+	// workload re-runs behind the deterministic HTTP chaos middleware
+	// injecting flagged 500s at this rate, driven by retrying clients.
+	// The leg's QPS over the fault-free batched QPS is GoodputFrac — the
+	// resilience plane's headline number.
+	FaultRate float64
+	// ChaosSeed seeds the fault schedule and the retry jitter; the same
+	// seed realizes the same faults at the same request indices.
+	ChaosSeed uint64
 }
 
 // BenchReport is the BENCH_serve.json wire format. Schema-tagged like
@@ -345,10 +378,19 @@ type BenchReport struct {
 	// Registry carries the per-model stats sections when the bench ran
 	// against a model registry.
 	Registry *RegistryStats `json:"registry_stats,omitempty"`
+	// FaultInjected is the goodput-under-faults leg (absent unless
+	// BenchOptions.FaultRate > 0): the batched workload behind the
+	// deterministic chaos middleware, driven by retrying clients.
+	FaultInjected *LoadReport `json:"fault_injected,omitempty"`
+	// GoodputFrac is FaultInjected QPS over fault-free batched QPS —
+	// how much sustained throughput survives the injected fault rate.
+	GoodputFrac float64 `json:"goodput_frac,omitempty"`
 }
 
-// benchSchema tags BENCH_serve.json; see BenchReport.
-const benchSchema = "repro/bench_serve@v2"
+// benchSchema tags BENCH_serve.json; see BenchReport (@v2 added the
+// multi-model routing leg and the registry stats document; @v3 the
+// fault-injected goodput leg and retry counters).
+const benchSchema = "repro/bench_serve@v3"
 
 // ListenLocal serves an HTTP API (a single-model Server's Handler or a
 // Registry's) on an ephemeral loopback listener, returning the
@@ -468,6 +510,33 @@ func benchHandler(h http.Handler, inputs [][]float32, opts BenchOptions) (BenchR
 	}
 	if serial.QPS > 0 {
 		rep.Speedup = batched.QPS / serial.QPS
+	}
+	if opts.FaultRate > 0 {
+		// The goodput leg: the same batched workload, but every POST may
+		// be answered with an injected, flagged 500 (deterministic
+		// schedule keyed by ChaosSeed), and the clients retry with tight
+		// backoff. The fraction of fault-free QPS that survives is the
+		// resilience plane's cost under that fault rate.
+		ch, cbase, err := ListenLocal(resilience.Middleware(h, resilience.HTTPChaosOptions{
+			Seed: opts.ChaosSeed, ErrorRate: opts.FaultRate,
+		}))
+		if err != nil {
+			return BenchReport{}, err
+		}
+		faulted, err := Drive(cbase, inputs, LoadOptions{
+			Requests: opts.BatchedRequests, Clients: opts.Clients, Batch: opts.Batch, Raw: opts.Raw,
+			Retry: &resilience.RetryOptions{
+				Seed: opts.ChaosSeed, BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond,
+			},
+		})
+		ch.Close()
+		if err != nil {
+			return BenchReport{}, err
+		}
+		rep.FaultInjected = &faulted
+		if batched.QPS > 0 {
+			rep.GoodputFrac = faulted.QPS / batched.QPS
+		}
 	}
 	return rep, nil
 }

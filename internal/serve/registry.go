@@ -7,9 +7,12 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/quant"
+	"repro/internal/resilience"
 )
 
 // DefaultModelName is the model the legacy single-model endpoints
@@ -34,6 +37,14 @@ type Model struct {
 	name    string
 	version string
 	srv     *Server
+
+	// breaker is the model's circuit breaker (nil when Options.Breaker
+	// was nil — the byte-compatible legacy path takes zero extra code).
+	// quota bounds the model's in-flight requests to its weight share of
+	// the registry budget (limit 0 = unlimited); weight is the share.
+	breaker *resilience.Breaker
+	quota   resilience.Quota
+	weight  int
 }
 
 // Name returns the model's registered name (the routing key).
@@ -49,6 +60,10 @@ func (m *Model) Version() string { return m.version }
 // is what makes the deterministic-replay contract hold per model.
 func (m *Model) Server() *Server { return m.srv }
 
+// Breaker returns the model's circuit breaker, or nil when the model
+// was registered without one (Options.Breaker nil).
+func (m *Model) Breaker() *resilience.Breaker { return m.breaker }
+
 // Registry is the multi-model serving plane: named, versioned quantized
 // models, each behind its own engine pool and micro-batcher, routed by
 // name over one HTTP surface. Register and Unregister are safe under
@@ -59,6 +74,9 @@ type Registry struct {
 	models  map[string]*Model
 	defName string // first registered, unless SetDefault moved it
 	closed  bool
+	// maxInFlight is the registry-wide in-flight budget split across
+	// models by Options.AdmissionWeight (0 = unlimited, the default).
+	maxInFlight int
 }
 
 // NewRegistry returns an empty registry; models arrive via Register.
@@ -120,7 +138,13 @@ func (r *Registry) Register(name string, qn *quant.Network, factory quant.Engine
 		r.mu.Unlock()
 		return nil, fmt.Errorf("serve: model %q already registered", name)
 	}
-	placeholder := &Model{name: name, version: version}
+	placeholder := &Model{name: name, version: version, weight: opts.AdmissionWeight}
+	if placeholder.weight <= 0 {
+		placeholder.weight = 1
+	}
+	if opts.Breaker != nil {
+		placeholder.breaker = resilience.NewBreaker(*opts.Breaker)
+	}
 	r.models[name] = placeholder
 	if r.defName == "" {
 		r.defName = name
@@ -155,8 +179,57 @@ func (r *Registry) Register(name string, qn *quant.Network, factory quant.Engine
 		return nil, fmt.Errorf("serve: model %q unregistered during registration", name)
 	}
 	placeholder.srv = srv
+	r.rebalanceLocked()
 	r.mu.Unlock()
 	return placeholder, nil
+}
+
+// SetMaxInFlight installs (or, with 0, removes) the registry-wide
+// in-flight request budget. The budget is split across the registered
+// models by their Options.AdmissionWeight — limit_i = max(1,
+// budget·w_i/Σw) — so a hot model saturating its share gets 429s while
+// lighter models keep their engine time. Safe under live traffic, and
+// re-applied automatically as models register and unregister.
+func (r *Registry) SetMaxInFlight(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	r.maxInFlight = n
+	r.rebalanceLocked()
+}
+
+// MaxInFlight returns the registry-wide budget (0 = unlimited).
+func (r *Registry) MaxInFlight() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.maxInFlight
+}
+
+// rebalanceLocked recomputes every model's quota limit from the
+// registry budget and the models' weights. Callers hold r.mu.
+func (r *Registry) rebalanceLocked() {
+	if r.maxInFlight <= 0 {
+		for _, m := range r.models {
+			m.quota.SetLimit(0)
+		}
+		return
+	}
+	total := 0
+	for _, m := range r.models {
+		total += m.weight
+	}
+	if total == 0 {
+		return
+	}
+	for _, m := range r.models {
+		limit := r.maxInFlight * m.weight / total
+		if limit < 1 {
+			limit = 1
+		}
+		m.quota.SetLimit(limit)
+	}
 }
 
 // Unregister removes the named model from routing and drains its
@@ -175,6 +248,9 @@ func (r *Registry) Unregister(ctx context.Context, name string) error {
 	// claim the default slot again.
 	if ok && r.defName == name {
 		r.defName = ""
+	}
+	if ok {
+		r.rebalanceLocked()
 	}
 	r.mu.Unlock()
 	if !ok {
@@ -249,6 +325,13 @@ type ModelInfo struct {
 	Default bool `json:"default,omitempty"`
 	// Stats is the model's private traffic snapshot.
 	Stats Stats `json:"stats"`
+	// Breaker is the model's circuit-breaker snapshot (absent when the
+	// model runs without one); InFlight/QuotaLimit/QuotaRejected describe
+	// the admission quota (QuotaLimit 0 = unlimited).
+	Breaker       *resilience.BreakerStats `json:"breaker,omitempty"`
+	InFlight      int                      `json:"in_flight,omitempty"`
+	QuotaLimit    int                      `json:"quota_limit,omitempty"`
+	QuotaRejected uint64                   `json:"quota_rejected,omitempty"`
 }
 
 // RegistryStats is the registry-wide stats document: one section per
@@ -259,6 +342,9 @@ type RegistryStats struct {
 	DefaultModel string      `json:"default_model"`
 	Models       []ModelInfo `json:"models"`
 	Draining     bool        `json:"draining"`
+	// Health mirrors GET /healthz: "ok", "degraded" (some breaker open
+	// or probing) or "draining".
+	Health string `json:"health"`
 }
 
 // Stats snapshots every registered model's traffic counters.
@@ -274,10 +360,17 @@ func (r *Registry) Stats() RegistryStats {
 	}
 	r.mu.RUnlock()
 	sort.Slice(models, func(i, j int) bool { return models[i].name < models[j].name })
-	out := RegistryStats{DefaultModel: defName, Draining: closed, Models: make([]ModelInfo, len(models))}
+	out := RegistryStats{DefaultModel: defName, Draining: closed, Health: r.Health(), Models: make([]ModelInfo, len(models))}
 	seen := false
 	for i, m := range models {
-		out.Models[i] = ModelInfo{Name: m.name, Version: m.version, Default: m.name == defName, Stats: m.srv.Stats()}
+		out.Models[i] = ModelInfo{
+			Name: m.name, Version: m.version, Default: m.name == defName, Stats: m.srv.Stats(),
+			InFlight: m.quota.InFlight(), QuotaLimit: m.quota.Limit(), QuotaRejected: m.quota.Rejected(),
+		}
+		if m.breaker != nil {
+			bs := m.breaker.Stats()
+			out.Models[i].Breaker = &bs
+		}
 		seen = seen || m.name == defName
 	}
 	if !seen {
@@ -366,7 +459,60 @@ func (r *Registry) handleModelClassify(w http.ResponseWriter, req *http.Request)
 	if !ok {
 		return
 	}
-	m.srv.handleClassify(w, req)
+	r.serveModel(m, w, req)
+}
+
+// serveModel runs the model's classify handler behind the resilience
+// gates: quota admission first (cheap, and every acquire pairs with a
+// guaranteed Release), then the circuit breaker. The ordering matters —
+// a breaker Allow must pair with exactly one Record, so a quota 429
+// issued after Allow would leak a half-open probe slot. With no breaker
+// and no quota limit this degenerates to the legacy direct call: the
+// response writer is never wrapped, so legacy responses stay
+// byte-identical.
+func (r *Registry) serveModel(m *Model, w http.ResponseWriter, req *http.Request) {
+	if !m.quota.TryAcquire() {
+		w.Header().Set("Retry-After", strconv.Itoa(m.srv.retryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("serve: model %q over its admission quota", m.name))
+		return
+	}
+	defer m.quota.Release()
+	if m.breaker == nil {
+		m.srv.handleClassify(w, req)
+		return
+	}
+	allowed, retryAfter := m.breaker.Allow()
+	if !allowed {
+		secs := int(retryAfter / time.Second)
+		if retryAfter%time.Second != 0 || secs < 1 {
+			secs++ // round up: retrying a hair early hits the open breaker again
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("serve: model %q circuit open", m.name))
+		return
+	}
+	rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+	m.srv.handleClassify(rec, req)
+	// 5xx — engine failures, injected faults, server-imposed deadlines —
+	// counts against the breaker; a 429 is load shedding working as
+	// designed, not a model fault, and records as success.
+	m.breaker.Record(rec.code < 500)
+}
+
+// statusRecorder captures the status a handler wrote so the breaker can
+// classify the outcome. Only installed when a breaker is enabled:
+// wrapping the writer changes its dynamic type, which the byte-compat
+// legacy path must never observe.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
 }
 
 func (r *Registry) handleModelStats(w http.ResponseWriter, req *http.Request) {
@@ -406,15 +552,37 @@ func (r *Registry) handleDefaultClassify(w http.ResponseWriter, req *http.Reques
 		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
-	m.srv.handleClassify(w, req)
+	r.serveModel(m, w, req)
 }
 
-func (r *Registry) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+// Health reports the registry's aggregate condition: "draining" once
+// DrainAll began, "degraded" while any model's circuit breaker is open
+// or half-open, "ok" otherwise.
+func (r *Registry) Health() string {
 	if r.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return
+		return "draining"
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, m := range r.models {
+		if m.breaker != nil && m.breaker.State() != resilience.Closed {
+			return "degraded"
+		}
+	}
+	return "ok"
+}
+
+// handleHealthz reports degraded-mode health: "ok" and "degraded" are
+// both 200 — a degraded registry is still serving (the open breaker
+// sheds only its own model) and must not be pulled from rotation —
+// while "draining" is the load-balancer-visible 503.
+func (r *Registry) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	h := r.Health()
+	code := http.StatusOK
+	if h == "draining" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"status": h})
 }
 
 func (r *Registry) handleRegistryStats(w http.ResponseWriter, req *http.Request) {

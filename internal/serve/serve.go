@@ -42,6 +42,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,16 +50,26 @@ import (
 	"repro/internal/opcount"
 	"repro/internal/parallel"
 	"repro/internal/quant"
+	"repro/internal/resilience"
 	"repro/internal/tensor"
 )
 
 // ErrOverloaded reports a full request queue: the caller should back off
-// and retry (the HTTP layer maps it to 429).
+// and retry (the HTTP layer maps it to 429 with a Retry-After derived
+// from the observed drain rate — see the backoff contract on
+// writeSubmitError).
 var ErrOverloaded = errors.New("serve: request queue full")
 
 // ErrDraining reports a server that has begun graceful shutdown and no
 // longer accepts work (HTTP 503).
 var ErrDraining = errors.New("serve: draining")
+
+// ErrDeadline reports a request that exceeded the server-imposed
+// per-model deadline (Options.DefaultTimeout) before completing. It is
+// distinct from the caller's own context.DeadlineExceeded: the HTTP
+// layer maps a server-imposed deadline to 504 and a caller-gone
+// context to 499.
+var ErrDeadline = errors.New("serve: request deadline exceeded")
 
 // Options configures a Server.
 type Options struct {
@@ -92,6 +103,24 @@ type Options struct {
 	// Stats().Ops. Off by default — when off, the forward paths see a
 	// nil recorder and pay one branch per layer, nothing else.
 	OpAccounting bool
+	// DefaultTimeout is the per-model request deadline: Submit and
+	// SubmitBatch callers whose context carries no deadline of its own
+	// get one this far out. A request that expires while queued is
+	// dropped before any engine is claimed and resolves with
+	// ErrDeadline (HTTP 504). 0 disables — requests may wait in the
+	// queue indefinitely, the pre-resilience behavior.
+	DefaultTimeout time.Duration
+	// AdmissionWeight sizes this model's share of a registry-wide
+	// in-flight budget when models share a box (see
+	// Registry.SetMaxInFlight); <= 0 selects 1. Ignored outside a
+	// registry.
+	AdmissionWeight int
+	// Breaker enables a per-model circuit breaker on the registry's
+	// routed HTTP paths: server-side failures (5xx) feed a rolling
+	// window, tripping sheds load with 503 + Retry-After, and half-open
+	// probes decide recovery. nil disables (the byte-compatible legacy
+	// behavior). Ignored outside a registry.
+	Breaker *resilience.BreakerOptions
 }
 
 // Result is one classify outcome.
@@ -160,11 +189,19 @@ type Server struct {
 	draining  atomic.Uint64
 	served    atomic.Uint64
 	cancelled atomic.Uint64
+	expired   atomic.Uint64
 	failed    atomic.Uint64
 	nbatches  atomic.Uint64
 	batchMu   sync.Mutex
 	batchHist []uint64
 	lat       histogram
+
+	// Drain-rate window: served-per-second over the recent past, the
+	// denominator of the 429 Retry-After estimate (backlog / rate).
+	rateMu     sync.Mutex
+	rateStart  time.Time
+	rateServed uint64
+	ratePrev   float64
 }
 
 // New builds and starts a Server over the quantized network. factory
@@ -199,6 +236,7 @@ func New(qn *quant.Network, factory quant.EngineFactory, opts Options) (*Server,
 		queue:     make(chan *request, opts.QueueDepth),
 		batches:   make(chan []*request, opts.PoolSize),
 		batchHist: make([]uint64, opts.MaxBatch),
+		rateStart: time.Now(),
 	}
 	if opts.OpAccounting {
 		s.ops = qn.OpRecorder()
@@ -284,9 +322,37 @@ func (s *Server) enqueue(ctx context.Context, xs []*tensor.T) ([]*request, error
 	return reqs, nil
 }
 
+// withDeadline applies the per-model default timeout to contexts that
+// carry no deadline of their own: a caller-supplied deadline always
+// wins, and an expiry of the server-imposed one is distinguishable via
+// context.Cause (ErrDeadline).
+func (s *Server) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.opts.DefaultTimeout <= 0 {
+		return ctx, func() {}
+	}
+	if _, has := ctx.Deadline(); has {
+		return ctx, func() {}
+	}
+	return context.WithTimeoutCause(ctx, s.opts.DefaultTimeout, ErrDeadline)
+}
+
+// ctxErr resolves a finished context to the error the caller should
+// see: the server-imposed deadline surfaces as ErrDeadline, everything
+// else as the context's own error.
+func ctxErr(ctx context.Context) error {
+	if cause := context.Cause(ctx); errors.Is(cause, ErrDeadline) {
+		return ErrDeadline
+	}
+	return ctx.Err()
+}
+
 // Submit classifies one input, blocking until its micro-batch completes
-// or ctx ends. A full queue fails fast with ErrOverloaded.
+// or ctx ends. A full queue fails fast with ErrOverloaded; with
+// Options.DefaultTimeout set, a deadline-free ctx gains the per-model
+// deadline and expiry surfaces as ErrDeadline.
 func (s *Server) Submit(ctx context.Context, x *tensor.T) (Result, error) {
+	ctx, cancel := s.withDeadline(ctx)
+	defer cancel()
 	reqs, err := s.enqueue(ctx, []*tensor.T{x})
 	if err != nil {
 		return Result{}, err
@@ -295,16 +361,19 @@ func (s *Server) Submit(ctx context.Context, x *tensor.T) (Result, error) {
 	case o := <-reqs[0].done:
 		return o.res, o.err
 	case <-ctx.Done():
-		return Result{}, ctx.Err()
+		return Result{}, ctxErr(ctx)
 	}
 }
 
 // SubmitBatch classifies a group of inputs admitted atomically in
-// consecutive arrival order, returning results in input order.
+// consecutive arrival order, returning results in input order. The
+// per-model default deadline applies to the group as a whole.
 func (s *Server) SubmitBatch(ctx context.Context, xs []*tensor.T) ([]Result, error) {
 	if len(xs) == 0 {
 		return nil, nil
 	}
+	ctx, cancel := s.withDeadline(ctx)
+	defer cancel()
 	reqs, err := s.enqueue(ctx, xs)
 	if err != nil {
 		return nil, err
@@ -319,7 +388,7 @@ func (s *Server) SubmitBatch(ctx context.Context, xs []*tensor.T) ([]Result, err
 			}
 			out[o.idx] = o.res
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, ctxErr(ctx)
 		}
 	}
 	return out, nil
@@ -384,21 +453,21 @@ func (s *Server) runWorker() {
 	}
 }
 
-// runBatch checks an engine out, skips requests whose context already
-// ended, runs the survivors through one batched forward and resolves
-// their futures.
+// runBatch skips requests whose context already ended (expired or
+// cancelled work is dropped before any engine is claimed — it must
+// never spend pool time), checks an engine out, runs the survivors
+// through one batched forward and resolves their futures.
 func (s *Server) runBatch(batch []*request) {
-	eng, err := s.pool.Get(context.Background())
-	if err != nil { // unreachable: Background never ends
-		panic(err)
-	}
-	defer s.pool.Put(eng)
-
 	exec := make([]*request, 0, len(batch))
 	for _, r := range batch {
 		if r.ctx != nil && r.ctx.Err() != nil {
-			r.done <- outcome{idx: r.idx, err: r.ctx.Err()}
-			s.cancelled.Add(1)
+			err := ctxErr(r.ctx)
+			r.done <- outcome{idx: r.idx, err: err}
+			if errors.Is(err, ErrDeadline) {
+				s.expired.Add(1)
+			} else {
+				s.cancelled.Add(1)
+			}
 			continue
 		}
 		exec = append(exec, r)
@@ -407,24 +476,42 @@ func (s *Server) runBatch(batch []*request) {
 		return
 	}
 
+	var engines []quant.DotEngine
+	if s.opts.Deterministic {
+		// Engines derive per seq; a factory error (a real failure, or a
+		// chaos-injected one) fails only its own request. Survivors in
+		// the same micro-batch keep exactly their factory(seq) engines,
+		// so their results stay bit-identical to a fault-free replay.
+		kept := exec[:0]
+		engines = make([]quant.DotEngine, 0, len(exec))
+		for _, r := range exec {
+			e, err := s.factory(int(r.seq))
+			if err != nil {
+				r.done <- outcome{idx: r.idx, err: fmt.Errorf("serve: building engine for seq %d: %w", r.seq, err)}
+				s.failed.Add(1)
+				continue
+			}
+			kept = append(kept, r)
+			engines = append(engines, e)
+		}
+		exec = kept
+		if len(exec) == 0 {
+			return
+		}
+	}
+
+	eng, err := s.pool.Get(context.Background())
+	if err != nil { // unreachable: Background never ends
+		panic(err)
+	}
+	defer s.pool.Put(eng)
+
 	xs := make([]*tensor.T, len(exec))
 	for i, r := range exec {
 		xs[i] = r.x
 	}
-	engines := []quant.DotEngine{eng.Dot}
-	if s.opts.Deterministic {
-		engines = make([]quant.DotEngine, len(exec))
-		for i, r := range exec {
-			e, err := s.factory(int(r.seq))
-			if err != nil {
-				for _, rr := range exec {
-					rr.done <- outcome{idx: rr.idx, err: fmt.Errorf("serve: building engine for seq %d: %w", r.seq, err)}
-				}
-				s.failed.Add(uint64(len(exec)))
-				return
-			}
-			engines[i] = e
-		}
+	if !s.opts.Deterministic {
+		engines = []quant.DotEngine{eng.Dot}
 	}
 
 	// A nil recorder keeps accounting zero-cost; a live one is atomic
@@ -455,10 +542,56 @@ func (s *Server) runBatch(batch []*request) {
 		s.lat.observe(now.Sub(r.enq))
 	}
 	s.served.Add(uint64(len(exec)))
+	s.noteServed(len(exec))
 	s.nbatches.Add(1)
 	s.batchMu.Lock()
 	s.batchHist[len(exec)-1]++
 	s.batchMu.Unlock()
+}
+
+// rateWindow is how often the drain-rate window rolls over; long
+// enough to smooth batch granularity, short enough to track a shifting
+// load.
+const rateWindow = 5 * time.Second
+
+// noteServed advances the drain-rate window.
+func (s *Server) noteServed(n int) {
+	now := time.Now()
+	s.rateMu.Lock()
+	s.rateServed += uint64(n)
+	if el := now.Sub(s.rateStart); el >= rateWindow {
+		s.ratePrev = float64(s.rateServed) / el.Seconds()
+		s.rateServed = 0
+		s.rateStart = now
+	}
+	s.rateMu.Unlock()
+}
+
+// retryAfterSeconds estimates how long an overloaded caller should
+// back off: the current queue backlog divided by the observed drain
+// rate (served per second over the recent window), clamped to [1, 30]
+// whole seconds — the value the 429 path sends as Retry-After. With no
+// drain observed yet it answers 1s, the legacy constant.
+func (s *Server) retryAfterSeconds() int {
+	s.rateMu.Lock()
+	rate := s.ratePrev
+	if el := time.Since(s.rateStart).Seconds(); el > 0.05 {
+		if cur := float64(s.rateServed) / el; cur > rate {
+			rate = cur
+		}
+	}
+	s.rateMu.Unlock()
+	if rate <= 0 {
+		return 1
+	}
+	secs := int(math.Ceil(float64(len(s.queue)+1) / rate))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
 }
 
 // Drain stops admissions, waits for the queued backlog to finish (or ctx
@@ -507,6 +640,7 @@ func (s *Server) Stats() Stats {
 		Draining:      s.draining.Load(),
 		Served:        s.served.Load(),
 		Cancelled:     s.cancelled.Load(),
+		Expired:       s.expired.Load(),
 		Failed:        s.failed.Load(),
 		Batches:       s.nbatches.Load(),
 		BatchSizes:    hist,

@@ -14,13 +14,16 @@ import (
 type Stats struct {
 	// Accepted counts requests admitted to the queue; Rejected counts
 	// backpressure rejections (queue full) and Draining counts requests
-	// refused after Drain began. Served counts delivered results and
-	// Cancelled requests whose context ended before their batch ran.
+	// refused after Drain began. Served counts delivered results,
+	// Cancelled requests whose (caller-owned) context ended before
+	// their batch ran, and Expired requests dropped pre-dispatch by the
+	// server-imposed per-model deadline (Options.DefaultTimeout).
 	Accepted  uint64 `json:"accepted"`
 	Rejected  uint64 `json:"rejected"`
 	Draining  uint64 `json:"draining_rejected"`
 	Served    uint64 `json:"served"`
 	Cancelled uint64 `json:"cancelled"`
+	Expired   uint64 `json:"deadline_expired"`
 	Failed    uint64 `json:"failed"`
 	// Batches counts executed micro-batches; BatchSizes[i] is how many
 	// of them carried i+1 requests (the batch-size histogram).

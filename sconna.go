@@ -2,6 +2,7 @@ package sconna
 
 import (
 	"io"
+	"net/http"
 
 	"repro/internal/accel"
 	"repro/internal/accuracy"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/pca"
 	"repro/internal/photonics"
 	"repro/internal/quant"
+	"repro/internal/resilience"
 	"repro/internal/scalability"
 	"repro/internal/serve"
 )
@@ -291,6 +293,44 @@ func LoadQuantNetwork(r io.Reader) (*QuantNetwork, error) { return quant.Load(r)
 // LoadQuantNetworkFile reconstructs a quantized model artifact written
 // by (*QuantNetwork).SaveFile.
 func LoadQuantNetworkFile(path string) (*QuantNetwork, error) { return quant.LoadFile(path) }
+
+// Resilience plane (fault injection, retry, circuit breaking).
+type (
+	// ChaosOptions seeds a deterministic engine-level fault schedule:
+	// build errors, latency spikes, and wrong-but-flagged results, each
+	// a pure function of (seed, engine seq).
+	ChaosOptions = resilience.ChaosOptions
+	// ChaosFault is one scheduled fault kind (none/err/slow/wrong).
+	ChaosFault = resilience.Fault
+	// HTTPChaosOptions seeds deterministic HTTP-level fault injection
+	// (flagged 500s and stalls) for Middleware.
+	HTTPChaosOptions = resilience.HTTPChaosOptions
+	// BreakerOptions configures a per-model circuit breaker.
+	BreakerOptions = resilience.BreakerOptions
+	// BreakerStats snapshots one breaker's state for /stats.
+	BreakerStats = resilience.BreakerStats
+	// RetryOptions configures the retrying HTTP client (exponential
+	// backoff, deterministic jitter, Retry-After honored verbatim).
+	RetryOptions = resilience.RetryOptions
+	// RetryClient is the retrying HTTP client the load generator uses
+	// under chaos.
+	RetryClient = resilience.RetryClient
+)
+
+// ChaosEngineFactory wraps an engine factory with the seeded fault
+// schedule of opts: build i fails, stalls, or corrupts exactly when
+// opts.FaultFor(i) says so, so a chaos run replays byte-for-byte at
+// the same seed.
+func ChaosEngineFactory(inner EngineFactory, opts ChaosOptions) EngineFactory {
+	return resilience.ChaosEngineFactory(inner, opts)
+}
+
+// ChaosMiddleware wraps an HTTP handler with seeded request-level fault
+// injection (flagged 500s and stalls); at zero rates it returns the
+// handler untouched.
+func ChaosMiddleware(h http.Handler, opts HTTPChaosOptions) http.Handler {
+	return resilience.Middleware(h, opts)
+}
 
 // DefaultAccuracyOptions returns the full Table V study configuration.
 func DefaultAccuracyOptions() AccuracyOptions { return accuracy.DefaultOptions() }

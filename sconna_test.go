@@ -4,7 +4,10 @@ import (
 	"bytes"
 	"context"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/nn"
 	"repro/internal/tensor"
@@ -189,5 +192,83 @@ func TestFacadeRunners(t *testing.T) {
 	}
 	if cells := srun.TableI(); len(cells) != 16 {
 		t.Fatalf("runner TableI cells=%d", len(cells))
+	}
+}
+
+func TestFacadeResilience(t *testing.T) {
+	// The engine-level fault schedule is a pure function of (seed, seq):
+	// two options values with the same seed agree everywhere, and the
+	// wrapped factory realizes exactly what the schedule promises.
+	chaos := ChaosOptions{Seed: 3, ErrRate: 0.5, SkipSeqs: 2}
+	var faulted int
+	for seq := uint64(0); seq < 64; seq++ {
+		f := chaos.FaultFor(seq)
+		if seq < 2 && f != 0 {
+			t.Fatalf("seq %d inside SkipSeqs faulted (%v)", seq, f)
+		}
+		if f != (ChaosOptions{Seed: 3, ErrRate: 0.5, SkipSeqs: 2}).FaultFor(seq) {
+			t.Fatalf("schedule not replayable at seq %d", seq)
+		}
+		if f != 0 {
+			faulted++
+		}
+	}
+	if faulted == 0 {
+		t.Fatal("50% error rate scheduled no faults over 64 seqs")
+	}
+	factory := ChaosEngineFactory(SharedDotEngine(ExactDotEngine{}), chaos)
+	for seq := 0; seq < 64; seq++ {
+		_, err := factory(seq)
+		if wantErr := chaos.FaultFor(uint64(seq)) == 1; (err != nil) != wantErr {
+			t.Fatalf("factory(%d) err=%v, schedule says fault=%v", seq, err, chaos.FaultFor(uint64(seq)))
+		}
+	}
+
+	// HTTP chaos + retrying client: every budgeted injected 500 is
+	// flagged and recovered within the retry budget.
+	var served int
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+		w.WriteHeader(http.StatusOK)
+	})
+	hs := httptest.NewServer(ChaosMiddleware(inner, HTTPChaosOptions{Seed: 9, ErrorRate: 1, FaultBudget: 2}))
+	defer hs.Close()
+	client := RetryClient{HTTP: hs.Client(), Opts: RetryOptions{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}}
+	resp, err := client.Post(hs.URL, "application/json", []byte("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || served == 0 {
+		t.Fatalf("retry client got %d (handler served %d)", resp.StatusCode, served)
+	}
+	if client.Retries() == 0 {
+		t.Fatal("retry client recovered a full-rate fault budget without retrying")
+	}
+
+	// Breaker config and stats travel through the facade types.
+	src := nn.BuildSmallCNN(2, 4, 9)
+	qn, err := QuantizeNetwork(src, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewModelRegistry()
+	defer reg.DrainAll(context.Background())
+	if _, err := reg.Register(DefaultModelName, qn, SharedDotEngine(ExactDotEngine{}), ServeOptions{
+		InputShape: []int{1, 16, 16},
+		Breaker:    &BreakerOptions{Window: 8},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := reg.Stats()
+	if len(st.Models) != 1 || st.Models[0].Breaker == nil {
+		t.Fatalf("breaker stats missing from registry stats: %+v", st.Models)
+	}
+	var bs BreakerStats = *st.Models[0].Breaker
+	if bs.State != "closed" {
+		t.Fatalf("fresh breaker state = %q, want closed", bs.State)
+	}
+	if st.Health != "ok" {
+		t.Fatalf("health = %q, want ok", st.Health)
 	}
 }
