@@ -95,6 +95,7 @@ import (
 	"repro/internal/resilience"
 	"repro/internal/sckernel"
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -158,6 +159,11 @@ func main() {
 	vdpeSize := flag.Int("vdpe-size", 64, "functional core VDPE size N")
 	adcSeed := flag.Int64("adc-seed", 2023, "base ADC noise seed")
 
+	telemetryOn := flag.Bool("telemetry", true,
+		"per-request tracing and per-stage latency histograms (GET /metrics, GET /debug/traces); off = the zero-cost Nop path")
+	traceRing := flag.Int("trace-ring", 256, "per-model bound on the in-memory ring of recent traces")
+	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof on the serving listener")
+
 	selftest := flag.Bool("selftest", false, "serve in-process, drive traffic through the API, bench and exit")
 	requests := flag.Int("requests", 100, "selftest traffic-smoke request count")
 	benchOut := flag.String("bench-out", "BENCH_serve.json", "selftest bench trajectory output")
@@ -168,6 +174,10 @@ func main() {
 	chaosOnly := flag.Bool("chaos-only", false, "run only the chaos soak selftest leg (needs -selftest -chaos-seed)")
 	minGoodput := flag.Float64("min-goodput", 0,
 		"selftest floor on fault-injected goodput as a fraction of fault-free batched QPS (0 disables)")
+	traceOut := flag.String("trace-out", "",
+		"selftest: write the load generator's per-request trace JSONL here (\"\" disables)")
+	maxTelemOverhead := flag.Float64("max-telemetry-overhead", 0,
+		"selftest ceiling on the telemetry-on QPS cost as a fraction of telemetry-off batched QPS (0 disables)")
 	flag.Parse()
 
 	if *chaosOnly && (!*selftest || *chaosSeed == 0) {
@@ -201,6 +211,9 @@ func main() {
 	}
 	if *breaker {
 		opts.Breaker = &resilience.BreakerOptions{} // documented defaults
+	}
+	if *telemetryOn {
+		opts.Telemetry = &telemetry.Options{TraceRing: *traceRing}
 	}
 
 	// Assemble the model set: loaded artifacts, or the in-process built
@@ -255,7 +268,7 @@ func main() {
 			}
 			if err := runSelftest(qn, alt, *engineName, *vdpeSize, *adcSeed, opts,
 				*requests, *benchOut, *minQPS, *minSpeedup,
-				*chaosSeed, *chaosOnly, *minGoodput); err != nil {
+				*chaosSeed, *chaosOnly, *minGoodput, *traceOut, *maxTelemOverhead); err != nil {
 				fatal(err)
 			}
 			return
@@ -287,7 +300,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	hs := &http.Server{Handler: reg.Handler()}
+	handler := reg.Handler()
+	if *pprofOn {
+		handler = telemetry.WithPprof(handler)
+	}
+	hs := &http.Server{Handler: handler}
 	fmt.Fprintf(os.Stderr,
 		"sconnaserve: serving %d model(s) %v on %s (engine=%s max-batch=%d deterministic=%v)\n",
 		reg.Len(), reg.Names(), ln.Addr(), *engineName, *maxBatch, *deterministic)
@@ -409,11 +426,13 @@ var selftestMix = []serve.ModelShare{
 
 // runSelftest drives the whole stack against itself: routing traffic
 // smoke, deterministic replay checks (legacy and per-model), a
-// quant-artifact round trip, the chaos soak when -chaos-seed is set,
-// and the throughput bench with floors.
+// quant-artifact round trip, the chaos soak (with a mid-soak /metrics
+// and pprof scrape) when -chaos-seed is set, and the throughput bench
+// with floors — including the telemetry-overhead leg and its ceiling.
 func runSelftest(qn, alt *quant.Network, engineName string, vdpeSize int, adcSeed int64,
 	opts serve.Options, requests int, benchOut string, minQPS, minSpeedup float64,
-	chaosSeed uint64, chaosOnly bool, minGoodput float64) error {
+	chaosSeed uint64, chaosOnly bool, minGoodput float64,
+	traceOut string, maxTelemOverhead float64) error {
 	inputs := selftestInputs(64)
 
 	if chaosSeed != 0 {
@@ -433,18 +452,36 @@ func runSelftest(qn, alt *quant.Network, engineName string, vdpeSize int, adcSee
 	}
 	fmt.Fprintln(os.Stderr, "sconnaserve: selftest artifact round trip ok (save -> load, digest stable, bit-identical logits)")
 
-	if err := trafficSmoke(qn, alt, engineName, vdpeSize, adcSeed, opts, inputs, requests); err != nil {
+	var traceW io.Writer
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		traceW = f
+	}
+	if err := trafficSmoke(qn, alt, engineName, vdpeSize, adcSeed, opts, inputs, requests, traceW); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "sconnaserve: selftest traffic smoke ok (%d legacy + %d mixed requests, all routed, drained clean)\n",
 		requests, requests)
+	if traceOut != "" {
+		fmt.Fprintf(os.Stderr, "sconnaserve: wrote load-generator trace JSONL to %s\n", traceOut)
+	}
 
 	if err := replaySmoke(qn, alt, engineName, vdpeSize, adcSeed, opts, inputs); err != nil {
 		return err
 	}
 	fmt.Fprintln(os.Stderr, "sconnaserve: selftest deterministic replay ok (legacy and per-model, bit-identical across pool sizes)")
 
-	reg, err := selftestRegistry(qn, alt, engineName, vdpeSize, adcSeed, opts)
+	// The bench baseline runs telemetry-off so the QPS floors stay
+	// comparable across releases; the overhead leg (below) re-runs the
+	// batched workload against a telemetry-on registry and the gap is
+	// the number -max-telemetry-overhead bounds.
+	benchBase := opts
+	benchBase.Telemetry = nil
+	reg, err := selftestRegistry(qn, alt, engineName, vdpeSize, adcSeed, benchBase)
 	if err != nil {
 		return err
 	}
@@ -461,6 +498,14 @@ func runSelftest(qn, alt *quant.Network, engineName string, vdpeSize int, adcSee
 	if chaosSeed != 0 {
 		benchOpts.FaultRate = 0.1
 		benchOpts.ChaosSeed = chaosSeed
+	}
+	if opts.Telemetry != nil {
+		telReg, err := selftestRegistry(qn, alt, engineName, vdpeSize, adcSeed, opts)
+		if err != nil {
+			return err
+		}
+		defer drainRegistry(telReg)
+		benchOpts.TelemetryHandler = telReg.Handler()
 	}
 	rep, err := serve.BenchRegistryThroughput(reg, inputs, benchOpts)
 	if err != nil {
@@ -486,6 +531,11 @@ func runSelftest(qn, alt *quant.Network, engineName string, vdpeSize int, adcSee
 			"sconnaserve: selftest goodput under %.0f%% faults — %.0f QPS (%.0f%% of fault-free, %d retries)\n",
 			100*benchOpts.FaultRate, rep.FaultInjected.QPS, 100*rep.GoodputFrac, rep.FaultInjected.Retries)
 	}
+	if rep.Telemetry != nil {
+		fmt.Fprintf(os.Stderr,
+			"sconnaserve: selftest telemetry leg — %.0f QPS with tracing on (%.1f%% overhead, best of 3 paired off/on trials)\n",
+			rep.Telemetry.QPS, 100*rep.TelemetryOverhead)
+	}
 	if minQPS > 0 && rep.Batched.QPS < minQPS {
 		return fmt.Errorf("batched throughput %.0f QPS under the %.0f floor", rep.Batched.QPS, minQPS)
 	}
@@ -502,6 +552,15 @@ func runSelftest(qn, alt *quant.Network, engineName string, vdpeSize int, adcSee
 		if rep.GoodputFrac < minGoodput {
 			return fmt.Errorf("goodput under faults %.2f of fault-free QPS, under the %.2f floor",
 				rep.GoodputFrac, minGoodput)
+		}
+	}
+	if maxTelemOverhead > 0 {
+		if rep.Telemetry == nil {
+			return fmt.Errorf("-max-telemetry-overhead needs -telemetry to run the overhead leg")
+		}
+		if rep.TelemetryOverhead > maxTelemOverhead {
+			return fmt.Errorf("telemetry costs %.1f%% of batched QPS, over the %.1f%% ceiling",
+				100*rep.TelemetryOverhead, 100*maxTelemOverhead)
 		}
 	}
 	return nil
@@ -588,6 +647,17 @@ func chaosSmoke(qn *quant.Network, engineName string, vdpeSize int, adcSeed int6
 			}
 			seq = append(seq, code)
 		}
+
+		// Mid-soak observability scrape, breaker open: a second listener
+		// on the same registry — without the chaos middleware, so injected
+		// faults cannot fail the scrape itself — must serve a valid
+		// exposition document showing the tripped breaker, and a pprof
+		// heap profile. Scrapes are GETs on another socket: they consume
+		// no seqs and cannot perturb the replayed status sequence.
+		if err := scrapeObservability(reg); err != nil {
+			return nil, serve.RegistryStats{}, err
+		}
+
 		faulting.Store(false)
 		for reg.Health() != "ok" {
 			if time.Now().After(deadline) {
@@ -701,10 +771,11 @@ func artifactSmoke(qn *quant.Network, engineName string, vdpeSize int, adcSeed i
 
 // trafficSmoke serves real HTTP traffic across every routing path:
 // single and batched classify posts on the legacy alias, a weighted
-// multi-model mix, per-model and registry stats, a 404 probe, and
+// multi-model mix (recorded to traceW as per-request JSONL when set),
+// per-model and registry stats, a /metrics scrape, a 404 probe, and
 // health; the registry must account for every request and drain clean.
 func trafficSmoke(qn, alt *quant.Network, engineName string, vdpeSize int, adcSeed int64,
-	opts serve.Options, inputs [][]float32, requests int) error {
+	opts serve.Options, inputs [][]float32, requests int, traceW io.Writer) error {
 	reg, err := selftestRegistry(qn, alt, engineName, vdpeSize, adcSeed, opts)
 	if err != nil {
 		return err
@@ -733,6 +804,7 @@ func trafficSmoke(qn, alt *quant.Network, engineName string, vdpeSize int, adcSe
 	}
 	mixed, err := serve.Drive(base, inputs, serve.LoadOptions{
 		Requests: requests, Clients: 2, Batch: 4, Mix: selftestMix, MixSeed: 7,
+		TraceOut: traceW,
 	})
 	if err != nil {
 		return err
@@ -762,6 +834,33 @@ func trafficSmoke(qn, alt *quant.Network, engineName string, vdpeSize int, adcSe
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("healthz: %d", resp.StatusCode)
+	}
+
+	// The exposition document must parse and carry the serving families
+	// for every registered model.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	metricsBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics scrape: %d", resp.StatusCode)
+	}
+	if err := telemetry.ValidateExposition(string(metricsBody)); err != nil {
+		return fmt.Errorf("metrics scrape: %w", err)
+	}
+	for _, want := range []string{
+		`sconna_serve_requests_total{model="alt",outcome="served"}`,
+		`sconna_serve_requests_total{model="default",outcome="served"}`,
+		"sconna_registry_models 2",
+	} {
+		if !strings.Contains(string(metricsBody), want) {
+			return fmt.Errorf("metrics scrape missing %q", want)
+		}
 	}
 
 	resp, err = http.Get(base + "/v1/models")
@@ -846,6 +945,55 @@ func replaySmoke(qn, alt *quant.Network, engineName string, vdpeSize int, adcSee
 				return fmt.Errorf("%s replay drifted at request %d:\n%s\nvs\n%s", path, i, first[i], again[i])
 			}
 		}
+	}
+	return nil
+}
+
+// scrapeObservability asserts the telemetry surface is well-formed
+// under fire: GET /metrics parses as text exposition and reports the
+// open breaker, GET /debug/pprof/heap answers a heap profile.
+func scrapeObservability(reg *serve.Registry) error {
+	hs, base, err := serve.ListenLocal(telemetry.WithPprof(reg.Handler()))
+	if err != nil {
+		return err
+	}
+	defer hs.Close()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("chaos metrics scrape: %d", resp.StatusCode)
+	}
+	doc := string(body)
+	if err := telemetry.ValidateExposition(doc); err != nil {
+		return fmt.Errorf("chaos metrics scrape: %w", err)
+	}
+	for _, want := range []string{
+		`sconna_breaker_state{model="default"} 2`, // open
+		`sconna_serve_requests_total{model="default",outcome="served"}`,
+		"sconna_serve_stage_latency_seconds_bucket",
+	} {
+		if !strings.Contains(doc, want) {
+			return fmt.Errorf("chaos metrics scrape missing %q in:\n%.2000s", want, doc)
+		}
+	}
+	resp, err = http.Get(base + "/debug/pprof/heap?debug=1")
+	if err != nil {
+		return err
+	}
+	heap, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(heap, []byte("heap profile")) {
+		return fmt.Errorf("chaos pprof scrape: %d %.80s", resp.StatusCode, heap)
 	}
 	return nil
 }

@@ -274,7 +274,8 @@
 //   - Operations: POST /v1/classify accepts single, batched, base64 and
 //     raw binary (octet-stream float32) bodies; GET /healthz flips to
 //     503 once draining; GET /stats reports queue depth, a batch-size
-//     histogram, p50/p99 latency and engine-pool utilization. Shutdown
+//     histogram, latency quantiles (p50/p90/p99/p999) with the full
+//     log2 bucket list, and engine-pool utilization. Shutdown
 //     drains gracefully: admissions stop, the backlog finishes, workers
 //     exit. cmd/sconnaserve -selftest drives the whole stack against
 //     itself (traffic smoke, replay checks, artifact round trip,
@@ -360,6 +361,47 @@
 //     must trip and recover; the fault-phase status sequence must
 //     replay identically; retrying clients must recover every budgeted
 //     fault), and CI pins it under -race.
+//
+// # Telemetry plane
+//
+// internal/telemetry makes the serving stack observable without
+// disturbing what the other planes pinned — determinism, floors,
+// byte-identical replays — and without a metrics dependency:
+//
+//   - Per-request tracing: when ServeOptions.Telemetry is set, every
+//     request carries a span from HTTP decode through admission, queue,
+//     batch assembly, engine checkout, forward and response. Its trace
+//     ID is splitmix64 of the arrival seq (telemetry.TraceID), so the
+//     same recorded traffic yields the same IDs on every replay; a
+//     client-stamped X-Trace-Id joins the span (the load generator
+//     stamps one per request and can journal its side to JSONL via
+//     -trace-out, with latency and retry attempts per request). Spans
+//     land in a bounded ring; GET /debug/traces exports them as Chrome
+//     trace-event JSON (one process per model, one thread row per seq)
+//     for chrome://tracing or Perfetto.
+//
+//   - Metrics: GET /metrics serves Prometheus text exposition 0.0.4,
+//     hand-rolled (no dependencies, validated by
+//     telemetry.ValidateExposition and golden-tested): every existing
+//     counter — serve traffic/queue/pool stats, per-stage and
+//     end-to-end log2 latency histograms, registry breaker and quota
+//     state, cache traffic (each runner's cache registers a named
+//     collector), op-count and energy-per-inference gauges — as
+//     sconna_* families, labeled model="name" under a registry.
+//     GET /stats grew the full latency histogram plus p90/p999
+//     alongside the existing quantiles.
+//
+//   - Cost discipline: telemetry off (the default) is a nil plane —
+//     no time.Now calls, no allocation, and HTTP replay bytes are
+//     pinned identical to the untraced server; telemetry on preserves
+//     deterministic replay bit-for-bit (IDs and engines derive from
+//     seqs, which tracing never perturbs) and must cost at most a few
+//     percent of batched QPS — BENCH_serve.json (schema v4) carries a
+//     telemetry-overhead leg, and sconnaserve -max-telemetry-overhead
+//     gates it in CI. net/http/pprof mounts behind -pprof
+//     (telemetry.WithPprof); the chaos soak scrapes /metrics and a
+//     heap profile mid-fault to prove the surface stays well-formed
+//     with the breaker open.
 //
 // This package re-exports the stable public surface; see README.md for a
 // tour and EXPERIMENTS.md for paper-vs-measured results of every table

@@ -3,8 +3,10 @@
 // registered as two named, versioned models behind one HTTP surface;
 // traffic routes by name (plus the legacy default alias), a model is
 // hot-swapped out under traffic, the deterministic mode's per-model
-// replays stay bit-identical across pool sizes, and a seeded chaos run
-// trips a circuit breaker and recovers through a retrying client.
+// replays stay bit-identical across pool sizes, a seeded chaos run
+// trips a circuit breaker and recovers through a retrying client, and
+// the telemetry plane traces requests stage by stage, exporting
+// Prometheus text on /metrics and a Chrome trace on /debug/traces.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -27,6 +30,7 @@ import (
 	"repro/internal/quant"
 	"repro/internal/resilience"
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -270,4 +274,77 @@ func main() {
 	}
 	fmt.Printf("chaos run: faults stopped, retrying client answered %d after %d retries, breaker closed (health %q)\n",
 		resp2.StatusCode, retrier.Retries(), creg.Health())
+
+	// 7. Telemetry: arm the tracing plane and scrape it. Each request
+	// gets a replay-stable span (trace ID derived from its arrival seq,
+	// joining any client-stamped X-Trace-Id), per-stage latencies land
+	// in log2 histograms, and the surface exports as Prometheus text on
+	// GET /metrics plus a Chrome trace-event dump on GET /debug/traces.
+	// A nil ServeOptions.Telemetry (the default) keeps the zero-cost
+	// path that preserves deterministic-replay byte-identity.
+	to := opts
+	to.Telemetry = &telemetry.Options{TraceRing: 64}
+	treg := serve.NewRegistry()
+	if _, err := treg.Register("hi8", hi, factory, to); err != nil {
+		log.Fatal(err)
+	}
+	defer treg.DrainAll(ctx)
+	ths, tbase, err := serve.ListenLocal(telemetry.WithPprof(treg.Handler()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ths.Close()
+	for i := 0; i < 8; i++ {
+		req, err := http.NewRequest("POST", tbase+"/v1/models/hi8/classify", bytes.NewReader(payload))
+		if err != nil {
+			log.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(telemetry.TraceIDHeader, telemetry.TraceID(uint64(i)))
+		r, err := http.DefaultClient.Do(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+	}
+	mresp, err := http.Get(tbase + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	exposition, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err := telemetry.ValidateExposition(string(exposition)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntelemetry: GET /metrics (selected series)")
+	for _, line := range strings.Split(string(exposition), "\n") {
+		if strings.HasPrefix(line, "sconna_serve_requests_total") ||
+			strings.HasPrefix(line, "sconna_serve_latency_seconds_count") ||
+			strings.HasPrefix(line, "sconna_serve_traces_total") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+	tresp, err := http.Get(tbase + "/debug/traces")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(tresp.Body).Decode(&chrome); err != nil {
+		log.Fatal(err)
+	}
+	tresp.Body.Close()
+	spans := 0
+	for _, ev := range chrome.TraceEvents {
+		if ev.Ph == "X" {
+			spans++
+		}
+	}
+	fmt.Printf("telemetry: GET /debug/traces dumped %d stage slices across %d events (load in chrome://tracing or Perfetto)\n",
+		spans, len(chrome.TraceEvents))
 }

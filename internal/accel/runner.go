@@ -58,6 +58,9 @@ func NewRunner(opts RunnerOptions) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The newest runner's cache owns the process-wide "accel" metrics
+	// slot (RegisterMetrics replaces); any /metrics endpoint exports it.
+	c.RegisterMetrics("accel")
 	return &Runner{workers: opts.Workers, cache: c}, nil
 }
 

@@ -1,0 +1,38 @@
+package cache
+
+import "repro/internal/telemetry"
+
+// RegisterMetrics publishes the cache's traffic counters on the
+// process-global telemetry collector registry as sconna_cache_*
+// families labeled cache=<name>. Any /metrics endpoint in the process
+// (the serving stack's, typically) then exports them, even though no
+// HTTP handler can reach the cache directly. Returns the unregister
+// func; registering a second cache under the same name replaces the
+// first.
+func (c *Cache[V]) RegisterMetrics(name string) func() {
+	key := "cache:" + name
+	telemetry.RegisterCollector(key, func(f *telemetry.Families) {
+		s := c.Stats()
+		lab := telemetry.L("cache", name)
+		f.Family("sconna_cache_lookups_total", "counter", "Cache lookups (GetOrCompute calls).").
+			Add(float64(s.Lookups), lab)
+		hits := f.Family("sconna_cache_hits_total", "counter",
+			"Lookups served without computing, by layer: in-memory LRU, on-disk store, shared in-flight computation.")
+		hits.Add(float64(s.MemHits), lab, telemetry.L("layer", "mem"))
+		hits.Add(float64(s.DiskHits), lab, telemetry.L("layer", "disk"))
+		hits.Add(float64(s.Shared), lab, telemetry.L("layer", "shared"))
+		f.Family("sconna_cache_misses_total", "counter", "Lookups that had to compute.").
+			Add(float64(s.Misses), lab)
+		f.Family("sconna_cache_evictions_total", "counter", "In-memory LRU entries displaced.").
+			Add(float64(s.Evictions), lab)
+		f.Family("sconna_cache_disk_writes_total", "counter", "Entries persisted to the on-disk store.").
+			Add(float64(s.DiskWrites), lab)
+		f.Family("sconna_cache_disk_errors_total", "counter",
+			"Unreadable or unwritable disk entries (degraded to compute).").
+			Add(float64(s.DiskErrors), lab)
+		f.Family("sconna_cache_gc_removed_total", "counter",
+			"Disk entries evicted by age/size garbage collection.").
+			Add(float64(s.GCRemoved), lab)
+	})
+	return func() { telemetry.UnregisterCollector(key) }
+}

@@ -1,0 +1,53 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestRegisterMetrics(t *testing.T) {
+	c, err := New[int](Options{Entries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unregister := c.RegisterMetrics("test")
+	defer unregister()
+	if _, err := c.GetOrCompute(key("k1"), func() (int, error) { return 42, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetOrCompute(key("k1"), func() (int, error) { return 42, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	f := telemetry.NewFamilies()
+	telemetry.CollectGlobal(f)
+	var b strings.Builder
+	if err := f.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	doc := b.String()
+	if err := telemetry.ValidateExposition(doc); err != nil {
+		t.Fatalf("cache exposition invalid: %v\n%s", err, doc)
+	}
+	for _, want := range []string{
+		`sconna_cache_lookups_total{cache="test"} 2`,
+		`sconna_cache_hits_total{cache="test",layer="mem"} 1`,
+		`sconna_cache_misses_total{cache="test"} 1`,
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("cache metrics missing %q:\n%s", want, doc)
+		}
+	}
+	unregister()
+	f2 := telemetry.NewFamilies()
+	telemetry.CollectGlobal(f2)
+	var b2 strings.Builder
+	if err := f2.Write(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b2.String(), `cache="test"`) {
+		t.Error("unregistered cache still exported")
+	}
+}

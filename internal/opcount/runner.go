@@ -66,6 +66,9 @@ func NewRunner(opts RunnerOptions) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The newest runner's cache owns the process-wide "opcount" metrics
+	// slot (RegisterMetrics replaces); any /metrics endpoint exports it.
+	c.RegisterMetrics("opcount")
 	return &Runner{cache: c}, nil
 }
 

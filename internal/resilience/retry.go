@@ -98,6 +98,15 @@ func (c *RetryClient) delay(o RetryOptions, call uint64, k int, retryAfter strin
 // the byte slice on every attempt. The final response (or transport
 // error) is returned; the caller owns closing the body.
 func (c *RetryClient) Post(url, contentType string, body []byte) (*http.Response, error) {
+	resp, _, err := c.PostHeader(url, contentType, body, nil)
+	return resp, err
+}
+
+// PostHeader is Post with extra request headers — the load generator
+// stamps its per-request trace ID this way — and additionally reports
+// how many attempts this one call took (>= 1), so per-request retry
+// counts can be recorded without reading the client-wide aggregates.
+func (c *RetryClient) PostHeader(url, contentType string, body []byte, header http.Header) (*http.Response, int, error) {
 	o := c.Opts.resolve()
 	hc := c.HTTP
 	if hc == nil {
@@ -106,14 +115,27 @@ func (c *RetryClient) Post(url, contentType string, body []byte) (*http.Response
 	call := c.calls.Add(1) - 1
 	var resp *http.Response
 	var err error
+	tried := 0
 	for k := 0; k < o.MaxAttempts; k++ {
 		if k > 0 {
 			c.retries.Add(1)
 		}
 		c.attempts.Add(1)
-		resp, err = hc.Post(url, contentType, bytes.NewReader(body))
+		tried++
+		var req *http.Request
+		req, err = http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, tried, err
+		}
+		req.Header.Set("Content-Type", contentType)
+		for name, vs := range header {
+			for _, v := range vs {
+				req.Header.Add(name, v)
+			}
+		}
+		resp, err = hc.Do(req)
 		if err == nil && !retryable(resp.StatusCode) {
-			return resp, nil
+			return resp, tried, nil
 		}
 		if k == o.MaxAttempts-1 {
 			break
@@ -125,5 +147,5 @@ func (c *RetryClient) Post(url, contentType string, body []byte) (*http.Response
 		}
 		time.Sleep(c.delay(o, call, k, retryAfter))
 	}
-	return resp, err
+	return resp, tried, err
 }

@@ -59,6 +59,10 @@ func NewRunner(cfg Config, opts RunnerOptions) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The newest runner's cache owns the process-wide "scalability"
+	// metrics slot (RegisterMetrics replaces); any /metrics endpoint
+	// exports it.
+	c.RegisterMetrics("scalability")
 	return &Runner{cfg: cfg, workers: opts.Workers, cache: c}, nil
 }
 

@@ -11,7 +11,9 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -41,24 +43,36 @@ type errorResponse struct {
 
 // Handler returns the HTTP API:
 //
-//	POST /v1/classify — classify one input or a batch
-//	GET  /healthz     — liveness (503 once draining)
-//	GET  /stats       — Stats snapshot as JSON
+//	POST /v1/classify   — classify one input or a batch
+//	GET  /healthz       — liveness (503 once draining)
+//	GET  /stats         — Stats snapshot as JSON
+//	GET  /metrics       — Prometheus text exposition (counters, gauges,
+//	                      latency and per-stage histograms)
+//	GET  /debug/traces  — recent request traces as Chrome trace-event
+//	                      JSON (empty without Options.Telemetry)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/classify", s.handleClassify)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.Handle("/metrics", telemetry.MetricsHandler(func(f *telemetry.Families) { s.collectInto(f) }))
+	mux.HandleFunc("/debug/traces", s.handleTraces)
 	return mux
 }
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	// The decode window is only timed when telemetry is on; the Nop path
+	// takes no timestamps.
+	var start time.Time
+	if s.tel != nil {
+		start = time.Now()
+	}
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	if r.Header.Get("Content-Type") == rawContentType {
-		s.handleClassifyRaw(w, r)
+		s.handleClassifyRaw(w, r, start)
 		return
 	}
 	var req classifyRequest
@@ -71,8 +85,9 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	ctx := s.httpCtx(r, start)
 	if single {
-		res, err := s.Submit(r.Context(), xs[0])
+		res, err := s.Submit(ctx, xs[0])
 		if err != nil {
 			s.writeSubmitError(w, err)
 			return
@@ -84,7 +99,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "batch larger than the server queue")
 		return
 	}
-	results, err := s.SubmitBatch(r.Context(), xs)
+	results, err := s.SubmitBatch(ctx, xs)
 	if err != nil {
 		s.writeSubmitError(w, err)
 		return
@@ -102,7 +117,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 // This is the format the load generator's throughput clients use.
 const rawContentType = "application/octet-stream"
 
-func (s *Server) handleClassifyRaw(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleClassifyRaw(w http.ResponseWriter, r *http.Request, start time.Time) {
 	raw, err := io.ReadAll(r.Body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
@@ -130,7 +145,7 @@ func (s *Server) handleClassifyRaw(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "batch larger than the server queue")
 		return
 	}
-	results, err := s.SubmitBatch(r.Context(), xs)
+	results, err := s.SubmitBatch(s.httpCtx(r, start), xs)
 	if err != nil {
 		s.writeSubmitError(w, err)
 		return

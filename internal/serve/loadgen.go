@@ -5,16 +5,19 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"net/http"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/parallel"
 	"repro/internal/resilience"
+	"repro/internal/telemetry"
 )
 
 // ModelShare weights one model in a multi-model traffic mix: requests
@@ -57,6 +60,34 @@ type LoadOptions struct {
 	// with exponential backoff and deterministic jitter, honoring the
 	// server's Retry-After. Zero fields select the documented defaults.
 	Retry *resilience.RetryOptions
+	// TraceOut receives one TraceRecord JSON line per POST: the
+	// client-side trace ID, routed model, outcome, wall latency and
+	// attempt count. Lines appear in completion order (the record's
+	// Index orders them deterministically offline); writes are
+	// serialized. nil disables.
+	TraceOut io.Writer
+}
+
+// TraceRecord is one line of the load generator's trace JSONL
+// (LoadOptions.TraceOut): the client-side view of one POST. TraceID is
+// the splitmix64 hash of the group's first global request index —
+// exactly how the server derives span IDs from arrival seqs — so
+// client and server traces join by ID format offline.
+type TraceRecord struct {
+	// Index is the global index of the group's first request.
+	Index int `json:"index"`
+	// TraceID is the stamped X-Trace-Id value.
+	TraceID string `json:"trace_id"`
+	// Model is the routed model ("" = the legacy default alias).
+	Model string `json:"model,omitempty"`
+	// Status is "ok", "rejected" (429) or "error".
+	Status string `json:"status"`
+	// Requests is how many inputs the POST carried.
+	Requests int `json:"requests"`
+	// LatencyNS is the POST's wall latency, retries included.
+	LatencyNS int64 `json:"latency_ns"`
+	// Attempts counts tries including the first (1 without retry).
+	Attempts int `json:"attempts"`
 }
 
 // LoadReport is one load-generation outcome.
@@ -197,6 +228,16 @@ func Drive(baseURL string, inputs [][]float32, opts LoadOptions) (LoadReport, er
 	var responses, rejected, failures atomic.Int64
 	var modelMu sync.Mutex
 	byModel := make(map[string]int)
+	var traceMu sync.Mutex
+	writeTrace := func(rec TraceRecord) {
+		line, err := json.Marshal(rec)
+		if err != nil { // unreachable: TraceRecord is all plain fields
+			return
+		}
+		traceMu.Lock()
+		_, _ = opts.TraceOut.Write(append(line, '\n'))
+		traceMu.Unlock()
+	}
 	start := time.Now()
 	err := parallel.ForEach(len(spans), len(spans), func(c int) error {
 		span := spans[c]
@@ -246,28 +287,44 @@ func Drive(baseURL string, inputs [][]float32, opts LoadOptions) (LoadReport, er
 			if opts.Raw && opts.Logits {
 				postURL += "?logits=1"
 			}
+			// Every POST is stamped with a trace ID derived from the
+			// group's first global request index — the same splitmix64
+			// derivation server spans use on arrival seqs — so server-side
+			// traces can be joined to this client's records offline.
+			traceID := telemetry.TraceID(uint64(lo))
+			attempts := 1
+			t0 := time.Now()
 			var resp *http.Response
 			if retrier != nil {
-				resp, e = retrier.Post(postURL, contentType, body)
+				hdr := http.Header{telemetry.TraceIDHeader: []string{traceID}}
+				resp, attempts, e = retrier.PostHeader(postURL, contentType, body, hdr)
 			} else {
-				resp, e = client.Post(postURL, contentType, bytes.NewReader(body))
+				var req *http.Request
+				if req, e = http.NewRequest(http.MethodPost, postURL, bytes.NewReader(body)); e == nil {
+					req.Header.Set("Content-Type", contentType)
+					req.Header.Set(telemetry.TraceIDHeader, traceID)
+					resp, e = client.Do(req)
+				}
 			}
-			if e != nil {
-				failures.Add(int64(n))
-				continue
-			}
+			status := "ok"
 			switch {
+			case e != nil:
+				failures.Add(int64(n))
+				status = "error"
 			case resp.StatusCode == http.StatusTooManyRequests:
 				rejected.Add(int64(n))
 				resp.Body.Close()
+				status = "rejected"
 			case resp.StatusCode != http.StatusOK:
 				failures.Add(int64(n))
 				resp.Body.Close()
+				status = "error"
 			default:
-				got, e := decodeResults(resp, n, single)
-				if e != nil {
+				got, de := decodeResults(resp, n, single)
+				if de != nil {
 					failures.Add(int64(n))
-					continue
+					status = "error"
+					break
 				}
 				responses.Add(int64(got))
 				if len(opts.Mix) > 0 {
@@ -275,6 +332,12 @@ func Drive(baseURL string, inputs [][]float32, opts LoadOptions) (LoadReport, er
 					byModel[model] += got
 					modelMu.Unlock()
 				}
+			}
+			if opts.TraceOut != nil {
+				writeTrace(TraceRecord{
+					Index: lo, TraceID: traceID, Model: model, Status: status,
+					Requests: n, LatencyNS: time.Since(t0).Nanoseconds(), Attempts: attempts,
+				})
 			}
 		}
 		return nil
@@ -357,6 +420,12 @@ type BenchOptions struct {
 	// ChaosSeed seeds the fault schedule and the retry jitter; the same
 	// seed realizes the same faults at the same request indices.
 	ChaosSeed uint64
+	// TelemetryHandler adds a telemetry-overhead leg: the batched
+	// workload re-runs against this handler — the same model behind a
+	// server built with Options.Telemetry — in paired off/on trials, and
+	// the best paired QPS ratio sets TelemetryOverhead, the number the
+	// CI gate bounds.
+	TelemetryHandler http.Handler
 }
 
 // BenchReport is the BENCH_serve.json wire format. Schema-tagged like
@@ -385,12 +454,21 @@ type BenchReport struct {
 	// GoodputFrac is FaultInjected QPS over fault-free batched QPS —
 	// how much sustained throughput survives the injected fault rate.
 	GoodputFrac float64 `json:"goodput_frac,omitempty"`
+	// Telemetry is the telemetry-overhead leg (absent unless
+	// BenchOptions.TelemetryHandler is set): the best of three batched
+	// runs against a telemetry-on server.
+	Telemetry *LoadReport `json:"telemetry,omitempty"`
+	// TelemetryOverhead is the fractional QPS cost of telemetry:
+	// 1 minus the best paired on/off QPS ratio, floored at 0. The CI
+	// gate bounds it.
+	TelemetryOverhead float64 `json:"telemetry_overhead,omitempty"`
 }
 
 // benchSchema tags BENCH_serve.json; see BenchReport (@v2 added the
 // multi-model routing leg and the registry stats document; @v3 the
-// fault-injected goodput leg and retry counters).
-const benchSchema = "repro/bench_serve@v3"
+// fault-injected goodput leg and retry counters; @v4 the
+// telemetry-overhead leg).
+const benchSchema = "repro/bench_serve@v4"
 
 // ListenLocal serves an HTTP API (a single-model Server's Handler or a
 // Registry's) on an ephemeral loopback listener, returning the
@@ -536,6 +614,54 @@ func benchHandler(h http.Handler, inputs [][]float32, opts BenchOptions) (BenchR
 		rep.FaultInjected = &faulted
 		if batched.QPS > 0 {
 			rep.GoodputFrac = faulted.QPS / batched.QPS
+		}
+	}
+	if opts.TelemetryHandler != nil {
+		// The telemetry-overhead leg: identical batched workload against a
+		// telemetry-on server. A single off/on QPS pair is far too noisy
+		// to gate a few-percent ceiling on (scheduler jitter alone
+		// exceeds it), so the leg runs three adjacent off/on pairs of
+		// double-length trials and gates on the best paired QPS ratio:
+		// noise only ever depresses a ratio (the on side cannot "get
+		// lucky" past the off side by more than jitter), so if telemetry
+		// keeps pace in any one adjacent pair it cannot be costing more
+		// than that, while a real systematic cost depresses every pair.
+		th, tbase, err := ListenLocal(opts.TelemetryHandler)
+		if err != nil {
+			return BenchReport{}, err
+		}
+		if _, err := Drive(tbase, inputs, LoadOptions{Requests: 2 * opts.Batch, Clients: 2, Batch: opts.Batch, Raw: opts.Raw}); err != nil {
+			th.Close()
+			return BenchReport{}, err
+		}
+		trialCfg := LoadOptions{
+			Requests: 2 * opts.BatchedRequests, Clients: opts.Clients, Batch: opts.Batch, Raw: opts.Raw,
+		}
+		var ratios []float64
+		var bestOn *LoadReport
+		for trial := 0; trial < 3; trial++ {
+			off, err := Drive(base, inputs, trialCfg)
+			if err != nil {
+				th.Close()
+				return BenchReport{}, err
+			}
+			on, err := Drive(tbase, inputs, trialCfg)
+			if err != nil {
+				th.Close()
+				return BenchReport{}, err
+			}
+			if off.QPS > 0 {
+				ratios = append(ratios, on.QPS/off.QPS)
+			}
+			if bestOn == nil || on.QPS > bestOn.QPS {
+				bestOn = &on
+			}
+		}
+		th.Close()
+		sort.Float64s(ratios)
+		rep.Telemetry = bestOn
+		if n := len(ratios); n > 0 && ratios[n-1] < 1 {
+			rep.TelemetryOverhead = 1 - ratios[n-1]
 		}
 	}
 	return rep, nil

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/quant"
 	"repro/internal/resilience"
+	"repro/internal/telemetry"
 )
 
 // DefaultModelName is the model the legacy single-model endpoints
@@ -151,6 +152,13 @@ func (r *Registry) Register(name string, qn *quant.Network, factory quant.Engine
 	}
 	r.mu.Unlock()
 
+	if opts.Telemetry != nil && opts.Telemetry.Name == "" {
+		// Trace events and metric planes carry the model name; copy the
+		// options so the caller's value stays untouched.
+		t := *opts.Telemetry
+		t.Name = name
+		opts.Telemetry = &t
+	}
 	srv, err := New(qn, factory, opts)
 	if err != nil {
 		r.mu.Lock()
@@ -421,6 +429,11 @@ func (r *Registry) Draining() bool {
 //	                                  single-model server's responses)
 //	GET  /healthz                   — liveness (503 once draining)
 //	GET  /stats                     — RegistryStats (per-model sections)
+//	GET  /metrics                   — Prometheus text exposition, every
+//	                                  model's counters labeled model=<name>
+//	                                  plus breaker/quota/registry families
+//	GET  /debug/traces              — all models' recent traces merged
+//	                                  into one Chrome trace document
 //
 // Unknown model names are 404s with a JSON error body; every other
 // status contract (400/429/503/499) is the single-model server's,
@@ -437,6 +450,8 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/v1/classify", r.handleDefaultClassify)
 	mux.HandleFunc("/healthz", r.handleHealthz)
 	mux.HandleFunc("/stats", r.handleRegistryStats)
+	mux.Handle("/metrics", telemetry.MetricsHandler(r.collectInto))
+	mux.HandleFunc("/debug/traces", r.handleTraces)
 	return mux
 }
 

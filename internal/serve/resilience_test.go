@@ -700,7 +700,7 @@ func TestBenchFaultInjectedGoodput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "repro/bench_serve@v3" {
+	if rep.Schema != benchSchema {
 		t.Fatalf("schema %q", rep.Schema)
 	}
 	if rep.FaultInjected == nil || rep.FaultInjected.Responses != 128 {

@@ -51,6 +51,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/quant"
 	"repro/internal/resilience"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -121,6 +122,17 @@ type Options struct {
 	// probes decide recovery. nil disables (the byte-compatible legacy
 	// behavior). Ignored outside a registry.
 	Breaker *resilience.BreakerOptions
+	// Telemetry enables the telemetry plane: every admitted request
+	// carries a span (trace ID derived from its arrival seq via
+	// splitmix64, so traces replay stably) marked through
+	// decode → admit → queue → assemble → checkout → forward → respond,
+	// feeding per-stage latency histograms and a bounded ring of recent
+	// traces (GET /debug/traces, Chrome trace-event JSON). nil disables
+	// — the Nop path: no span allocates, the hot path pays one nil
+	// check per stage mark, and replayed traffic stays byte-identical
+	// (pinned by the Nop-telemetry replay test). Telemetry never
+	// touches results, so byte-identity also holds with it on.
+	Telemetry *telemetry.Options
 }
 
 // Result is one classify outcome.
@@ -152,6 +164,9 @@ type request struct {
 	ctx  context.Context
 	enq  time.Time
 	done chan outcome
+	// sp is the request's telemetry span; nil (free) when the server
+	// runs without telemetry.
+	sp *telemetry.Span
 }
 
 type outcome struct {
@@ -184,6 +199,10 @@ type Server struct {
 	// shared by every pooled engine's scratch — its counters are atomic.
 	ops *opcount.Recorder
 
+	// tel is the telemetry plane (nil unless Options.Telemetry — nil is
+	// the Nop path every span helper tolerates).
+	tel *telemetry.Plane
+
 	accepted  atomic.Uint64
 	rejected  atomic.Uint64
 	draining  atomic.Uint64
@@ -194,7 +213,7 @@ type Server struct {
 	nbatches  atomic.Uint64
 	batchMu   sync.Mutex
 	batchHist []uint64
-	lat       histogram
+	lat       telemetry.Histogram
 
 	// Drain-rate window: served-per-second over the recent past, the
 	// denominator of the 429 Retry-After estimate (backlog / rate).
@@ -241,6 +260,9 @@ func New(qn *quant.Network, factory quant.EngineFactory, opts Options) (*Server,
 	if opts.OpAccounting {
 		s.ops = qn.OpRecorder()
 	}
+	if opts.Telemetry != nil {
+		s.tel = telemetry.New(*opts.Telemetry)
+	}
 	s.wg.Add(1 + opts.PoolSize)
 	go s.dispatch()
 	for i := 0; i < opts.PoolSize; i++ {
@@ -251,6 +273,10 @@ func New(qn *quant.Network, factory quant.EngineFactory, opts Options) (*Server,
 
 // Options returns the server's resolved configuration.
 func (s *Server) Options() Options { return s.opts }
+
+// Telemetry returns the server's telemetry plane, or nil when the
+// server runs without one (the Nop path).
+func (s *Server) Telemetry() *telemetry.Plane { return s.tel }
 
 // inputLen is the flat element count every input must carry.
 func (s *Server) inputLen() int {
@@ -306,12 +332,22 @@ func (s *Server) enqueue(ctx context.Context, xs []*tensor.T) ([]*request, error
 		return nil, ErrOverloaded
 	}
 	now := time.Now()
+	var httpInfo telemetry.HTTPInfo
+	if s.tel != nil {
+		httpInfo = telemetry.HTTPInfoFrom(ctx)
+	}
 	done := make(chan outcome, len(xs))
 	backing := make([]request, len(xs))
 	reqs := make([]*request, len(xs))
 	for i, x := range xs {
 		r := &backing[i]
 		*r = request{seq: s.nextSeq, idx: i, x: x, ctx: ctx, enq: now, done: done}
+		if s.tel != nil {
+			// The HTTP decode window is shared by the whole admission
+			// group; each request's span carries it so per-stage
+			// histograms see the cost a caller actually paid.
+			r.sp = s.tel.StartSpan(r.seq, now, httpInfo.Decode, httpInfo.ClientID)
+		}
 		s.nextSeq++
 		// Cannot block: capacity was checked under enqMu and only
 		// admissions add to the queue.
@@ -406,6 +442,7 @@ func (s *Server) dispatch() {
 		if !ok {
 			return
 		}
+		r.sp.Mark(telemetry.StageQueue)
 		batch := make([]*request, 1, s.opts.MaxBatch)
 		batch[0] = r
 		closed := false
@@ -417,6 +454,7 @@ func (s *Server) dispatch() {
 					closed = true
 					break greedy
 				}
+				r2.sp.Mark(telemetry.StageQueue)
 				batch = append(batch, r2)
 			default:
 				break greedy
@@ -432,6 +470,7 @@ func (s *Server) dispatch() {
 						closed = true
 						break wait
 					}
+					r2.sp.Mark(telemetry.StageQueue)
 					batch = append(batch, r2)
 				case <-timer.C:
 					break wait
@@ -465,8 +504,10 @@ func (s *Server) runBatch(batch []*request) {
 			r.done <- outcome{idx: r.idx, err: err}
 			if errors.Is(err, ErrDeadline) {
 				s.expired.Add(1)
+				r.sp.Finish("expired")
 			} else {
 				s.cancelled.Add(1)
+				r.sp.Finish("cancelled")
 			}
 			continue
 		}
@@ -489,6 +530,7 @@ func (s *Server) runBatch(batch []*request) {
 			if err != nil {
 				r.done <- outcome{idx: r.idx, err: fmt.Errorf("serve: building engine for seq %d: %w", r.seq, err)}
 				s.failed.Add(1)
+				r.sp.Finish("failed")
 				continue
 			}
 			kept = append(kept, r)
@@ -500,11 +542,21 @@ func (s *Server) runBatch(batch []*request) {
 		}
 	}
 
+	if s.tel != nil {
+		for _, r := range exec {
+			r.sp.Mark(telemetry.StageAssemble)
+		}
+	}
 	eng, err := s.pool.Get(context.Background())
 	if err != nil { // unreachable: Background never ends
 		panic(err)
 	}
 	defer s.pool.Put(eng)
+	if s.tel != nil {
+		for _, r := range exec {
+			r.sp.Mark(telemetry.StageCheckout)
+		}
+	}
 
 	xs := make([]*tensor.T, len(exec))
 	for i, r := range exec {
@@ -518,6 +570,11 @@ func (s *Server) runBatch(batch []*request) {
 	// and safe to share across all pooled scratches.
 	eng.Scratch.Ops = s.ops
 	outs := s.qn.ForwardBatch(xs, engines, eng.Scratch)
+	if s.tel != nil {
+		for _, r := range exec {
+			r.sp.Mark(telemetry.StageForward)
+		}
+	}
 	if s.ops != nil {
 		s.ops.AddInferences(uint64(len(exec)))
 	}
@@ -539,7 +596,9 @@ func (s *Server) runBatch(batch []*request) {
 			res.ClassName = s.opts.ClassNames[res.Class]
 		}
 		r.done <- outcome{idx: r.idx, res: res}
-		s.lat.observe(now.Sub(r.enq))
+		s.lat.Observe(now.Sub(r.enq))
+		r.sp.Mark(telemetry.StageRespond)
+		r.sp.Finish("ok")
 	}
 	s.served.Add(uint64(len(exec)))
 	s.noteServed(len(exec))
@@ -633,23 +692,27 @@ func (s *Server) Stats() Stats {
 	if s.ops != nil {
 		ops = summarizeOps(s.ops.Snapshot())
 	}
+	snap := s.lat.Snapshot()
 	return Stats{
-		Ops:           ops,
-		Accepted:      s.accepted.Load(),
-		Rejected:      s.rejected.Load(),
-		Draining:      s.draining.Load(),
-		Served:        s.served.Load(),
-		Cancelled:     s.cancelled.Load(),
-		Expired:       s.expired.Load(),
-		Failed:        s.failed.Load(),
-		Batches:       s.nbatches.Load(),
-		BatchSizes:    hist,
-		QueueDepth:    len(s.queue),
-		QueueCap:      cap(s.queue),
-		EnginesBusy:   s.pool.InUse(),
-		PoolSize:      s.pool.Size(),
-		LatencyP50:    s.lat.quantile(0.50),
-		LatencyP99:    s.lat.quantile(0.99),
-		Deterministic: s.opts.Deterministic,
+		Ops:            ops,
+		Accepted:       s.accepted.Load(),
+		Rejected:       s.rejected.Load(),
+		Draining:       s.draining.Load(),
+		Served:         s.served.Load(),
+		Cancelled:      s.cancelled.Load(),
+		Expired:        s.expired.Load(),
+		Failed:         s.failed.Load(),
+		Batches:        s.nbatches.Load(),
+		BatchSizes:     hist,
+		QueueDepth:     len(s.queue),
+		QueueCap:       cap(s.queue),
+		EnginesBusy:    s.pool.InUse(),
+		PoolSize:       s.pool.Size(),
+		LatencyP50:     snap.Quantile(0.50),
+		LatencyP90:     snap.Quantile(0.90),
+		LatencyP99:     snap.Quantile(0.99),
+		LatencyP999:    snap.Quantile(0.999),
+		LatencyBuckets: latencyBuckets(snap),
+		Deterministic:  s.opts.Deterministic,
 	}
 }

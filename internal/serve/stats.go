@@ -1,12 +1,10 @@
 package serve
 
 import (
-	"math"
-	"math/bits"
-	"sync"
 	"time"
 
 	"repro/internal/opcount"
+	"repro/internal/telemetry"
 )
 
 // Stats is a snapshot of the server's traffic counters, exposed by
@@ -35,10 +33,17 @@ type Stats struct {
 	QueueCap    int `json:"queue_cap"`
 	EnginesBusy int `json:"engines_busy"`
 	PoolSize    int `json:"pool_size"`
-	// LatencyP50/LatencyP99 are submit-to-result quantiles (upper bucket
-	// bounds of a log2-microsecond histogram).
-	LatencyP50 time.Duration `json:"latency_p50_ns"`
-	LatencyP99 time.Duration `json:"latency_p99_ns"`
+	// LatencyP50..LatencyP999 are submit-to-result quantiles (upper
+	// bucket bounds of the telemetry plane's log2-microsecond
+	// histogram), and LatencyBuckets is the full histogram they were
+	// read from — bucket counts with their inclusive upper bounds,
+	// trailing empty buckets trimmed — so dashboards are not limited to
+	// the precomputed quantiles.
+	LatencyP50     time.Duration   `json:"latency_p50_ns"`
+	LatencyP90     time.Duration   `json:"latency_p90_ns"`
+	LatencyP99     time.Duration   `json:"latency_p99_ns"`
+	LatencyP999    time.Duration   `json:"latency_p999_ns"`
+	LatencyBuckets []LatencyBucket `json:"latency_buckets,omitempty"`
 	// Deterministic reports the serving mode.
 	Deterministic bool `json:"deterministic"`
 	// Ops is the op/energy accounting summary, present only when the
@@ -81,55 +86,32 @@ func summarizeOps(p opcount.Profile) *OpStats {
 	return o
 }
 
-// latBuckets is the log2-microsecond latency histogram size: bucket i
-// holds observations in [2^(i-1), 2^i) microseconds, the last bucket is
-// open-ended (~1.2 hours), which comfortably brackets both microsecond
-// dispatch overheads and multi-second cold batches.
-const latBuckets = 33
-
-// histogram is a fixed-bucket log2 latency histogram. One mutex guards
-// it; observations are a handful of stores, so contention stays
-// negligible next to a forward pass.
-type histogram struct {
-	mu      sync.Mutex
-	buckets [latBuckets]uint64
-	count   uint64
+// LatencyBucket is one exported bucket of the submit-to-result log2
+// latency histogram: Count observations at or under LeNS (and above
+// the previous bucket's bound). The bucketing lives in
+// internal/telemetry (telemetry.Histogram), shared with the per-stage
+// histograms; this is its JSON-facing form.
+type LatencyBucket struct {
+	LeNS  time.Duration `json:"le_ns"`
+	Count uint64        `json:"count"`
 }
 
-func (h *histogram) observe(d time.Duration) {
-	us := d.Microseconds()
-	if us < 0 {
-		us = 0
-	}
-	b := bits.Len64(uint64(us))
-	if b >= latBuckets {
-		b = latBuckets - 1
-	}
-	h.mu.Lock()
-	h.buckets[b]++
-	h.count++
-	h.mu.Unlock()
-}
-
-// quantile returns the upper bound of the bucket containing the q-th
-// (0..1) observation (nearest-rank: ceil(q*count)-1, zero-based), or 0
-// when the histogram is empty.
-func (h *histogram) quantile(q float64) time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
-		return 0
-	}
-	rank := uint64(math.Ceil(q*float64(h.count))) - 1
-	if rank >= h.count { // q >= 1 (or float overshoot): the max observation
-		rank = h.count - 1
-	}
-	var seen uint64
-	for b, n := range h.buckets {
-		seen += n
-		if seen > rank {
-			return time.Duration(uint64(1)<<uint(b)) * time.Microsecond
+// latencyBuckets renders a histogram snapshot for /stats, trimming the
+// trailing run of empty buckets (the document stays small while every
+// populated bucket is visible).
+func latencyBuckets(snap telemetry.HistSnapshot) []LatencyBucket {
+	last := -1
+	for i, n := range snap.Buckets {
+		if n > 0 {
+			last = i
 		}
 	}
-	return time.Duration(uint64(1)<<uint(latBuckets)) * time.Microsecond
+	if last < 0 {
+		return nil
+	}
+	out := make([]LatencyBucket, last+1)
+	for i := 0; i <= last; i++ {
+		out[i] = LatencyBucket{LeNS: telemetry.BucketUpper(i), Count: snap.Buckets[i]}
+	}
+	return out
 }

@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one Chrome trace-event (the chrome://tracing /
+// Perfetto JSON format). Complete events ("X") carry a start timestamp
+// and duration in microseconds; metadata events ("M") name processes.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level document.
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace exports the planes' recent traces as one Chrome
+// trace-event JSON document: one process per plane (named by model),
+// one thread row per request seq, one complete slice per pipeline
+// stage. Planes are emitted in argument order and spans within a plane
+// in seq order, so the document layout is deterministic for a given
+// set of recorded traces.
+func WriteChromeTrace(w io.Writer, planes ...*Plane) error {
+	doc := chromeTrace{TraceEvents: []chromeEvent{}}
+	for pi, p := range planes {
+		if p == nil {
+			continue
+		}
+		pid := pi + 1
+		name := p.Name()
+		if name == "" {
+			name = "serve"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": name},
+		})
+		for _, rec := range p.Traces() {
+			ts := rec.StartUS
+			for _, st := range rec.Stages {
+				dur := float64(st.Dur.Nanoseconds()) / 1e3
+				ev := chromeEvent{
+					Name: st.Stage, Cat: "serve", Ph: "X",
+					TS: ts, Dur: dur, PID: pid, TID: rec.Seq,
+					Args: map[string]any{"trace_id": rec.TraceID, "status": rec.Status},
+				}
+				if rec.ClientID != "" {
+					ev.Args["client_trace_id"] = rec.ClientID
+				}
+				doc.TraceEvents = append(doc.TraceEvents, ev)
+				ts += dur
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// Buckets is the log2-microsecond latency histogram size: bucket i
+// holds observations in (2^(i-1), 2^i] microseconds (bucket 0 holds
+// everything at or under 1µs), the last bucket is open-ended (~1.2
+// hours), which comfortably brackets both microsecond dispatch
+// overheads and multi-second cold batches.
+//
+// The buckets are right-closed so an observation of exactly 2^k µs
+// lands in the bucket whose reported upper bound is 2^k — the
+// Prometheus `le` convention. (The serving plane's original histogram
+// was right-open, which pushed every exact-power observation one
+// bucket up and doubled its reported quantile.)
+const Buckets = 33
+
+// Histogram is a fixed-bucket log2 latency histogram. One mutex guards
+// it; observations are a handful of stores, so contention stays
+// negligible next to a forward pass. The zero value is ready to use;
+// a Histogram must not be copied after first use.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [Buckets]uint64
+	count   uint64
+	sum     time.Duration
+}
+
+// bucketOf returns the bucket index for a microsecond observation:
+// ceil(log2(us)), clamped to the open-ended last bucket.
+func bucketOf(us int64) int {
+	if us <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(us) - 1)
+	if b >= Buckets {
+		b = Buckets - 1
+	}
+	return b
+}
+
+// Observe records one latency observation. Sub-microsecond precision
+// rounds up, so an observation never lands under a bound it exceeds.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	b := bucketOf((d.Nanoseconds() + 999) / 1000)
+	h.mu.Lock()
+	h.buckets[b]++
+	h.count++
+	h.sum += d
+	h.mu.Unlock()
+}
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// (0..1) observation (nearest-rank: ceil(q*count)-1, zero-based), or 0
+// when the histogram is empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	return h.Snapshot().Quantile(q)
+}
+
+// Count returns how many observations the histogram holds.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Snapshot copies the histogram's state for lock-free reading.
+func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistSnapshot{Buckets: h.buckets, Count: h.count, Sum: h.sum}
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram.
+type HistSnapshot struct {
+	Buckets [Buckets]uint64
+	Count   uint64
+	Sum     time.Duration
+}
+
+// BucketUpper returns bucket i's inclusive upper bound as a duration
+// (2^i microseconds).
+func BucketUpper(i int) time.Duration {
+	return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+}
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// (0..1) observation, or 0 when the snapshot is empty.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q*float64(s.Count))) - 1
+	if rank >= s.Count { // q >= 1 (or float overshoot): the max observation
+		rank = s.Count - 1
+	}
+	var seen uint64
+	for b, n := range s.Buckets {
+		seen += n
+		if seen > rank {
+			return BucketUpper(b)
+		}
+	}
+	return BucketUpper(Buckets) // unreachable: counts sum to Count
+}

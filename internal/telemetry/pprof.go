@@ -1,0 +1,29 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// WithPprof mounts the runtime profiling endpoints under /debug/pprof/
+// in front of next: index, named profiles (heap, goroutine, block,
+// mutex, allocs, threadcreate), cmdline, profile (CPU), symbol and
+// trace. Everything else falls through to next untouched — the serving
+// surface is byte-identical off this prefix, which is why pprof stays
+// behind a flag rather than in the default handler.
+func WithPprof(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/debug/pprof/") || r.URL.Path == "/debug/pprof" {
+			mux.ServeHTTP(w, r)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

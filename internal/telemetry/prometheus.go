@@ -1,0 +1,338 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// The Prometheus text exposition writer. Hand-rolled — the repo takes
+// no dependencies — and deliberately small: families are written in
+// the order collectors add them and samples in the order they were
+// added to their family, so the document layout is a pure function of
+// the collection code path (the golden-format test pins it).
+
+// Label is one name="value" pair on a sample.
+type Label struct{ Name, Value string }
+
+// L is shorthand for building a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+type sample struct {
+	suffix string // "" for the family name itself, "_bucket"/"_sum"/"_count" for histograms
+	labels []Label
+	value  float64
+}
+
+// Family is one metric family: a name, TYPE/HELP metadata, and its
+// samples.
+type Family struct {
+	name, typ, help string
+	samples         []sample
+}
+
+// Families accumulates metric families for one exposition document.
+type Families struct {
+	order  []*Family
+	byName map[string]*Family
+}
+
+// NewFamilies returns an empty exposition document builder.
+func NewFamilies() *Families {
+	return &Families{byName: make(map[string]*Family)}
+}
+
+// Family returns the named family, creating it (with the given type
+// and help, kept from the first call) on first use. typ is one of
+// "counter", "gauge" or "histogram".
+func (f *Families) Family(name, typ, help string) *Family {
+	if fam, ok := f.byName[name]; ok {
+		return fam
+	}
+	fam := &Family{name: name, typ: typ, help: help}
+	f.byName[name] = fam
+	f.order = append(f.order, fam)
+	return fam
+}
+
+// Add appends one sample to the family.
+func (fam *Family) Add(value float64, labels ...Label) {
+	fam.samples = append(fam.samples, sample{labels: labels, value: value})
+}
+
+// Histogram appends a histogram snapshot in the Prometheus convention:
+// cumulative `_bucket` samples with `le` upper bounds in seconds
+// (every log2 bucket plus +Inf), then `_sum` and `_count`. The family
+// must be of type "histogram".
+func (fam *Family) Histogram(snap HistSnapshot, labels ...Label) {
+	cum := uint64(0)
+	for i, n := range snap.Buckets {
+		cum += n
+		le := strconv.FormatFloat(BucketUpper(i).Seconds(), 'g', -1, 64)
+		fam.samples = append(fam.samples, sample{
+			suffix: "_bucket",
+			labels: append(append([]Label(nil), labels...), L("le", le)),
+			value:  float64(cum),
+		})
+	}
+	fam.samples = append(fam.samples, sample{
+		suffix: "_bucket",
+		labels: append(append([]Label(nil), labels...), L("le", "+Inf")),
+		value:  float64(snap.Count),
+	})
+	fam.samples = append(fam.samples,
+		sample{suffix: "_sum", labels: labels, value: snap.Sum.Seconds()},
+		sample{suffix: "_count", labels: labels, value: float64(snap.Count)})
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// Write renders the document in the text exposition format (0.0.4).
+func (f *Families) Write(w io.Writer) error {
+	var b strings.Builder
+	for _, fam := range f.order {
+		if len(fam.samples) == 0 {
+			continue
+		}
+		if fam.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", fam.name, fam.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", fam.name, fam.typ)
+		for _, s := range fam.samples {
+			b.WriteString(fam.name)
+			b.WriteString(s.suffix)
+			if len(s.labels) > 0 {
+				b.WriteByte('{')
+				for i, l := range s.labels {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					fmt.Fprintf(&b, `%s="%s"`, l.Name, escapeLabel(l.Value))
+				}
+				b.WriteByte('}')
+			}
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatFloat(s.value, 'g', -1, 64))
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Collector contributes samples to an exposition document.
+type Collector func(*Families)
+
+// registry is the process-global collector set: subsystems that are
+// not reachable from a serving handler (content-addressed caches, for
+// one) register here and every /metrics endpoint scrapes them.
+var registry struct {
+	sync.Mutex
+	m map[string]Collector
+}
+
+// RegisterCollector installs (or replaces) a named global collector,
+// scraped by every MetricsHandler in registration-name order.
+func RegisterCollector(name string, c Collector) {
+	registry.Lock()
+	defer registry.Unlock()
+	if registry.m == nil {
+		registry.m = make(map[string]Collector)
+	}
+	registry.m[name] = c
+}
+
+// UnregisterCollector removes a named global collector.
+func UnregisterCollector(name string) {
+	registry.Lock()
+	defer registry.Unlock()
+	delete(registry.m, name)
+}
+
+// CollectGlobal runs every registered global collector in name order.
+// MetricsHandler calls it after its local collectors; tests and
+// non-HTTP exporters can call it directly.
+func CollectGlobal(f *Families) {
+	registry.Lock()
+	names := make([]string, 0, len(registry.m))
+	for name := range registry.m {
+		names = append(names, name)
+	}
+	cs := make([]Collector, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		cs = append(cs, registry.m[name])
+	}
+	registry.Unlock()
+	for _, c := range cs {
+		c(f)
+	}
+}
+
+// expositionContentType is the Prometheus text format content type.
+const expositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// MetricsHandler serves GET /metrics: the local collectors run first
+// (in argument order), then every globally registered collector (in
+// name order), and the document is written in the text exposition
+// format.
+func MetricsHandler(local ...Collector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		f := NewFamilies()
+		for _, c := range local {
+			c(f)
+		}
+		CollectGlobal(f)
+		w.Header().Set("Content-Type", expositionContentType)
+		// A broken connection surfaces in the scraper, not here.
+		_ = f.Write(w)
+	})
+}
+
+// ValidateExposition checks a text exposition document for
+// well-formedness: TYPE lines precede their samples, sample names
+// belong to the most recent family (modulo histogram/summary
+// suffixes), label syntax parses, and values are floats. It is the
+// assertion the selftest's scrape leg and the format tests share.
+func ValidateExposition(doc string) error {
+	curFamily := ""
+	curType := ""
+	seenSample := false
+	lineNo := 0
+	for _, line := range strings.Split(doc, "\n") {
+		lineNo++
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			name := fields[2]
+			if strings.HasPrefix(line, "# TYPE ") {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE %q", lineNo, line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+				}
+				curFamily, curType, seenSample = name, fields[3], false
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		if !validMetricName(name) {
+			return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+		}
+		if curFamily != "" {
+			base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+			if name != curFamily && base != curFamily {
+				return fmt.Errorf("line %d: sample %q outside family %q", lineNo, name, curFamily)
+			}
+			if curType == "histogram" && name == curFamily {
+				return fmt.Errorf("line %d: bare histogram sample %q", lineNo, name)
+			}
+		}
+		rest := line[len(name):]
+		if strings.HasPrefix(rest, "{") {
+			end := strings.LastIndex(rest, "}")
+			if end < 0 {
+				return fmt.Errorf("line %d: unterminated label set", lineNo)
+			}
+			if err := validateLabels(rest[1:end]); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			rest = rest[end+1:]
+		}
+		rest = strings.TrimSpace(rest)
+		val := strings.Fields(rest)
+		if len(val) < 1 || len(val) > 2 { // optional trailing timestamp
+			return fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+		}
+		if v := val[0]; v != "+Inf" && v != "-Inf" && v != "NaN" {
+			if _, err := strconv.ParseFloat(v, 64); err != nil {
+				return fmt.Errorf("line %d: bad value %q", lineNo, v)
+			}
+		}
+		seenSample = true
+	}
+	_ = seenSample
+	return nil
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validateLabels checks the inside of a {...} label set.
+func validateLabels(s string) error {
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq <= 0 || !validMetricName(s[:eq]) {
+			return fmt.Errorf("bad label name in %q", s)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return fmt.Errorf("unquoted label value in %q", s)
+		}
+		s = s[1:]
+		// Scan to the closing unescaped quote.
+		i := 0
+		for ; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+		}
+		if i >= len(s) {
+			return fmt.Errorf("unterminated label value")
+		}
+		s = s[i+1:]
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+		} else if len(s) > 0 {
+			return fmt.Errorf("trailing garbage %q in label set", s)
+		}
+	}
+	return nil
+}

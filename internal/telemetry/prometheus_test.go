@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExpositionWriteAndValidate(t *testing.T) {
+	f := NewFamilies()
+	c := f.Family("sconna_test_total", "counter", "A test counter.")
+	c.Add(3, L("model", "default"), L("outcome", "served"))
+	c.Add(1, L("model", `we"ird\na"me`))
+	g := f.Family("sconna_test_depth", "gauge", "A test gauge.")
+	g.Add(7.5)
+	var h Histogram
+	h.Observe(3 * time.Microsecond)
+	h.Observe(2 * time.Second)
+	f.Family("sconna_test_latency_seconds", "histogram", "A test histogram.").
+		Histogram(h.Snapshot(), L("stage", "forward"))
+	// Empty families are skipped entirely.
+	f.Family("sconna_test_empty", "counter", "Never sampled.")
+
+	var b strings.Builder
+	if err := f.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	doc := b.String()
+	if err := ValidateExposition(doc); err != nil {
+		t.Fatalf("self-written document fails validation: %v\n%s", err, doc)
+	}
+	for _, want := range []string{
+		"# TYPE sconna_test_total counter",
+		`sconna_test_total{model="default",outcome="served"} 3`,
+		"sconna_test_depth 7.5",
+		`sconna_test_latency_seconds_bucket{stage="forward",le="+Inf"} 2`,
+		"sconna_test_latency_seconds_count{stage=\"forward\"} 2",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("document missing %q:\n%s", want, doc)
+		}
+	}
+	if strings.Contains(doc, "sconna_test_empty") {
+		t.Error("empty family was emitted")
+	}
+	// Histogram buckets are cumulative and end at the count.
+	if !strings.Contains(doc, `le="4e-06"} 1`) {
+		t.Errorf("3µs observation missing from the 4µs bucket:\n%s", doc)
+	}
+}
+
+func TestValidateExpositionRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"1bad_name 3",
+		`ok{label=noquote} 1`,
+		`ok{label="unterminated} 1`,
+		"ok notanumber",
+		"# TYPE x wrongtype\nx 1",
+		"# TYPE sconna_a counter\nsconna_b 1",
+	} {
+		if err := ValidateExposition(bad); err == nil {
+			t.Errorf("ValidateExposition(%q) passed, want error", bad)
+		}
+	}
+	if err := ValidateExposition("good_name{a=\"b\",c=\"d\"} 1.5\n"); err != nil {
+		t.Errorf("valid sample rejected: %v", err)
+	}
+}
+
+func TestMetricsHandlerAndGlobalCollectors(t *testing.T) {
+	RegisterCollector("zz_test_cache", func(f *Families) {
+		f.Family("sconna_cache_lookups_total", "counter", "Cache lookups.").Add(5, L("cache", "t"))
+	})
+	defer UnregisterCollector("zz_test_cache")
+	h := MetricsHandler(func(f *Families) {
+		f.Family("sconna_local_total", "counter", "Local.").Add(1)
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	doc := string(body)
+	if err := ValidateExposition(doc); err != nil {
+		t.Fatalf("handler document invalid: %v", err)
+	}
+	local := strings.Index(doc, "sconna_local_total")
+	global := strings.Index(doc, "sconna_cache_lookups_total")
+	if local < 0 || global < 0 || global < local {
+		t.Errorf("local collectors must precede globals:\n%s", doc)
+	}
+}
+
+func TestWithPprof(t *testing.T) {
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	})
+	srv := httptest.NewServer(WithPprof(next))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/heap?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "heap profile") {
+		t.Fatalf("heap profile: %d %.80s", resp.StatusCode, body)
+	}
+	// Off-prefix traffic falls through untouched.
+	resp, err = http.Get(srv.URL + "/anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTeapot {
+		t.Fatalf("fallthrough: %d, want 418", resp.StatusCode)
+	}
+}

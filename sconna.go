@@ -17,6 +17,7 @@ import (
 	"repro/internal/resilience"
 	"repro/internal/scalability"
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 )
 
 // Version identifies this reproduction release.
@@ -331,6 +332,41 @@ func ChaosEngineFactory(inner EngineFactory, opts ChaosOptions) EngineFactory {
 func ChaosMiddleware(h http.Handler, opts HTTPChaosOptions) http.Handler {
 	return resilience.Middleware(h, opts)
 }
+
+// Telemetry plane (per-request tracing, Prometheus /metrics, pprof).
+type (
+	// TelemetryOptions arms a server's telemetry plane when set on
+	// ServeOptions.Telemetry; nil keeps the zero-cost Nop path that
+	// preserves deterministic-replay byte-identity.
+	TelemetryOptions = telemetry.Options
+	// TelemetryPlane is one server's armed trace/histogram state,
+	// reachable via (*InferenceServer).Telemetry.
+	TelemetryPlane = telemetry.Plane
+	// MetricFamilies accumulates Prometheus text-exposition families;
+	// Collector implementations append to it.
+	MetricFamilies = telemetry.Families
+	// MetricCollector contributes families to a /metrics scrape.
+	MetricCollector = telemetry.Collector
+)
+
+// TraceIDHeader is the HTTP request header carrying a client-stamped
+// trace ID, echoed into the server-side span.
+const TraceIDHeader = telemetry.TraceIDHeader
+
+// TraceID derives the replay-stable trace ID for an arrival sequence
+// number — the same function servers and the load generator use, so
+// client and server records join on it.
+func TraceID(seq uint64) string { return telemetry.TraceID(seq) }
+
+// WithPprof mounts net/http/pprof under /debug/pprof/ in front of next;
+// everything else passes through. Serving handlers never expose pprof
+// unless wrapped (sconnaserve gates it behind -pprof).
+func WithPprof(next http.Handler) http.Handler { return telemetry.WithPprof(next) }
+
+// ValidateExposition checks a Prometheus text document for
+// well-formedness (HELP/TYPE pairing, label syntax, histogram
+// invariants) — the same validator the selftest scrapes run.
+func ValidateExposition(doc string) error { return telemetry.ValidateExposition(doc) }
 
 // DefaultAccuracyOptions returns the full Table V study configuration.
 func DefaultAccuracyOptions() AccuracyOptions { return accuracy.DefaultOptions() }
