@@ -56,8 +56,15 @@ func main() {
 		"garbage-collect the disk store down to this many bytes at open (0 = unbounded)")
 	cacheMaxAge := flag.Duration("cache-max-age", 0,
 		"evict disk-store entries older than this at open (0 = no age bound)")
+	shardSpec := flag.String("shard", "",
+		"compute only shard i/n of the cacheable sweeps (fig9, table1, energy) into -cache-dir and exit without printing tables; disjoint shard stores union into one warm store (use the same -quick on every shard)")
 	flag.Parse()
 	pool := *workers
+
+	shard, err := sconna.ParseShard(*shardSpec)
+	if err != nil {
+		fatal(err)
+	}
 
 	arun, err := sconna.NewAccelRunner(sconna.AccelRunnerOptions{
 		Workers: pool, CacheDir: *cacheDir,
@@ -79,6 +86,19 @@ func main() {
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	if shard.Enabled() {
+		if *cacheDir == "" {
+			fatal(fmt.Errorf("-shard needs -cache-dir: the union of the shard stores is the product"))
+		}
+		if err := runShard(*exp, shard, arun, srun, erun, *quick); err != nil {
+			fatal(err)
+		}
+		reportCache("accel", arun.Stats())
+		reportCache("scalability", srun.Stats())
+		reportCache("energy", erun.Stats())
+		return
 	}
 
 	if *out != "" {
@@ -382,35 +402,12 @@ var energySparsities = []float64{0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}
 // Cells are content-addressed by (network digest, sparsity, seed, n) —
 // a warm cache recomputes nothing and the table is byte-identical.
 func energyTable(erun *opcount.Runner, quick bool) *report.Table {
-	const seed = 2023
-	n := 32
-	if quick {
-		n = 8
-	}
-	net := nn.BuildSmallCNN(8, 8, 1)
-	calib := &tensor.T{Shape: []int{1, 16, 16}, Data: serve.SparseInputs(1, 256, 0, 1)[0]}
-	qn, err := quant.Quantize(net, 8, []nn.Example{{X: calib, Label: 0}})
-	if err != nil {
-		fatal(err)
-	}
+	qn := energyNetwork()
 	t := report.NewTable("Energy — op/energy accounting vs input sparsity (width-8 CNN, 8-bit, exact engine)",
 		"sparsity", "dense Mops/inf", "exec Mops/inf", "skipped %",
 		"elec dense uJ/inf", "elec uJ/inf", "sconna uJ/inf")
 	for _, sp := range energySparsities {
-		key := opcount.JobDigest(qn.Digest(), sp, seed, n)
-		prof, err := erun.Profile(key, func() (opcount.Profile, error) {
-			rec := qn.OpRecorder()
-			s := quant.NewScratch()
-			s.Ops = rec
-			for _, raw := range serve.SparseInputs(n, 256, sp, seed) {
-				qn.ForwardScratch(&tensor.T{Shape: []int{1, 16, 16}, Data: raw}, quant.ExactEngine{}, s)
-			}
-			rec.AddInferences(uint64(n))
-			return rec.Snapshot(), nil
-		})
-		if err != nil {
-			fatal(err)
-		}
+		prof := energyProfile(erun, qn, sp, quick)
 		dense, exec := prof.Dense(), prof.Exec()
 		ninf := float64(prof.Inferences)
 		t.AddRow(sp,
@@ -422,6 +419,84 @@ func energyTable(erun *opcount.Runner, quick bool) *report.Table {
 			opcount.Sconna().UJ(exec)/ninf)
 	}
 	return t
+}
+
+// energyNetwork builds the golden quantized CNN the energy experiment
+// prices; every shard must price the same network for cells to union.
+func energyNetwork() *quant.Network {
+	net := nn.BuildSmallCNN(8, 8, 1)
+	calib := &tensor.T{Shape: []int{1, 16, 16}, Data: serve.SparseInputs(1, 256, 0, 1)[0]}
+	qn, err := quant.Quantize(net, 8, []nn.Example{{X: calib, Label: 0}})
+	if err != nil {
+		fatal(err)
+	}
+	return qn
+}
+
+// energyProfile solves (or recalls) one sparsity cell of the energy
+// sweep through the content-addressed store.
+func energyProfile(erun *opcount.Runner, qn *quant.Network, sp float64, quick bool) opcount.Profile {
+	const seed = 2023
+	n := 32
+	if quick {
+		n = 8
+	}
+	key := opcount.JobDigest(qn.Digest(), sp, seed, n)
+	prof, err := erun.Profile(key, func() (opcount.Profile, error) {
+		rec := qn.OpRecorder()
+		s := quant.NewScratch()
+		s.Ops = rec
+		for _, raw := range serve.SparseInputs(n, 256, sp, seed) {
+			qn.ForwardScratch(&tensor.T{Shape: []int{1, 16, 16}, Data: raw}, quant.ExactEngine{}, s)
+		}
+		rec.AddInferences(uint64(n))
+		return rec.Snapshot(), nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	return prof
+}
+
+// runShard is the fleet-distribution mode: compute only this machine's
+// shard of the cacheable sweeps into the shared content-addressed
+// store, print a stderr summary, and skip the tables. N machines run
+// disjoint shards against their own store roots; the directory union
+// of those roots answers the full unsharded run with zero misses, so
+// its merged stdout is byte-identical to a single-machine run.
+func runShard(exp string, sh sconna.Shard, arun *sconna.AccelRunner, srun *sconna.ScalabilityRunner,
+	erun *opcount.Runner, quick bool) error {
+	matched := false
+	if exp == "all" || exp == "fig9" {
+		matched = true
+		cfgs := []sconna.AccelConfig{sconna.SconnaAccel(), sconna.MAMAccel(), sconna.AMMAccel()}
+		ms := sconna.EvaluatedModels()
+		res, err := arun.SweepShard(cfgs, ms, sh.Index, sh.Count)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "shard %s: fig9 solved %d of %d accel jobs\n",
+			sh, len(res), len(accel.SweepJobs(cfgs, ms)))
+	}
+	if exp == "all" || exp == "table1" {
+		matched = true
+		cells := srun.TableIShard(sh.Index, sh.Count)
+		fmt.Fprintf(os.Stderr, "shard %s: table1 solved %d cells\n", sh, len(cells))
+	}
+	if exp == "all" || exp == "energy" {
+		matched = true
+		qn := energyNetwork()
+		span := sh.Span(len(energySparsities))
+		for _, sp := range energySparsities[span.Lo:span.Hi] {
+			energyProfile(erun, qn, sp, quick)
+		}
+		fmt.Fprintf(os.Stderr, "shard %s: energy solved %d of %d cells\n",
+			sh, span.Hi-span.Lo, len(energySparsities))
+	}
+	if !matched {
+		return fmt.Errorf("-shard applies to all|fig9|table1|energy, not %q", exp)
+	}
+	return nil
 }
 
 var _ = strings.TrimSpace // reserved for future formatting helpers

@@ -8,6 +8,9 @@
 //	            [-op-stats] [-pool N] [-max-batch N] [-max-wait D] [-queue N]
 //	            [-request-timeout D] [-max-inflight N] [-breaker]
 //	            [-model name=artifact.qnn ...]
+//	            [-store-dir DIR] [-store-url URL] [-store-put FILE ...]
+//	            [-pull name=digest ...]
+//	            [-router] [-replica host:port,...] [-refresh D]
 //	            [-width N] [-train N] [-epochs N] [-seed N]
 //	            [-weights FILE] [-save-weights FILE]
 //	            [-save-quant FILE] [-quantize-only]
@@ -15,6 +18,7 @@
 //	            [-selftest] [-requests N] [-bench-out FILE]
 //	            [-min-qps Q] [-min-speedup X]
 //	            [-chaos-seed N] [-chaos-only] [-min-goodput F]
+//	            [-max-routing-overhead F]
 //
 // With repeatable -model flags the server loads pre-quantized model
 // artifacts (written by -save-quant, or quant.SaveFile) and registers
@@ -22,6 +26,24 @@
 // -model is the default. Without -model it trains (or loads float
 // weights for) one CNN, quantizes it and registers it as "default",
 // exactly the PR 4 behavior.
+//
+// The fleet plane distributes that same stack across machines. -store-put
+// FILE loads a quantized artifact, stores it under its content digest in
+// the -store-dir artifact store (atomic, idempotent) and prints
+// "digest path" per file, then exits. Repeatable -pull name=digest flags
+// fetch artifacts from the store — -store-url (a router's or any
+// StoreHandler's base URL) or -store-dir — validate the bytes against
+// the requested digest and register each under its name exactly as
+// -model does; -model and -pull combine, first of either is the
+// default. -router turns the process into a fleet router: model names
+// consistent-hash onto the -replica ring (bounded-load rendezvous over
+// splitmix64 — a pure function of the member set), classify traffic
+// proxies with deadline propagation (-request-timeout), per-replica
+// circuit breakers and candidate-order failover, responses carry
+// X-Served-By, and the model set refreshes from the replicas' /v1/models
+// every -refresh. With -store-dir the router also serves the artifact
+// store at GET /v1/artifacts[/{digest}], so replicas can pull models
+// from the box that routes to them.
 //
 // The HTTP surface routes by model name — POST
 // /v1/models/{name}/classify, GET /v1/models (name/version/stats
@@ -90,6 +112,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/fleet"
 	"repro/internal/nn"
 	"repro/internal/quant"
 	"repro/internal/resilience"
@@ -124,6 +147,166 @@ func (m *modelFlags) Set(v string) error {
 	return nil
 }
 
+// pullFlags collects repeated -pull name=digest flags in order (the
+// digest rides in modelSpec.path).
+type pullFlags []modelSpec
+
+func (p *pullFlags) String() string {
+	parts := make([]string, len(*p))
+	for i, s := range *p {
+		parts[i] = s.name + "=" + s.path
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p *pullFlags) Set(v string) error {
+	name, dig, ok := strings.Cut(v, "=")
+	if !ok || name == "" || dig == "" {
+		return fmt.Errorf("want name=digest, got %q", v)
+	}
+	*p = append(*p, modelSpec{name: name, path: dig})
+	return nil
+}
+
+// stringList collects a repeatable string flag in order.
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+// splitReplicas parses the -replica list, tolerating spaces and
+// trailing commas.
+func splitReplicas(v string) []string {
+	var out []string
+	for _, r := range strings.Split(v, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// pullStore selects the artifact store -pull fetches from: a remote
+// StoreHandler when -store-url is set, else the local -store-dir.
+func pullStore(storeURL, storeDir string) fleet.Store {
+	switch {
+	case storeURL != "":
+		return &fleet.HTTPStore{Base: storeURL}
+	case storeDir != "":
+		ds, err := fleet.OpenDiskStore(storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		return ds
+	}
+	fatal(fmt.Errorf("-pull needs -store-url or -store-dir"))
+	return nil // unreachable
+}
+
+// runStorePut loads each artifact and stores it in -store-dir under its
+// content digest, printing "digest path" per file to stdout — the
+// digest is exactly what replicas then -pull.
+func runStorePut(dir string, files []string) {
+	if dir == "" {
+		fatal(fmt.Errorf("-store-put needs -store-dir"))
+	}
+	store, err := fleet.OpenDiskStore(dir)
+	if err != nil {
+		fatal(err)
+	}
+	for _, path := range files {
+		qn, err := quant.LoadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		dig, err := store.Put(qn)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s %s\n", dig, path)
+	}
+}
+
+// runRouter is the -router serve loop: a fleet router over the replica
+// ring, the same listen/SIGTERM/drain lifecycle as the model server,
+// plus a background model-set refresh so models registered (or
+// replicas recovering) after boot get picked up without a restart.
+func runRouter(addr string, replicas []string, requestTimeout, refresh time.Duration, storeDir string) {
+	ropts := fleet.RouterOptions{Replicas: replicas, RequestTimeout: requestTimeout}
+	if storeDir != "" {
+		store, err := fleet.OpenDiskStore(storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		ropts.Store = store
+		fmt.Fprintf(os.Stderr, "sconnaserve: serving artifact store %s at %s\n", storeDir, fleet.ArtifactPath)
+	}
+	rt := fleet.NewRouter(ropts)
+	bootCtx, bootCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	if err := rt.Refresh(bootCtx); err != nil {
+		// Replicas may still be booting; breakers and the refresh loop
+		// cover the gap, so a partial first poll is not fatal.
+		fmt.Fprintf(os.Stderr, "sconnaserve: router boot refresh: %v\n", err)
+	}
+	bootCancel()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{Handler: rt.Handler()}
+	fmt.Fprintf(os.Stderr, "sconnaserve: routing %d model(s) %v across %d replica(s) %v on %s (refresh %v)\n",
+		len(rt.Models()), rt.Models(), len(replicas), replicas, ln.Addr(), refresh)
+
+	stop := make(chan struct{})
+	go func() {
+		t := time.NewTicker(refresh)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				ctx, cancel := context.WithTimeout(context.Background(), refresh)
+				_ = rt.Refresh(ctx) // best-effort: breakers cover dead replicas between polls
+				cancel()
+			}
+		}
+	}()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "sconnaserve: %v — draining\n", got)
+	case err := <-errc:
+		fatal(err)
+	}
+	close(stop)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fatal(fmt.Errorf("http shutdown: %w", err))
+	}
+	st := rt.Stats()
+	for _, r := range st.Replicas {
+		state := "closed"
+		if r.Breaker != nil {
+			state = r.Breaker.State
+		}
+		fmt.Fprintf(os.Stderr, "sconnaserve: replica %q proxied=%d errors=%d breaker=%s\n",
+			r.Name, r.Proxied, r.Errors, state)
+	}
+	fmt.Fprintf(os.Stderr, "sconnaserve: router reroutes=%d unrouted=%d\n", st.Reroutes, st.Unrouted)
+	fmt.Fprintln(os.Stderr, "sconnaserve: drained clean")
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	engineName := flag.String("engine", "sconna", "dot-product engine: sconna|sconna-packed|exact")
@@ -145,6 +328,19 @@ func main() {
 	var models modelFlags
 	flag.Var(&models, "model",
 		"register a pre-quantized model artifact as name=path (repeatable; first is the default model)")
+
+	var pulls pullFlags
+	flag.Var(&pulls, "pull",
+		"fetch a model artifact as name=digest from the artifact store (-store-url or -store-dir) and register it like -model (repeatable)")
+	storeDir := flag.String("store-dir", "",
+		"artifact store directory: -store-put destination, -pull source, served by -router at /v1/artifacts")
+	storeURL := flag.String("store-url", "", "remote artifact store base URL for -pull (e.g. a router's http://host:port)")
+	var storePuts stringList
+	flag.Var(&storePuts, "store-put",
+		"store a quantized artifact FILE in -store-dir under its content digest, print \"digest path\", exit (repeatable)")
+	router := flag.Bool("router", false, "run as a fleet router over the -replica ring instead of serving models")
+	replicas := flag.String("replica", "", "comma-separated replica addresses (host:port,...) the -router hashes models onto")
+	refresh := flag.Duration("refresh", 2*time.Second, "router model-set refresh interval (polls the replicas' /v1/models)")
 
 	width := flag.Int("width", 4, "served CNN width (nn.BuildSmallCNN)")
 	trainN := flag.Int("train", 192, "training examples for the in-process trained model")
@@ -178,19 +374,33 @@ func main() {
 		"selftest: write the load generator's per-request trace JSONL here (\"\" disables)")
 	maxTelemOverhead := flag.Float64("max-telemetry-overhead", 0,
 		"selftest ceiling on the telemetry-on QPS cost as a fraction of telemetry-off batched QPS (0 disables)")
+	maxRoutingOverhead := flag.Float64("max-routing-overhead", 0,
+		"selftest ceiling on the routed-QPS cost as a fraction of direct batched QPS (0 disables)")
 	flag.Parse()
 
 	if *chaosOnly && (!*selftest || *chaosSeed == 0) {
 		fatal(fmt.Errorf("-chaos-only needs -selftest and -chaos-seed"))
 	}
 
-	if len(models) > 0 {
+	if *router {
+		if *replicas == "" {
+			fatal(fmt.Errorf("-router needs -replica host:port,..."))
+		}
+		runRouter(*addr, splitReplicas(*replicas), *requestTimeout, *refresh, *storeDir)
+		return
+	}
+	if len(storePuts) > 0 {
+		runStorePut(*storeDir, storePuts)
+		return
+	}
+
+	if len(models) > 0 || len(pulls) > 0 {
 		for flagName, set := range map[string]bool{
 			"weights": *weights != "", "save-weights": *saveWeights != "",
 			"save-quant": *saveQuant != "", "quantize-only": *quantizeOnly, "selftest": *selftest,
 		} {
 			if set {
-				fatal(fmt.Errorf("-%s applies to the in-process built model and cannot combine with -model", flagName))
+				fatal(fmt.Errorf("-%s applies to the in-process built model and cannot combine with -model/-pull", flagName))
 			}
 		}
 	}
@@ -222,7 +432,7 @@ func main() {
 		name string
 		qn   *quant.Network
 	}
-	if len(models) > 0 {
+	if len(models) > 0 || len(pulls) > 0 {
 		for _, spec := range models {
 			qn, err := quant.LoadFile(spec.path)
 			if err != nil {
@@ -234,6 +444,21 @@ func main() {
 				name string
 				qn   *quant.Network
 			}{spec.name, qn})
+		}
+		if len(pulls) > 0 {
+			store := pullStore(*storeURL, *storeDir)
+			for _, spec := range pulls {
+				qn, err := store.Get(spec.path)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "sconnaserve: pulled %s as %q (%d-bit, %d weights)\n",
+					spec.path[:12], spec.name, qn.Bits, qn.NumWeights())
+				entries = append(entries, struct {
+					name string
+					qn   *quant.Network
+				}{spec.name, qn})
+			}
 		}
 	} else {
 		net, examples, err := buildFloatModel(*width, *trainN, *epochs, *seed, *weights, *saveWeights)
@@ -268,7 +493,7 @@ func main() {
 			}
 			if err := runSelftest(qn, alt, *engineName, *vdpeSize, *adcSeed, opts,
 				*requests, *benchOut, *minQPS, *minSpeedup,
-				*chaosSeed, *chaosOnly, *minGoodput, *traceOut, *maxTelemOverhead); err != nil {
+				*chaosSeed, *chaosOnly, *minGoodput, *traceOut, *maxTelemOverhead, *maxRoutingOverhead); err != nil {
 				fatal(err)
 			}
 			return
@@ -432,7 +657,7 @@ var selftestMix = []serve.ModelShare{
 func runSelftest(qn, alt *quant.Network, engineName string, vdpeSize int, adcSeed int64,
 	opts serve.Options, requests int, benchOut string, minQPS, minSpeedup float64,
 	chaosSeed uint64, chaosOnly bool, minGoodput float64,
-	traceOut string, maxTelemOverhead float64) error {
+	traceOut string, maxTelemOverhead, maxRoutingOverhead float64) error {
 	inputs := selftestInputs(64)
 
 	if chaosSeed != 0 {
@@ -442,6 +667,11 @@ func runSelftest(qn, alt *quant.Network, engineName string, vdpeSize int, adcSee
 		fmt.Fprintf(os.Stderr,
 			"sconnaserve: selftest chaos soak ok (seed %d: breaker tripped and recovered, fault phase replayed identically, retrying clients recovered every budgeted fault)\n",
 			chaosSeed)
+		if err := fleetSmoke(qn, alt, engineName, vdpeSize, adcSeed, opts, inputs); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr,
+			"sconnaserve: selftest fleet smoke ok (2-replica ring: replica killed mid-traffic, breaker opened, survivor served every request)")
 		if chaosOnly {
 			return nil
 		}
@@ -507,6 +737,23 @@ func runSelftest(qn, alt *quant.Network, engineName string, vdpeSize int, adcSee
 		defer drainRegistry(telReg)
 		benchOpts.TelemetryHandler = telReg.Handler()
 	}
+	// The fleet leg proxies the batched workload through a router in
+	// front of an identically configured single-replica registry; the
+	// paired direct/routed trials put a number on the routing hop.
+	fleetReg, err := selftestRegistry(qn, alt, engineName, vdpeSize, adcSeed, benchBase)
+	if err != nil {
+		return err
+	}
+	defer drainRegistry(fleetReg)
+	fleetHS, fleetBase, err := serve.ListenLocal(fleetReg.Handler())
+	if err != nil {
+		return err
+	}
+	defer fleetHS.Close()
+	frt := fleet.NewRouter(fleet.RouterOptions{Replicas: []string{strings.TrimPrefix(fleetBase, "http://")}})
+	frt.SetModels([]string{serve.DefaultModelName, "alt"})
+	benchOpts.FleetHandler = frt.Handler()
+	benchOpts.FleetModel = serve.DefaultModelName
 	rep, err := serve.BenchRegistryThroughput(reg, inputs, benchOpts)
 	if err != nil {
 		return err
@@ -536,6 +783,14 @@ func runSelftest(qn, alt *quant.Network, engineName string, vdpeSize int, adcSee
 			"sconnaserve: selftest telemetry leg — %.0f QPS with tracing on (%.1f%% overhead, best of 3 paired off/on trials)\n",
 			rep.Telemetry.QPS, 100*rep.TelemetryOverhead)
 	}
+	if rep.Fleet != nil {
+		if rep.Fleet.Errors > 0 || rep.Fleet.Rejected > 0 {
+			return fmt.Errorf("fleet bench leg saw failures: %+v", *rep.Fleet)
+		}
+		fmt.Fprintf(os.Stderr,
+			"sconnaserve: selftest fleet leg — %.0f QPS routed %v (%.1f%% routing overhead, best of 3 paired direct/routed trials)\n",
+			rep.Fleet.QPS, rep.Fleet.ByReplica, 100*rep.RoutingOverhead)
+	}
 	if minQPS > 0 && rep.Batched.QPS < minQPS {
 		return fmt.Errorf("batched throughput %.0f QPS under the %.0f floor", rep.Batched.QPS, minQPS)
 	}
@@ -562,6 +817,158 @@ func runSelftest(qn, alt *quant.Network, engineName string, vdpeSize int, adcSee
 			return fmt.Errorf("telemetry costs %.1f%% of batched QPS, over the %.1f%% ceiling",
 				100*rep.TelemetryOverhead, 100*maxTelemOverhead)
 		}
+	}
+	if maxRoutingOverhead > 0 {
+		if rep.Fleet == nil {
+			return fmt.Errorf("-max-routing-overhead needs the fleet bench leg")
+		}
+		if rep.RoutingOverhead > maxRoutingOverhead {
+			return fmt.Errorf("routing costs %.1f%% of direct QPS, over the %.1f%% ceiling",
+				100*rep.RoutingOverhead, 100*maxRoutingOverhead)
+		}
+	}
+	return nil
+}
+
+// fleetSmoke is the distribution-plane soak: a two-replica ring behind
+// a router, then one replica hard-killed mid-traffic. Every client
+// request must still succeed through candidate failover, the dead
+// replica's breaker must open, and the router's /metrics must stay a
+// valid exposition document reporting it. The CI -race chaos leg runs
+// this, so the whole failover path is race-checked under real
+// concurrent traffic.
+func fleetSmoke(qn, alt *quant.Network, engineName string, vdpeSize int, adcSeed int64,
+	opts serve.Options, inputs [][]float32) error {
+	o := opts
+	o.MaxBatch = 4
+	o.QueueDepth = 64
+	var servers []*http.Server
+	var names []string
+	for i := 0; i < 2; i++ {
+		reg, err := selftestRegistry(qn, alt, engineName, vdpeSize, adcSeed, o)
+		if err != nil {
+			return err
+		}
+		defer drainRegistry(reg)
+		hs, base, err := serve.ListenLocal(reg.Handler())
+		if err != nil {
+			return err
+		}
+		defer hs.Close()
+		servers = append(servers, hs)
+		names = append(names, strings.TrimPrefix(base, "http://"))
+	}
+	rt := fleet.NewRouter(fleet.RouterOptions{
+		Replicas: names,
+		Breaker: &resilience.BreakerOptions{
+			Window: 8, FailureThreshold: 0.5, MinSamples: 2,
+			Cooldown: time.Minute, HalfOpenProbes: 1,
+		},
+		RequestTimeout: 10 * time.Second,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	err := rt.Refresh(ctx)
+	cancel()
+	if err != nil {
+		return err
+	}
+	if got := rt.Models(); len(got) != 2 {
+		return fmt.Errorf("fleet smoke: router discovered models %v, want [alt default]", got)
+	}
+	rhs, rbase, err := serve.ListenLocal(rt.Handler())
+	if err != nil {
+		return err
+	}
+	defer rhs.Close()
+
+	// Healthy ring: both models route and every response names its
+	// replica in X-Served-By.
+	rep, err := serve.Drive(rbase, inputs, serve.LoadOptions{
+		Requests: 32, Clients: 2, Batch: 1, Mix: selftestMix, MixSeed: 11,
+	})
+	if err != nil {
+		return err
+	}
+	if rep.Responses != 32 || rep.Errors > 0 || rep.Rejected > 0 {
+		return fmt.Errorf("fleet smoke healthy phase: %+v", rep)
+	}
+	total := 0
+	for _, n := range rep.ByReplica {
+		total += n
+	}
+	if total != 32 {
+		return fmt.Errorf("fleet smoke: X-Served-By accounted %d of 32 responses (%v)", total, rep.ByReplica)
+	}
+
+	// Kill the replica that owns the default model while clients are
+	// mid-flight: the router must fail their requests over to the
+	// survivor — zero client-visible errors.
+	victim := rt.Assignments()[serve.DefaultModelName]
+	survivor := names[0]
+	if survivor == victim {
+		survivor = names[1]
+	}
+	done := make(chan struct{})
+	var rep2 serve.LoadReport
+	var driveErr error
+	go func() {
+		defer close(done)
+		rep2, driveErr = serve.Drive(rbase, inputs, serve.LoadOptions{
+			Requests: 64, Clients: 4, Batch: 1, Mix: selftestMix, MixSeed: 13,
+		})
+	}()
+	time.Sleep(5 * time.Millisecond)
+	for i, name := range names {
+		if name == victim {
+			servers[i].Close() // hard close: in-flight connections die too
+		}
+	}
+	<-done
+	if driveErr != nil {
+		return driveErr
+	}
+	if rep2.Responses != 64 || rep2.Errors > 0 || rep2.Rejected > 0 {
+		return fmt.Errorf("fleet smoke failover phase: %+v", rep2)
+	}
+	if rep2.ByReplica[survivor] == 0 {
+		return fmt.Errorf("fleet smoke: survivor %s served nothing after the kill (%v)", survivor, rep2.ByReplica)
+	}
+	st := rt.Stats()
+	if st.Reroutes == 0 {
+		return fmt.Errorf("fleet smoke: no reroutes after killing %s: %+v", victim, st)
+	}
+	if st.Health != "degraded" {
+		return fmt.Errorf("fleet smoke: router health %q after the kill, want degraded", st.Health)
+	}
+	open := false
+	for _, r := range st.Replicas {
+		if r.Name == victim && r.Breaker != nil && r.Breaker.State == resilience.Open.String() {
+			open = true
+		}
+	}
+	if !open {
+		return fmt.Errorf("fleet smoke: breaker for dead replica %s not open: %+v", victim, st.Replicas)
+	}
+
+	// The router's own observability under fire: /metrics parses and
+	// reports the open breaker.
+	resp, err := http.Get(rbase + "/metrics")
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet smoke metrics scrape: %d", resp.StatusCode)
+	}
+	if err := telemetry.ValidateExposition(string(body)); err != nil {
+		return fmt.Errorf("fleet smoke metrics scrape: %w", err)
+	}
+	if want := fmt.Sprintf("sconna_router_breaker_state{replica=%q} 2", victim); !strings.Contains(string(body), want) {
+		return fmt.Errorf("fleet smoke metrics scrape missing %q", want)
 	}
 	return nil
 }

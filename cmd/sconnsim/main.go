@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	sconnsim -model resnet50 -accel sconna [-layers] [-all] [-workers N] [-cache-dir DIR] [-cache-max-bytes N] [-cache-max-age D]
+//	sconnsim -model resnet50 -accel sconna [-layers] [-all] [-shard i/n] [-workers N] [-cache-dir DIR] [-cache-max-bytes N] [-cache-max-age D]
 //
 // Every simulation flows through the cache-aware evaluation runner: -all
 // fans the three accelerators across the worker pool (-workers, 0 = all
@@ -40,11 +40,20 @@ func main() {
 		"garbage-collect the disk store down to this many bytes at open (0 = unbounded)")
 	cacheMaxAge := flag.Duration("cache-max-age", 0,
 		"evict disk-store entries older than this at open (0 = no age bound)")
+	shardSpec := flag.String("shard", "",
+		"simulate only shard i/n of the -all job list (for fan-out across machines sharing -cache-dir)")
 	flag.Parse()
 
 	model, err := pickModel(*modelName)
 	if err != nil {
 		fail(err)
+	}
+	shard, err := sconna.ParseShard(*shardSpec)
+	if err != nil {
+		fail(err)
+	}
+	if shard.Enabled() && !*all {
+		fail(fmt.Errorf("-shard needs -all: a single simulation has nothing to split"))
 	}
 	cfgs := []sconna.AccelConfig{}
 	if *all {
@@ -55,6 +64,9 @@ func main() {
 			fail(err)
 		}
 		cfgs = append(cfgs, cfg)
+	}
+	if span := shard.Span(len(cfgs)); shard.Enabled() {
+		cfgs = cfgs[span.Lo:span.Hi]
 	}
 
 	runner, err := sconna.NewAccelRunner(sconna.AccelRunnerOptions{

@@ -396,12 +396,57 @@
 //     pinned identical to the untraced server; telemetry on preserves
 //     deterministic replay bit-for-bit (IDs and engines derive from
 //     seqs, which tracing never perturbs) and must cost at most a few
-//     percent of batched QPS — BENCH_serve.json (schema v4) carries a
+//     percent of batched QPS — BENCH_serve.json (schema v5) carries a
 //     telemetry-overhead leg, and sconnaserve -max-telemetry-overhead
 //     gates it in CI. net/http/pprof mounts behind -pprof
 //     (telemetry.WithPprof); the chaos soak scrapes /metrics and a
 //     heap profile mid-fault to prove the surface stays well-formed
 //     with the breaker open.
+//
+// # Fleet plane
+//
+// internal/fleet distributes the serving and experiment stacks across
+// machines, keeping every single-machine contract intact:
+//
+//   - Artifact store: quantized models travel as content-addressed
+//     artifacts — the file name is the quant digest, Put is atomic and
+//     idempotent, Get re-hashes the bytes so a corrupt disk or a lying
+//     server can never boot a wrong model. fleet.StoreHandler serves a
+//     store at GET /v1/artifacts[/{digest}]; sconnaserve -store-put
+//     publishes into one, and replicas boot from it with
+//     -pull name=digest (against -store-dir or a remote -store-url),
+//     registering pulled models exactly as -model does.
+//
+//   - Router: sconnaserve -router -replica host:port,... places model
+//     names on a bounded-load rendezvous ring (splitmix64 scores, 1.25x
+//     fair-share load cap) — placement is a deterministic pure function
+//     of the member set, pinned by golden tests, and rebalances only
+//     what a join/leave forces to move. Classify traffic proxies to the
+//     owning replica with deadline propagation (-request-timeout),
+//     candidate-order failover, and a per-replica circuit breaker from
+//     internal/resilience; responses carry X-Served-By (the load
+//     generator journals per-replica counts in -trace-out). The model
+//     set refreshes from the replicas' /v1/models; /metrics exports
+//     sconna_router_* families. The chaos selftest kills a replica
+//     mid-traffic under -race: the breaker must open and survivors must
+//     serve every request. BENCH_serve.json (schema v5) carries a
+//     routed-vs-direct fleet leg, gated by -max-routing-overhead in CI.
+//
+//   - Sharded sweeps: experiments -shard i/n (and sconnsim -all -shard
+//     i/n) compute one contiguous slice of the cacheable sweeps —
+//     fig9, table1, energy — into the content-addressed store and
+//     print no tables. Entries are content-addressed, so the directory
+//     union of N disjoint shard stores (cache.MergeDirs, or a plain
+//     copy) answers the unsharded run with 100% cache hits and stdout
+//     byte-identical to a single-machine run.
+//
+//   - Traffic splitting: Registry.SetSplit aliases two registered
+//     models behind one name and routes each request by a splitmix64
+//     hash of (split seed, request seq) — an A/B canary whose variant
+//     choice replays bit-identically per seed; the chosen model is
+//     stamped in X-Split-Model and per-variant counts land in /stats.
+//     GET /v1/models now exports each model's artifact digest, which is
+//     the version the fleet plane stores and pulls by.
 //
 // This package re-exports the stable public surface; see README.md for a
 // tour and EXPERIMENTS.md for paper-vs-measured results of every table

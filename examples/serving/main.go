@@ -7,6 +7,9 @@
 // trips a circuit breaker and recovers through a retrying client, and
 // the telemetry plane traces requests stage by stage, exporting
 // Prometheus text on /metrics and a Chrome trace on /debug/traces.
+// Finally the fleet plane boots a two-replica ring behind a router,
+// kills the replica that owns a model, and shows traffic rerouting to
+// the survivor with the dead replica's breaker open in /metrics.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/fleet"
 	"repro/internal/nn"
 	"repro/internal/quant"
 	"repro/internal/resilience"
@@ -347,4 +351,88 @@ func main() {
 	}
 	fmt.Printf("telemetry: GET /debug/traces dumped %d stage slices across %d events (load in chrome://tracing or Perfetto)\n",
 		spans, len(chrome.TraceEvents))
+
+	// 8. Fleet: the same registry, distributed. Two replicas each serve
+	// hi8 (in production each boots from the artifact store via
+	// `sconnaserve -pull name=digest`); a router discovers their model
+	// sets, places names on its bounded-load rendezvous ring, and
+	// proxies classify traffic with failover and a per-replica circuit
+	// breaker — what `sconnaserve -router -replica host:port,...` runs
+	// as a standalone binary. Kill the owning replica and traffic
+	// reroutes to the survivor while /metrics reports the open breaker.
+	var fleetServers []*http.Server
+	var members []string
+	for i := 0; i < 2; i++ {
+		freg := serve.NewRegistry()
+		if _, err := freg.Register("hi8", hi, factory, opts); err != nil {
+			log.Fatal(err)
+		}
+		defer freg.DrainAll(ctx)
+		fhs, fbase, err := serve.ListenLocal(freg.Handler())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fhs.Close()
+		fleetServers = append(fleetServers, fhs)
+		members = append(members, strings.TrimPrefix(fbase, "http://"))
+	}
+	rt := fleet.NewRouter(fleet.RouterOptions{
+		Replicas: members,
+		Breaker: &resilience.BreakerOptions{
+			Window: 8, FailureThreshold: 0.5, MinSamples: 2,
+			Cooldown: time.Minute, HalfOpenProbes: 1,
+		},
+	})
+	if err := rt.Refresh(ctx); err != nil {
+		log.Fatal(err)
+	}
+	rhs, rbase, err := serve.ListenLocal(rt.Handler())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rhs.Close()
+	fmt.Printf("\nfleet: routing %v across a 2-replica ring, hi8 assigned to %s\n",
+		rt.Models(), rt.Assignments()["hi8"])
+	servedBy := func() string {
+		resp, err := http.Post(rbase+"/v1/models/hi8/classify", "application/json", bytes.NewReader(single))
+		if err != nil {
+			log.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("fleet classify: %d", resp.StatusCode)
+		}
+		return resp.Header.Get(serve.ServedByHeader)
+	}
+	owner := servedBy()
+	for i, m := range members {
+		if m == owner {
+			fleetServers[i].Close()
+		}
+	}
+	// Post until the breaker trips: every request still answers 200 via
+	// the survivor — failover is the router's job, not the client's.
+	var rerouted string
+	for rt.Stats().Health != "degraded" {
+		rerouted = servedBy()
+	}
+	fmt.Printf("fleet: killed %s; traffic rerouted to %s with zero client errors (reroutes=%d)\n",
+		owner, rerouted, rt.Stats().Reroutes)
+	fresp, err := http.Get(rbase + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fdoc, _ := io.ReadAll(fresp.Body)
+	fresp.Body.Close()
+	if err := telemetry.ValidateExposition(string(fdoc)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("fleet: GET /metrics (router series)")
+	for _, line := range strings.Split(string(fdoc), "\n") {
+		if strings.HasPrefix(line, "sconna_router_breaker_state") ||
+			strings.HasPrefix(line, "sconna_router_reroutes_total") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
 }

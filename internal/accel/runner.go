@@ -98,6 +98,27 @@ func (r *Runner) Sweep(cfgs []Config, ms []models.Model) ([]Result, error) {
 	return r.SimulateAll(sweepJobList(cfgs, ms))
 }
 
+// SweepJobs returns the deterministic job list Sweep evaluates — the
+// model-major cross of configurations and models, the row order of the
+// paper's Fig. 9. Exported so shard coordinators partition exactly the
+// list a single-machine Sweep would run.
+func SweepJobs(cfgs []Config, ms []models.Model) []Job {
+	return sweepJobList(cfgs, ms)
+}
+
+// SweepShard evaluates one contiguous shard (index of count, the CLI
+// "-shard i/n" contract) of the Sweep job list and returns that slice's
+// results in job order. The partition comes from parallel.ShardSpan — a
+// pure function of (job count, index, count) — so N machines running
+// disjoint shards against stores rooted in the same directory tree
+// produce a cache union that warm-starts an unsharded Sweep completely:
+// its merged output is byte-identical to a single-machine run.
+func (r *Runner) SweepShard(cfgs []Config, ms []models.Model, index, count int) ([]Result, error) {
+	jobs := sweepJobList(cfgs, ms)
+	span := parallel.ShardSpan(len(jobs), index, count)
+	return r.SimulateAll(jobs[span.Lo:span.Hi])
+}
+
 // Fig9 runs the full comparison of the given accelerators over the given
 // models through the cache. The first accelerator is the ratio baseline
 // numerator (SCONNA in the paper's Fig. 9); the ratio/gmean merge walks

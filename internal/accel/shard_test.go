@@ -1,0 +1,110 @@
+package accel
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/models"
+)
+
+// TestShardedSweepUnionMatchesColdRun is the fleet-plane distribution
+// contract end to end: two "machines" run disjoint -shard halves of the
+// same sweep against their own store roots, the roots are
+// directory-unioned, and a runner over the union must (a) answer the
+// full sweep from cache alone — zero misses — and (b) produce output
+// byte-identical to a cold single-machine run.
+func TestShardedSweepUnionMatchesColdRun(t *testing.T) {
+	t.Parallel()
+	cfgs := []Config{Sconna(), MAM(), AMM()}
+	ms := models.Evaluated()
+	jobs := SweepJobs(cfgs, ms)
+
+	rootA, rootB := t.TempDir(), t.TempDir()
+	ra := newTestRunner(t, RunnerOptions{CacheDir: rootA})
+	resA, err := ra.SweepShard(cfgs, ms, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := newTestRunner(t, RunnerOptions{CacheDir: rootB})
+	resB, err := rb.SweepShard(cfgs, ms, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resA)+len(resB) != len(jobs) {
+		t.Fatalf("shards produced %d+%d results for %d jobs", len(resA), len(resB), len(jobs))
+	}
+
+	merged := t.TempDir()
+	copied, err := cache.MergeDirs(merged, rootA, rootB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copied != len(jobs) {
+		t.Fatalf("union copied %d entries for %d disjoint jobs", copied, len(jobs))
+	}
+	// Merging again is a no-op: every entry is already present.
+	if again, err := cache.MergeDirs(merged, rootA, rootB); err != nil || again != 0 {
+		t.Fatalf("re-merge copied %d entries (err %v), want 0", again, err)
+	}
+
+	warm := newTestRunner(t, RunnerOptions{CacheDir: merged})
+	got, err := warm.Sweep(cfgs, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := warm.Stats(); st.Misses != 0 || st.Lookups != int64(len(jobs)) {
+		t.Fatalf("union was not fully warm: %+v", st)
+	}
+
+	cold := newTestRunner(t, RunnerOptions{Workers: 1})
+	want, err := cold.Sweep(cfgs, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatal("merged-union sweep output is not byte-identical to a cold run")
+	}
+
+	// The shard results concatenate into the single-run result list:
+	// the partition changed where work ran, never what it computed.
+	if !reflect.DeepEqual(append(append([]Result{}, resA...), resB...), want) {
+		t.Fatal("shard result concatenation diverged from the unsharded sweep")
+	}
+}
+
+// TestSweepShardPartition: every shard count partitions the job list —
+// no job lost, none duplicated, order preserved.
+func TestSweepShardPartition(t *testing.T) {
+	t.Parallel()
+	cfgs := []Config{Sconna(), AMM()}
+	ms := models.Evaluated()[:2]
+	want, err := memoryRunner(1).Sweep(cfgs, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, count := range []int{1, 2, 3, 5} {
+		r := memoryRunner(0)
+		var all []Result
+		for i := 0; i < count; i++ {
+			res, err := r.SweepShard(cfgs, ms, i, count)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, res...)
+		}
+		if !reflect.DeepEqual(all, want) {
+			t.Fatalf("count=%d: concatenated shards diverge from the full sweep", count)
+		}
+	}
+}

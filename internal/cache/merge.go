@@ -1,0 +1,83 @@
+package cache
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// MergeDirs unions cache directory trees into dst: every .gob entry
+// found under a src root (recursively — the sweep runners namespace
+// their stores as <root>/accel and <root>/scalability) is copied to the
+// same relative path under dst, unless dst already holds it. Entries
+// are content-addressed — the file name is the digest of everything
+// that determines the value — so "already present" means "identical",
+// and merging N disjoint shard runs' stores is exactly equivalent to
+// one machine having computed them all. Copies go through the store's
+// temp-file+rename convention, so a merge is safe while readers (or
+// other mergers) share dst. Temp files and foreign entries in srcs are
+// skipped. Returns how many entries were copied.
+func MergeDirs(dst string, srcs ...string) (int, error) {
+	copied := 0
+	for _, src := range srcs {
+		err := filepath.WalkDir(src, func(path string, de fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if de.IsDir() {
+				return nil
+			}
+			name := de.Name()
+			if !strings.HasSuffix(name, ".gob") || strings.HasPrefix(name, ".tmp-") {
+				return nil
+			}
+			rel, err := filepath.Rel(src, path)
+			if err != nil {
+				return err
+			}
+			target := filepath.Join(dst, rel)
+			if _, err := os.Stat(target); err == nil {
+				return nil // content-addressed: present means identical
+			}
+			if err := copyEntry(path, target); err != nil {
+				return err
+			}
+			copied++
+			return nil
+		})
+		if err != nil {
+			return copied, fmt.Errorf("cache: merging %s: %w", src, err)
+		}
+	}
+	return copied, nil
+}
+
+// copyEntry copies one cache entry atomically: temp file in the target
+// directory, then rename — the same convention the store's writers use,
+// so a racing reader never observes a torn entry.
+func copyEntry(src, dst string) error {
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return err
+	}
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	tmp, err := os.CreateTemp(filepath.Dir(dst), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := io.Copy(tmp, in); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), dst)
+}

@@ -1,0 +1,61 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMergeDirs pins the union contract at the file level: entries copy
+// to their relative paths, present entries are skipped (content-
+// addressed: present means identical), and temp files or foreign files
+// in a source never travel.
+func TestMergeDirs(t *testing.T) {
+	t.Parallel()
+	write := func(root, rel, body string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srcA, srcB, dst := t.TempDir(), t.TempDir(), t.TempDir()
+	write(srcA, "accel/aaaa.gob", "a")
+	write(srcA, "accel/.tmp-123", "junk")   // writer temp: never travels
+	write(srcA, "accel/README.txt", "junk") // foreign file: never travels
+	write(srcB, "accel/bbbb.gob", "b")
+	write(srcB, "scalability/cccc.gob", "c")
+	write(dst, "accel/aaaa.gob", "a") // already present: skipped
+
+	copied, err := MergeDirs(dst, srcA, srcB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copied != 2 {
+		t.Fatalf("copied %d entries, want 2 (aaaa present, junk skipped)", copied)
+	}
+	for rel, want := range map[string]string{
+		"accel/aaaa.gob":       "a",
+		"accel/bbbb.gob":       "b",
+		"scalability/cccc.gob": "c",
+	} {
+		got, err := os.ReadFile(filepath.Join(dst, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != want {
+			t.Fatalf("%s holds %q, want %q", rel, got, want)
+		}
+	}
+	for _, rel := range []string{"accel/.tmp-123", "accel/README.txt"} {
+		if _, err := os.Stat(filepath.Join(dst, rel)); !os.IsNotExist(err) {
+			t.Fatalf("junk file %s traveled into dst", rel)
+		}
+	}
+	if again, err := MergeDirs(dst, srcA, srcB); err != nil || again != 0 {
+		t.Fatalf("re-merge copied %d entries (err %v), want 0", again, err)
+	}
+}

@@ -1,0 +1,69 @@
+package fleet
+
+import (
+	"testing"
+)
+
+func TestParseShard(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Shard
+		ok   bool
+	}{
+		{"", Shard{}, true},
+		{"0/1", Shard{0, 1}, true},
+		{"0/2", Shard{0, 2}, true},
+		{"1/2", Shard{1, 2}, true},
+		{"7/8", Shard{7, 8}, true},
+		{"2/2", Shard{}, false},
+		{"-1/2", Shard{}, false},
+		{"0/0", Shard{}, false},
+		{"1", Shard{}, false},
+		{"a/b", Shard{}, false},
+		{"1/2/3", Shard{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseShard(c.in)
+		if c.ok != (err == nil) {
+			t.Fatalf("ParseShard(%q) err = %v, want ok=%v", c.in, err, c.ok)
+		}
+		if c.ok && got != c.want {
+			t.Fatalf("ParseShard(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestShardSpansPartition: shard spans over any job-list length cover
+// [0, n) exactly once — the invariant that makes a directory union of
+// shard runs equal to a single run.
+func TestShardSpansPartition(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 16, 48} {
+		for _, count := range []int{1, 2, 3, 5, 9} {
+			covered := make([]int, n)
+			for i := 0; i < count; i++ {
+				sp := Shard{Index: i, Count: count}.Span(n)
+				for j := sp.Lo; j < sp.Hi; j++ {
+					covered[j]++
+				}
+			}
+			for j, c := range covered {
+				if c != 1 {
+					t.Fatalf("n=%d count=%d: index %d covered %d times", n, count, j, c)
+				}
+			}
+		}
+	}
+}
+
+func TestShardZeroValueIsFullSpan(t *testing.T) {
+	sp := Shard{}.Span(12)
+	if sp.Lo != 0 || sp.Hi != 12 {
+		t.Fatalf("unsharded span = %+v, want [0, 12)", sp)
+	}
+	if (Shard{}).Enabled() {
+		t.Fatal("zero value reports enabled")
+	}
+	if got := (Shard{Index: 1, Count: 4}).String(); got != "1/4" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,120 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+var (
+	goldenMembers = []string{"replica-a:9001", "replica-b:9002", "replica-c:9003"}
+	goldenModels  = []string{"alpha", "beta", "gamma", "delta", "epsilon", "default"}
+)
+
+// TestAssignGolden pins the routing table for a fixed (member set, model
+// set) pair: the assignment is a documented pure function of the two
+// sets, and any change to the hash, the score mix, the placement order
+// or the load bound shows up here as a routing break — which is a wire
+// compatibility break for every deployed router pair.
+func TestAssignGolden(t *testing.T) {
+	want := map[string]string{
+		"alpha":   "replica-b:9002",
+		"beta":    "replica-c:9003",
+		"default": "replica-a:9001",
+		"delta":   "replica-b:9002",
+		"epsilon": "replica-b:9002",
+		"gamma":   "replica-c:9003",
+	}
+	got := NewRing(goldenMembers).Assign(goldenModels, 0)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("assignment drifted from golden:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestAssignDeterministic: member order, model order and repetition must
+// not change the table.
+func TestAssignDeterministic(t *testing.T) {
+	base := NewRing(goldenMembers).Assign(goldenModels, 0)
+	shuffledMembers := []string{"replica-c:9003", "replica-a:9001", "replica-b:9002", "replica-a:9001"}
+	shuffledModels := []string{"default", "epsilon", "alpha", "gamma", "beta", "delta", "alpha"}
+	for i := 0; i < 3; i++ {
+		got := NewRing(shuffledMembers).Assign(shuffledModels, 0)
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("assignment depends on input order: %v vs %v", got, base)
+		}
+	}
+}
+
+// TestAssignBoundedLoad: no member may exceed
+// ceil(models/members * loadFactor) primaries.
+func TestAssignBoundedLoad(t *testing.T) {
+	members := []string{"m0", "m1", "m2", "m3", "m4"}
+	models := make([]string, 60)
+	for i := range models {
+		models[i] = fmt.Sprintf("model-%03d", i)
+	}
+	assign := NewRing(members).Assign(models, 0)
+	if len(assign) != len(models) {
+		t.Fatalf("%d models assigned, want %d", len(assign), len(models))
+	}
+	load := map[string]int{}
+	for _, member := range assign {
+		load[member]++
+	}
+	bound := int(float64(len(models))/float64(len(members))*DefaultLoadFactor + 0.999999)
+	for member, n := range load {
+		if n > bound {
+			t.Fatalf("member %s carries %d models, bound %d", member, n, bound)
+		}
+	}
+}
+
+// TestAssignMemberLeave: removing a member moves only the models that
+// were assigned to it (rendezvous stability) — plus possibly models the
+// tighter load bound displaces, which the golden sets don't trigger.
+func TestAssignMemberLeave(t *testing.T) {
+	before := NewRing(goldenMembers).Assign(goldenModels, 0)
+	after := NewRing([]string{"replica-a:9001", "replica-c:9003"}).Assign(goldenModels, 0)
+	for model, was := range before {
+		if was == "replica-b:9002" {
+			continue // its models must move somewhere
+		}
+		if after[model] != was {
+			t.Fatalf("model %s moved %s -> %s though its member stayed", model, was, after[model])
+		}
+	}
+	for model, now := range after {
+		if now == "replica-b:9002" {
+			t.Fatalf("model %s assigned to departed member", model)
+		}
+	}
+}
+
+// TestCandidatesComplete: the failover order is a permutation of the
+// member set with the assigned primary reachable from it.
+func TestCandidatesComplete(t *testing.T) {
+	ring := NewRing(goldenMembers)
+	for _, model := range goldenModels {
+		cands := ring.Candidates(model)
+		if len(cands) != ring.Len() {
+			t.Fatalf("model %s: %d candidates for %d members", model, len(cands), ring.Len())
+		}
+		seen := map[string]bool{}
+		for _, c := range cands {
+			if seen[c] {
+				t.Fatalf("model %s: duplicate candidate %s", model, c)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestEmptyRing(t *testing.T) {
+	ring := NewRing(nil)
+	if got := ring.Assign(goldenModels, 0); got != nil {
+		t.Fatalf("empty ring assigned %v", got)
+	}
+	if got := NewRing(goldenMembers).Assign(nil, 0); got != nil {
+		t.Fatalf("empty model set assigned %v", got)
+	}
+}

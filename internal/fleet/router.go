@@ -1,0 +1,507 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+// RouterOptions configures a fleet router.
+type RouterOptions struct {
+	// Replicas is the initial member set ("host:port" or full URLs).
+	Replicas []string
+	// Breaker shapes the per-replica circuit breakers. nil selects
+	// fleet defaults tuned for dead-replica detection: a handful of
+	// transport errors opens the breaker, so a killed replica stops
+	// eating first-attempt latency within a few requests.
+	Breaker *resilience.BreakerOptions
+	// RequestTimeout bounds each proxied request end to end (candidate
+	// walk included); expiry answers 504. 0 imposes no router deadline —
+	// the client's own context still propagates.
+	RequestTimeout time.Duration
+	// LoadFactor is the bounded-load headroom (<= 1 selects
+	// DefaultLoadFactor).
+	LoadFactor float64
+	// Client overrides the proxy HTTP client (nil = a dedicated client).
+	Client *http.Client
+	// Store, when non-nil, mounts the artifact surface
+	// (GET /v1/artifacts[/{digest}]) on the router's handler so replicas
+	// can pull models from the box that routes to them.
+	Store Store
+}
+
+// routerBreakerDefaults trip fast on transport errors: a dead replica
+// is a 100%-failure source, so four samples are plenty, and a single
+// half-open probe per cooldown is all it takes to notice recovery.
+var routerBreakerDefaults = resilience.BreakerOptions{
+	Window: 8, FailureThreshold: 0.5, MinSamples: 4,
+	Cooldown: time.Second, HalfOpenProbes: 1,
+}
+
+// replica is one ring member's live state.
+type replica struct {
+	name    string // as registered — the X-Served-By value
+	base    string // scheme://host:port
+	breaker *resilience.Breaker
+
+	proxied atomic.Uint64 // responses forwarded from this replica
+	errored atomic.Uint64 // transport errors + 5xx charged to it
+}
+
+// Router consistent-hashes model names onto a replica ring and proxies
+// classify traffic with deadline propagation, per-replica circuit
+// breakers and deterministic failover. The routing table — who owns
+// which model — is a pure function of (member set, model set): pinned
+// by the golden test, identical on every router with the same view.
+type Router struct {
+	opts   RouterOptions
+	client *http.Client
+
+	mu     sync.RWMutex
+	ring   *Ring
+	models []string          // sorted model-set snapshot
+	assign map[string]string // model -> replica name
+	reps   map[string]*replica
+
+	reroutes atomic.Uint64 // failover hops past a primary
+	unrouted atomic.Uint64 // requests for models not in the table
+}
+
+// NewRouter builds a router over the initial member set. The routing
+// table starts empty; Refresh (or SetModels) populates it.
+func NewRouter(opts RouterOptions) *Router {
+	rt := &Router{
+		opts:   opts,
+		client: opts.Client,
+		reps:   make(map[string]*replica),
+		assign: make(map[string]string),
+	}
+	if rt.client == nil {
+		rt.client = &http.Client{}
+	}
+	for _, name := range opts.Replicas {
+		rt.addLocked(name)
+	}
+	rt.rebuildLocked()
+	return rt
+}
+
+// breakerOpts resolves the per-replica breaker configuration.
+func (rt *Router) breakerOpts() resilience.BreakerOptions {
+	if rt.opts.Breaker != nil {
+		return *rt.opts.Breaker
+	}
+	return routerBreakerDefaults
+}
+
+// addLocked registers a member (idempotent). Callers hold rt.mu or are
+// inside NewRouter.
+func (rt *Router) addLocked(name string) {
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return
+	}
+	if _, ok := rt.reps[name]; ok {
+		return
+	}
+	base := name
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	rt.reps[name] = &replica{
+		name: name, base: strings.TrimRight(base, "/"),
+		breaker: resilience.NewBreaker(rt.breakerOpts()),
+	}
+}
+
+// rebuildLocked recomputes the ring and the model assignment from the
+// current member and model sets. Callers hold rt.mu (or NewRouter).
+func (rt *Router) rebuildLocked() {
+	members := make([]string, 0, len(rt.reps))
+	for name := range rt.reps {
+		members = append(members, name)
+	}
+	rt.ring = NewRing(members)
+	rt.assign = rt.ring.Assign(rt.models, rt.opts.LoadFactor)
+}
+
+// Join adds a replica to the ring and rebalances. Idempotent.
+func (rt *Router) Join(name string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.addLocked(name)
+	rt.rebuildLocked()
+}
+
+// Leave removes a replica from the ring and rebalances: only the models
+// that hashed onto it (plus bounded-load spill) move.
+func (rt *Router) Leave(name string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	delete(rt.reps, name)
+	rt.rebuildLocked()
+}
+
+// SetModels installs the routed model set and rebalances. The set is
+// normally discovered via Refresh; tests and single-tenant routers set
+// it directly.
+func (rt *Router) SetModels(models []string) {
+	sorted := append([]string(nil), models...)
+	sort.Strings(sorted)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.models = sorted
+	rt.rebuildLocked()
+}
+
+// Models returns the routed model set (sorted).
+func (rt *Router) Models() []string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return append([]string(nil), rt.models...)
+}
+
+// Assignments snapshots the routing table: model -> replica name.
+func (rt *Router) Assignments() map[string]string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make(map[string]string, len(rt.assign))
+	for m, r := range rt.assign {
+		out[m] = r
+	}
+	return out
+}
+
+// replicaModels is the slice of a replica's /v1/models listing Refresh
+// reads — just the names (the serving plane's ModelInfo is a superset).
+type replicaModels struct {
+	Models []struct {
+		Name string `json:"name"`
+	} `json:"models"`
+}
+
+// Refresh polls every member's GET /v1/models, unions the discovered
+// model names and rebalances — how replica-side Register/Unregister
+// reaches the routing table. Unreachable replicas contribute nothing
+// (their breakers handle traffic-time shedding); the error joins the
+// per-replica failures but the table still updates with what was
+// learned, unless nothing answered (then the old table stands).
+func (rt *Router) Refresh(ctx context.Context) error {
+	rt.mu.RLock()
+	reps := make([]*replica, 0, len(rt.reps))
+	for _, r := range rt.reps {
+		reps = append(reps, r)
+	}
+	rt.mu.RUnlock()
+	sort.Slice(reps, func(i, j int) bool { return reps[i].name < reps[j].name })
+
+	seen := make(map[string]bool)
+	answered := 0
+	var errs []error
+	for _, r := range reps {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/v1/models", nil)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("replica %s: %w", r.name, err))
+			continue
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("replica %s: %w", r.name, err))
+			continue
+		}
+		var doc replicaModels
+		err = json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			errs = append(errs, fmt.Errorf("replica %s: listing models: %d %v", r.name, resp.StatusCode, err))
+			continue
+		}
+		answered++
+		for _, m := range doc.Models {
+			if m.Name != "" {
+				seen[m.Name] = true
+			}
+		}
+	}
+	if answered > 0 {
+		models := make([]string, 0, len(seen))
+		for m := range seen {
+			models = append(models, m)
+		}
+		rt.SetModels(models)
+	}
+	return errors.Join(errs...)
+}
+
+// candidates returns the failover walk for a model: the assigned
+// primary first, then the remaining members in descending rendezvous
+// score. ok is false when the model is not in the routing table.
+func (rt *Router) candidates(model string) ([]*replica, bool) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	primary, ok := rt.assign[model]
+	if !ok {
+		return nil, false
+	}
+	names := rt.ring.Candidates(model)
+	out := make([]*replica, 0, len(names))
+	if r := rt.reps[primary]; r != nil {
+		out = append(out, r)
+	}
+	for _, n := range names {
+		if n == primary {
+			continue
+		}
+		if r := rt.reps[n]; r != nil {
+			out = append(out, r)
+		}
+	}
+	return out, true
+}
+
+// Health reports "ok", or "degraded" while any replica breaker is open
+// or probing (the router still serves — failover covers the hole).
+func (rt *Router) Health() string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	for _, r := range rt.reps {
+		if r.breaker.State() != resilience.Closed {
+			return "degraded"
+		}
+	}
+	return "ok"
+}
+
+// RoutedModel is one routing-table row of the router's stats document.
+type RoutedModel struct {
+	Name    string `json:"name"`
+	Replica string `json:"replica"`
+}
+
+// ReplicaStats is one member's row of the router's stats document.
+type ReplicaStats struct {
+	Name    string                   `json:"name"`
+	Proxied uint64                   `json:"proxied"`
+	Errors  uint64                   `json:"errors"`
+	Breaker *resilience.BreakerStats `json:"breaker,omitempty"`
+}
+
+// RouterStats is the router's stats document (GET /v1/models and
+// GET /stats on the router's surface).
+type RouterStats struct {
+	Models   []RoutedModel  `json:"models"`
+	Replicas []ReplicaStats `json:"replicas"`
+	Reroutes uint64         `json:"reroutes"`
+	Unrouted uint64         `json:"unrouted"`
+	Health   string         `json:"health"`
+}
+
+// Stats snapshots the routing table and per-replica traffic.
+func (rt *Router) Stats() RouterStats {
+	rt.mu.RLock()
+	models := make([]RoutedModel, 0, len(rt.assign))
+	for m, r := range rt.assign {
+		models = append(models, RoutedModel{Name: m, Replica: r})
+	}
+	reps := make([]*replica, 0, len(rt.reps))
+	for _, r := range rt.reps {
+		reps = append(reps, r)
+	}
+	rt.mu.RUnlock()
+	sort.Slice(models, func(i, j int) bool { return models[i].Name < models[j].Name })
+	sort.Slice(reps, func(i, j int) bool { return reps[i].name < reps[j].name })
+	out := RouterStats{
+		Models:   models,
+		Reroutes: rt.reroutes.Load(),
+		Unrouted: rt.unrouted.Load(),
+		Health:   rt.Health(),
+	}
+	for _, r := range reps {
+		bs := r.breaker.Stats()
+		out.Replicas = append(out.Replicas, ReplicaStats{
+			Name: r.name, Proxied: r.proxied.Load(), Errors: r.errored.Load(), Breaker: &bs,
+		})
+	}
+	return out
+}
+
+// Handler returns the router's HTTP surface:
+//
+//	POST /v1/models/{name}/classify — proxied to the model's replica
+//	                                  (failover in rendezvous order),
+//	                                  response stamped X-Served-By
+//	GET  /v1/models/{name}/stats    — proxied the same way
+//	POST /v1/classify               — alias for model "default"
+//	GET  /v1/models, GET /stats     — RouterStats (routing table,
+//	                                  per-replica traffic, breakers)
+//	GET  /healthz                   — ok/degraded (always 200: failover
+//	                                  keeps a degraded router serving)
+//	GET  /metrics                   — Prometheus text exposition
+//	GET  /v1/artifacts[/{digest}]   — the artifact store, when mounted
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/models/{name}/classify", func(w http.ResponseWriter, req *http.Request) {
+		rt.proxy(w, req, req.PathValue("name"))
+	})
+	mux.HandleFunc("/v1/models/{name}/stats", func(w http.ResponseWriter, req *http.Request) {
+		rt.proxy(w, req, req.PathValue("name"))
+	})
+	mux.HandleFunc("/v1/classify", func(w http.ResponseWriter, req *http.Request) {
+		rt.proxy(w, req, "default")
+	})
+	mux.HandleFunc("/v1/models", rt.handleStats)
+	mux.HandleFunc("/stats", rt.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": rt.Health()})
+	})
+	mux.Handle("/metrics", telemetry.MetricsHandler(rt.collectInto))
+	if rt.opts.Store != nil {
+		mux.Handle(ArtifactPath, StoreHandler(rt.opts.Store))
+		mux.Handle(ArtifactPath+"/", StoreHandler(rt.opts.Store))
+	}
+	return mux
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(rt.Stats())
+}
+
+// proxy forwards one request to the model's replica, walking the
+// failover candidates in rendezvous order. Per-candidate outcome
+// accounting: a transport error or 5xx records a breaker failure and
+// moves on (counted as a reroute); any other status — 2xx results, 4xx
+// client errors, 429 backpressure — is the replica answering and is
+// forwarded verbatim plus the X-Served-By stamp. When every candidate
+// fails, the client sees 504 if the router deadline expired, else 502.
+func (rt *Router) proxy(w http.ResponseWriter, req *http.Request, model string) {
+	cands, ok := rt.candidates(model)
+	if !ok || len(cands) == 0 {
+		rt.unrouted.Add(1)
+		httpError(w, http.StatusNotFound, fmt.Sprintf("fleet: no replica routes model %q", model))
+		return
+	}
+	body, err := io.ReadAll(req.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx := req.Context()
+	if rt.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rt.opts.RequestTimeout)
+		defer cancel()
+	}
+
+	var lastErr error
+	for i, r := range cands {
+		allowed, _ := r.breaker.Allow()
+		if !allowed {
+			continue
+		}
+		if i > 0 {
+			rt.reroutes.Add(1)
+		}
+		out, err := http.NewRequestWithContext(ctx, req.Method, r.base+req.URL.RequestURI(), bytes.NewReader(body))
+		if err != nil {
+			r.breaker.Record(false)
+			lastErr = err
+			continue
+		}
+		out.Header = req.Header.Clone()
+		resp, err := rt.client.Do(out)
+		if err != nil {
+			r.breaker.Record(false)
+			r.errored.Add(1)
+			lastErr = err
+			if ctx.Err() != nil {
+				break // the deadline expired: stop burning candidates
+			}
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			r.breaker.Record(false)
+			r.errored.Add(1)
+			lastErr = fmt.Errorf("replica %s answered %d", r.name, resp.StatusCode)
+			continue
+		}
+		r.breaker.Record(true)
+		r.proxied.Add(1)
+		h := w.Header()
+		for k, vs := range resp.Header {
+			h[k] = vs
+		}
+		h.Set(serve.ServedByHeader, r.name)
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+		resp.Body.Close()
+		return
+	}
+	if ctx.Err() != nil {
+		httpError(w, http.StatusGatewayTimeout,
+			fmt.Sprintf("fleet: model %q deadline expired in the router", model))
+		return
+	}
+	msg := fmt.Sprintf("fleet: no replica available for model %q", model)
+	if lastErr != nil {
+		msg += ": " + lastErr.Error()
+	}
+	httpError(w, http.StatusBadGateway, msg)
+}
+
+// collectInto folds the router's counters into the exposition document:
+// ring gauges, per-replica traffic and breaker state, failover totals.
+// Family names are router-scoped (sconna_router_*) so a scrape of a
+// router box is never confused with a replica's serving families.
+func (rt *Router) collectInto(f *telemetry.Families) {
+	st := rt.Stats()
+	f.Family("sconna_router_replicas", "gauge", "Ring members.").
+		Add(float64(len(st.Replicas)))
+	f.Family("sconna_router_models", "gauge", "Models in the routing table.").
+		Add(float64(len(st.Models)))
+	f.Family("sconna_router_reroutes_total", "counter",
+		"Failover hops past a model's primary replica.").Add(float64(st.Reroutes))
+	f.Family("sconna_router_unrouted_total", "counter",
+		"Requests for models absent from the routing table.").Add(float64(st.Unrouted))
+	prox := f.Family("sconna_router_proxied_total", "counter",
+		"Responses forwarded, by replica.")
+	errs := f.Family("sconna_router_errors_total", "counter",
+		"Transport errors and 5xx answers, by replica.")
+	brState := f.Family("sconna_router_breaker_state", "gauge",
+		"Per-replica circuit-breaker state: 0 closed, 1 half-open, 2 open.")
+	for _, r := range st.Replicas {
+		lab := telemetry.L("replica", r.Name)
+		prox.Add(float64(r.Proxied), lab)
+		errs.Add(float64(r.Errors), lab)
+		state := 0.0
+		if r.Breaker != nil {
+			switch r.Breaker.State {
+			case resilience.HalfOpen.String():
+				state = 1
+			case resilience.Open.String():
+				state = 2
+			}
+		}
+		brState.Add(state, lab)
+	}
+}

@@ -1,0 +1,296 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+// stubReplica is a minimal replica surface for router tests: it answers
+// classify with its own identity and lists a fixed model set — the
+// routing plane's contract needs nothing heavier than that, which keeps
+// these tests free of engine builds.
+type stubReplica struct {
+	srv    *httptest.Server
+	models []string
+}
+
+func newStubReplica(t *testing.T, models ...string) *stubReplica {
+	t.Helper()
+	s := &stubReplica{models: models}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/models/{name}/classify", func(w http.ResponseWriter, req *http.Request) {
+		body, _ := io.ReadAll(req.Body)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"replica": s.Name(), "model": req.PathValue("name"), "bytes": len(body),
+			"trace": req.Header.Get(telemetry.TraceIDHeader),
+		})
+	})
+	mux.HandleFunc("/v1/models", func(w http.ResponseWriter, _ *http.Request) {
+		var doc struct {
+			Models []map[string]string `json:"models"`
+		}
+		for _, m := range s.models {
+			doc.Models = append(doc.Models, map[string]string{"name": m})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(doc)
+	})
+	s.srv = httptest.NewServer(mux)
+	t.Cleanup(s.srv.Close)
+	return s
+}
+
+// Name returns the member name the router addresses this replica by
+// (host:port, no scheme — the router adds http://).
+func (s *stubReplica) Name() string { return strings.TrimPrefix(s.srv.URL, "http://") }
+
+func postClassify(t *testing.T, base, model string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/models/"+model+"/classify", "application/json",
+		bytes.NewReader([]byte(`{"input":[1]}`)))
+	if err != nil {
+		t.Fatalf("post %s: %v", model, err)
+	}
+	return resp
+}
+
+func decodeReplica(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var doc struct {
+		Replica string `json:"replica"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return doc.Replica
+}
+
+func TestRouterProxiesToAssignedReplica(t *testing.T) {
+	a := newStubReplica(t, "alpha", "beta")
+	b := newStubReplica(t, "alpha", "beta")
+	rt := NewRouter(RouterOptions{Replicas: []string{a.Name(), b.Name()}})
+	rt.SetModels([]string{"alpha", "beta"})
+	hs := httptest.NewServer(rt.Handler())
+	defer hs.Close()
+
+	assign := rt.Assignments()
+	for _, model := range []string{"alpha", "beta"} {
+		resp := postClassify(t, hs.URL, model)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("model %s: status %d", model, resp.StatusCode)
+		}
+		served := resp.Header.Get(serve.ServedByHeader)
+		if served != assign[model] {
+			t.Fatalf("model %s served by %s, table says %s", model, served, assign[model])
+		}
+		if got := decodeReplica(t, resp); got != assign[model] {
+			t.Fatalf("model %s answered by %s, table says %s", model, got, assign[model])
+		}
+	}
+	st := rt.Stats()
+	total := uint64(0)
+	for _, r := range st.Replicas {
+		total += r.Proxied
+	}
+	if total != 2 || st.Reroutes != 0 {
+		t.Fatalf("proxied %d reroutes %d, want 2/0", total, st.Reroutes)
+	}
+}
+
+func TestRouterFailoverAndBreaker(t *testing.T) {
+	a := newStubReplica(t, "alpha")
+	b := newStubReplica(t, "alpha")
+	rt := NewRouter(RouterOptions{
+		Replicas: []string{a.Name(), b.Name()},
+		Breaker: &resilience.BreakerOptions{
+			Window: 4, FailureThreshold: 0.5, MinSamples: 2,
+			Cooldown: time.Hour, HalfOpenProbes: 1,
+		},
+	})
+	rt.SetModels([]string{"alpha"})
+	hs := httptest.NewServer(rt.Handler())
+	defer hs.Close()
+
+	primary := rt.Assignments()["alpha"]
+	dead, survivor := a, b
+	if primary == b.Name() {
+		dead, survivor = b, a
+	}
+	dead.srv.Close()
+
+	// Every request must still succeed via the survivor; after two
+	// transport errors the dead replica's breaker opens and later
+	// requests skip it entirely.
+	for i := 0; i < 8; i++ {
+		resp := postClassify(t, hs.URL, "alpha")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+		if got := decodeReplica(t, resp); got != survivor.Name() {
+			t.Fatalf("request %d answered by %s, want survivor %s", i, got, survivor.Name())
+		}
+	}
+	st := rt.Stats()
+	if st.Reroutes == 0 {
+		t.Fatal("no reroutes recorded while failing over")
+	}
+	var deadBreaker string
+	for _, r := range st.Replicas {
+		if r.Name == dead.Name() {
+			deadBreaker = r.Breaker.State
+		}
+	}
+	if deadBreaker != "open" {
+		t.Fatalf("dead replica breaker %q, want open", deadBreaker)
+	}
+	if rt.Health() != "degraded" {
+		t.Fatalf("health %q with an open breaker", rt.Health())
+	}
+
+	// /metrics exposes the state and still validates.
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := telemetry.ValidateExposition(string(body)); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+	want := fmt.Sprintf("sconna_router_breaker_state{replica=%q} 2", dead.Name())
+	if !strings.Contains(string(body), want) {
+		t.Fatalf("metrics missing %q:\n%s", want, body)
+	}
+}
+
+func TestRouterAllReplicasDown(t *testing.T) {
+	a := newStubReplica(t, "alpha")
+	rt := NewRouter(RouterOptions{Replicas: []string{a.Name()}})
+	rt.SetModels([]string{"alpha"})
+	hs := httptest.NewServer(rt.Handler())
+	defer hs.Close()
+	a.srv.Close()
+	resp := postClassify(t, hs.URL, "alpha")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d with every replica down, want 502", resp.StatusCode)
+	}
+}
+
+func TestRouterDeadline(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		select {
+		case <-time.After(5 * time.Second):
+		case <-req.Context().Done():
+		}
+	}))
+	defer slow.Close()
+	name := strings.TrimPrefix(slow.URL, "http://")
+	rt := NewRouter(RouterOptions{Replicas: []string{name}, RequestTimeout: 50 * time.Millisecond})
+	rt.SetModels([]string{"alpha"})
+	hs := httptest.NewServer(rt.Handler())
+	defer hs.Close()
+	start := time.Now()
+	resp := postClassify(t, hs.URL, "alpha")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d past the router deadline, want 504", resp.StatusCode)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("deadline did not bound the proxy: %v", time.Since(start))
+	}
+}
+
+func TestRouterUnknownModel(t *testing.T) {
+	a := newStubReplica(t, "alpha")
+	rt := NewRouter(RouterOptions{Replicas: []string{a.Name()}})
+	rt.SetModels([]string{"alpha"})
+	hs := httptest.NewServer(rt.Handler())
+	defer hs.Close()
+	resp := postClassify(t, hs.URL, "nope")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d for unknown model, want 404", resp.StatusCode)
+	}
+	if rt.Stats().Unrouted != 1 {
+		t.Fatalf("unrouted %d, want 1", rt.Stats().Unrouted)
+	}
+}
+
+func TestRouterRefreshDiscoversUnion(t *testing.T) {
+	a := newStubReplica(t, "alpha", "gamma")
+	b := newStubReplica(t, "beta")
+	rt := NewRouter(RouterOptions{Replicas: []string{a.Name(), b.Name()}})
+	if err := rt.Refresh(context.Background()); err != nil {
+		t.Fatalf("refresh: %v", err)
+	}
+	got := rt.Models()
+	want := []string{"alpha", "beta", "gamma"}
+	if len(got) != len(want) {
+		t.Fatalf("models %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("models %v, want %v", got, want)
+		}
+	}
+	assign := rt.Assignments()
+	if len(assign) != 3 {
+		t.Fatalf("assignments %v, want all three models routed", assign)
+	}
+
+	// A dead member degrades Refresh to an error but keeps the union
+	// from the live ones.
+	b.srv.Close()
+	if err := rt.Refresh(context.Background()); err == nil {
+		t.Fatal("refresh with a dead member reported no error")
+	}
+	if got := rt.Models(); len(got) != 2 {
+		t.Fatalf("models after partial refresh: %v, want the live member's two", got)
+	}
+}
+
+func TestRouterJoinLeaveRebalances(t *testing.T) {
+	a := newStubReplica(t, "alpha")
+	b := newStubReplica(t, "alpha")
+	rt := NewRouter(RouterOptions{Replicas: []string{a.Name()}})
+	rt.SetModels(goldenModels)
+	before := rt.Assignments()
+	for _, member := range before {
+		if member != a.Name() {
+			t.Fatalf("single-member ring routed to %s", member)
+		}
+	}
+	rt.Join(b.Name())
+	joined := rt.Assignments()
+	moved := 0
+	for m, member := range joined {
+		if member != before[m] {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("join moved nothing across six models (bounded load must spill)")
+	}
+	rt.Leave(b.Name())
+	after := rt.Assignments()
+	for m, member := range after {
+		if member != a.Name() {
+			t.Fatalf("model %s still routed to departed %s", m, member)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/quant"
+)
+
+// artifactExt is the on-disk artifact suffix: one quant.Save stream per
+// digest, exactly the bytes -save-quant writes, so a store directory is
+// interchangeable with a directory of hand-saved .qnn files.
+const artifactExt = ".qnn"
+
+// ArtifactPath is the HTTP route prefix the store handler serves:
+// GET ArtifactPath lists digests, GET ArtifactPath/{digest} streams the
+// artifact bytes.
+const ArtifactPath = "/v1/artifacts"
+
+// Store is digest-keyed read access to quantized-model artifacts: the
+// contract replicas pull models through. Get validates content against
+// the requested digest — a Store implementation can be wrong, but it
+// cannot make a caller accept mismatched bytes.
+type Store interface {
+	// Get returns the artifact whose quant network digest is dig.
+	Get(dig string) (*quant.Network, error)
+	// List returns every stored digest in sorted order.
+	List() ([]string, error)
+}
+
+// validDigest bounds what Get/Put accept as a digest key: the full
+// lowercase hex form of digest.Digest (64 chars), which is also what
+// keeps the value path-safe on disk and in URLs.
+func validDigest(dig string) error {
+	if len(dig) != 64 {
+		return fmt.Errorf("fleet: digest %q is not 64 hex chars", dig)
+	}
+	for _, r := range dig {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return fmt.Errorf("fleet: digest %q is not lowercase hex", dig)
+		}
+	}
+	return nil
+}
+
+// DiskStore is the on-disk artifact store: <dir>/<digest>.qnn, written
+// atomically (temp file + rename, the repository-wide convention), so
+// concurrent writers — including other processes sharing the directory
+// over a network mount — never expose a torn artifact. Content
+// addressing makes write races benign: both sides hold identical bytes.
+type DiskStore struct {
+	dir string
+}
+
+// OpenDiskStore opens (creating if needed) an artifact store rooted at
+// dir.
+func OpenDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fleet: artifact store: %w", err)
+	}
+	return &DiskStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *DiskStore) Dir() string { return s.dir }
+
+// Path returns where the digest's artifact lives (whether or not it
+// exists yet).
+func (s *DiskStore) Path(dig string) string {
+	return filepath.Join(s.dir, dig+artifactExt)
+}
+
+// Put stores qn under its content digest and returns the digest. An
+// already-present entry is left untouched (same digest — same bytes),
+// so Put is idempotent and cheap to re-run.
+func (s *DiskStore) Put(qn *quant.Network) (string, error) {
+	if qn == nil {
+		return "", fmt.Errorf("fleet: nil network")
+	}
+	dig := qn.Digest().String()
+	path := s.Path(dig)
+	if _, err := os.Stat(path); err == nil {
+		return dig, nil
+	}
+	if err := qn.SaveFile(path); err != nil {
+		return "", fmt.Errorf("fleet: storing artifact %s: %w", dig[:12], err)
+	}
+	return dig, nil
+}
+
+// Get loads the digest's artifact and verifies the content hash: a
+// corrupt, truncated or mislabeled file fails here, never inside a
+// serving worker.
+func (s *DiskStore) Get(dig string) (*quant.Network, error) {
+	if err := validDigest(dig); err != nil {
+		return nil, err
+	}
+	qn, err := quant.LoadFile(s.Path(dig))
+	if err != nil {
+		return nil, fmt.Errorf("fleet: artifact %s: %w", dig[:12], err)
+	}
+	if got := qn.Digest().String(); got != dig {
+		return nil, fmt.Errorf("fleet: artifact %s content hashes to %s — store entry corrupt or mislabeled",
+			dig[:12], got[:12])
+	}
+	return qn, nil
+}
+
+// List returns the stored digests in sorted order. Temp files and
+// foreign entries are invisible.
+func (s *DiskStore) List() ([]string, error) {
+	dents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: artifact store: %w", err)
+	}
+	var out []string
+	for _, de := range dents {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, artifactExt) {
+			continue
+		}
+		dig := strings.TrimSuffix(name, artifactExt)
+		if validDigest(dig) == nil {
+			out = append(out, dig)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// artifactList is the JSON document of GET /v1/artifacts.
+type artifactList struct {
+	Artifacts []string `json:"artifacts"`
+}
+
+// StoreHandler serves a Store read-only over HTTP:
+//
+//	GET /v1/artifacts          — {"artifacts": [digest, ...]} (sorted)
+//	GET /v1/artifacts/{digest} — the raw quant.Save artifact bytes
+//
+// Replicas booting with -pull fetch through this surface; the digest in
+// the URL is the integrity contract (HTTPStore re-hashes what it
+// receives).
+func StoreHandler(s Store) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(ArtifactPath, func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET required")
+			return
+		}
+		digs, err := s.List()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(artifactList{Artifacts: digs})
+	})
+	mux.HandleFunc(ArtifactPath+"/{digest}", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET required")
+			return
+		}
+		dig := req.PathValue("digest")
+		if err := validDigest(dig); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		qn, err := s.Get(dig)
+		if err != nil {
+			code := http.StatusInternalServerError
+			if errors.Is(err, fs.ErrNotExist) {
+				code = http.StatusNotFound
+			}
+			httpError(w, code, err.Error())
+			return
+		}
+		// Serialize the validated network rather than streaming the file:
+		// the handler then works for any Store, and what goes on the wire
+		// is exactly what Get vouched for.
+		var buf bytes.Buffer
+		if err := qn.Save(&buf); err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(buf.Bytes())
+	})
+	return mux
+}
+
+// httpError writes the fleet plane's JSON error body (the same shape as
+// the serving plane's).
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// HTTPStore pulls artifacts from a StoreHandler (typically the router's
+// listener) and re-validates every Get by content digest — transport
+// corruption or a lying server fails the pull, never boots a wrong
+// model.
+type HTTPStore struct {
+	// Base is the server root, e.g. "http://router:8080".
+	Base string
+	// Client overrides the HTTP client (nil = http.DefaultClient).
+	Client *http.Client
+}
+
+func (s *HTTPStore) client() *http.Client {
+	if s.Client != nil {
+		return s.Client
+	}
+	return http.DefaultClient
+}
+
+// Get fetches and validates one artifact by digest.
+func (s *HTTPStore) Get(dig string) (*quant.Network, error) {
+	if err := validDigest(dig); err != nil {
+		return nil, err
+	}
+	resp, err := s.client().Get(strings.TrimRight(s.Base, "/") + ArtifactPath + "/" + dig)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: pulling artifact %s: %w", dig[:12], err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("fleet: pulling artifact %s: %d %s", dig[:12], resp.StatusCode, body)
+	}
+	qn, err := quant.Load(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: pulling artifact %s: %w", dig[:12], err)
+	}
+	if got := qn.Digest().String(); got != dig {
+		return nil, fmt.Errorf("fleet: pulled artifact hashes to %s, want %s", got[:12], dig[:12])
+	}
+	return qn, nil
+}
+
+// List fetches the server's digest listing.
+func (s *HTTPStore) List() ([]string, error) {
+	resp, err := s.client().Get(strings.TrimRight(s.Base, "/") + ArtifactPath)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: listing artifacts: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet: listing artifacts: %d", resp.StatusCode)
+	}
+	var doc artifactList
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("fleet: listing artifacts: %w", err)
+	}
+	return doc.Artifacts, nil
+}

@@ -1,0 +1,231 @@
+package fleet
+
+import (
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// testNet builds one small quantized network per test binary: store
+// semantics do not depend on trained weights, so a seeded random-init
+// network keeps the suite fast while digests stay deterministic.
+var testNetFixture struct {
+	once sync.Once
+	qn   *quant.Network
+	alt  *quant.Network
+}
+
+func buildNet(t testing.TB, seed int64, bits int) *quant.Network {
+	t.Helper()
+	net := nn.BuildSmallCNN(2, 4, seed)
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.New(1, 8, 8)
+	for j := range x.Data {
+		x.Data[j] = float32(math.Abs(rng.NormFloat64()))
+	}
+	qn, err := quant.Quantize(net, bits, []nn.Example{{X: x, Label: 0}})
+	if err != nil {
+		t.Fatalf("quantize: %v", err)
+	}
+	return qn
+}
+
+func testNet(t testing.TB) *quant.Network {
+	t.Helper()
+	testNetFixture.once.Do(func() {
+		testNetFixture.qn = buildNet(t, 21, 6)
+		testNetFixture.alt = buildNet(t, 35, 5)
+	})
+	return testNetFixture.qn
+}
+
+func testNetAlt(t testing.TB) *quant.Network {
+	t.Helper()
+	testNet(t)
+	return testNetFixture.alt
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	store, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qn := testNet(t)
+	dig, err := store.Put(qn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dig != qn.Digest().String() {
+		t.Fatalf("Put returned %s, want the content digest %s", dig, qn.Digest())
+	}
+	// Idempotent re-put.
+	if again, err := store.Put(qn); err != nil || again != dig {
+		t.Fatalf("re-put: %s, %v", again, err)
+	}
+	got, err := store.Get(dig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest().String() != dig {
+		t.Fatalf("round trip changed the digest: %s", got.Digest())
+	}
+	digs, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(digs) != 1 || digs[0] != dig {
+		t.Fatalf("List = %v, want [%s]", digs, dig)
+	}
+}
+
+func TestDiskStoreListSortsAndFilters(t *testing.T) {
+	store, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := store.Put(testNet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := store.Put(testNetAlt(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Foreign files and temp droppings must be invisible.
+	for _, junk := range []string{"README.md", ".quant-tmp-123", "nothex" + strings.Repeat("0", 57) + artifactExt} {
+		if err := os.WriteFile(filepath.Join(store.Dir(), junk), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	digs, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{a, b}
+	if want[0] > want[1] {
+		want[0], want[1] = want[1], want[0]
+	}
+	if len(digs) != 2 || digs[0] != want[0] || digs[1] != want[1] {
+		t.Fatalf("List = %v, want %v", digs, want)
+	}
+}
+
+func TestDiskStoreRejectsCorruptArtifact(t *testing.T) {
+	store, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dig, err := store.Put(testNet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A mislabeled entry: valid artifact bytes stored under the wrong
+	// digest must fail the content check, not load silently.
+	other := testNetAlt(t)
+	if err := other.SaveFile(store.Path(dig)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Get(dig); err == nil || !strings.Contains(err.Error(), "corrupt or mislabeled") {
+		t.Fatalf("mislabeled artifact loaded: %v", err)
+	}
+	// Truncated bytes must fail deserialization.
+	if err := os.WriteFile(store.Path(dig), []byte("not an artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Get(dig); err == nil {
+		t.Fatal("truncated artifact loaded")
+	}
+}
+
+func TestDiskStoreRejectsBadDigest(t *testing.T) {
+	store, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dig := range []string{"", "short", strings.Repeat("Z", 64), "../../../../etc/passwd"} {
+		if _, err := store.Get(dig); err == nil {
+			t.Fatalf("digest %q accepted", dig)
+		}
+	}
+}
+
+// TestHTTPStore exercises the full pull path: DiskStore behind
+// StoreHandler, fetched through HTTPStore, digest re-validated
+// client-side.
+func TestHTTPStore(t *testing.T) {
+	disk, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dig, err := disk.Put(testNet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(StoreHandler(disk))
+	defer srv.Close()
+
+	remote := &HTTPStore{Base: srv.URL}
+	digs, err := remote.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(digs) != 1 || digs[0] != dig {
+		t.Fatalf("remote List = %v, want [%s]", digs, dig)
+	}
+	qn, err := remote.Get(dig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qn.Digest().String() != dig {
+		t.Fatalf("pulled digest %s, want %s", qn.Digest(), dig)
+	}
+
+	// Missing artifact: 404, surfaced as an error by the client.
+	missing := strings.Repeat("0", 64)
+	resp, err := http.Get(srv.URL + ArtifactPath + "/" + missing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing artifact answered %d, want 404", resp.StatusCode)
+	}
+	if _, err := remote.Get(missing); err == nil {
+		t.Fatal("client accepted a 404 pull")
+	}
+
+	// Malformed digest: 400 before touching the store.
+	resp, err = http.Get(srv.URL + ArtifactPath + "/nothex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad digest answered %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHTTPStoreRejectsLyingServer: a server returning wrong bytes for a
+// digest must fail the client-side re-hash.
+func TestHTTPStoreRejectsLyingServer(t *testing.T) {
+	qn := testNet(t)
+	lying := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_ = qn.Save(w) // always the same artifact, whatever was asked
+	}))
+	defer lying.Close()
+	remote := &HTTPStore{Base: lying.URL}
+	wrong := strings.Repeat("1", 64)
+	if _, err := remote.Get(wrong); err == nil || !strings.Contains(err.Error(), "hashes to") {
+		t.Fatalf("lying server accepted: %v", err)
+	}
+}

@@ -126,3 +126,24 @@ func Spans(n, size int) []Span {
 	}
 	return out
 }
+
+// ShardSpan returns shard i of a work list of n items partitioned into
+// `of` contiguous shards via Spans(n, ceil(n/of)): a pure function of
+// (n, i, of), so N machines that agree on the job list agree on the
+// partition with no coordination. Shards beyond the span list (possible
+// when of > n) are empty. i outside [0, of) or of < 1 panics — shard
+// coordinates come from operator input and a typo must not silently
+// compute the wrong slice.
+func ShardSpan(n, i, of int) Span {
+	if of < 1 || i < 0 || i >= of {
+		panic(fmt.Sprintf("parallel: shard %d/%d is not a valid partition coordinate", i, of))
+	}
+	if n <= 0 {
+		return Span{}
+	}
+	spans := Spans(n, (n+of-1)/of)
+	if i >= len(spans) {
+		return Span{Lo: n, Hi: n}
+	}
+	return spans[i]
+}

@@ -135,3 +135,51 @@ func TestSpansPartition(t *testing.T) {
 		t.Fatal("span length")
 	}
 }
+
+func TestShardSpanPartition(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct{ n, of int }{
+		{12, 1}, {12, 2}, {12, 3}, {12, 5}, {7, 3}, {3, 8}, {0, 4}, {1, 1},
+	} {
+		covered := make([]int, tc.n)
+		prevHi := 0
+		for i := 0; i < tc.of; i++ {
+			s := ShardSpan(tc.n, i, tc.of)
+			if s.Lo > s.Hi {
+				t.Fatalf("ShardSpan(%d, %d, %d) inverted: %+v", tc.n, i, tc.of, s)
+			}
+			if s.Len() > 0 && s.Lo < prevHi {
+				t.Fatalf("ShardSpan(%d, %d, %d) overlaps the previous shard", tc.n, i, tc.of)
+			}
+			if s.Len() > 0 {
+				prevHi = s.Hi
+			}
+			for j := s.Lo; j < s.Hi; j++ {
+				covered[j]++
+			}
+			// Pure function: the same coordinates give the same span.
+			if again := ShardSpan(tc.n, i, tc.of); again != s {
+				t.Fatalf("ShardSpan(%d, %d, %d) not deterministic: %+v vs %+v", tc.n, i, tc.of, s, again)
+			}
+		}
+		for j, c := range covered {
+			if c != 1 {
+				t.Fatalf("n=%d of=%d: item %d covered %d times", tc.n, tc.of, j, c)
+			}
+		}
+	}
+}
+
+func TestShardSpanRejectsBadCoordinates(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct{ i, of int }{{-1, 2}, {2, 2}, {0, 0}, {1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ShardSpan(10, %d, %d) must panic", tc.i, tc.of)
+				}
+			}()
+			ShardSpan(10, tc.i, tc.of)
+		}()
+	}
+}

@@ -96,7 +96,23 @@ func (r *Runner) Cell(org Organization, precision int, drHz float64) TableICell 
 // TableI regenerates Table I through the cache: max N for AMM and MAM at
 // 4- and 6-bit precision across data rates of 1, 3, 5 and 10 GS/s.
 func (r *Runner) TableI() []TableICell {
+	return r.cells(tableISpecs())
+}
+
+// TableIShard solves one contiguous shard (index of count, the CLI
+// "-shard i/n" contract) of the Table I grid and returns that slice's
+// cells in row order. The partition comes from parallel.ShardSpan, so
+// disjoint shard runs sharing a cache directory tree warm-start an
+// unsharded TableI completely — its merged output is byte-identical to
+// a single-machine run.
+func (r *Runner) TableIShard(index, count int) []TableICell {
 	specs := tableISpecs()
+	span := parallel.ShardSpan(len(specs), index, count)
+	return r.cells(specs[span.Lo:span.Hi])
+}
+
+// cells solves the given specs across the worker pool, in spec order.
+func (r *Runner) cells(specs []tableISpec) []TableICell {
 	out, err := parallel.Map(r.workers, len(specs), func(i int) (TableICell, error) {
 		s := specs[i]
 		return r.Cell(s.org, s.b, float64(s.gs)*1e9), nil

@@ -1,0 +1,48 @@
+package scalability
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// TestTableIShardUnion mirrors the accel shard contract on the Table I
+// grid: disjoint shard runs against separate store roots, unioned, must
+// regenerate the full table from cache alone, identical to an unsharded
+// run.
+func TestTableIShardUnion(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	want := memoryRunner(cfg, 1).TableI()
+
+	rootA, rootB, merged := t.TempDir(), t.TempDir(), t.TempDir()
+	ra, err := NewRunner(cfg, RunnerOptions{CacheDir: rootA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellsA := ra.TableIShard(0, 2)
+	rb, err := NewRunner(cfg, RunnerOptions{CacheDir: rootB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellsB := rb.TableIShard(1, 2)
+	if got := append(append([]TableICell{}, cellsA...), cellsB...); !reflect.DeepEqual(got, want) {
+		t.Fatal("shard concatenation diverged from the unsharded table")
+	}
+
+	if _, err := cache.MergeDirs(merged, rootA, rootB); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := NewRunner(cfg, RunnerOptions{CacheDir: merged})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := warm.TableI()
+	if st := warm.Stats(); st.Misses != 0 || st.Lookups != int64(len(want)) {
+		t.Fatalf("union was not fully warm: %+v", st)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("union-warmed table diverged from the unsharded run")
+	}
+}

@@ -20,6 +20,14 @@ import (
 	"repro/internal/telemetry"
 )
 
+// ServedByHeader is the response header a fleet router stamps with the
+// name of the replica that answered a proxied request. The load
+// generator journals it per POST and tallies per-replica response
+// counts, which is how routed traffic distributions are audited. It
+// lives in this package (not internal/fleet) so the client side needs
+// no fleet import; the router references this constant.
+const ServedByHeader = "X-Served-By"
+
 // ModelShare weights one model in a multi-model traffic mix: requests
 // route to POST /v1/models/{Name}/classify in proportion Weight /
 // sum(weights). An empty Name targets the legacy default alias.
@@ -88,6 +96,9 @@ type TraceRecord struct {
 	LatencyNS int64 `json:"latency_ns"`
 	// Attempts counts tries including the first (1 without retry).
 	Attempts int `json:"attempts"`
+	// ServedBy is the replica that answered (the X-Served-By response
+	// header), present only behind a fleet router.
+	ServedBy string `json:"served_by,omitempty"`
 }
 
 // LoadReport is one load-generation outcome.
@@ -104,6 +115,11 @@ type LoadReport struct {
 	// ByModel counts classify results per routed model for mixed runs
 	// (key "" is the legacy default alias).
 	ByModel map[string]int `json:"by_model,omitempty"`
+	// ByReplica counts classify results per answering replica when
+	// responses carried X-Served-By — present only when the target is a
+	// fleet router (a direct server never stamps the header, so driving
+	// one is unchanged).
+	ByReplica map[string]int `json:"by_replica,omitempty"`
 	// Retries counts extra attempts beyond each POST's first (present
 	// only when LoadOptions.Retry enabled the resilient client).
 	Retries int `json:"retries,omitempty"`
@@ -228,6 +244,7 @@ func Drive(baseURL string, inputs [][]float32, opts LoadOptions) (LoadReport, er
 	var responses, rejected, failures atomic.Int64
 	var modelMu sync.Mutex
 	byModel := make(map[string]int)
+	byReplica := make(map[string]int)
 	var traceMu sync.Mutex
 	writeTrace := func(rec TraceRecord) {
 		line, err := json.Marshal(rec)
@@ -307,6 +324,10 @@ func Drive(baseURL string, inputs [][]float32, opts LoadOptions) (LoadReport, er
 				}
 			}
 			status := "ok"
+			served := ""
+			if e == nil && resp != nil {
+				served = resp.Header.Get(ServedByHeader)
+			}
 			switch {
 			case e != nil:
 				failures.Add(int64(n))
@@ -327,9 +348,14 @@ func Drive(baseURL string, inputs [][]float32, opts LoadOptions) (LoadReport, er
 					break
 				}
 				responses.Add(int64(got))
-				if len(opts.Mix) > 0 {
+				if len(opts.Mix) > 0 || served != "" {
 					modelMu.Lock()
-					byModel[model] += got
+					if len(opts.Mix) > 0 {
+						byModel[model] += got
+					}
+					if served != "" {
+						byReplica[served] += got
+					}
 					modelMu.Unlock()
 				}
 			}
@@ -337,6 +363,7 @@ func Drive(baseURL string, inputs [][]float32, opts LoadOptions) (LoadReport, er
 				writeTrace(TraceRecord{
 					Index: lo, TraceID: traceID, Model: model, Status: status,
 					Requests: n, LatencyNS: time.Since(t0).Nanoseconds(), Attempts: attempts,
+					ServedBy: served,
 				})
 			}
 		}
@@ -358,6 +385,9 @@ func Drive(baseURL string, inputs [][]float32, opts LoadOptions) (LoadReport, er
 	}
 	if len(opts.Mix) > 0 {
 		rep.ByModel = byModel
+	}
+	if len(byReplica) > 0 {
+		rep.ByReplica = byReplica
 	}
 	if retrier != nil {
 		rep.Retries = int(retrier.Retries())
@@ -426,6 +456,16 @@ type BenchOptions struct {
 	// the best paired QPS ratio sets TelemetryOverhead, the number the
 	// CI gate bounds.
 	TelemetryHandler http.Handler
+	// FleetHandler adds a routing-overhead leg: the batched workload
+	// re-runs against this handler — a fleet router proxying to the same
+	// backend as the direct legs — in paired direct/routed trials, and
+	// the best paired QPS ratio sets RoutingOverhead, the number the CI
+	// gate bounds.
+	FleetHandler http.Handler
+	// FleetModel names the model both fleet-leg sides drive (the routed
+	// side has no legacy default alias, so the model must be addressed
+	// by name on both).
+	FleetModel string
 }
 
 // BenchReport is the BENCH_serve.json wire format. Schema-tagged like
@@ -462,13 +502,22 @@ type BenchReport struct {
 	// 1 minus the best paired on/off QPS ratio, floored at 0. The CI
 	// gate bounds it.
 	TelemetryOverhead float64 `json:"telemetry_overhead,omitempty"`
+	// Fleet is the routing-overhead leg (absent unless
+	// BenchOptions.FleetHandler is set): the best of three batched runs
+	// through a fleet router proxying to the same backend as the direct
+	// legs. Its ByReplica section shows where the traffic landed.
+	Fleet *LoadReport `json:"fleet,omitempty"`
+	// RoutingOverhead is the fractional QPS cost of the router hop:
+	// 1 minus the best paired routed/direct QPS ratio, floored at 0.
+	// The CI gate bounds it.
+	RoutingOverhead float64 `json:"routing_overhead,omitempty"`
 }
 
 // benchSchema tags BENCH_serve.json; see BenchReport (@v2 added the
 // multi-model routing leg and the registry stats document; @v3 the
 // fault-injected goodput leg and retry counters; @v4 the
-// telemetry-overhead leg).
-const benchSchema = "repro/bench_serve@v4"
+// telemetry-overhead leg; @v5 the fleet routing-overhead leg).
+const benchSchema = "repro/bench_serve@v5"
 
 // ListenLocal serves an HTTP API (a single-model Server's Handler or a
 // Registry's) on an ephemeral loopback listener, returning the
@@ -662,6 +711,61 @@ func benchHandler(h http.Handler, inputs [][]float32, opts BenchOptions) (BenchR
 		rep.Telemetry = bestOn
 		if n := len(ratios); n > 0 && ratios[n-1] < 1 {
 			rep.TelemetryOverhead = 1 - ratios[n-1]
+		}
+	}
+	if opts.FleetHandler != nil {
+		// The routing-overhead leg: identical batched workload through a
+		// fleet router that proxies back to the same backend the direct
+		// legs hit. Same paired-trials discipline as the telemetry leg —
+		// three adjacent direct/routed pairs, gate on the best paired QPS
+		// ratio — because a single pair is far too noisy to bound a hop
+		// cost on. Both sides address the model by name: the routed side
+		// has no legacy default alias.
+		fh, fbase, err := ListenLocal(opts.FleetHandler)
+		if err != nil {
+			return BenchReport{}, err
+		}
+		trialCfg := LoadOptions{
+			Requests: 2 * opts.BatchedRequests, Clients: opts.Clients, Batch: opts.Batch, Raw: opts.Raw,
+			Model: opts.FleetModel,
+		}
+		warmCfg := LoadOptions{
+			Requests: 2 * opts.Batch, Clients: 2, Batch: opts.Batch, Raw: opts.Raw,
+			Model: opts.FleetModel,
+		}
+		if _, err := Drive(fbase, inputs, warmCfg); err != nil {
+			fh.Close()
+			return BenchReport{}, err
+		}
+		if _, err := Drive(base, inputs, warmCfg); err != nil {
+			fh.Close()
+			return BenchReport{}, err
+		}
+		var ratios []float64
+		var bestRouted *LoadReport
+		for trial := 0; trial < 3; trial++ {
+			direct, err := Drive(base, inputs, trialCfg)
+			if err != nil {
+				fh.Close()
+				return BenchReport{}, err
+			}
+			routed, err := Drive(fbase, inputs, trialCfg)
+			if err != nil {
+				fh.Close()
+				return BenchReport{}, err
+			}
+			if direct.QPS > 0 {
+				ratios = append(ratios, routed.QPS/direct.QPS)
+			}
+			if bestRouted == nil || routed.QPS > bestRouted.QPS {
+				bestRouted = &routed
+			}
+		}
+		fh.Close()
+		sort.Float64s(ratios)
+		rep.Fleet = bestRouted
+		if n := len(ratios); n > 0 && ratios[n-1] < 1 {
+			rep.RoutingOverhead = 1 - ratios[n-1]
 		}
 	}
 	return rep, nil

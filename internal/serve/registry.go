@@ -6,8 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
-	"strings"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -73,6 +73,7 @@ func (m *Model) Breaker() *resilience.Breaker { return m.breaker }
 type Registry struct {
 	mu      sync.RWMutex
 	models  map[string]*Model
+	splits  map[string]*split
 	defName string // first registered, unless SetDefault moved it
 	closed  bool
 	// maxInFlight is the registry-wide in-flight budget split across
@@ -82,7 +83,7 @@ type Registry struct {
 
 // NewRegistry returns an empty registry; models arrive via Register.
 func NewRegistry() *Registry {
-	return &Registry{models: make(map[string]*Model)}
+	return &Registry{models: make(map[string]*Model), splits: make(map[string]*split)}
 }
 
 // validModelName bounds the routing namespace: path-safe, non-empty,
@@ -138,6 +139,10 @@ func (r *Registry) Register(name string, qn *quant.Network, factory quant.Engine
 	if _, dup := r.models[name]; dup {
 		r.mu.Unlock()
 		return nil, fmt.Errorf("serve: model %q already registered", name)
+	}
+	if _, dup := r.splits[name]; dup {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("serve: name %q is a traffic-split alias", name)
 	}
 	placeholder := &Model{name: name, version: version, weight: opts.AdmissionWeight}
 	if placeholder.weight <= 0 {
@@ -329,6 +334,12 @@ func (r *Registry) Len() int { return len(r.Names()) }
 type ModelInfo struct {
 	Name    string `json:"name"`
 	Version string `json:"version"`
+	// Digest is the content digest of the model's quantized network —
+	// the same value Version carries (versions are content-addressed),
+	// exported explicitly so fleet auditing can diff replicas and match
+	// registry entries against artifact-store listings without knowing
+	// the versioning convention.
+	Digest string `json:"digest"`
 	// Default marks the model the legacy /v1/classify alias routes to.
 	Default bool `json:"default,omitempty"`
 	// Stats is the model's private traffic snapshot.
@@ -349,7 +360,10 @@ type RegistryStats struct {
 	// unregistered).
 	DefaultModel string      `json:"default_model"`
 	Models       []ModelInfo `json:"models"`
-	Draining     bool        `json:"draining"`
+	// Splits lists the registry's A/B traffic-split aliases with their
+	// realized per-variant counts.
+	Splits   []SplitInfo `json:"splits,omitempty"`
+	Draining bool        `json:"draining"`
 	// Health mirrors GET /healthz: "ok", "degraded" (some breaker open
 	// or probing) or "draining".
 	Health string `json:"health"`
@@ -372,7 +386,8 @@ func (r *Registry) Stats() RegistryStats {
 	seen := false
 	for i, m := range models {
 		out.Models[i] = ModelInfo{
-			Name: m.name, Version: m.version, Default: m.name == defName, Stats: m.srv.Stats(),
+			Name: m.name, Version: m.version, Digest: m.version,
+			Default: m.name == defName, Stats: m.srv.Stats(),
 			InFlight: m.quota.InFlight(), QuotaLimit: m.quota.Limit(), QuotaRejected: m.quota.Rejected(),
 		}
 		if m.breaker != nil {
@@ -383,6 +398,9 @@ func (r *Registry) Stats() RegistryStats {
 	}
 	if !seen {
 		out.DefaultModel = ""
+	}
+	if sp := r.Splits(); len(sp) > 0 {
+		out.Splits = sp
 	}
 	return out
 }
@@ -470,9 +488,22 @@ func (r *Registry) lookup(w http.ResponseWriter, name string) (*Model, bool) {
 }
 
 func (r *Registry) handleModelClassify(w http.ResponseWriter, req *http.Request) {
-	m, ok := r.lookup(w, req.PathValue("name"))
-	if !ok {
+	name := req.PathValue("name")
+	if r.Draining() {
+		writeError(w, http.StatusServiceUnavailable, ErrRegistryClosed.Error())
 		return
+	}
+	m, err := r.Get(name)
+	if err != nil {
+		// Registered models win resolution; only a miss consults the
+		// traffic-split aliases, so a split can never shadow a model.
+		sm, chosen, ok := r.resolveSplit(name)
+		if !ok {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		w.Header().Set(SplitModelHeader, chosen)
+		m = sm
 	}
 	r.serveModel(m, w, req)
 }

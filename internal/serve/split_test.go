@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/quant"
+)
+
+// postSplit posts one classify call to the named route and returns the
+// status plus the X-Split-Model header.
+func postSplit(t *testing.T, base, name string, input []float32) (int, string) {
+	t.Helper()
+	body, err := json.Marshal(classifyRequest{Input: input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+modelPath(name), "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var r Result
+	_ = json.NewDecoder(resp.Body).Decode(&r)
+	return resp.StatusCode, resp.Header.Get(SplitModelHeader)
+}
+
+// TestSplitReplayIsBitIdentical drives the same request count through
+// two independently built registries sharing a split seed and requires
+// the realized variant sequences to match exactly: the A/B choice is a
+// pure function of (seed, per-split request counter), which is the
+// replay contract the split plane promises.
+func TestSplitReplayIsBitIdentical(t *testing.T) {
+	const n = 40
+	input := testInputs(1, 9)[0].Data
+	run := func() []string {
+		reg := twoModelRegistry(t)
+		if err := reg.SetSplit("canary", "alpha", "beta", 0.3, 42); err != nil {
+			t.Fatal(err)
+		}
+		hs := registryHTTP(t, reg)
+		seq := make([]string, n)
+		for i := range seq {
+			code, served := postSplit(t, hs.URL, "canary", input)
+			if code != http.StatusOK {
+				t.Fatalf("request %d: status %d", i, code)
+			}
+			if served != "alpha" && served != "beta" {
+				t.Fatalf("request %d served by %q", i, served)
+			}
+			seq[i] = served
+		}
+		return seq
+	}
+	first := run()
+	second := run()
+	sawA, sawB := false, false
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("replay diverged at request %d: %s vs %s", i, first[i], second[i])
+		}
+		sawA = sawA || first[i] == "alpha"
+		sawB = sawB || first[i] == "beta"
+	}
+	if !sawA || !sawB {
+		t.Fatalf("split at 0.3 over %d requests never realized both variants: %v", n, first)
+	}
+}
+
+// TestSplitStatsAndCounters: the registry stats document carries the
+// split section with counts matching the realized routing.
+func TestSplitStatsAndCounters(t *testing.T) {
+	reg := twoModelRegistry(t)
+	if err := reg.SetSplit("canary", "alpha", "beta", 0.5, 7); err != nil {
+		t.Fatal(err)
+	}
+	hs := registryHTTP(t, reg)
+	input := testInputs(1, 9)[0].Data
+	served := map[string]uint64{}
+	const n = 16
+	for i := 0; i < n; i++ {
+		code, s := postSplit(t, hs.URL, "canary", input)
+		if code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+		served[s]++
+	}
+	st := reg.Stats()
+	if len(st.Splits) != 1 {
+		t.Fatalf("stats carry %d splits, want 1", len(st.Splits))
+	}
+	sp := st.Splits[0]
+	if sp.Alias != "canary" || sp.ModelA != "alpha" || sp.ModelB != "beta" || sp.Seed != 7 {
+		t.Fatalf("split section %+v", sp)
+	}
+	if sp.Requests != n || sp.ServedA != served["alpha"] || sp.ServedB != served["beta"] {
+		t.Fatalf("split counters %+v, observed A=%d B=%d over %d",
+			sp, served["alpha"], served["beta"], n)
+	}
+	// Per-model stats absorb the alias traffic: alpha+beta served counts
+	// sum to the alias total (no request was double-counted or lost).
+	var total uint64
+	for _, mi := range st.Models {
+		total += mi.Stats.Served
+	}
+	if total != n {
+		t.Fatalf("model stats served %d requests, alias drove %d", total, n)
+	}
+	if err := reg.ClearSplit("canary"); err != nil {
+		t.Fatal(err)
+	}
+	code, _ := postSplit(t, hs.URL, "canary", input)
+	if code != http.StatusNotFound {
+		t.Fatalf("cleared alias answered %d, want 404", code)
+	}
+}
+
+// TestSplitValidation: aliases cannot shadow models, models cannot
+// shadow aliases, variants must exist, fractions must be in [0, 1].
+func TestSplitValidation(t *testing.T) {
+	reg := twoModelRegistry(t)
+	if err := reg.SetSplit("alpha", "alpha", "beta", 0.5, 1); err == nil {
+		t.Fatal("alias shadowing a registered model accepted")
+	}
+	if err := reg.SetSplit("canary", "alpha", "ghost", 0.5, 1); err == nil {
+		t.Fatal("split onto an unregistered variant accepted")
+	}
+	if err := reg.SetSplit("canary", "alpha", "beta", 1.5, 1); err == nil {
+		t.Fatal("fraction 1.5 accepted")
+	}
+	if err := reg.SetSplit("canary", "alpha", "beta", 0.5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register("canary", testNet(t), quant.SharedEngine(quant.ExactEngine{}), exactOpts(nil)); err == nil {
+		t.Fatal("model registration over a split alias accepted")
+	}
+	if err := reg.ClearSplit("ghost"); err == nil {
+		t.Fatal("clearing an unknown alias reported success")
+	}
+}
+
+// TestModelInfoDigest: the models listing exports the artifact digest
+// explicitly and it equals the content-addressed version.
+func TestModelInfoDigest(t *testing.T) {
+	reg := twoModelRegistry(t)
+	st := reg.Stats()
+	if len(st.Models) != 2 {
+		t.Fatalf("%d models", len(st.Models))
+	}
+	for _, mi := range st.Models {
+		if mi.Digest == "" || mi.Digest != mi.Version {
+			t.Fatalf("model %s digest %q / version %q", mi.Name, mi.Digest, mi.Version)
+		}
+		if len(mi.Digest) != 64 {
+			t.Fatalf("model %s digest %q is not full hex", mi.Name, mi.Digest)
+		}
+	}
+}

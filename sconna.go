@@ -8,6 +8,7 @@ import (
 	"repro/internal/accuracy"
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/parallel"
@@ -367,6 +368,51 @@ func WithPprof(next http.Handler) http.Handler { return telemetry.WithPprof(next
 // well-formedness (HELP/TYPE pairing, label syntax, histogram
 // invariants) — the same validator the selftest scrapes run.
 func ValidateExposition(doc string) error { return telemetry.ValidateExposition(doc) }
+
+type (
+	// ArtifactStore is the fleet plane's artifact source: digest-keyed
+	// Get/List of quantized model artifacts, every Get validated by
+	// content hash.
+	ArtifactStore = fleet.Store
+	// DiskArtifactStore is the on-disk store behind -store-dir: atomic
+	// digest-named writes, idempotent puts.
+	DiskArtifactStore = fleet.DiskStore
+	// HTTPArtifactStore pulls artifacts from a served store (typically a
+	// router) and re-validates every artifact by digest.
+	HTTPArtifactStore = fleet.HTTPStore
+	// FleetRouter consistent-hashes model names onto a replica ring and
+	// proxies classify traffic with failover, per-replica breakers and
+	// deadline propagation.
+	FleetRouter = fleet.Router
+	// FleetRouterOptions configures a FleetRouter.
+	FleetRouterOptions = fleet.RouterOptions
+	// FleetRing is the bounded-load rendezvous hash ring underneath the
+	// router: placement is a pure function of the member set.
+	FleetRing = fleet.Ring
+	// Shard names one machine's slice ("i/n") of a distributed sweep.
+	Shard = fleet.Shard
+)
+
+// OpenArtifactStore opens (creating if needed) the on-disk artifact
+// store rooted at dir.
+func OpenArtifactStore(dir string) (*DiskArtifactStore, error) { return fleet.OpenDiskStore(dir) }
+
+// ArtifactStoreHandler serves a store over HTTP: GET /v1/artifacts
+// lists digests, GET /v1/artifacts/{digest} streams one artifact.
+func ArtifactStoreHandler(s ArtifactStore) http.Handler { return fleet.StoreHandler(s) }
+
+// NewFleetRouter builds a router over the replica ring.
+func NewFleetRouter(opts FleetRouterOptions) *FleetRouter { return fleet.NewRouter(opts) }
+
+// ParseShard parses a "-shard i/n" spec; the empty string is the
+// disabled zero value (full span).
+func ParseShard(s string) (Shard, error) { return fleet.ParseShard(s) }
+
+// MergeCacheDirs unions shard runs' cache store roots into dst: entries
+// are content-addressed, so N disjoint shard stores merge into exactly
+// the store one machine would have produced. Returns how many entries
+// were copied.
+func MergeCacheDirs(dst string, srcs ...string) (int, error) { return cache.MergeDirs(dst, srcs...) }
 
 // DefaultAccuracyOptions returns the full Table V study configuration.
 func DefaultAccuracyOptions() AccuracyOptions { return accuracy.DefaultOptions() }
